@@ -1,0 +1,79 @@
+// Regenerates Figure 4 / Lemma 4.9: the radius gadget (the diameter
+// gadget plus the hub a0 joined to every a_i with weight 2*alpha).
+// Verifies the radius dichotomy
+//   F'(x,y)=1  =>  R <= max{2a,b}+n
+//   F'(x,y)=0  =>  R >= min{a+b,3a}
+// and the structural claim that only the a_i can be centers: every
+// other node's eccentricity is >= 3*alpha.
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/algorithms.h"
+#include "lowerbound/boolfn.h"
+#include "lowerbound/server.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace qc;
+  using namespace qc::lb;
+
+  std::printf("Figure 4 reproduction — radius gadget gap (Lemma 4.9)\n\n");
+  for (std::uint32_t h : {2u, 4u}) {
+    const auto p = GadgetParams::paper(h);
+    const bool full = h == 2;
+    std::printf("== h=%u: n=%llu (+1 hub)\n", h,
+                (unsigned long long)p.node_count());
+    TextTable t({"input", "F'(x,y)", "measured R", "low thr", "high thr",
+                 "gap ok", "separable"});
+    Rng rng(h * 11 + 5);
+    auto record = [&](const char* label, const PairInput& in) {
+      const auto c = check_radius_reduction(p, in, full);
+      t.add(label, c.f_value, c.measured, c.threshold_low, c.threshold_high,
+            c.gap_respected, c.distinguishable);
+    };
+    record("all rows hit (F'=1)", input_all_hit(1ull << p.s, p.ell, rng));
+    {
+      PairInput zero = random_input(1ull << p.s, p.ell, rng);
+      std::fill(zero.y.begin(), zero.y.end(), 0);
+      record("y = 0 (F'=0)", zero);
+    }
+    {
+      // Single common 1 anywhere makes F' = 1.
+      PairInput one = random_input(1ull << p.s, p.ell, rng);
+      std::fill(one.x.begin(), one.x.end(), 0);
+      std::fill(one.y.begin(), one.y.end(), 0);
+      one.x[0] = one.y[0] = 1;
+      record("single common 1 (F'=1)", one);
+    }
+    for (int i = 0; i < 4; ++i) {
+      record("random", random_input(1ull << p.s, p.ell, rng));
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // Structural claim: eccentricity of every non-a_i node is >= 3*alpha.
+  const auto p = GadgetParams::paper(2);
+  Rng rng(99);
+  const auto in = input_all_hit(1ull << p.s, p.ell, rng);
+  const ContractedGadget g(p, in, true);
+  const auto ecc = eccentricities(g.graph());
+  Dist min_non_a = kInfDist;
+  Dist min_a = kInfDist;
+  for (NodeId v = 0; v < g.graph().node_count(); ++v) {
+    bool is_a = false;
+    for (std::uint64_t i = 0; i < (1ull << p.s); ++i) {
+      if (g.a(i) == v) {
+        is_a = true;
+        break;
+      }
+    }
+    (is_a ? min_a : min_non_a) = std::min(is_a ? min_a : min_non_a, ecc[v]);
+  }
+  std::printf("center structure (h=2, F'=1): min ecc over a_i = %llu, over "
+              "all other nodes = %llu (>= 3*alpha = %llu: %s)\n",
+              (unsigned long long)min_a, (unsigned long long)min_non_a,
+              (unsigned long long)(3 * g.alpha()),
+              min_non_a >= 3 * g.alpha() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation of the distributed quantum optimization framework
+// (Lemma 3.1), reproducing the paper's Section 1.1 design argument:
+// naively Grover-searching the node with maximum eccentricity costs
+// Θ̃(n) rounds (√n search iterations × √n-round eccentricity
+// evaluation), while the paper's nested set-sampling structure reaches
+// Õ(min{n^{9/10} D^{3/10}, n}).
+//
+// Also measures the search engine itself: Dürr–Høyer oracle calls
+// against the Lemma 3.1 budget across marked-fraction ρ, and the
+// empirical success probability against 1−δ.
+#include <cmath>
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "quantum/framework.h"
+#include "quantum/search.h"
+#include "util/table.h"
+
+int main() {
+  using namespace qc;
+  using namespace qc::quantum;
+
+  std::printf("Framework ablation (Lemma 3.1)\n\n");
+
+  // (1) Oracle calls vs budget across rho.
+  std::printf("-- Durr-Hoyer calls vs Lemma 3.1 budget (n = 4096, delta = "
+              "0.05) --\n");
+  TextTable t({"rho", "budget", "mean calls", "success rate", ">= 1-delta"});
+  Rng rng(5);
+  const std::size_t n = 4096;
+  for (const double rho : {0.5, 0.1, 0.01, 0.002}) {
+    const auto good = static_cast<std::size_t>(rho * n);
+    std::vector<std::int64_t> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = i < good ? 100 : static_cast<std::int64_t>(i % 50);
+    }
+    std::vector<double> w(n, 1.0);
+    const std::uint64_t budget = lemma31_budget(rho, 0.05);
+    int hits = 0;
+    std::uint64_t calls = 0;
+    const int trials = 60;
+    for (int i = 0; i < trials; ++i) {
+      const auto res = quantum_max_find(values, w, budget, rng);
+      hits += (res.value == 100);
+      calls += res.oracle_calls;
+    }
+    const double rate = double(hits) / trials;
+    t.add(rho, budget, double(calls) / trials, rate, rate >= 0.95 - 0.07);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // (2) Naive vs nested round costs (cost-model comparison, plus the
+  // measured naive instantiation from the baselines module).
+  std::printf("-- naive Grover-over-nodes vs this work (model rounds, "
+              "polylog dropped) --\n");
+  TextTable cmp({"n", "D", "naive sqrt(n)*sqrt(n)=n", "naive sqrt(n)*D",
+                 "this work", "advantage vs best naive"});
+  for (std::uint64_t nn : {1ull << 12, 1ull << 16, 1ull << 20}) {
+    for (std::uint64_t d : {4ull, 64ull, 1024ull}) {
+      const double naive_ecc = double(nn);  // sqrt(n) evals x sqrt(n) rounds
+      const double naive_bfs = std::sqrt(double(nn)) * double(d);
+      const double ours = core::model::theorem11_rounds(nn, d) /
+                          core::model::polylog(nn);
+      const double best_naive = std::min(naive_ecc, naive_bfs);
+      cmp.add(nn, d, naive_ecc, naive_bfs, ours, best_naive / ours);
+    }
+  }
+  std::printf("%s", cmp.render().c_str());
+  std::printf("  note: naive sqrt(n)*D beats the paper's bound only when D "
+              "is tiny AND weighted eccentricity could be BFS-evaluated — "
+              "it cannot on weighted graphs (that is the paper's point; "
+              "weighted eccentricity evaluation costs ~sqrt(n) rounds by "
+              "[10]).\n\n");
+
+  // (3) Success probability vs delta for fixed rho.
+  std::printf("-- success probability vs delta (rho = 0.01) --\n");
+  TextTable sp({"delta", "budget", "empirical success", "target 1-delta"});
+  for (const double delta : {0.2, 0.1, 0.05, 0.01}) {
+    const double rho = 0.01;
+    const auto good = static_cast<std::size_t>(rho * n);
+    std::vector<std::int64_t> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = i < good ? 100 : 0;
+    }
+    std::vector<double> w(n, 1.0);
+    const std::uint64_t budget = lemma31_budget(rho, delta);
+    int hits = 0;
+    const int trials = 80;
+    for (int i = 0; i < trials; ++i) {
+      hits += quantum_max_find(values, w, budget, rng).value == 100;
+    }
+    sp.add(delta, budget, double(hits) / trials, 1 - delta);
+  }
+  std::printf("%s", sp.render().c_str());
+  return 0;
+}

@@ -1,0 +1,127 @@
+// google-benchmark microbenchmarks of the library's hot paths: the
+// CONGEST engine, the shortest-path reference algorithms, the quantum
+// search engine, and gadget construction. Wall-clock here is simulator
+// throughput, not the paper's round complexity (the round ledgers in
+// the other bench binaries are the paper-facing numbers).
+#include <benchmark/benchmark.h>
+
+#include "congest/primitives.h"
+#include "core/theorem11.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "lowerbound/gadget.h"
+#include "paths/reference.h"
+#include "quantum/search.h"
+#include "quantum/statevector.h"
+
+namespace {
+
+using namespace qc;
+
+void BM_EngineBfsTree(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  const auto g = gen::erdos_renyi_connected(n, 0.1, rng);
+  for (auto _ : state) {
+    auto res = congest::build_bfs_tree(g, 0);
+    benchmark::DoNotOptimize(res.stats.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineBfsTree)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EngineFlood(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto g = gen::grid(n / 8, 8);
+  for (auto _ : state) {
+    std::vector<std::vector<congest::FloodItem>> items(g.node_count());
+    for (int i = 0; i < 16; ++i) {
+      congest::FloodItem f;
+      f.push(static_cast<std::uint64_t>(i), 16);
+      items[0].push_back(std::move(f));
+    }
+    auto res = congest::flood_items(g, std::move(items));
+    benchmark::DoNotOptimize(res.stats.rounds);
+  }
+}
+BENCHMARK(BM_EngineFlood)->Arg(64)->Arg(256);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  const auto g = gen::randomize_weights(
+      gen::erdos_renyi_connected(n, 0.05, rng), 64, rng);
+  for (auto _ : state) {
+    auto d = dijkstra(g, 0);
+    benchmark::DoNotOptimize(d.back());
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SkeletonBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  const auto g = gen::randomize_weights(
+      gen::erdos_renyi_connected(n, 0.1, rng), 16, rng);
+  const auto params =
+      paths::Params::make(n, std::max<Dist>(1, unweighted_diameter(g)));
+  std::vector<NodeId> set;
+  for (NodeId v = 0; v < n; v += n / 6) set.push_back(v);
+  for (auto _ : state) {
+    auto sk = paths::build_skeleton(g, params, set);
+    benchmark::DoNotOptimize(sk.approx_eccentricity(0));
+  }
+}
+BENCHMARK(BM_SkeletonBuild)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GroverStateVector(benchmark::State& state) {
+  const auto qubits = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto sv = quantum::grover_run(
+        qubits, [](std::uint64_t x) { return x == 3; }, 8);
+    benchmark::DoNotOptimize(sv.probability(3));
+  }
+}
+BENCHMARK(BM_GroverStateVector)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_AmplitudeSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> w(n, 1.0);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto res = quantum::bbht_search(
+        w, [](std::size_t x) { return x == 7; }, 100000, rng);
+    benchmark::DoNotOptimize(res.found);
+  }
+}
+BENCHMARK(BM_AmplitudeSearch)->Arg(1024)->Arg(65536);
+
+void BM_Theorem11EndToEnd(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(5);
+  const auto g = gen::randomize_weights(
+      gen::erdos_renyi_connected(n, 0.15, rng), 8, rng);
+  core::Theorem11Options opt;
+  opt.seed = 7;
+  for (auto _ : state) {
+    auto res = core::quantum_weighted_diameter(g, opt);
+    benchmark::DoNotOptimize(res.rounds);
+  }
+}
+BENCHMARK(BM_Theorem11EndToEnd)->Arg(24)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_GadgetBuild(benchmark::State& state) {
+  const auto h = static_cast<std::uint32_t>(state.range(0));
+  const auto p = lb::GadgetParams::paper(h);
+  Rng rng(6);
+  const auto in = lb::random_input(1ull << p.s, p.ell, rng);
+  for (auto _ : state) {
+    lb::Gadget g(p, in, false);
+    benchmark::DoNotOptimize(g.graph().edge_count());
+  }
+}
+BENCHMARK(BM_GadgetBuild)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

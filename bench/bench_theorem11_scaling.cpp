@@ -1,0 +1,141 @@
+// Regenerates the headline result (Theorem 1.1): measured round
+// complexity of the quantum weighted diameter/radius algorithm versus
+// n and D, against the paper's Õ(min{n^{9/10} D^{3/10}, n}) bound and
+// the classical Θ̃(n) baseline.
+//
+// Series reported:
+//  * low-D family (connected ER, D ≈ log n): the advantage regime
+//    D = o(n^{1/3});
+//  * high-D family (path of cliques, D ≈ n/c): the regime where the
+//    min{..., n} cap bites and the advantage disappears;
+//  * a log-log power-law fit of measured rounds vs n per family.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/theorem11.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/mathx.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qc;
+
+struct Sample {
+  NodeId n;
+  Dist d;
+  std::uint64_t rounds;
+  double ratio;
+  double model;
+};
+
+Sample run_one(const WeightedGraph& g, std::uint64_t seed_base) {
+  Sample s;
+  s.n = g.node_count();
+  s.d = unweighted_diameter(g);
+  s.rounds = 0;
+  s.ratio = 0;
+  const int reps = 3;  // average out the sampling/Grover randomness
+  for (int rep = 0; rep < reps; ++rep) {
+    core::Theorem11Options opt;
+    opt.seed = seed_base + static_cast<std::uint64_t>(rep) * 101;
+    opt.validate_distributed = rep == 0;  // validate once per point
+    const auto res = core::quantum_weighted_diameter(g, opt);
+    s.rounds += res.rounds;
+    s.ratio = std::max(s.ratio, res.ratio);
+  }
+  s.rounds /= reps;
+  s.model = core::model::theorem11_rounds(s.n, s.d);
+  return s;
+}
+
+// The Õ(·) in Theorem 1.1 hides ~log⁴ n: ε⁻¹ = log n lengthens the
+// per-scale caps, the scale count is another log, Algorithm 3's window
+// stretch is a log, and the search budgets carry √log factors. At the
+// small n a simulator can execute, those factors dominate the fit, so
+// we report both the raw exponent and the exponent after dividing the
+// measurement by log⁴ n.
+double log4(double n) {
+  const double l = std::log2(n);
+  return l * l * l * l;
+}
+
+void run_family(const char* name,
+                const std::vector<WeightedGraph>& graphs) {
+  std::printf("-- family: %s --\n", name);
+  TextTable t({"n", "D", "measured rounds (avg 3 seeds)",
+               "model n^.9 D^.3 polylog", "classical model ~n log n",
+               "rounds/log^4", "max approx ratio"});
+  std::vector<double> ns, rounds, corrected;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto s = run_one(graphs[i], 1000 + i);
+    const double corr = static_cast<double>(s.rounds) / log4(double(s.n));
+    t.add(s.n, s.d, s.rounds, s.model,
+          core::model::classical_weighted_rounds(s.n), corr, s.ratio);
+    ns.push_back(static_cast<double>(s.n));
+    rounds.push_back(static_cast<double>(s.rounds));
+    corrected.push_back(corr);
+  }
+  std::printf("%s", t.render().c_str());
+  if (ns.size() >= 2) {
+    const auto [e_raw, c1] = fit_power_law(ns, rounds);
+    const auto [e_cor, c2] = fit_power_law(ns, corrected);
+    std::printf("  measured rounds ~ n^%.3f raw; ~ n^%.3f after removing "
+                "log^4 n (paper bound exponent at fixed D: 0.9; at D~n: "
+                "1.0)\n\n",
+                e_raw, e_cor);
+    (void)c1;
+    (void)c2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool large = argc > 1 && std::strcmp(argv[1], "--large") == 0;
+  std::printf("Theorem 1.1 scaling — measured CONGEST rounds of the quantum "
+              "weighted diameter\n\n");
+
+  std::vector<WeightedGraph> low_d;
+  for (NodeId n : std::vector<NodeId>{32, 48, 64, 96, 128}) {
+    Rng rng(n);
+    auto g = gen::erdos_renyi_connected(
+        n, 3.0 * std::log2(double(n)) / n, rng);
+    low_d.push_back(gen::randomize_weights(g, 8, rng));
+  }
+  if (large) {
+    Rng rng(192);
+    auto g = gen::erdos_renyi_connected(192, 3.0 * std::log2(192.0) / 192,
+                                        rng);
+    low_d.push_back(gen::randomize_weights(g, 8, rng));
+  }
+  run_family("low diameter (ER, D ~ log n) — quantum advantage regime",
+             low_d);
+
+  std::vector<WeightedGraph> high_d;
+  for (NodeId cliques : std::vector<NodeId>{8, 12, 16, 24, 32}) {
+    Rng rng(cliques);
+    auto g = gen::path_of_cliques(cliques, 4);
+    high_d.push_back(gen::randomize_weights(g, 8, rng));
+  }
+  run_family("high diameter (path of cliques, D ~ n/4) — cap regime",
+             high_d);
+
+  std::printf("crossover check: the paper predicts advantage iff D = "
+              "o(n^{1/3}).\n");
+  TextTable x({"n", "D", "model rounds", "vs n", "advantage"});
+  for (NodeId n : std::vector<NodeId>{1 << 10, 1 << 14, 1 << 18, 1 << 22}) {
+    for (double dpow : {0.1, 0.25, 1.0 / 3, 0.5, 0.8}) {
+      const auto d = static_cast<Dist>(std::pow(double(n), dpow));
+      const double m = core::model::theorem11_rounds(n, d) /
+                       core::model::polylog(n);
+      x.add(n, d, m, m / double(n), m < double(n) * 0.9);
+    }
+  }
+  std::printf("%s\n", x.render().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Scenario: why no quantum CONGEST algorithm can (3/2-eps)-approximate
+// the weighted diameter in o(n^{2/3}) rounds — the Section 4 reduction,
+// end to end, on a concrete instance.
+//
+// Alice and Bob secretly hold x and y; they publish a network whose
+// edge weights encode their inputs (Figure 2). Computing the diameter
+// to within 3/2 reveals F(x,y) = AND of row-wise set intersections —
+// and two-party communication lower bounds make that expensive.
+#include <cstdio>
+
+#include "graph/algorithms.h"
+#include "lowerbound/approxdeg.h"
+#include "lowerbound/boolfn.h"
+#include "lowerbound/gadget.h"
+#include "lowerbound/server.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  using namespace qc::lb;
+
+  std::printf("Lower-bound reduction walkthrough (Theorem 4.2)\n\n");
+
+  // 1. Alice and Bob's secret inputs.
+  const auto params = GadgetParams::paper(4);  // h=4: n = 447
+  Rng rng(42);
+  const PairInput yes = input_all_hit(1ull << params.s, params.ell, rng);
+  const PairInput no =
+      input_one_row_miss(1ull << params.s, params.ell, 5, rng);
+  std::printf("gadget: h=%u, s=%u, ell=%u -> n=%llu nodes, inputs of "
+              "2^s*ell = %llu bits per player\n\n",
+              params.h, params.s, params.ell,
+              (unsigned long long)params.node_count(),
+              (unsigned long long)((1ull << params.s) * params.ell));
+
+  // 2. The published networks and their diameters.
+  for (const auto* tag : {"YES", "NO"}) {
+    const PairInput& in = tag[0] == 'Y' ? yes : no;
+    const auto check = check_diameter_reduction(params, in);
+    std::printf("%s instance: F(x,y) = %d, diameter(G') = %llu "
+                "(YES ceiling %llu, NO floor %llu) -> a 3/2-approximation "
+                "answers F correctly: %s\n",
+                tag, check.f_value, (unsigned long long)check.measured,
+                (unsigned long long)check.threshold_high,
+                (unsigned long long)check.threshold_low,
+                check.distinguishable ? "yes" : "NO");
+  }
+
+  // 3. Any T-round CONGEST algorithm on the gadget is a cheap Server
+  //    protocol (Lemma 4.1): run a real execution and meter it.
+  const Gadget g(params, yes, false);
+  const auto rep = run_and_meter_bfs(g, 5, g.a(0));
+  std::printf("\nLemma 4.1 metering of a real 5-round execution: %llu "
+              "messages total, only %llu charged to Alice/Bob "
+              "(bound 2h/round = %llu) — partition sound: %s\n",
+              (unsigned long long)rep.total_messages,
+              (unsigned long long)rep.charged_messages,
+              (unsigned long long)rep.per_round_bound,
+              rep.partition_sound ? "yes" : "NO");
+
+  // 4. The communication price of F: its outer read-once formula has
+  //    approximate degree Theta(sqrt k) (computed exactly by LP here),
+  //    which lifts to a quantum communication bound, which divides back
+  //    through Lemma 4.1 into rounds.
+  std::printf("\napprox degree of the outer formula (exact LP): ");
+  for (std::size_t k : {16u, 36u, 64u}) {
+    std::printf("deg(AND_%zu)=%u ", k,
+                approx_degree_symmetric(and_levels(k), 1.0 / 3));
+  }
+  const std::uint32_t bandwidth = 8 * clog2(params.node_count());
+  std::printf("\nimplied round bound for this gadget: T >= sqrt(2^s*ell)/"
+              "(h*B) = %.2f rounds; asymptotically Omega(n^{2/3}/log^2 n)"
+              ".\n",
+              theorem42_round_bound(params, bandwidth));
+  std::printf("\nconclusion: weighted diameter at D = Theta(log n) needs "
+              "Omega~(n^{2/3}) quantum rounds, while the unweighted case "
+              "takes O~(sqrt(nD)) — weights make the problem strictly "
+              "harder (Theorem 1.2).\n");
+  return 0;
+}

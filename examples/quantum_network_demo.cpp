@@ -1,0 +1,86 @@
+// Scenario: what "nodes exchange qubits" actually means — the model of
+// Elkin–Klauck–Nanongkai–Pandurangan, run at qubit level on a small
+// network.
+//
+// 1. A node creates entanglement locally and ships one half (the model
+//    explicitly allows building shared entanglement this way).
+// 2. The leader distributes its superposition to every node by CNOT
+//    copies along a BFS tree in depth(tree) rounds — the exact step
+//    Lemma 3.5's Setup uses to put the whole network "inside" the
+//    search superposition.
+// 3. Measurements anywhere collapse consistently everywhere.
+#include <cstdio>
+
+#include "congest/primitives.h"
+#include "graph/generators.h"
+#include "quantum/qnetwork.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  using namespace qc::quantum;
+
+  std::printf("Qubit-level CONGEST demo\n\n");
+
+  // --- 1. Remote entanglement over one edge ---
+  {
+    const auto g = gen::path(2);
+    QuantumNetwork net(g, 2);
+    net.h(0, 0);
+    net.cnot(0, 0, 1);      // local Bell pair at node 0
+    net.send_qubit(0, 1, 1);  // ship half to node 1 (1 qubit, 1 round)
+    net.end_round();
+    Rng rng(1);
+    int agree = 0;
+    // (Re-preparing each trial; measurement collapses the state.)
+    for (int t = 0; t < 20; ++t) {
+      QuantumNetwork fresh(g, 2);
+      fresh.h(0, 0);
+      fresh.cnot(0, 0, 1);
+      fresh.send_qubit(0, 1, 1);
+      fresh.end_round();
+      agree += fresh.measure(0, 0, rng) == fresh.measure(1, 1, rng);
+    }
+    std::printf("1. Bell pair across an edge: measurements agreed %d/20 "
+                "times (model: always)\n\n",
+                agree);
+  }
+
+  // --- 2. CNOT-copy broadcast along a BFS tree ---
+  {
+    Rng rng(7);
+    const auto g = gen::erdos_renyi_connected(10, 0.25, rng);
+    const auto tree = congest::build_bfs_tree(g, 0);
+    std::vector<NodeId> parent(g.node_count());
+    std::vector<Dist> depth(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      parent[v] = tree.nodes[v].parent;
+      depth[v] = tree.nodes[v].depth;
+    }
+    QuantumNetwork net(g, g.node_count());
+    const auto rounds = cnot_broadcast(net, parent, depth);
+    const std::uint64_t all = (std::uint64_t{1} << g.node_count()) - 1;
+    std::printf("2. CNOT broadcast on a %u-node network: %llu rounds "
+                "(= BFS depth). Global state: P(|0...0>) = %.3f, "
+                "P(|1...1>) = %.3f — a %u-qubit GHZ share per node.\n\n",
+                g.node_count(), (unsigned long long)rounds,
+                net.state().probability(0), net.state().probability(all),
+                g.node_count());
+
+    // --- 3. Collapse propagates ---
+    Rng mrng(3);
+    const bool first = net.measure(0, 0, mrng);
+    bool consistent = true;
+    for (std::uint32_t v = 1; v < g.node_count(); ++v) {
+      consistent &= net.measure(static_cast<NodeId>(v), v, mrng) == first;
+    }
+    std::printf("3. Leader measured %d; every other node then measured the "
+                "same value: %s\n",
+                first ? 1 : 0, consistent ? "yes" : "NO");
+  }
+
+  std::printf("\n(The large-scale engine in core/ replaces this exponential "
+              "state vector with the amplitude-exact simulation of "
+              "DESIGN.md S1 — same round counts, polynomial cost.)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// CONGEST messages with explicit bit accounting.
+//
+// The CONGEST model's defining constraint is that each edge carries at
+// most B = O(log n) bits per round. To make that enforceable, a message
+// is a sequence of fields each pushed with a declared bit width; the
+// simulator sums the declared widths of everything a node puts on an edge
+// in a round and rejects overflows. Declared widths are checked against
+// the actual values (a value must fit in its declared width), so programs
+// cannot under-declare.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/error.h"
+#include "util/mathx.h"
+
+namespace qc::congest {
+
+/// A single message: fields with declared widths.
+class Message {
+ public:
+  Message() = default;
+
+  /// Appends a field. `bits` in [1, 64]; `value` must fit in `bits`.
+  Message& push(std::uint64_t value, std::uint32_t bits) {
+    QC_REQUIRE(bits >= 1 && bits <= 64, "field width must be in [1, 64]");
+    QC_REQUIRE(bits == 64 || value < (std::uint64_t{1} << bits),
+               "field value does not fit in declared width");
+    fields_.push_back(value);
+    widths_.push_back(bits);
+    bit_size_ += bits;
+    return *this;
+  }
+
+  std::size_t field_count() const { return fields_.size(); }
+
+  std::uint64_t field(std::size_t i) const {
+    QC_REQUIRE(i < fields_.size(), "message field index out of range");
+    return fields_[i];
+  }
+
+  std::uint32_t field_width(std::size_t i) const {
+    QC_REQUIRE(i < widths_.size(), "message field index out of range");
+    return widths_[i];
+  }
+
+  /// Total declared size in bits — what the bandwidth cap meters.
+  std::uint32_t bit_size() const { return bit_size_; }
+
+  friend bool operator==(const Message&, const Message&) = default;
+
+ private:
+  std::vector<std::uint64_t> fields_;
+  std::vector<std::uint32_t> widths_;
+  std::uint32_t bit_size_ = 0;
+};
+
+/// A received message together with its sender.
+struct Incoming {
+  NodeId from;
+  Message msg;
+};
+
+}  // namespace qc::congest

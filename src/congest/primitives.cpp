@@ -1,0 +1,360 @@
+#include "congest/primitives.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace qc::congest {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// BFS tree
+// ---------------------------------------------------------------------
+
+// Wire format: {type:1}{payload}. type 0 = announce(depth), type 1 =
+// adopt (no payload).
+class BfsTreeProgram final : public NodeProgram {
+ public:
+  BfsTreeProgram(NodeId root, std::uint32_t depth_bits)
+      : root_(root), depth_bits_(depth_bits) {}
+
+  void on_start(NodeContext& ctx) override {
+    if (ctx.id() == root_) {
+      result_.parent = kNoParent;
+      result_.depth = 0;
+      Message announce;
+      announce.push(0, 1).push(0, depth_bits_);
+      ctx.broadcast(announce);
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    for (const Incoming& in : inbox) {
+      const std::uint64_t type = in.msg.field(0);
+      if (type == 0 && result_.depth == kInfDist) {
+        // First announce wins; tie-break on sender id is irrelevant for
+        // depth correctness (all same-round announces carry equal depth).
+        result_.parent = in.from;
+        result_.depth = in.msg.field(1) + 1;
+        Message announce;
+        announce.push(0, 1).push(result_.depth, depth_bits_);
+        ctx.broadcast(announce);
+        Message adopt;
+        adopt.push(1, 1);
+        ctx.send(in.from, adopt);
+      } else if (type == 1) {
+        result_.children.push_back(in.from);
+      }
+    }
+  }
+
+  bool done() const override { return result_.depth != kInfDist; }
+
+  const BfsTreeNodeResult& result() const { return result_; }
+
+ private:
+  NodeId root_;
+  std::uint32_t depth_bits_;
+  BfsTreeNodeResult result_;
+};
+
+// ---------------------------------------------------------------------
+// Global aggregate (convergecast + downcast on a fresh BFS tree)
+// ---------------------------------------------------------------------
+
+// Wire format: {type:2}{payload}. type 0 = announce(depth), type 1 =
+// adopt, type 2 = up(partial), type 3 = down(final).
+class AggregateProgram final : public NodeProgram {
+ public:
+  AggregateProgram(NodeId root, std::uint64_t input, AggregateOp op,
+                   std::uint32_t depth_bits, std::uint32_t value_bits)
+      : root_(root),
+        op_(op),
+        depth_bits_(depth_bits),
+        value_bits_(value_bits),
+        partial_(input) {}
+
+  void on_start(NodeContext& ctx) override {
+    if (ctx.id() == root_) {
+      adopted_ = true;
+      Message announce;
+      announce.push(0, 2).push(0, depth_bits_);
+      ctx.broadcast(announce);
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    for (const Incoming& in : inbox) {
+      switch (in.msg.field(0)) {
+        case 0:  // announce(depth)
+          if (!adopted_) {
+            adopted_ = true;
+            parent_ = in.from;
+            Message announce;
+            announce.push(0, 2).push(in.msg.field(1) + 1, depth_bits_);
+            ctx.broadcast(announce);
+            Message adopt;
+            adopt.push(1, 2);
+            ctx.send(in.from, adopt);
+          }
+          break;
+        case 1:  // adopt
+          children_.push_back(in.from);
+          break;
+        case 2:  // up(partial)
+          partial_ = fold(partial_, in.msg.field(1));
+          ++reports_;
+          break;
+        case 3:  // down(final)
+          if (!final_.has_value()) {
+            final_ = in.msg.field(1);
+            push_down(ctx);
+          }
+          break;
+        default:
+          throw ModelError("AggregateProgram: unknown message type");
+      }
+    }
+
+    if (adopted_) ++rounds_since_adopt_;
+
+    // Children membership is final three local rounds after adoption:
+    // we adopt in round t, our announce is delivered in t+1, children
+    // adopt in t+1, and their adopt messages land in round t+2 — which
+    // is the round where rounds_since_adopt_ reaches 3 (inbox is
+    // processed before this check).
+    if (adopted_ && !sent_up_ && rounds_since_adopt_ >= 3 &&
+        reports_ == children_.size()) {
+      sent_up_ = true;
+      if (ctx.id() == root_ || parent_ == kNoParent) {
+        final_ = partial_;
+        push_down(ctx);
+      } else {
+        Message up;
+        up.push(2, 2).push(partial_, value_bits_);
+        ctx.send(parent_, up);
+      }
+    }
+  }
+
+  bool done() const override { return final_.has_value(); }
+
+  std::uint64_t value() const {
+    QC_CHECK(final_.has_value(), "aggregate not finished");
+    return *final_;
+  }
+
+ private:
+  std::uint64_t fold(std::uint64_t a, std::uint64_t b) const {
+    switch (op_) {
+      case AggregateOp::kMin: return std::min(a, b);
+      case AggregateOp::kMax: return std::max(a, b);
+      case AggregateOp::kSum: return a + b;
+    }
+    throw InvariantError("unreachable aggregate op");
+  }
+
+  void push_down(NodeContext& ctx) {
+    Message down;
+    down.push(3, 2).push(*final_, value_bits_);
+    for (const NodeId child : children_) ctx.send(child, down);
+  }
+
+  NodeId root_;
+  AggregateOp op_;
+  std::uint32_t depth_bits_;
+  std::uint32_t value_bits_;
+  NodeId parent_ = kNoParent;
+  std::vector<NodeId> children_;
+  bool adopted_ = false;
+  bool sent_up_ = false;
+  std::uint64_t rounds_since_adopt_ = 0;
+  std::size_t reports_ = 0;
+  std::uint64_t partial_;
+  std::optional<std::uint64_t> final_;
+};
+
+// ---------------------------------------------------------------------
+// Pipelined flooding
+// ---------------------------------------------------------------------
+
+// Relays one unseen item per round to all neighbours. With k items total
+// this completes within O(D + k) rounds (Topkis-style pipelined
+// flooding). Items are relayed verbatim; dedup keys on field contents.
+class FloodProgram final : public NodeProgram {
+ public:
+  explicit FloodProgram(std::vector<FloodItem> initial) {
+    for (FloodItem& item : initial) learn(std::move(item));
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    for (const Incoming& in : inbox) learn(in.msg);
+    if (!queue_.empty()) {
+      ctx.broadcast(queue_.front());
+      queue_.pop_front();
+    }
+  }
+
+  bool done() const override { return queue_.empty(); }
+
+  std::vector<FloodItem> known_sorted() const {
+    std::vector<FloodItem> out;
+    out.reserve(known_.size());
+    for (const auto& [key, item] : known_) out.push_back(item);
+    return out;
+  }
+
+ private:
+  void learn(FloodItem item) {
+    std::vector<std::uint64_t> key(item.field_count());
+    for (std::size_t i = 0; i < key.size(); ++i) key[i] = item.field(i);
+    if (known_.emplace(std::move(key), item).second) {
+      queue_.push_back(std::move(item));
+    }
+  }
+
+  std::map<std::vector<std::uint64_t>, FloodItem> known_;
+  std::deque<FloodItem> queue_;
+};
+
+// ---------------------------------------------------------------------
+// Leader election (min-id flooding, fixed horizon)
+// ---------------------------------------------------------------------
+class ElectionProgram final : public NodeProgram {
+ public:
+  ElectionProgram(std::uint64_t horizon, std::uint32_t id_bits)
+      : horizon_(horizon), id_bits_(id_bits) {}
+
+  void on_start(NodeContext& ctx) override {
+    best_ = ctx.id();
+    Message m;
+    m.push(best_, id_bits_);
+    ctx.broadcast(m);
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    bool improved = false;
+    for (const Incoming& in : inbox) {
+      const auto cand = static_cast<NodeId>(in.msg.field(0));
+      if (cand < best_) {
+        best_ = cand;
+        improved = true;
+      }
+    }
+    if (improved && round_ + 1 < horizon_) {
+      Message m;
+      m.push(best_, id_bits_);
+      ctx.broadcast(m);
+    }
+    ++round_;
+  }
+
+  bool done() const override { return round_ >= horizon_; }
+
+  NodeId leader() const { return best_; }
+
+ private:
+  std::uint64_t horizon_;
+  std::uint32_t id_bits_;
+  NodeId best_ = 0;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace
+
+ElectionResult elect_leader(const WeightedGraph& g, std::uint64_t horizon,
+                            Config config) {
+  QC_REQUIRE(horizon >= 1, "election horizon must be >= 1");
+  QC_REQUIRE(g.is_connected(), "election needs a connected network");
+  const std::uint32_t id_bits = bits_for(g.node_count());
+  auto run = run_on_all<ElectionProgram>(
+      g,
+      [&](NodeId) {
+        return std::make_unique<ElectionProgram>(horizon, id_bits);
+      },
+      config);
+  ElectionResult out;
+  out.stats = run.stats;
+  out.leader = run.at(0).leader();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    QC_CHECK(run.at(v).leader() == out.leader,
+             "election did not converge — horizon below the diameter?");
+  }
+  return out;
+}
+
+BfsTreeResult build_bfs_tree(const WeightedGraph& g, NodeId root,
+                             Config config) {
+  QC_REQUIRE(root < g.node_count(), "root out of range");
+  QC_REQUIRE(g.is_connected(), "BFS tree needs a connected network");
+  const std::uint32_t depth_bits = bits_for(g.node_count());
+  auto run = run_on_all<BfsTreeProgram>(
+      g,
+      [&](NodeId) {
+        return std::make_unique<BfsTreeProgram>(root, depth_bits);
+      },
+      config);
+  BfsTreeResult out;
+  out.stats = run.stats;
+  out.nodes.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.nodes.push_back(run.at(v).result());
+  }
+  return out;
+}
+
+AggregateResult global_aggregate(const WeightedGraph& g, NodeId root,
+                                 const std::vector<std::uint64_t>& inputs,
+                                 AggregateOp op, std::uint32_t value_bits,
+                                 Config config) {
+  QC_REQUIRE(root < g.node_count(), "root out of range");
+  QC_REQUIRE(inputs.size() == g.node_count(), "one input per node");
+  QC_REQUIRE(g.is_connected(), "aggregate needs a connected network");
+  const std::uint32_t depth_bits = bits_for(g.node_count());
+  auto run = run_on_all<AggregateProgram>(
+      g,
+      [&](NodeId v) {
+        return std::make_unique<AggregateProgram>(root, inputs[v], op,
+                                                  depth_bits, value_bits);
+      },
+      config);
+  AggregateResult out;
+  out.stats = run.stats;
+  out.value = run.at(root).value();
+  // Sanity: every node must have learned the same value.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    QC_CHECK(run.at(v).value() == out.value,
+             "aggregate disseminated inconsistently");
+  }
+  return out;
+}
+
+FloodResult flood_items(const WeightedGraph& g,
+                        std::vector<std::vector<FloodItem>> initial,
+                        Config config) {
+  QC_REQUIRE(initial.size() == g.node_count(), "one item list per node");
+  QC_REQUIRE(g.is_connected(), "flooding needs a connected network");
+  const std::uint32_t bandwidth = config.bandwidth_bits != 0
+                                      ? config.bandwidth_bits
+                                      : default_bandwidth(g.node_count());
+  for (const auto& items : initial) {
+    for (const FloodItem& item : items) {
+      QC_REQUIRE(item.bit_size() <= bandwidth,
+                 "flood item does not fit in one CONGEST message");
+    }
+  }
+  auto run = run_on_all<FloodProgram>(
+      g,
+      [&](NodeId v) { return std::make_unique<FloodProgram>(std::move(initial[v])); },
+      config);
+  FloodResult out;
+  out.stats = run.stats;
+  out.items_at.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.items_at.push_back(run.at(v).known_sorted());
+  }
+  return out;
+}
+
+}  // namespace qc::congest

@@ -1,0 +1,96 @@
+// Reusable distributed primitives on the CONGEST simulator.
+//
+// These are the O(D)- and O(D+k)-round building blocks the paper's
+// algorithms assume:
+//   * BFS spanning tree from a root (O(D) rounds);
+//   * global aggregate (min/max/sum) by convergecast + downcast
+//     ("converge-casting" in the paper's Lemma 3.5 proof, O(D) rounds);
+//   * pipelined flooding of k items to every node (O(D + k) rounds) —
+//     the "broadcast by pipelining" used by Algorithms 3-5.
+//
+// Each primitive is a genuine `NodeProgram` (message-level, bandwidth
+// checked) plus a convenience wrapper that runs it and collects outputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "congest/simulator.h"
+
+namespace qc::congest {
+
+inline constexpr NodeId kNoParent = static_cast<NodeId>(-1);
+
+/// Output of BFS-tree construction for one node.
+struct BfsTreeNodeResult {
+  NodeId parent = kNoParent;  ///< kNoParent for the root / unreached
+  Dist depth = kInfDist;      ///< hop distance from the root
+  std::vector<NodeId> children;
+};
+
+/// Result of a BFS-tree build over the whole network.
+struct BfsTreeResult {
+  RunStats stats;
+  std::vector<BfsTreeNodeResult> nodes;
+};
+
+/// Builds a BFS spanning tree rooted at `root`. Every node learns its
+/// parent, depth, and children. O(D) rounds.
+BfsTreeResult build_bfs_tree(const WeightedGraph& g, NodeId root,
+                             Config config = {});
+
+/// Associative fold for aggregates.
+enum class AggregateOp { kMin, kMax, kSum };
+
+/// Result of a global aggregate.
+struct AggregateResult {
+  RunStats stats;
+  std::uint64_t value = 0;  ///< aggregate, known to every node on return
+};
+
+/// Computes op over each node's `inputs[v]` and disseminates the result
+/// to all nodes via convergecast + downcast on a BFS tree rooted at
+/// `root`. `value_bits` is the encoded width of any partial aggregate
+/// (caller guarantees all partials fit). O(D) rounds.
+AggregateResult global_aggregate(const WeightedGraph& g, NodeId root,
+                                 const std::vector<std::uint64_t>& inputs,
+                                 AggregateOp op, std::uint32_t value_bits,
+                                 Config config = {});
+
+/// One flooded item: an opaque payload that must fit in one message
+/// (payload bits + header <= B). Items are deduplicated by content, so
+/// payloads must be globally distinct (give them an id field).
+using FloodItem = Message;
+
+/// Result of a pipelined flood.
+struct FloodResult {
+  RunStats stats;
+  /// items_at[v] = all items known to v (its own + received), in a
+  /// deterministic order (sorted by content).
+  std::vector<std::vector<FloodItem>> items_at;
+};
+
+/// Floods every node's initial items to all nodes, pipelined: each node
+/// relays one not-yet-relayed item per round to all neighbours.
+/// O(D + k) rounds for k total items.
+FloodResult flood_items(const WeightedGraph& g,
+                        std::vector<std::vector<FloodItem>> initial,
+                        Config config = {});
+
+/// Result of a leader election.
+struct ElectionResult {
+  RunStats stats;
+  NodeId leader = 0;  ///< agreed upon by every node
+};
+
+/// Min-id leader election by flooding with a fixed horizon: every node
+/// forwards the smallest id it has seen; after `horizon` >= D rounds
+/// all nodes agree on the global minimum. (The paper assumes a
+/// pre-defined leader; this primitive discharges that assumption —
+/// horizon = n is always safe since D <= n-1.)
+ElectionResult elect_leader(const WeightedGraph& g, std::uint64_t horizon,
+                            Config config = {});
+
+}  // namespace qc::congest

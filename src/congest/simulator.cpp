@@ -1,0 +1,153 @@
+#include "congest/simulator.h"
+
+#include <algorithm>
+
+namespace qc::congest {
+
+std::uint32_t default_bandwidth(NodeId n) {
+  const std::uint32_t logn = std::max<std::uint32_t>(1, clog2(std::max<NodeId>(n, 2)));
+  return kBandwidthLogFactor * logn;
+}
+
+NodeId NodeContext::n() const { return sim_->graph().node_count(); }
+std::uint64_t NodeContext::round() const { return sim_->round_; }
+std::uint32_t NodeContext::bandwidth() const { return sim_->bandwidth(); }
+
+std::span<const HalfEdge> NodeContext::neighbors() const {
+  return sim_->graph().neighbors(id_);
+}
+
+bool NodeContext::has_neighbor(NodeId v) const {
+  return sim_->graph().has_edge(id_, v);
+}
+
+void NodeContext::send(NodeId to, Message m) {
+  sim_->queue_message(id_, to, std::move(m));
+}
+
+void NodeContext::broadcast(const Message& m) {
+  for (const HalfEdge& h : neighbors()) {
+    sim_->queue_message(id_, h.to, m);
+  }
+}
+
+Rng& NodeContext::rng() { return sim_->node_rngs_[id_]; }
+
+Simulator::Simulator(const WeightedGraph& graph, Config config)
+    : graph_(&graph),
+      config_(config),
+      bandwidth_(config.bandwidth_bits != 0
+                     ? config.bandwidth_bits
+                     : default_bandwidth(graph.node_count())) {
+  QC_REQUIRE(graph.node_count() >= 1, "network needs at least one node");
+  Rng master(config_.seed);
+  node_rngs_.reserve(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    node_rngs_.push_back(master.fork());
+  }
+  sender_done_.assign(graph.node_count(), false);
+  outgoing_.resize(graph.node_count());
+  edge_bits_.resize(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    edge_bits_[v].assign(graph.degree(v), 0);
+  }
+}
+
+void Simulator::queue_message(NodeId from, NodeId to, Message m) {
+  QC_CHECK(from < graph_->node_count(), "sender out of range");
+  if (to >= graph_->node_count() || !graph_->has_edge(from, to)) {
+    throw ModelError("node " + std::to_string(from) +
+                     " tried to message non-neighbour " + std::to_string(to));
+  }
+  if (sender_done_[from]) {
+    throw ModelError("node " + std::to_string(from) +
+                     " sent a message after declaring done");
+  }
+  // Locate the neighbour slot for bandwidth accounting.
+  const auto adj = graph_->neighbors(from);
+  std::size_t slot = adj.size();
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    if (adj[i].to == to) {
+      slot = i;
+      break;
+    }
+  }
+  QC_CHECK(slot < adj.size(), "neighbour slot lookup failed");
+  const std::uint32_t used = edge_bits_[from][slot] + m.bit_size();
+  if (used > bandwidth_) {
+    throw ModelError("bandwidth exceeded on edge " + std::to_string(from) +
+                     "->" + std::to_string(to) + ": " + std::to_string(used) +
+                     " bits > B=" + std::to_string(bandwidth_) +
+                     " in round " + std::to_string(round_));
+  }
+  edge_bits_[from][slot] = used;
+  stats_.messages += 1;
+  stats_.bits += m.bit_size();
+  if (config_.record_trace) {
+    trace_.push_back(TraceEntry{round_, from, to, m.bit_size()});
+  }
+  outgoing_[to].push_back(Incoming{from, std::move(m)});
+  ++outgoing_count_;
+}
+
+RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) {
+  const NodeId n = graph_->node_count();
+  QC_REQUIRE(programs.size() == n, "need exactly one program per node");
+
+  stats_ = RunStats{};
+  round_ = 0;
+  outgoing_count_ = 0;
+  trace_.clear();
+  for (auto& row : outgoing_) row.clear();
+
+  std::vector<NodeContext> contexts;
+  contexts.reserve(n);
+  for (NodeId v = 0; v < n; ++v) contexts.push_back(NodeContext(*this, v));
+
+  // Start hook (counts as pre-round-0 local computation; sends land in
+  // round 0 inboxes).
+  for (NodeId v = 0; v < n; ++v) {
+    sender_done_[v] = false;
+    programs[v]->on_start(contexts[v]);
+  }
+
+  std::vector<std::vector<Incoming>> inboxes(n);
+  for (;;) {
+    // Deliver: this round's inbox is last round's outbox.
+    for (NodeId v = 0; v < n; ++v) {
+      inboxes[v].clear();
+      inboxes[v].swap(outgoing_[v]);
+    }
+    const bool had_messages = outgoing_count_ > 0;
+    outgoing_count_ = 0;
+    for (auto& bits : edge_bits_) {
+      std::fill(bits.begin(), bits.end(), 0);
+    }
+
+    bool all_done = true;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!programs[v]->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done && !had_messages) break;
+
+    for (NodeId v = 0; v < n; ++v) {
+      sender_done_[v] = programs[v]->done() && inboxes[v].empty();
+      if (sender_done_[v]) continue;  // silent this round
+      programs[v]->on_round(contexts[v], inboxes[v]);
+      sender_done_[v] = false;
+    }
+    ++round_;
+    if (round_ > config_.max_rounds) {
+      throw ModelError("simulation exceeded max_rounds=" +
+                       std::to_string(config_.max_rounds));
+    }
+  }
+
+  stats_.rounds = round_;
+  return stats_;
+}
+
+}  // namespace qc::congest

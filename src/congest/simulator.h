@@ -1,0 +1,175 @@
+// Synchronous CONGEST network simulator.
+//
+// Executes per-node programs round by round on a `WeightedGraph` topology:
+// in round r every node receives the messages sent to it in round r-1,
+// does local computation, and queues messages for round r+1. The engine
+// enforces the model:
+//   * a node can only message its direct neighbours,
+//   * at most `bandwidth_bits` (= B, default c·ceil(log2 n)) per edge per
+//     direction per round,
+//   * no activity after a program declares itself done.
+// Violations throw `ModelError` — tests exercise this on purpose.
+//
+// The engine also keeps a ledger (rounds, messages, bits) that the
+// benchmarks report; simulated rounds are the paper's complexity measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "congest/message.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace qc::congest {
+
+/// Engine configuration.
+struct Config {
+  /// Per-edge per-direction bits per round. 0 means "use the CONGEST
+  /// default" of kBandwidthLogFactor * ceil(log2 n).
+  std::uint32_t bandwidth_bits = 0;
+  /// Hard cap on simulated rounds; exceeding it throws ModelError
+  /// (guards against non-terminating programs).
+  std::uint64_t max_rounds = 50'000'000;
+  /// Seed for the engine-supplied per-node RNG streams.
+  std::uint64_t seed = 1;
+  /// Record every message (round, from, to, bits) — used by the
+  /// lower-bound simulation lemma to meter cross-partition traffic.
+  bool record_trace = false;
+};
+
+/// One recorded message (sent during `round`, delivered in round+1).
+struct TraceEntry {
+  std::uint64_t round;
+  NodeId from;
+  NodeId to;
+  std::uint32_t bits;
+};
+
+/// Multiplier c in B = c * ceil(log2 n). The paper's B = O(log n); the
+/// constant matters only for constant factors. The widest messages in
+/// the library are Algorithm 4's overlay edges, which carry a σ-scaled
+/// approximate distance of up to ~4·log2(n) bits (log ℓ + log ε⁻¹ +
+/// log n + log W for poly(n) weights) plus two node ids, hence c = 8.
+inline constexpr std::uint32_t kBandwidthLogFactor = 8;
+
+/// Computes the default bandwidth for an n-node network.
+std::uint32_t default_bandwidth(NodeId n);
+
+/// Execution totals for one run.
+struct RunStats {
+  std::uint64_t rounds = 0;    ///< synchronous rounds elapsed
+  std::uint64_t messages = 0;  ///< total point-to-point messages
+  std::uint64_t bits = 0;      ///< total bits on all edges
+};
+
+class Simulator;
+
+/// Per-node facilities handed to a program each round.
+class NodeContext {
+ public:
+  NodeId id() const { return id_; }
+  NodeId n() const;
+  std::uint64_t round() const;
+  std::uint32_t bandwidth() const;
+  std::span<const HalfEdge> neighbors() const;
+  bool has_neighbor(NodeId v) const;
+
+  /// Queues a message to neighbour `to` for delivery next round.
+  void send(NodeId to, Message m);
+  /// Queues a copy of `m` to every neighbour.
+  void broadcast(const Message& m);
+
+  /// Deterministic per-node random stream (nodes may use private
+  /// randomness in the CONGEST model).
+  Rng& rng();
+
+ private:
+  friend class Simulator;
+  NodeContext(Simulator& sim, NodeId id) : sim_(&sim), id_(id) {}
+  Simulator* sim_;
+  NodeId id_;
+};
+
+/// A distributed algorithm, from one node's point of view.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once before round 0; may send initial messages.
+  virtual void on_start(NodeContext& ctx) { (void)ctx; }
+
+  /// Called every round with the messages delivered this round.
+  virtual void on_round(NodeContext& ctx, std::span<const Incoming> inbox) = 0;
+
+  /// The engine stops when every node is done and no messages are in
+  /// flight. A done node must stay silent (enforced).
+  virtual bool done() const = 0;
+};
+
+/// The synchronous engine. One instance per execution.
+class Simulator {
+ public:
+  Simulator(const WeightedGraph& graph, Config config = {});
+
+  /// Runs the given programs (one per node, index = node id) to
+  /// completion. Returns the ledger for this run.
+  RunStats run(std::span<const std::unique_ptr<NodeProgram>> programs);
+
+  const WeightedGraph& graph() const { return *graph_; }
+  std::uint32_t bandwidth() const { return bandwidth_; }
+  /// Message trace of the last run (empty unless config.record_trace).
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+ private:
+  friend class NodeContext;
+
+  void queue_message(NodeId from, NodeId to, Message m);
+
+  const WeightedGraph* graph_;
+  Config config_;
+  std::uint32_t bandwidth_;
+  std::uint64_t round_ = 0;
+  RunStats stats_;
+  std::vector<Rng> node_rngs_;
+  std::vector<bool> sender_done_;
+  // outgoing[v] = messages to deliver to v next round.
+  std::vector<std::vector<Incoming>> outgoing_;
+  std::uint64_t outgoing_count_ = 0;
+  // bits_this_round_[sender] accumulates per-neighbour usage; reset each
+  // round. Indexed by (sender, slot-of-neighbour).
+  std::vector<std::vector<std::uint32_t>> edge_bits_;
+  std::vector<TraceEntry> trace_;
+};
+
+/// Convenience: run a homogeneous program type over every node.
+/// `make(node_id)` builds the per-node instance. Returns stats and the
+/// program objects (so callers can read per-node outputs).
+template <typename Program, typename Factory>
+struct HomogeneousRun {
+  RunStats stats;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+
+  Program& at(NodeId v) { return static_cast<Program&>(*programs[v]); }
+  const Program& at(NodeId v) const {
+    return static_cast<const Program&>(*programs[v]);
+  }
+};
+
+template <typename Program, typename Factory>
+HomogeneousRun<Program, Factory> run_on_all(const WeightedGraph& g,
+                                            Factory&& make,
+                                            Config config = {}) {
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    programs.push_back(make(v));
+  }
+  Simulator sim(g, config);
+  RunStats stats = sim.run(programs);
+  return {stats, std::move(programs)};
+}
+
+}  // namespace qc::congest

@@ -1,0 +1,110 @@
+#include "core/events.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "paths/reference.h"
+#include "util/rng.h"
+
+namespace qc::core {
+
+GoodEventsReport analyze_good_events(const WeightedGraph& g,
+                                     std::uint64_t seed, bool radius) {
+  const NodeId n = g.node_count();
+  QC_REQUIRE(n >= 2 && g.is_connected(),
+             "good-events analysis needs a connected graph, n >= 2");
+
+  GoodEventsReport rep;
+  rep.params = paths::Params::make(n, std::max<Dist>(1,
+                                       unweighted_diameter(g)));
+  rep.sets = n;
+
+  Rng rng(seed);
+  const double p = static_cast<double>(rep.params.r) / n;
+  std::vector<std::vector<NodeId>> sets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.chance(p)) sets[i].push_back(v);
+    }
+  }
+
+  // --- Good-Scale ---
+  rep.min_size = n;
+  std::size_t total = 0;
+  for (const auto& s : sets) {
+    if (s.empty()) {
+      ++rep.empty_sets;
+      continue;
+    }
+    rep.min_size = std::min(rep.min_size, s.size());
+    rep.max_size = std::max(rep.max_size, s.size());
+    total += s.size();
+  }
+  rep.mean_size = static_cast<double>(total) /
+                  static_cast<double>(rep.sets - rep.empty_sets);
+  const double r = static_cast<double>(rep.params.r);
+  rep.scale_ok = rep.empty_sets == 0 &&
+                 static_cast<double>(rep.min_size) >= r / 6.0 &&
+                 static_cast<double>(rep.max_size) <= 6.0 * r;
+
+  // β: sets containing any node of extreme eccentricity (each such
+  // member certifies the set per Lemma 3.4's argument; the paper fixes
+  // one v*, but any witness works and ties are common).
+  const auto ecc = eccentricities(g);
+  const Dist extreme = radius ? *std::min_element(ecc.begin(), ecc.end())
+                              : *std::max_element(ecc.begin(), ecc.end());
+  for (const auto& s : sets) {
+    for (const NodeId v : s) {
+      if (ecc[v] == extreme) {
+        ++rep.beta;
+        break;
+      }
+    }
+  }
+
+  // --- Good-Approximation + Lemma 3.4 ---
+  paths::ToolkitCache cache(g, rep.params);
+  const Dist target = radius ? weighted_radius(g) : weighted_diameter(g);
+  const double eps = rep.params.epsilon();
+  const double cap_factor = (1 + eps) * (1 + eps) + 1e-9;
+
+  rep.approximation_ok = true;
+  rep.cap_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sets[i].empty()) continue;
+    const auto sk = cache.skeleton(sets[i]);
+    const double scale = static_cast<double>(sk.total_scale());
+    double set_extreme = radius ? 1e300 : 0.0;
+    for (std::uint32_t s = 0; s < sk.size(); ++s) {
+      const Dist e_tilde = sk.approx_eccentricity(s);
+      if (e_tilde >= kInfDist) {
+        rep.approximation_ok = false;
+        continue;
+      }
+      const double unscaled = static_cast<double>(e_tilde) / scale;
+      const double exact = static_cast<double>(ecc[sk.members[s]]);
+      const double ratio = unscaled / exact;
+      rep.worst_ecc_ratio = std::max(rep.worst_ecc_ratio, ratio);
+      if (ratio < 1.0 - 1e-9 || ratio > cap_factor) {
+        rep.approximation_ok = false;
+      }
+      set_extreme = radius ? std::min(set_extreme, unscaled)
+                           : std::max(set_extreme, unscaled);
+    }
+    // Lemma 3.4 per set: for the diameter, f(i) <= (1+eps)^2 D always;
+    // good sets reach at least D (resp. at most (1+eps)^2 R which we
+    // count against R itself for the radius, matching the lemma's
+    // one-sided form).
+    const double t = static_cast<double>(target);
+    if (!radius) {
+      if (set_extreme > cap_factor * t) rep.cap_ok = false;
+      if (set_extreme >= t - 1e-9) ++rep.good_sets;
+    } else {
+      if (set_extreme < t - 1e-9) rep.cap_ok = false;  // ẽ >= e >= R
+      if (set_extreme <= cap_factor * t) ++rep.good_sets;
+    }
+  }
+  return rep;
+}
+
+}  // namespace qc::core

@@ -1,0 +1,48 @@
+// The good events of Section 3.1 and Lemma 3.4, as an executable
+// analysis:
+//
+//  * Good-Scale — every sampled set has |S_i| = Θ(r), and a node of
+//    extreme eccentricity joins β = Θ(r) of the sets;
+//  * Good-Approximation — ẽ sandwiches the true eccentricity
+//    (bit-checked against exact oracles);
+//  * Lemma 3.4 — the number of i with f(i) ≥ D_{G,w} (≤ R for the
+//    radius) is Θ(r), and every f(i) ≤ (1+ε)²·D_{G,w}.
+//
+// The paper assumes these hold w.h.p. and conditions on them; this
+// module measures them on concrete instances so the assumption is
+// auditable rather than implicit.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "paths/params.h"
+
+namespace qc::core {
+
+struct GoodEventsReport {
+  paths::Params params;
+  std::size_t sets = 0;
+  // Good-Scale:
+  std::size_t empty_sets = 0;
+  std::size_t min_size = 0;
+  std::size_t max_size = 0;
+  double mean_size = 0;
+  /// |S_i| within [r/6, 6r] for every non-empty set (our Θ(r) window).
+  bool scale_ok = false;
+  /// β: sets containing the extreme-eccentricity node v*.
+  std::size_t beta = 0;
+  // Good-Approximation (checked over every (i, s ∈ S_i)):
+  bool approximation_ok = false;
+  double worst_ecc_ratio = 0;  ///< max ẽ/e over all members
+  // Lemma 3.4:
+  std::uint64_t good_sets = 0;   ///< f(i) beyond the target
+  bool cap_ok = false;           ///< all f(i) within (1+ε)²·target
+};
+
+/// Samples n sets with probability r/n per node (seeded), builds every
+/// skeleton, and audits the three events. `radius` flips max to min.
+GoodEventsReport analyze_good_events(const WeightedGraph& g,
+                                     std::uint64_t seed, bool radius);
+
+}  // namespace qc::core

@@ -1,0 +1,94 @@
+// The paper's main contribution (Theorem 1.1): a quantum CONGEST
+// algorithm (1+o(1))-approximating the weighted diameter and radius in
+// Õ(min{n^{9/10}·D^{3/10}, n}) rounds.
+//
+// Structure (Section 3 of the paper):
+//  * sample n vertex sets S_1..S_n, each node joining independently with
+//    probability r/n (Eq. 1 parameters);
+//  * inner procedure (Lemma 3.5): for one set S_i, maximize the
+//    approximate eccentricity ẽ over s ∈ S_i with the distributed
+//    quantum optimization framework — Initialization_i = Algorithms 3+4,
+//    Setup_i = Algorithm 5, Evaluation_i = local combine + convergecast;
+//  * outer search (proof of Theorem 1.1): maximize f(i) = max_s ẽ(s)
+//    over the n sets (minimize, for the radius).
+//
+// Execution model (DESIGN.md S1): the search bookkeeping uses the
+// centralized reference values (bit-identical to the distributed
+// implementations — asserted by tests and revalidated per run), while
+// the CONGEST costs T₀/T_setup/T_eval are *measured* on real distributed
+// executions for the set the search measures. Charged rounds follow
+// Lemma 3.1 exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/simulator.h"
+#include "graph/graph.h"
+#include "paths/params.h"
+#include "util/rng.h"
+
+namespace qc::core {
+
+struct Theorem11Options {
+  std::uint64_t seed = 1;
+  /// Per-search failure target δ (both nesting levels).
+  double delta = 0.05;
+  /// Re-run the full distributed pipeline on the measured set and check
+  /// its values against the bookkeeping backend (slower; on by default).
+  bool validate_distributed = true;
+  /// Override 1/ε (0 = paper default ⌈log₂ n⌉). Larger values tighten
+  /// the (1+ε)² guarantee and lengthen every toolkit schedule.
+  std::uint32_t eps_inv = 0;
+  /// Override the skeleton size target r (0 = Eq. (1)'s
+  /// n^{2/5}·D^{-1/5}). Used by the ablation bench to show the paper's
+  /// choice balances Initialization (∝ n/r per Algorithm 1's ℓ) against
+  /// the searches (outer √(n/r), inner √r).
+  std::uint64_t r_override = 0;
+};
+
+/// Measured CONGEST costs of the Lemma 3.5 procedures on the chosen set.
+struct MeasuredSetCosts {
+  std::uint64_t t0_rounds = 0;      ///< Initialization_i (Algs 3+4 + set flood)
+  std::uint64_t t_setup_rounds = 0; ///< Setup_i (collect + broadcast + Alg 5)
+  std::uint64_t t_eval_rounds = 0;  ///< Evaluation_i (convergecast)
+};
+
+struct Theorem11Result {
+  bool radius = false;          ///< which problem this solved
+  // --- answer ---
+  Dist estimate_scaled = 0;     ///< f(i*) in σ·σ″ fixed-point units
+  std::uint64_t total_scale = 1;
+  double estimate = 0;          ///< estimate_scaled / total_scale
+  Dist exact = 0;               ///< true D_{G,w} or R_{G,w} (oracle)
+  double ratio = 0;             ///< estimate / exact
+  double epsilon = 0;           ///< ε = 1/⌈log n⌉ used
+  bool within_bound = false;    ///< exact <= estimate <= (1+ε)²·exact
+  // --- cost ---
+  std::uint64_t rounds = 0;       ///< total charged CONGEST rounds
+  std::uint64_t t0_outer = 0;     ///< D-estimation preamble (measured)
+  std::uint64_t t1_outer = 0;     ///< outer Setup: leader broadcast (measured)
+  std::uint64_t t2_outer = 0;     ///< outer Evaluation: Lemma 3.5 budget
+  std::uint64_t outer_calls = 0;  ///< outer oracle calls (adaptive)
+  std::uint64_t inner_budget_calls = 0;  ///< inner Lemma 3.1 budget
+  MeasuredSetCosts measured;
+  // --- diagnostics ---
+  paths::Params params;
+  std::uint64_t d_hat = 1;        ///< leader's unweighted-ecc estimate of D
+  std::size_t chosen_set = 0;     ///< the i* the search measured
+  std::size_t chosen_set_size = 0;
+  /// The node achieving f(i*): an approximate center (radius) or a
+  /// node of near-maximum eccentricity (diameter).
+  NodeId witness = 0;
+  std::uint64_t good_sets = 0;    ///< |{i : f(i) at least/at most target}|
+  bool distributed_value_matches = true;  ///< validation outcome
+};
+
+/// Runs the Theorem 1.1 algorithm for the weighted diameter.
+Theorem11Result quantum_weighted_diameter(const WeightedGraph& g,
+                                          const Theorem11Options& opt = {});
+
+/// Runs the Theorem 1.1 algorithm for the weighted radius.
+Theorem11Result quantum_weighted_radius(const WeightedGraph& g,
+                                        const Theorem11Options& opt = {});
+
+}  // namespace qc::core

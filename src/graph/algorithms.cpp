@@ -1,0 +1,199 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace qc {
+
+std::vector<Dist> bfs_distances(const WeightedGraph& g, NodeId s) {
+  QC_REQUIRE(s < g.node_count(), "source out of range");
+  std::vector<Dist> dist(g.node_count(), kInfDist);
+  std::queue<NodeId> q;
+  dist[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const HalfEdge& h : g.neighbors(u)) {
+      if (dist[h.to] == kInfDist) {
+        dist[h.to] = dist[u] + 1;
+        q.push(h.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<Dist> dijkstra(const WeightedGraph& g, NodeId s) {
+  QC_REQUIRE(s < g.node_count(), "source out of range");
+  std::vector<Dist> dist(g.node_count(), kInfDist);
+  using Item = std::pair<Dist, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[s] = 0;
+  pq.emplace(0, s);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const HalfEdge& h : g.neighbors(u)) {
+      const Dist nd = dist_add(d, h.weight);
+      if (nd < dist[h.to]) {
+        dist[h.to] = nd;
+        pq.emplace(nd, h.to);
+      }
+    }
+  }
+  return dist;
+}
+
+DistHops dijkstra_with_hops(const WeightedGraph& g, NodeId s) {
+  QC_REQUIRE(s < g.node_count(), "source out of range");
+  DistHops out{std::vector<Dist>(g.node_count(), kInfDist),
+               std::vector<Dist>(g.node_count(), kInfDist)};
+  using Item = std::tuple<Dist, Dist, NodeId>;  // (weight, hops, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  out.dist[s] = 0;
+  out.hops[s] = 0;
+  pq.emplace(0, 0, s);
+  while (!pq.empty()) {
+    const auto [d, hp, u] = pq.top();
+    pq.pop();
+    if (d != out.dist[u] || hp != out.hops[u]) continue;
+    for (const HalfEdge& h : g.neighbors(u)) {
+      const Dist nd = dist_add(d, h.weight);
+      const Dist nh = hp + 1;
+      if (nd < out.dist[h.to] ||
+          (nd == out.dist[h.to] && nh < out.hops[h.to])) {
+        out.dist[h.to] = nd;
+        out.hops[h.to] = nh;
+        pq.emplace(nd, nh, h.to);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Dist> bounded_hop_distances(const WeightedGraph& g, NodeId s,
+                                        std::uint64_t ell) {
+  QC_REQUIRE(s < g.node_count(), "source out of range");
+  const NodeId n = g.node_count();
+  std::vector<Dist> cur(n, kInfDist);
+  cur[s] = 0;
+  // Bellman-Ford: after round t, cur[v] = d^t(s, v). ell rounds suffice;
+  // stop early once a round changes nothing.
+  std::vector<Dist> next(n);
+  for (std::uint64_t t = 0; t < ell; ++t) {
+    next = cur;
+    bool changed = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (cur[u] >= kInfDist) continue;
+      for (const HalfEdge& h : g.neighbors(u)) {
+        const Dist nd = dist_add(cur[u], h.weight);
+        if (nd < next[h.to]) {
+          next[h.to] = nd;
+          changed = true;
+        }
+      }
+    }
+    cur.swap(next);
+    if (!changed) break;
+  }
+  return cur;
+}
+
+std::vector<std::vector<Dist>> all_pairs_distances(const WeightedGraph& g) {
+  std::vector<std::vector<Dist>> rows;
+  rows.reserve(g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    rows.push_back(dijkstra(g, s));
+  }
+  return rows;
+}
+
+std::vector<Dist> eccentricities(const WeightedGraph& g) {
+  std::vector<Dist> ecc(g.node_count(), 0);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto dist = dijkstra(g, s);
+    ecc[s] = *std::max_element(dist.begin(), dist.end());
+  }
+  return ecc;
+}
+
+Dist weighted_diameter(const WeightedGraph& g) {
+  const auto ecc = eccentricities(g);
+  return ecc.empty() ? 0 : *std::max_element(ecc.begin(), ecc.end());
+}
+
+Dist weighted_radius(const WeightedGraph& g) {
+  const auto ecc = eccentricities(g);
+  return ecc.empty() ? 0 : *std::min_element(ecc.begin(), ecc.end());
+}
+
+Dist unweighted_diameter(const WeightedGraph& g) {
+  Dist d = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto dist = bfs_distances(g, s);
+    d = std::max(d, *std::max_element(dist.begin(), dist.end()));
+  }
+  return d;
+}
+
+Dist hop_diameter(const WeightedGraph& g) {
+  Dist h = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto dh = dijkstra_with_hops(g, s);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (dh.hops[v] < kInfDist) h = std::max(h, dh.hops[v]);
+    }
+  }
+  return h;
+}
+
+Contraction contract_unit_edges(const WeightedGraph& g) {
+  const NodeId n = g.node_count();
+  // Union-find over weight-1 edges.
+  std::vector<NodeId> parent(n);
+  for (NodeId i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : g.edges()) {
+    if (e.weight == 1) {
+      const NodeId ru = find(e.u);
+      const NodeId rv = find(e.v);
+      if (ru != rv) parent[ru] = rv;
+    }
+  }
+  // Dense renumbering of components.
+  std::vector<NodeId> node_map(n, 0);
+  NodeId next_id = 0;
+  std::vector<NodeId> rep_to_id(n, n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId r = find(v);
+    if (rep_to_id[r] == n) rep_to_id[r] = next_id++;
+    node_map[v] = rep_to_id[r];
+  }
+  WeightedGraph contracted(next_id);
+  for (const Edge& e : g.edges()) {
+    if (e.weight == 1) continue;  // internal to a super-node
+    const NodeId cu = node_map[e.u];
+    const NodeId cv = node_map[e.v];
+    if (cu == cv) continue;  // endpoints merged by unit edges
+    if (contracted.has_edge(cu, cv)) {
+      // Parallel edge: keep the lowest weight (Lemma 4.3 convention).
+      if (e.weight < contracted.edge_weight(cu, cv)) {
+        contracted.set_edge_weight(cu, cv, e.weight);
+      }
+    } else {
+      contracted.add_edge(cu, cv, e.weight);
+    }
+  }
+  return {std::move(contracted), std::move(node_map)};
+}
+
+}  // namespace qc

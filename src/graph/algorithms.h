@@ -1,0 +1,65 @@
+// Centralized reference algorithms on weighted graphs.
+//
+// Every distributed algorithm in the library has a centralized reference
+// twin here; tests assert bit-exact agreement between the two. These are
+// also the "ground truth" oracles used to check approximation ratios, and
+// the amplitude bookkeeping backend of the quantum search (DESIGN.md, S1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/mathx.h"
+
+namespace qc {
+
+/// Hop distances (unweighted BFS) from s. Unreachable -> kInfDist.
+std::vector<Dist> bfs_distances(const WeightedGraph& g, NodeId s);
+
+/// Weighted single-source distances (Dijkstra). Unreachable -> kInfDist.
+std::vector<Dist> dijkstra(const WeightedGraph& g, NodeId s);
+
+/// Weighted distances plus, for each node, the minimum number of edges
+/// over all *shortest* (by weight) paths from s — the hop distance
+/// h_{G,w}(s, v) of Section 3.1 (lexicographic Dijkstra).
+struct DistHops {
+  std::vector<Dist> dist;
+  std::vector<Dist> hops;
+};
+DistHops dijkstra_with_hops(const WeightedGraph& g, NodeId s);
+
+/// ℓ-hop-bounded distances d^ℓ_{G,w}(s, ·): least length over paths with
+/// at most ℓ edges (Bellman–Ford truncated to ℓ relaxation rounds).
+std::vector<Dist> bounded_hop_distances(const WeightedGraph& g, NodeId s,
+                                        std::uint64_t ell);
+
+/// All-pairs weighted distances (row per source).
+std::vector<std::vector<Dist>> all_pairs_distances(const WeightedGraph& g);
+
+/// Weighted eccentricity of every node; kInfDist on disconnected graphs.
+std::vector<Dist> eccentricities(const WeightedGraph& g);
+
+/// Weighted diameter D_{G,w} = max eccentricity.
+Dist weighted_diameter(const WeightedGraph& g);
+
+/// Weighted radius R_{G,w} = min eccentricity.
+Dist weighted_radius(const WeightedGraph& g);
+
+/// Unweighted diameter D_G (topology only) — the paper's parameter D.
+Dist unweighted_diameter(const WeightedGraph& g);
+
+/// Hop diameter H_{G,w}: max over pairs of h_{G,w}(u, v).
+Dist hop_diameter(const WeightedGraph& g);
+
+/// Result of contracting all weight-1 edges (Lemma 4.3).
+struct Contraction {
+  WeightedGraph graph;          ///< G' (parallel edges keep min weight).
+  std::vector<NodeId> node_map; ///< original node -> contracted node.
+};
+
+/// Contracts every weight-1 edge; merged super-nodes keep, for each pair,
+/// only the cheapest connecting edge, per Lemma 4.3's convention.
+Contraction contract_unit_edges(const WeightedGraph& g);
+
+}  // namespace qc

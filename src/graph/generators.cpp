@@ -1,0 +1,222 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace qc::gen {
+
+WeightedGraph path(NodeId n) {
+  QC_REQUIRE(n >= 1, "path needs n >= 1");
+  WeightedGraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+WeightedGraph cycle(NodeId n) {
+  QC_REQUIRE(n >= 3, "cycle needs n >= 3");
+  WeightedGraph g = path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+WeightedGraph star(NodeId n) {
+  QC_REQUIRE(n >= 2, "star needs n >= 2");
+  WeightedGraph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+WeightedGraph complete(NodeId n) {
+  QC_REQUIRE(n >= 2, "complete graph needs n >= 2");
+  WeightedGraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+WeightedGraph balanced_binary_tree(NodeId n) {
+  QC_REQUIRE(n >= 1, "tree needs n >= 1");
+  WeightedGraph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2);
+  return g;
+}
+
+WeightedGraph grid(NodeId rows, NodeId cols) {
+  QC_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  WeightedGraph g(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+WeightedGraph erdos_renyi_connected(NodeId n, double p, Rng& rng) {
+  QC_REQUIRE(n >= 2, "ER graph needs n >= 2");
+  WeightedGraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  // Connectivity repair: find components, link them along a random
+  // permutation of representatives.
+  std::vector<NodeId> comp(n, n);
+  std::vector<NodeId> reps;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != n) continue;
+    reps.push_back(s);
+    std::queue<NodeId> q;
+    q.push(s);
+    comp[s] = s;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const HalfEdge& h : g.neighbors(u)) {
+        if (comp[h.to] == n) {
+          comp[h.to] = s;
+          q.push(h.to);
+        }
+      }
+    }
+  }
+  rng.shuffle(reps);
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    g.add_edge(reps[i - 1], reps[i]);
+  }
+  return g;
+}
+
+WeightedGraph path_of_cliques(NodeId cliques, NodeId clique_size) {
+  QC_REQUIRE(cliques >= 1 && clique_size >= 2,
+             "path_of_cliques needs cliques >= 1, clique_size >= 2");
+  WeightedGraph g(cliques * clique_size);
+  for (NodeId c = 0; c < cliques; ++c) {
+    const NodeId base = c * clique_size;
+    for (NodeId u = 0; u < clique_size; ++u) {
+      for (NodeId v = u + 1; v < clique_size; ++v) {
+        g.add_edge(base + u, base + v);
+      }
+    }
+    if (c + 1 < cliques) {
+      g.add_edge(base + clique_size - 1, base + clique_size);
+    }
+  }
+  return g;
+}
+
+WeightedGraph randomize_weights(const WeightedGraph& g, Weight max_w,
+                                Rng& rng) {
+  QC_REQUIRE(max_w >= 1, "max_w must be >= 1");
+  return g.reweighted(
+      [&](Weight) { return Weight{1} + rng.below(max_w); });
+}
+
+WeightedGraph random_tree(NodeId n, Rng& rng) {
+  QC_REQUIRE(n >= 1, "random_tree needs n >= 1");
+  WeightedGraph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>(rng.below(v)));
+  }
+  return g;
+}
+
+WeightedGraph barbell(NodeId clique, NodeId bridge) {
+  QC_REQUIRE(clique >= 2, "barbell needs clique size >= 2");
+  WeightedGraph g(2 * clique + bridge);
+  auto make_clique = [&](NodeId base) {
+    for (NodeId u = 0; u < clique; ++u) {
+      for (NodeId v = u + 1; v < clique; ++v) {
+        g.add_edge(base + u, base + v);
+      }
+    }
+  };
+  make_clique(0);
+  make_clique(clique + bridge);
+  NodeId prev = clique - 1;  // a node of the left clique
+  for (NodeId i = 0; i < bridge; ++i) {
+    g.add_edge(prev, clique + i);
+    prev = clique + i;
+  }
+  g.add_edge(prev, clique + bridge);  // into the right clique
+  return g;
+}
+
+WeightedGraph hypercube(std::uint32_t dims) {
+  QC_REQUIRE(dims >= 1 && dims <= 20, "hypercube needs 1..20 dims");
+  const NodeId n = NodeId{1} << dims;
+  WeightedGraph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t b = 0; b < dims; ++b) {
+      const NodeId u = v ^ (NodeId{1} << b);
+      if (v < u) g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+WeightedGraph random_regular(NodeId n, std::uint32_t degree, Rng& rng) {
+  QC_REQUIRE(n >= 2 && degree >= 1 && degree < n,
+             "random_regular needs 1 <= degree < n >= 2");
+  WeightedGraph g(n);
+  // Configuration-style: shuffle stubs, match pairs, drop loops and
+  // duplicates (leaves the graph approximately regular).
+  std::vector<NodeId> stubs;
+  stubs.reserve(std::size_t{n} * degree);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t i = 0; i < degree; ++i) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId u = stubs[i];
+    const NodeId v = stubs[i + 1];
+    if (u != v && !g.has_edge(u, v)) g.add_edge(u, v);
+  }
+  // Connectivity repair.
+  std::vector<NodeId> comp(n, n);
+  std::vector<NodeId> reps;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != n) continue;
+    reps.push_back(s);
+    std::queue<NodeId> q;
+    q.push(s);
+    comp[s] = s;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const HalfEdge& h : g.neighbors(u)) {
+        if (comp[h.to] == n) {
+          comp[h.to] = s;
+          q.push(h.to);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    g.add_edge(reps[i - 1], reps[i]);
+  }
+  return g;
+}
+
+WeightedGraph planted_heavy_pair(NodeId n, Weight max_w, Weight boost,
+                                 Rng& rng) {
+  QC_REQUIRE(n >= 4, "planted_heavy_pair needs n >= 4");
+  QC_REQUIRE(boost >= 1, "boost must be >= 1");
+  auto g = erdos_renyi_connected(n, 0.1, rng);
+  g = randomize_weights(g, max_w, rng);
+  // Inflate every edge incident to node n-1 so reaching it is costly:
+  // d_w(0, n-1) grows by ~boost while the rest of the metric is mostly
+  // untouched.
+  const NodeId far = n - 1;
+  for (const HalfEdge& h : g.neighbors(far)) {
+    g.set_edge_weight(far, h.to, h.weight + boost);
+  }
+  return g;
+}
+
+}  // namespace qc::gen

@@ -1,0 +1,74 @@
+// Graph families used by tests and benchmarks.
+//
+// The headline bound Õ(min{n^{9/10} D^{3/10}, n}) depends on the
+// *unweighted* diameter D of the communication graph, so the generators
+// are chosen to span D regimes:
+//   * path / cycle:            D = Θ(n)
+//   * grid:                    D = Θ(√n)
+//   * balanced tree, ER:       D = Θ(log n)
+//   * star, complete:          D = O(1)
+//   * path_of_cliques:         tunable D with dense local structure.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace qc::gen {
+
+/// Path 0-1-...-(n-1). Requires n >= 1.
+WeightedGraph path(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+WeightedGraph cycle(NodeId n);
+
+/// Star with center 0 and n-1 leaves. Requires n >= 2.
+WeightedGraph star(NodeId n);
+
+/// Complete graph K_n. Requires n >= 2.
+WeightedGraph complete(NodeId n);
+
+/// Complete binary tree with n nodes (heap layout). Requires n >= 1.
+WeightedGraph balanced_binary_tree(NodeId n);
+
+/// rows x cols grid graph.
+WeightedGraph grid(NodeId rows, NodeId cols);
+
+/// Erdős–Rényi G(n, p) made connected by adding a random spanning-path
+/// repair over the components. Deterministic given `rng` state.
+WeightedGraph erdos_renyi_connected(NodeId n, double p, Rng& rng);
+
+/// `cliques` cliques of size `clique_size` strung along a path — gives
+/// unweighted diameter ≈ cliques+1 with dense neighbourhoods.
+WeightedGraph path_of_cliques(NodeId cliques, NodeId clique_size);
+
+/// Returns a copy of g with each weight drawn uniformly from [1, max_w].
+WeightedGraph randomize_weights(const WeightedGraph& g, Weight max_w,
+                                Rng& rng);
+
+/// Uniform random labelled tree (Prüfer-style attachment): node i > 0
+/// attaches to a uniform node < i. D = Θ(log n) in expectation.
+WeightedGraph random_tree(NodeId n, Rng& rng);
+
+/// Two cliques of size k joined by a path of `bridge` nodes — the
+/// classic "barbell": D ≈ bridge + 2 with dense ends.
+WeightedGraph barbell(NodeId clique, NodeId bridge);
+
+/// d-dimensional hypercube (n = 2^dims nodes, D = dims).
+WeightedGraph hypercube(std::uint32_t dims);
+
+/// Approximately d-regular random graph (configuration-style matching
+/// with self-loop/duplicate repair, then connectivity repair). Low
+/// diameter, expander-like.
+WeightedGraph random_regular(NodeId n, std::uint32_t degree, Rng& rng);
+
+/// A weighted graph with a *planted* weighted diameter: random base
+/// weights in [1, max_w], plus one far pair (u, v) whose only
+/// connecting routes are re-weighted so that d_w(u,v) ≈ target. Useful
+/// for controlling D_w independently of the topology. Returns the graph
+/// (the planted pair is nodes 0 and n-1).
+WeightedGraph planted_heavy_pair(NodeId n, Weight max_w, Weight boost,
+                                 Rng& rng);
+
+}  // namespace qc::gen

@@ -1,0 +1,126 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace qc {
+
+void WeightedGraph::add_edge(NodeId u, NodeId v, Weight w) {
+  QC_REQUIRE(u < node_count() && v < node_count(), "node id out of range");
+  QC_REQUIRE(u != v, "self loops are not allowed");
+  QC_REQUIRE(w >= 1, "weights must be positive integers");
+  QC_REQUIRE(!has_edge(u, v), "parallel edges are not allowed");
+  adjacency_[u].push_back({v, w});
+  adjacency_[v].push_back({u, w});
+  edges_.push_back({std::min(u, v), std::max(u, v), w});
+}
+
+bool WeightedGraph::has_edge(NodeId u, NodeId v) const {
+  QC_REQUIRE(u < node_count() && v < node_count(), "node id out of range");
+  const auto& adj = adjacency_[u];
+  return std::any_of(adj.begin(), adj.end(),
+                     [v](const HalfEdge& h) { return h.to == v; });
+}
+
+Weight WeightedGraph::edge_weight(NodeId u, NodeId v) const {
+  QC_REQUIRE(u < node_count() && v < node_count(), "node id out of range");
+  for (const HalfEdge& h : adjacency_[u]) {
+    if (h.to == v) return h.weight;
+  }
+  throw ArgumentError("edge_weight: no such edge");
+}
+
+void WeightedGraph::set_edge_weight(NodeId u, NodeId v, Weight w) {
+  QC_REQUIRE(w >= 1, "weights must be positive integers");
+  bool found = false;
+  for (auto* adj : {&adjacency_[u], &adjacency_[v]}) {
+    const NodeId other = (adj == &adjacency_[u]) ? v : u;
+    for (HalfEdge& h : *adj) {
+      if (h.to == other) {
+        h.weight = w;
+        found = true;
+      }
+    }
+  }
+  QC_REQUIRE(found, "set_edge_weight: no such edge");
+  const NodeId a = std::min(u, v);
+  const NodeId b = std::max(u, v);
+  for (Edge& e : edges_) {
+    if (e.u == a && e.v == b) e.weight = w;
+  }
+}
+
+Weight WeightedGraph::max_weight() const {
+  Weight w = 1;
+  for (const Edge& e : edges_) w = std::max(w, e.weight);
+  return w;
+}
+
+WeightedGraph WeightedGraph::unweighted_copy() const {
+  return reweighted([](Weight) { return Weight{1}; });
+}
+
+bool WeightedGraph::is_connected() const {
+  const NodeId n = node_count();
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  NodeId reached = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const HalfEdge& h : adjacency_[u]) {
+      if (!seen[h.to]) {
+        seen[h.to] = true;
+        ++reached;
+        q.push(h.to);
+      }
+    }
+  }
+  return reached == n;
+}
+
+void WeightedGraph::validate() const {
+  std::size_t half_edges = 0;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const HalfEdge& h : adjacency_[u]) {
+      QC_CHECK(h.to < node_count(), "adjacency points out of range");
+      QC_CHECK(h.to != u, "self loop in adjacency");
+      QC_CHECK(h.weight >= 1, "non-positive weight");
+      QC_CHECK(edge_weight(h.to, u) == h.weight,
+               "asymmetric weight in adjacency");
+      ++half_edges;
+    }
+  }
+  QC_CHECK(half_edges == 2 * edges_.size(),
+           "adjacency/edge-list size mismatch");
+  for (const Edge& e : edges_) {
+    QC_CHECK(e.u < e.v, "edge list not canonical");
+    QC_CHECK(edge_weight(e.u, e.v) == e.weight,
+             "edge list weight disagrees with adjacency");
+  }
+}
+
+std::string WeightedGraph::summary() const {
+  std::ostringstream os;
+  os << "n=" << node_count() << " m=" << edge_count()
+     << " W=" << max_weight();
+  return os.str();
+}
+
+std::string to_dot(const WeightedGraph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v;
+    if (e.weight != 1) os << " [label=" << e.weight << "]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qc

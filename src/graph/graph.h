@@ -1,0 +1,113 @@
+// Weighted undirected graph type used by every layer of the library.
+//
+// Matches the paper's setting: G = (V, E) undirected, weights w : E -> N+
+// (positive integers). Node ids are dense `[0, n)`. The communication
+// network and the problem graph are the same object (CONGEST model), so
+// this type carries both the topology (used by the simulator) and the
+// weights (used by the distance problems).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/mathx.h"
+
+namespace qc {
+
+using NodeId = std::uint32_t;
+using Weight = std::uint64_t;
+
+/// One incident edge as seen from a node.
+struct HalfEdge {
+  NodeId to;
+  Weight weight;
+
+  friend bool operator==(const HalfEdge&, const HalfEdge&) = default;
+};
+
+/// One full edge (u < v canonical order once finalized).
+struct Edge {
+  NodeId u;
+  NodeId v;
+  Weight weight;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Undirected weighted graph with dense node ids.
+///
+/// Invariants (checked in debug paths / on demand via `validate()`):
+///  * no self loops, no parallel edges;
+///  * every weight >= 1.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(NodeId n) : adjacency_(n) {}
+
+  NodeId node_count() const {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds an undirected edge {u, v} with weight w >= 1.
+  /// Throws ArgumentError on self loops, out-of-range ids, zero weight,
+  /// or duplicate edges.
+  void add_edge(NodeId u, NodeId v, Weight w = 1);
+
+  /// True if {u, v} is an edge.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Weight of edge {u, v}; throws if absent.
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  /// Replaces the weight of an existing edge.
+  void set_edge_weight(NodeId u, NodeId v, Weight w);
+
+  std::span<const HalfEdge> neighbors(NodeId u) const {
+    QC_REQUIRE(u < node_count(), "node id out of range");
+    return adjacency_[u];
+  }
+
+  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Max edge weight W (1 if the graph has no edges).
+  Weight max_weight() const;
+
+  /// Same topology with all weights replaced by 1 (the w* of Section 2.1).
+  WeightedGraph unweighted_copy() const;
+
+  /// Applies f to every weight: used for the w_i roundings of Lemma 3.2.
+  template <typename Fn>
+  WeightedGraph reweighted(Fn&& f) const {
+    WeightedGraph g(node_count());
+    for (const Edge& e : edges_) {
+      g.add_edge(e.u, e.v, f(e.weight));
+    }
+    return g;
+  }
+
+  /// True when every pair of nodes is connected (n <= 1 counts as
+  /// connected).
+  bool is_connected() const;
+
+  /// Throws InvariantError if internal structures are inconsistent.
+  void validate() const;
+
+  /// Human-readable one-line summary ("n=32 m=64 W=9").
+  std::string summary() const;
+
+ private:
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+/// Graphviz DOT rendering (undirected). Weight-1 edges are drawn plain;
+/// heavier edges are labelled. Used by the figure benches.
+std::string to_dot(const WeightedGraph& g, const std::string& name = "G");
+
+}  // namespace qc

@@ -1,0 +1,79 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace qc {
+
+std::string to_edge_list(const WeightedGraph& g) {
+  std::ostringstream os;
+  os << "wgraph " << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+  return os.str();
+}
+
+WeightedGraph parse_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  bool have_header = false;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  WeightedGraph g;
+  std::uint64_t edges_seen = 0;
+
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      std::string magic;
+      ls >> magic >> n >> m;
+      QC_REQUIRE(!ls.fail() && magic == "wgraph",
+                 "line " + std::to_string(line_no) +
+                     ": expected 'wgraph <n> <m>' header");
+      QC_REQUIRE(n <= (std::uint64_t{1} << 31), "node count too large");
+      g = WeightedGraph(static_cast<NodeId>(n));
+      have_header = true;
+      continue;
+    }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    std::uint64_t w = 0;
+    ls >> u >> v >> w;
+    QC_REQUIRE(!ls.fail(),
+               "line " + std::to_string(line_no) + ": expected 'u v w'");
+    std::string extra;
+    QC_REQUIRE(!(ls >> extra),
+               "line " + std::to_string(line_no) + ": trailing tokens");
+    QC_REQUIRE(u < n && v < n,
+               "line " + std::to_string(line_no) + ": node id out of range");
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    ++edges_seen;
+  }
+  QC_REQUIRE(have_header, "missing wgraph header");
+  QC_REQUIRE(edges_seen == m, "edge count mismatch: header says " +
+                                  std::to_string(m) + ", file has " +
+                                  std::to_string(edges_seen));
+  return g;
+}
+
+void save_graph(const WeightedGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  QC_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out << to_edge_list(g);
+  QC_REQUIRE(out.good(), "write failed: " + path);
+}
+
+WeightedGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  QC_REQUIRE(in.good(), "cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_edge_list(buf.str());
+}
+
+}  // namespace qc

@@ -1,0 +1,28 @@
+// Plain-text serialization of weighted graphs.
+//
+// Format ("wgraph v1"), line oriented:
+//   wgraph <n> <m>
+//   <u> <v> <w>        (m edge lines, 0-based ids, positive weights)
+//   # comments and blank lines are ignored
+// Round-trips exactly; the parser validates ids, weights, duplicate
+// edges, and the declared counts.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace qc {
+
+/// Serializes g to the wgraph v1 text format.
+std::string to_edge_list(const WeightedGraph& g);
+
+/// Parses the wgraph v1 format; throws ArgumentError on any malformed
+/// content (wrong counts, bad ids, zero weights, duplicates).
+WeightedGraph parse_edge_list(const std::string& text);
+
+/// Convenience file wrappers (throw ArgumentError on IO failure).
+void save_graph(const WeightedGraph& g, const std::string& path);
+WeightedGraph load_graph(const std::string& path);
+
+}  // namespace qc

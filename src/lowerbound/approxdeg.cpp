@@ -1,0 +1,296 @@
+#include "lowerbound/approxdeg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qc::lb {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kCostTol = 1e-7;
+constexpr double kPivotTol = 1e-7;
+
+/// One simplex phase on an m×n tableau in canonical form: basis holds
+/// the basic variable of each row. Dantzig pivoting with a Bland
+/// fallback for anti-cycling; ratio-test ties pick the largest pivot
+/// for numerical stability. `objective_bounded_below` marks phases
+/// whose objective provably cannot be unbounded (phase 1): there, a
+/// "no leaving row" outcome is numerical noise and treated as
+/// convergence.
+bool run_phase(std::vector<std::vector<double>>& t,
+               std::vector<std::size_t>& basis, std::size_t m,
+               std::size_t n, bool objective_bounded_below) {
+  constexpr std::size_t kBlandAfter = 2000;
+  for (std::size_t iter = 0; iter < 100000; ++iter) {
+    // Entering column.
+    std::size_t enter = n;
+    if (iter < kBlandAfter) {
+      double most_negative = -kCostTol;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (t[m][j] < most_negative) {
+          most_negative = t[m][j];
+          enter = j;
+        }
+      }
+    } else {  // Bland's rule
+      for (std::size_t j = 0; j < n; ++j) {
+        if (t[m][j] < -kCostTol) {
+          enter = j;
+          break;
+        }
+      }
+    }
+    if (enter == n) return true;  // optimal
+
+    // Ratio test; among (near-)ties prefer the largest pivot element.
+    std::size_t leave = m;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][enter] > kPivotTol) {
+        const double ratio = t[i][n] / t[i][enter];
+        if (ratio < best - kEps) {
+          best = ratio;
+          leave = i;
+        } else if (ratio < best + kEps && leave != m &&
+                   t[i][enter] > t[leave][enter]) {
+          leave = i;
+        }
+      }
+    }
+    if (leave == m) {
+      // No admissible pivot. For a bounded-below objective this is a
+      // numerical artifact of the tolerance; accept the current point.
+      return objective_bounded_below;
+    }
+    // Pivot.
+    const double piv = t[leave][enter];
+    for (double& v : t[leave]) v /= piv;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == leave) continue;
+      const double factor = t[i][enter];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j <= n; ++j) {
+        t[i][j] -= factor * t[leave][j];
+      }
+    }
+    basis[leave] = enter;
+  }
+  throw InvariantError("simplex did not converge (cycling?)");
+}
+
+}  // namespace
+
+SimplexResult simplex_solve(std::vector<std::vector<double>> a,
+                            std::vector<double> b, std::vector<double> c) {
+  const std::size_t m = a.size();
+  QC_REQUIRE(b.size() == m, "b size mismatch");
+  const std::size_t n = m == 0 ? c.size() : a[0].size();
+  QC_REQUIRE(c.size() == n, "c size mismatch");
+
+  // Ensure b >= 0.
+  for (std::size_t i = 0; i < m; ++i) {
+    QC_REQUIRE(a[i].size() == n, "ragged constraint matrix");
+    if (b[i] < 0) {
+      b[i] = -b[i];
+      for (double& v : a[i]) v = -v;
+    }
+  }
+
+  // Tableau with artificial variables: columns [x (n) | artificials (m) | rhs].
+  const std::size_t cols = n + m;
+  std::vector<std::vector<double>> t(m + 1, std::vector<double>(cols + 1, 0));
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = a[i][j];
+    t[i][n + i] = 1.0;
+    t[i][cols] = b[i];
+    basis[i] = n + i;
+  }
+  // Phase 1 objective: minimize sum of artificials.
+  for (std::size_t j = 0; j < m; ++j) t[m][n + j] = 1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j <= cols; ++j) t[m][j] -= t[i][j];
+  }
+
+  SimplexResult out;
+  if (!run_phase(t, basis, m, cols, /*objective_bounded_below=*/true)) {
+    throw InvariantError("phase-1 LP unbounded (impossible)");
+  }
+  if (t[m][cols] < -1e-6) {
+    out.feasible = false;
+    return out;
+  }
+  out.feasible = true;
+
+  // Drive any artificial variables out of the basis where possible.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) continue;
+    std::size_t enter = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (std::abs(t[i][j]) > kEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == n) continue;  // redundant row
+    const double piv = t[i][enter];
+    for (double& v : t[i]) v /= piv;
+    for (std::size_t r = 0; r <= m; ++r) {
+      if (r == i) continue;
+      const double factor = t[r][enter];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j <= cols; ++j) t[r][j] -= factor * t[i][j];
+    }
+    basis[i] = enter;
+  }
+
+  // Phase 2: real objective; forbid artificial columns by pricing them
+  // out (set huge cost via removal: zero their columns).
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = n; j < cols; ++j) t[i][j] = 0;
+  }
+  for (std::size_t j = 0; j <= cols; ++j) t[m][j] = 0;
+  for (std::size_t j = 0; j < n; ++j) t[m][j] = c[j];
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n && std::abs(c[basis[i]]) > 0) {
+      const double factor = c[basis[i]];
+      for (std::size_t j = 0; j <= cols; ++j) t[m][j] -= factor * t[i][j];
+    }
+  }
+  if (!run_phase(t, basis, m, cols, /*objective_bounded_below=*/false)) {
+    out.bounded = false;
+    return out;
+  }
+  out.bounded = true;
+  out.objective = -t[m][cols];
+  out.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) out.x[basis[i]] = t[i][cols];
+  }
+  return out;
+}
+
+double minimax_error(const std::vector<std::vector<double>>& basis,
+                     const std::vector<double>& target) {
+  const std::size_t points = basis.size();
+  QC_REQUIRE(points >= 1 && target.size() == points,
+             "basis/target size mismatch");
+  const std::size_t nb = basis[0].size();
+  // Variables: c+ (nb), c- (nb), t (1), slacks (2·points).
+  const std::size_t n = 2 * nb + 1 + 2 * points;
+  std::vector<std::vector<double>> a(2 * points, std::vector<double>(n, 0));
+  std::vector<double> b(2 * points);
+  for (std::size_t i = 0; i < points; ++i) {
+    QC_REQUIRE(basis[i].size() == nb, "ragged basis");
+    //  Σ c_j B_ij − t + s1 = f_i
+    // −Σ c_j B_ij − t + s2 = −f_i
+    for (std::size_t j = 0; j < nb; ++j) {
+      a[2 * i][j] = basis[i][j];
+      a[2 * i][nb + j] = -basis[i][j];
+      a[2 * i + 1][j] = -basis[i][j];
+      a[2 * i + 1][nb + j] = basis[i][j];
+    }
+    a[2 * i][2 * nb] = -1.0;
+    a[2 * i + 1][2 * nb] = -1.0;
+    a[2 * i][2 * nb + 1 + 2 * i] = 1.0;
+    a[2 * i + 1][2 * nb + 1 + 2 * i + 1] = 1.0;
+    // Deterministic O(1e-10) perturbation: boolean targets make the LP
+    // massively degenerate (many ties in the ratio test), which can
+    // stall the simplex; the perturbation breaks ties and moves the
+    // optimum by far less than the 1e-7 decision threshold.
+    const double jiggle = 1e-10 * static_cast<double>((i * 31 + 7) % 101);
+    b[2 * i] = target[i] + jiggle;
+    b[2 * i + 1] = -target[i] + jiggle;
+  }
+  std::vector<double> c(n, 0.0);
+  c[2 * nb] = 1.0;  // minimize t
+  const auto res = simplex_solve(std::move(a), std::move(b), std::move(c));
+  QC_CHECK(res.feasible && res.bounded, "minimax LP must be solvable");
+  return res.objective;
+}
+
+namespace {
+/// Chebyshev polynomial values T_j(z) for z in [-1, 1].
+double chebyshev(std::size_t j, double z) {
+  if (j == 0) return 1.0;
+  double prev = 1.0;
+  double cur = z;
+  for (std::size_t i = 1; i < j; ++i) {
+    const double next = 2 * z * cur - prev;
+    prev = cur;
+    cur = next;
+  }
+  return cur;
+}
+}  // namespace
+
+std::uint32_t approx_degree_symmetric(const std::vector<double>& levels,
+                                      double eps) {
+  QC_REQUIRE(!levels.empty(), "levels must be non-empty");
+  QC_REQUIRE(eps > 0 && eps < 0.5, "eps must be in (0, 1/2)");
+  const std::size_t k = levels.size() - 1;
+  for (std::uint32_t d = 0; d <= k; ++d) {
+    std::vector<std::vector<double>> basis(k + 1,
+                                           std::vector<double>(d + 1));
+    for (std::size_t u = 0; u <= k; ++u) {
+      const double z =
+          k == 0 ? 0.0 : 2.0 * static_cast<double>(u) / static_cast<double>(k) - 1.0;
+      for (std::uint32_t j = 0; j <= d; ++j) basis[u][j] = chebyshev(j, z);
+    }
+    if (minimax_error(basis, levels) <= eps + 1e-7) return d;
+  }
+  return static_cast<std::uint32_t>(k);  // degree k always suffices
+}
+
+std::uint32_t approx_degree(const std::vector<std::uint8_t>& table,
+                            std::size_t vars, double eps) {
+  QC_REQUIRE(vars >= 1 && vars <= 10, "general backend supports 1..10 vars");
+  QC_REQUIRE(table.size() == (std::size_t{1} << vars), "table size mismatch");
+  QC_REQUIRE(eps > 0 && eps < 0.5, "eps must be in (0, 1/2)");
+  const std::size_t points = table.size();
+  std::vector<double> target(points);
+  for (std::size_t i = 0; i < points; ++i) target[i] = table[i] ? 1.0 : 0.0;
+
+  // Monomial subsets grouped by degree.
+  std::vector<std::size_t> subsets;
+  for (std::size_t mset = 0; mset < points; ++mset) subsets.push_back(mset);
+  std::sort(subsets.begin(), subsets.end(), [](std::size_t a, std::size_t b) {
+    const int pa = __builtin_popcountll(a);
+    const int pb = __builtin_popcountll(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  for (std::uint32_t d = 0; d <= vars; ++d) {
+    std::vector<std::size_t> cols;
+    for (const std::size_t sset : subsets) {
+      if (static_cast<std::uint32_t>(__builtin_popcountll(sset)) <= d) {
+        cols.push_back(sset);
+      }
+    }
+    std::vector<std::vector<double>> basis(points,
+                                           std::vector<double>(cols.size()));
+    for (std::size_t x = 0; x < points; ++x) {
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        // Monomial Π_{v in S} x_v evaluated at x: 1 iff S ⊆ x.
+        basis[x][j] = ((x & cols[j]) == cols[j]) ? 1.0 : 0.0;
+      }
+    }
+    if (minimax_error(basis, target) <= eps + 1e-7) return d;
+  }
+  return static_cast<std::uint32_t>(vars);
+}
+
+std::vector<double> and_levels(std::size_t k) {
+  std::vector<double> v(k + 1, 0.0);
+  v[k] = 1.0;
+  return v;
+}
+
+std::vector<double> or_levels(std::size_t k) {
+  std::vector<double> v(k + 1, 1.0);
+  v[0] = 0.0;
+  return v;
+}
+
+}  // namespace qc::lb

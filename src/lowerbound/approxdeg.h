@@ -1,0 +1,57 @@
+// Exact ε-approximate degree via linear programming (Lemma 4.6).
+//
+// deg_ε(f) is the least degree of a real polynomial p with
+// |p(x) − f(x)| ≤ ε on every boolean input. For a fixed degree the
+// minimax error is a linear program; we binary-scan the degree.
+//
+// Two backends:
+//  * symmetric functions — by Minsky–Papert symmetrization the optimum
+//    is attained by a univariate polynomial in |x| evaluated on the
+//    Hamming levels 0..k, so the LP has k+1 points (Chebyshev basis for
+//    conditioning). Scales to k in the hundreds: enough to reproduce
+//    the Θ(√k) law of Lemma 4.6 quantitatively.
+//  * general functions — multilinear monomial basis over all 2^k
+//    inputs; exact but exponential, for k ≤ 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace qc::lb {
+
+/// Outcome of a dense two-phase simplex solve of
+///   min c'x  s.t.  Ax = b, x >= 0.
+struct SimplexResult {
+  bool feasible = false;
+  bool bounded = false;
+  double objective = 0;
+  std::vector<double> x;
+};
+
+/// Dense two-phase simplex with Bland's rule. Small-problem workhorse —
+/// exposed for testing.
+SimplexResult simplex_solve(std::vector<std::vector<double>> a,
+                            std::vector<double> b, std::vector<double> c);
+
+/// Least worst-case error over the points:
+///   min_c max_i | Σ_j basis[i][j]·c_j − target[i] |.
+double minimax_error(const std::vector<std::vector<double>>& basis,
+                     const std::vector<double>& target);
+
+/// deg_ε of a symmetric function given by its values on Hamming levels
+/// 0..k (size k+1, entries in [0,1]).
+std::uint32_t approx_degree_symmetric(const std::vector<double>& levels,
+                                      double eps);
+
+/// deg_ε of an arbitrary boolean function given as a truth table over
+/// `vars` variables (index bit v = variable v). vars <= 10.
+std::uint32_t approx_degree(const std::vector<std::uint8_t>& table,
+                            std::size_t vars, double eps);
+
+/// Convenience: levels vector of AND_k / OR_k.
+std::vector<double> and_levels(std::size_t k);
+std::vector<double> or_levels(std::size_t k);
+
+}  // namespace qc::lb

@@ -1,0 +1,215 @@
+#include "lowerbound/boolfn.h"
+
+#include <algorithm>
+
+namespace qc::lb {
+
+PairInput random_input(std::size_t rows, std::size_t cols, Rng& rng) {
+  PairInput in;
+  in.rows = rows;
+  in.cols = cols;
+  in.x.resize(rows * cols);
+  in.y.resize(rows * cols);
+  for (auto& b : in.x) b = rng.chance(0.5);
+  for (auto& b : in.y) b = rng.chance(0.5);
+  return in;
+}
+
+PairInput input_all_hit(std::size_t rows, std::size_t cols, Rng& rng) {
+  PairInput in = random_input(rows, cols, rng);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t j = rng.below(cols);
+    in.x[i * cols + j] = 1;
+    in.y[i * cols + j] = 1;
+  }
+  return in;
+}
+
+PairInput input_one_row_miss(std::size_t rows, std::size_t cols,
+                             std::size_t miss_row, Rng& rng) {
+  QC_REQUIRE(miss_row < rows, "miss_row out of range");
+  PairInput in = input_all_hit(rows, cols, rng);
+  for (std::size_t j = 0; j < cols; ++j) {
+    // Kill every common 1 in the miss row (zero y there).
+    in.y[miss_row * cols + j] = 0;
+  }
+  return in;
+}
+
+bool eval_f(const PairInput& in) {
+  for (std::size_t i = 0; i < in.rows; ++i) {
+    bool row = false;
+    for (std::size_t j = 0; j < in.cols && !row; ++j) {
+      row = in.xb(i, j) && in.yb(i, j);
+    }
+    if (!row) return false;
+  }
+  return true;
+}
+
+bool eval_f_prime(const PairInput& in) {
+  for (std::size_t i = 0; i < in.rows; ++i) {
+    for (std::size_t j = 0; j < in.cols; ++j) {
+      if (in.xb(i, j) && in.yb(i, j)) return true;
+    }
+  }
+  return false;
+}
+
+bool eval_gdt(std::uint8_t x4, std::uint8_t y4) {
+  return (x4 & y4 & 0xF) != 0;
+}
+
+bool eval_ver(std::uint8_t x, std::uint8_t y) {
+  QC_REQUIRE(x < 4 && y < 4, "VER inputs must be in {0,1,2,3}");
+  const std::uint8_t s = static_cast<std::uint8_t>((x + y) % 4);
+  return s == 0 || s == 1;
+}
+
+std::uint8_t ver_promise_x(std::uint8_t x) {
+  QC_REQUIRE(x < 4, "promise input must be in {0,1,2,3}");
+  // Strings 0011, 1001, 1100, 0110 read left-to-right as bits 3..0.
+  static constexpr std::uint8_t kEnc[4] = {0b0011, 0b1001, 0b1100, 0b0110};
+  return kEnc[x];
+}
+
+std::uint8_t ver_promise_y(std::uint8_t y) {
+  QC_REQUIRE(y < 4, "promise input must be in {0,1,2,3}");
+  // Strings 0001, 0010, 0100, 1000.
+  static constexpr std::uint8_t kEnc[4] = {0b0001, 0b0010, 0b0100, 0b1000};
+  return kEnc[y];
+}
+
+bool Formula::eval(const std::vector<std::uint8_t>& bits) const {
+  switch (kind) {
+    case Kind::kVar:
+      QC_REQUIRE(var < bits.size(), "formula variable out of range");
+      return bits[var] != 0;
+    case Kind::kNot:
+      return !kids[0]->eval(bits);
+    case Kind::kAnd:
+      return std::all_of(kids.begin(), kids.end(),
+                         [&](const auto& k) { return k->eval(bits); });
+    case Kind::kOr:
+      return std::any_of(kids.begin(), kids.end(),
+                         [&](const auto& k) { return k->eval(bits); });
+  }
+  throw InvariantError("unreachable formula kind");
+}
+
+std::size_t Formula::leaf_count() const {
+  if (kind == Kind::kVar) return 1;
+  std::size_t total = 0;
+  for (const auto& k : kids) total += k->leaf_count();
+  return total;
+}
+
+namespace {
+void collect_vars(const Formula& f, std::vector<std::size_t>& vars) {
+  if (f.kind == Formula::Kind::kVar) {
+    vars.push_back(f.var);
+    return;
+  }
+  for (const auto& k : f.kids) collect_vars(*k, vars);
+}
+}  // namespace
+
+bool Formula::is_read_once() const {
+  std::vector<std::size_t> vars;
+  collect_vars(*this, vars);
+  std::sort(vars.begin(), vars.end());
+  return std::adjacent_find(vars.begin(), vars.end()) == vars.end();
+}
+
+std::unique_ptr<Formula> Formula::make_var(std::size_t v) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kVar;
+  f->var = v;
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::make_not(std::unique_ptr<Formula> k) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kNot;
+  f->kids.push_back(std::move(k));
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::make_and(
+    std::vector<std::unique_ptr<Formula>> kids) {
+  QC_REQUIRE(!kids.empty(), "AND needs children");
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kAnd;
+  f->kids = std::move(kids);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::make_or(
+    std::vector<std::unique_ptr<Formula>> kids) {
+  QC_REQUIRE(!kids.empty(), "OR needs children");
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kOr;
+  f->kids = std::move(kids);
+  return f;
+}
+
+std::unique_ptr<Formula> and_of_ors(std::size_t m, std::size_t q) {
+  QC_REQUIRE(m >= 1 && q >= 1, "and_of_ors needs m, q >= 1");
+  std::vector<std::unique_ptr<Formula>> rows;
+  rows.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::unique_ptr<Formula>> leaves;
+    leaves.reserve(q);
+    for (std::size_t j = 0; j < q; ++j) {
+      leaves.push_back(Formula::make_var(i * q + j));
+    }
+    rows.push_back(Formula::make_or(std::move(leaves)));
+  }
+  return Formula::make_and(std::move(rows));
+}
+
+std::unique_ptr<Formula> or_of(std::size_t k) {
+  QC_REQUIRE(k >= 1, "or_of needs k >= 1");
+  std::vector<std::unique_ptr<Formula>> leaves;
+  leaves.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    leaves.push_back(Formula::make_var(j));
+  }
+  return Formula::make_or(std::move(leaves));
+}
+
+namespace {
+std::unique_ptr<Formula> random_read_once_range(std::size_t lo,
+                                                std::size_t hi, Rng& rng) {
+  const std::size_t count = hi - lo;
+  if (count == 1) {
+    auto leaf = Formula::make_var(lo);
+    return rng.chance(0.2) ? Formula::make_not(std::move(leaf))
+                           : std::move(leaf);
+  }
+  const std::size_t split = lo + 1 + rng.below(count - 1);
+  std::vector<std::unique_ptr<Formula>> kids;
+  kids.push_back(random_read_once_range(lo, split, rng));
+  kids.push_back(random_read_once_range(split, hi, rng));
+  return rng.chance(0.5) ? Formula::make_and(std::move(kids))
+                         : Formula::make_or(std::move(kids));
+}
+}  // namespace
+
+std::unique_ptr<Formula> random_read_once(std::size_t leaves, Rng& rng) {
+  QC_REQUIRE(leaves >= 1, "need at least one leaf");
+  return random_read_once_range(0, leaves, rng);
+}
+
+std::vector<std::uint8_t> truth_table(const Formula& f, std::size_t vars) {
+  QC_REQUIRE(vars <= 20, "truth table too large");
+  std::vector<std::uint8_t> table(std::size_t{1} << vars);
+  std::vector<std::uint8_t> bits(vars);
+  for (std::size_t m = 0; m < table.size(); ++m) {
+    for (std::size_t v = 0; v < vars; ++v) bits[v] = (m >> v) & 1;
+    table[m] = f.eval(bits);
+  }
+  return table;
+}
+
+}  // namespace qc::lb

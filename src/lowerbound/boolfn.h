@@ -1,0 +1,91 @@
+// Boolean functions of Section 4: the two-party targets F and F′, the
+// gadget GDT = OR₄ ∘ AND₂⁴, the promise function VER of Lemma 4.5, and
+// a small read-once formula representation for Lemma 4.6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace qc::lb {
+
+/// Two-party input: x, y ∈ {0,1}^{rows·cols}, indexed x_{i,j} with
+/// i ∈ [0, rows), j ∈ [0, cols) (the paper's i ∈ [1, 2^s], j ∈ [1, ℓ]).
+struct PairInput {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint8_t> x;  ///< rows·cols bits
+  std::vector<std::uint8_t> y;
+
+  bool xb(std::size_t i, std::size_t j) const { return x[i * cols + j]; }
+  bool yb(std::size_t i, std::size_t j) const { return y[i * cols + j]; }
+};
+
+/// Uniformly random input.
+PairInput random_input(std::size_t rows, std::size_t cols, Rng& rng);
+
+/// Adversarial inputs: F-true (every row has a common 1), F-false with
+/// exactly one all-miss row, all-zero, all-one.
+PairInput input_all_hit(std::size_t rows, std::size_t cols, Rng& rng);
+PairInput input_one_row_miss(std::size_t rows, std::size_t cols,
+                             std::size_t miss_row, Rng& rng);
+
+/// F(x,y) = AND_i OR_j (x_{i,j} ∧ y_{i,j})  — the diameter target.
+bool eval_f(const PairInput& in);
+
+/// F′(x,y) = OR_{i,j} (x_{i,j} ∧ y_{i,j})  — the radius target.
+bool eval_f_prime(const PairInput& in);
+
+/// GDT(x, y) = OR₄(x ∧ y) on 4-bit blocks.
+bool eval_gdt(std::uint8_t x4, std::uint8_t y4);
+
+/// VER(x, y) = 1 iff x + y ≡ 0 or 1 (mod 4), for x, y ∈ {0,1,2,3}.
+bool eval_ver(std::uint8_t x, std::uint8_t y);
+
+/// The Lemma 4.7 promise encodings under which GDT restricted to the
+/// promise equals VER: x ∈ {0011, 1001, 1100, 0110},
+/// y ∈ {0001, 0010, 0100, 1000}.
+std::uint8_t ver_promise_x(std::uint8_t x);
+std::uint8_t ver_promise_y(std::uint8_t y);
+
+// ---------------------------------------------------------------------
+// Read-once formulas (Lemma 4.6)
+// ---------------------------------------------------------------------
+
+/// AST for monotone-with-NOT formulas; read-once when every variable
+/// index appears at most once.
+struct Formula {
+  enum class Kind { kVar, kNot, kAnd, kOr };
+  Kind kind = Kind::kVar;
+  std::size_t var = 0;                       ///< kVar
+  std::vector<std::unique_ptr<Formula>> kids;  ///< kNot/kAnd/kOr
+
+  bool eval(const std::vector<std::uint8_t>& bits) const;
+  std::size_t leaf_count() const;
+  bool is_read_once() const;
+
+  static std::unique_ptr<Formula> make_var(std::size_t v);
+  static std::unique_ptr<Formula> make_not(std::unique_ptr<Formula> k);
+  static std::unique_ptr<Formula> make_and(
+      std::vector<std::unique_ptr<Formula>> kids);
+  static std::unique_ptr<Formula> make_or(
+      std::vector<std::unique_ptr<Formula>> kids);
+};
+
+/// AND_m ∘ OR_q^m on m·q variables — the outer function f of Lemma 4.7.
+std::unique_ptr<Formula> and_of_ors(std::size_t m, std::size_t q);
+
+/// OR_k — the outer function f′ of Lemma 4.10.
+std::unique_ptr<Formula> or_of(std::size_t k);
+
+/// Random read-once formula over exactly `leaves` variables (balanced
+/// random AND/OR tree with occasional NOTs).
+std::unique_ptr<Formula> random_read_once(std::size_t leaves, Rng& rng);
+
+/// Truth table of a formula on `vars` variables (vars <= 20).
+std::vector<std::uint8_t> truth_table(const Formula& f, std::size_t vars);
+
+}  // namespace qc::lb

@@ -1,0 +1,242 @@
+#include "lowerbound/gadget.h"
+
+namespace qc::lb {
+
+GadgetParams GadgetParams::paper(std::uint32_t h) {
+  QC_REQUIRE(h >= 2 && h % 2 == 0, "paper parameters need even h >= 2");
+  GadgetParams p;
+  p.h = h;
+  p.s = 3 * h / 2;
+  p.ell = std::uint32_t{1} << (p.s - h);
+  // alpha/beta derived from the final node count in the constructor.
+  return p;
+}
+
+namespace {
+Weight derived_alpha(const GadgetParams& p) {
+  if (p.alpha != 0) return p.alpha;
+  const std::uint64_t n = p.node_count();
+  return n * n;
+}
+Weight derived_beta(const GadgetParams& p) {
+  if (p.beta != 0) return p.beta;
+  const std::uint64_t n = p.node_count();
+  return 2 * n * n;
+}
+}  // namespace
+
+Gadget::Gadget(const GadgetParams& params, const PairInput& input,
+               bool with_hub)
+    : params_(params),
+      with_hub_(with_hub),
+      alpha_(derived_alpha(params)),
+      beta_(derived_beta(params)) {
+  QC_REQUIRE(params_.s >= 1 && params_.ell >= 1 && params_.h >= 1,
+             "degenerate gadget parameters");
+  QC_REQUIRE(input.rows == (std::size_t{1} << params_.s) &&
+                 input.cols == params_.ell,
+             "input must be 2^s x ell");
+  QC_REQUIRE(alpha_ < beta_, "gadget needs alpha < beta");
+
+  const std::uint64_t two_s = std::uint64_t{1} << params_.s;
+  const std::uint64_t row = std::uint64_t{1} << params_.h;  // path length
+  const std::uint32_t m = params_.paths();
+
+  const std::uint64_t n_total = params_.node_count() + (with_hub ? 1 : 0);
+  QC_REQUIRE(n_total <= (std::uint64_t{1} << 24),
+             "gadget too large to materialize");
+  graph_ = WeightedGraph(static_cast<NodeId>(n_total));
+  side_.assign(n_total, Side::kServer);
+
+  // Layout: [tree][paths][a_i][a_bits][a_stars][b_i][b_bits][b_stars][hub]
+  tree_base_ = 0;
+  path_base_ = static_cast<NodeId>((std::uint64_t{1} << (params_.h + 1)) - 1);
+  a_base_ = static_cast<NodeId>(path_base_ + m * row);
+  a_bit_base_ = static_cast<NodeId>(a_base_ + two_s);
+  a_star_base_ = a_bit_base_ + 2 * params_.s;
+  b_base_ = a_star_base_ + params_.ell;
+  b_bit_base_ = static_cast<NodeId>(b_base_ + two_s);
+  b_star_base_ = b_bit_base_ + 2 * params_.s;
+  hub_ = b_star_base_ + params_.ell;
+
+  for (NodeId v = a_base_; v < b_base_; ++v) side_[v] = Side::kAlice;
+  for (NodeId v = b_base_; v < b_star_base_ + params_.ell; ++v) {
+    side_[v] = Side::kBob;
+  }
+  if (with_hub) side_[hub_] = Side::kAlice;
+
+  // --- V_S: tree ---
+  for (std::uint32_t d = 1; d <= params_.h; ++d) {
+    const std::uint64_t width = std::uint64_t{1} << d;
+    for (std::uint64_t j = 0; j < width; ++j) {
+      graph_.add_edge(tree(d, j), tree(d - 1, j / 2), 1);
+    }
+  }
+  // --- V_S: paths, and leaf-to-path α edges ---
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint64_t j = 0; j + 1 < row; ++j) {
+      graph_.add_edge(path(i, j), path(i, j + 1), 1);
+    }
+    for (std::uint64_t j = 0; j < row; ++j) {
+      graph_.add_edge(tree(params_.h, j), path(i, j), alpha_);
+    }
+  }
+
+  // --- E': path endpoints to V_A / V_B (weight 1, "part of the paths").
+  for (std::uint32_t j = 0; j < params_.s; ++j) {
+    graph_.add_edge(a_bit(j, 0), path(2 * j, 0), 1);
+    graph_.add_edge(b_bit(j, 1), path(2 * j, row - 1), 1);
+    graph_.add_edge(a_bit(j, 1), path(2 * j + 1, 0), 1);
+    graph_.add_edge(b_bit(j, 0), path(2 * j + 1, row - 1), 1);
+  }
+  for (std::uint32_t j = 0; j < params_.ell; ++j) {
+    graph_.add_edge(a_star(j), path(2 * params_.s + j, 0), 1);
+    graph_.add_edge(b_star(j), path(2 * params_.s + j, row - 1), 1);
+  }
+
+  // --- E_A / E_B ---
+  for (std::uint64_t i = 0; i < two_s; ++i) {
+    for (std::uint32_t j = 0; j < params_.s; ++j) {
+      graph_.add_edge(a(i), a_bit(j, bin(i, j)), alpha_);
+      graph_.add_edge(b(i), b_bit(j, bin(i, j)), alpha_);
+    }
+    for (std::uint32_t j = 0; j < params_.ell; ++j) {
+      graph_.add_edge(a(i), a_star(j), input.xb(i, j) ? alpha_ : beta_);
+      graph_.add_edge(b(i), b_star(j), input.yb(i, j) ? alpha_ : beta_);
+    }
+    for (std::uint64_t k = i + 1; k < two_s; ++k) {
+      graph_.add_edge(a(i), a(k), alpha_);
+      graph_.add_edge(b(i), b(k), alpha_);
+    }
+  }
+
+  if (with_hub) {
+    for (std::uint64_t i = 0; i < two_s; ++i) {
+      graph_.add_edge(hub_, a(i), 2 * alpha_);
+    }
+  }
+}
+
+NodeId Gadget::tree(std::uint32_t depth, std::uint64_t j) const {
+  QC_REQUIRE(depth <= params_.h && j < (std::uint64_t{1} << depth),
+             "tree index out of range");
+  return static_cast<NodeId>(tree_base_ + ((std::uint64_t{1} << depth) - 1) +
+                             j);
+}
+
+NodeId Gadget::path(std::uint32_t i, std::uint64_t j) const {
+  QC_REQUIRE(i < params_.paths() && j < (std::uint64_t{1} << params_.h),
+             "path index out of range");
+  return static_cast<NodeId>(path_base_ +
+                             std::uint64_t{i} * (std::uint64_t{1} << params_.h) +
+                             j);
+}
+
+NodeId Gadget::a(std::uint64_t i) const {
+  QC_REQUIRE(i < (std::uint64_t{1} << params_.s), "a index out of range");
+  return static_cast<NodeId>(a_base_ + i);
+}
+
+NodeId Gadget::b(std::uint64_t i) const {
+  QC_REQUIRE(i < (std::uint64_t{1} << params_.s), "b index out of range");
+  return static_cast<NodeId>(b_base_ + i);
+}
+
+NodeId Gadget::a_bit(std::uint32_t j, std::uint32_t bit) const {
+  QC_REQUIRE(j < params_.s && bit <= 1, "a_bit index out of range");
+  return a_bit_base_ + 2 * j + bit;
+}
+
+NodeId Gadget::b_bit(std::uint32_t j, std::uint32_t bit) const {
+  QC_REQUIRE(j < params_.s && bit <= 1, "b_bit index out of range");
+  return b_bit_base_ + 2 * j + bit;
+}
+
+NodeId Gadget::a_star(std::uint32_t j) const {
+  QC_REQUIRE(j < params_.ell, "a_star index out of range");
+  return a_star_base_ + j;
+}
+
+NodeId Gadget::b_star(std::uint32_t j) const {
+  QC_REQUIRE(j < params_.ell, "b_star index out of range");
+  return b_star_base_ + j;
+}
+
+NodeId Gadget::hub() const {
+  QC_REQUIRE(with_hub_, "diameter gadget has no hub");
+  return hub_;
+}
+
+Side Gadget::side(NodeId v) const {
+  QC_REQUIRE(v < graph_.node_count(), "node out of range");
+  return side_[v];
+}
+
+// ---------------------------------------------------------------------
+// Contracted form (Figures 3/4)
+// ---------------------------------------------------------------------
+
+ContractedGadget::ContractedGadget(const GadgetParams& params,
+                                   const PairInput& input, bool with_hub)
+    : params_(params),
+      with_hub_(with_hub),
+      alpha_(derived_alpha(params)),
+      beta_(derived_beta(params)) {
+  const std::uint64_t two_s = std::uint64_t{1} << params_.s;
+  const std::uint32_t m = params_.paths();
+  QC_REQUIRE(input.rows == two_s && input.cols == params_.ell,
+             "input must be 2^s x ell");
+
+  const std::uint64_t n = 1 + m + 2 * two_s + (with_hub ? 1 : 0);
+  graph_ = WeightedGraph(static_cast<NodeId>(n));
+
+  // t—router edges.
+  for (std::uint32_t i = 0; i < m; ++i) {
+    graph_.add_edge(t(), router(i), alpha_);
+  }
+  for (std::uint64_t i = 0; i < two_s; ++i) {
+    // a_i to its s bit-routers; b_i to the flipped ones.
+    for (std::uint32_t j = 0; j < params_.s; ++j) {
+      graph_.add_edge(a(i), router_bit(j, Gadget::bin(i, j)), alpha_);
+      graph_.add_edge(b(i), router_bit(j, Gadget::bin(i, j) ^ 1), alpha_);
+    }
+    // star routers, weight by input bits.
+    for (std::uint32_t j = 0; j < params_.ell; ++j) {
+      graph_.add_edge(a(i), router_star(j), input.xb(i, j) ? alpha_ : beta_);
+      graph_.add_edge(b(i), router_star(j), input.yb(i, j) ? alpha_ : beta_);
+    }
+    // cliques.
+    for (std::uint64_t k = i + 1; k < two_s; ++k) {
+      graph_.add_edge(a(i), a(k), alpha_);
+      graph_.add_edge(b(i), b(k), alpha_);
+    }
+  }
+  if (with_hub) {
+    for (std::uint64_t i = 0; i < two_s; ++i) {
+      graph_.add_edge(hub(), a(i), 2 * alpha_);
+    }
+  }
+}
+
+NodeId ContractedGadget::router(std::uint32_t i) const {
+  QC_REQUIRE(i < params_.paths(), "router index out of range");
+  return 1 + i;
+}
+
+NodeId ContractedGadget::a(std::uint64_t i) const {
+  QC_REQUIRE(i < (std::uint64_t{1} << params_.s), "a index out of range");
+  return static_cast<NodeId>(1 + params_.paths() + i);
+}
+
+NodeId ContractedGadget::b(std::uint64_t i) const {
+  QC_REQUIRE(i < (std::uint64_t{1} << params_.s), "b index out of range");
+  return static_cast<NodeId>(1 + params_.paths() +
+                             (std::uint64_t{1} << params_.s) + i);
+}
+
+NodeId ContractedGadget::hub() const {
+  QC_REQUIRE(with_hub_, "diameter form has no hub");
+  return static_cast<NodeId>(graph_.node_count() - 1);
+}
+
+}  // namespace qc::lb

@@ -1,0 +1,143 @@
+// The lower-bound graph gadgets of Section 4 (Figures 1-4).
+//
+// The base network (Figure 1) is a binary tree of height h whose 2^h
+// leaves are stitched to m = 2s+ℓ disjoint paths of length 2^h−1;
+// Alice's part V_A and Bob's part V_B hang off the left/right path
+// endpoints. The diameter gadget (Figure 2) wires V_A/V_B as
+// bit-indexing cliques whose red edge weights encode the inputs
+// x, y ∈ {0,1}^{2^s·ℓ}; the radius gadget (Figure 4) adds one node a₀.
+//
+// Lemma 4.4:  F(x,y)=1  ⇒ D_{G,w} ≤ max{2α,β}+n;
+//             F(x,y)=0  ⇒ D_{G,w} ≥ min{α+β,3α}.
+// Lemma 4.9: the same dichotomy for the radius with F′.
+//
+// The builder exposes a full node inventory so the Table 2 audit and
+// the simulation-lemma partition can name every node.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "lowerbound/boolfn.h"
+
+namespace qc::lb {
+
+/// Size/weight parameters. The paper fixes s = 3h/2, ℓ = 2^{s−h},
+/// α = n², β = 2n² (Eq. 2); `paper_params(h)` builds those, and the
+/// fields stay free for scaled-down experiments.
+struct GadgetParams {
+  std::uint32_t h = 2;    ///< tree height (even in the paper)
+  std::uint32_t s = 3;    ///< 2^s a_i/b_i nodes per side
+  std::uint32_t ell = 2;  ///< ℓ star nodes per side
+  Weight alpha = 0;       ///< 0 = derive as n² after sizing
+  Weight beta = 0;        ///< 0 = derive as 2n²
+
+  std::uint32_t paths() const { return 2 * s + ell; }
+  std::uint64_t side_size() const {
+    return (std::uint64_t{1} << s) + 2 * s + ell;
+  }
+  /// Node count of the (diameter) gadget.
+  std::uint64_t node_count() const {
+    return ((std::uint64_t{1} << (h + 1)) - 1) +
+           std::uint64_t{paths()} * ((std::uint64_t{1} << h)) +
+           2 * side_size();
+  }
+
+  /// Eq. (2): s = 3h/2, ℓ = 2^{s−h}, α = n², β = 2n² (h must be even).
+  static GadgetParams paper(std::uint32_t h);
+};
+
+/// Which sides a node belongs to — the V_S / V_A / V_B partition.
+enum class Side : std::uint8_t { kServer, kAlice, kBob };
+
+/// A built gadget with its node inventory.
+class Gadget {
+ public:
+  /// Builds the Figure-2 diameter gadget (with_hub=false) or the
+  /// Figure-4 radius gadget (with_hub=true, adds a₀). The input must
+  /// have rows = 2^s, cols = ℓ.
+  Gadget(const GadgetParams& params, const PairInput& input, bool with_hub);
+
+  const WeightedGraph& graph() const { return graph_; }
+  const GadgetParams& params() const { return params_; }
+  bool has_hub() const { return with_hub_; }
+  Weight alpha() const { return alpha_; }
+  Weight beta() const { return beta_; }
+
+  // --- node inventory (all 0-based) ---
+  NodeId tree(std::uint32_t depth, std::uint64_t j) const;   ///< t_{depth+? }
+  NodeId path(std::uint32_t i, std::uint64_t j) const;       ///< p_{i,j}
+  NodeId a(std::uint64_t i) const;                           ///< a_i
+  NodeId b(std::uint64_t i) const;                           ///< b_i
+  NodeId a_bit(std::uint32_t j, std::uint32_t bit) const;    ///< a_j^bit
+  NodeId b_bit(std::uint32_t j, std::uint32_t bit) const;    ///< b_j^bit
+  NodeId a_star(std::uint32_t j) const;                      ///< a_j^*
+  NodeId b_star(std::uint32_t j) const;                      ///< b_j^*
+  NodeId hub() const;                                        ///< a₀ (radius)
+
+  NodeId root() const { return tree(0, 0); }
+
+  /// The V_S/V_A/V_B membership of a node.
+  Side side(NodeId v) const;
+
+  /// bin(i, j): bit j of i (0-based), as used for the a_j^{bin} wiring.
+  static std::uint32_t bin(std::uint64_t i, std::uint32_t j) {
+    return static_cast<std::uint32_t>((i >> j) & 1);
+  }
+
+ private:
+  GadgetParams params_;
+  bool with_hub_;
+  Weight alpha_;
+  Weight beta_;
+  WeightedGraph graph_;
+  std::vector<Side> side_;
+  // Offsets into the dense id space.
+  NodeId tree_base_ = 0;
+  NodeId path_base_ = 0;
+  NodeId a_base_ = 0;
+  NodeId a_bit_base_ = 0;
+  NodeId a_star_base_ = 0;
+  NodeId b_base_ = 0;
+  NodeId b_bit_base_ = 0;
+  NodeId b_star_base_ = 0;
+  NodeId hub_ = 0;
+};
+
+/// The contracted graph G′ (Figures 3 and 4), built directly: node t,
+/// one router per path, the a_i / b_i cliques, optionally a₀. Lemma 4.3
+/// relates its diameter/radius to the full gadget's.
+class ContractedGadget {
+ public:
+  ContractedGadget(const GadgetParams& params, const PairInput& input,
+                   bool with_hub);
+
+  const WeightedGraph& graph() const { return graph_; }
+  Weight alpha() const { return alpha_; }
+  Weight beta() const { return beta_; }
+
+  NodeId t() const { return 0; }
+  /// Router of path i (contains a-side endpoint a_{i/2}^{i%2} for
+  /// i < 2s, else a_{i-2s}^*).
+  NodeId router(std::uint32_t i) const;
+  /// Router carrying a_j^bit (= path 2j+bit).
+  NodeId router_bit(std::uint32_t j, std::uint32_t bit) const {
+    return router(2 * j + bit);
+  }
+  /// Router carrying a_j^* (= path 2s+j).
+  NodeId router_star(std::uint32_t j) const {
+    return router(2 * params_.s + j);
+  }
+  NodeId a(std::uint64_t i) const;
+  NodeId b(std::uint64_t i) const;
+  NodeId hub() const;
+
+ private:
+  GadgetParams params_;
+  bool with_hub_;
+  Weight alpha_;
+  Weight beta_;
+  WeightedGraph graph_;
+};
+
+}  // namespace qc::lb

@@ -1,0 +1,150 @@
+#include "lowerbound/protocol.h"
+
+#include <algorithm>
+#include <array>
+
+#include "graph/algorithms.h"
+
+namespace qc::lb {
+
+void ServerTranscript::record(Owner from, Owner to, std::uint64_t bits) {
+  ++total_messages_;
+  if (from == Owner::kServer) {
+    free_bits_ += bits;
+    return;
+  }
+  (void)to;
+  charged_bits_ += bits;
+  ++charged_messages_;
+}
+
+TrivialProtocolResult trivial_protocol_for_f(const PairInput& input,
+                                             bool f_prime) {
+  // Alice -> server -> Bob: all of x (charged once — the server relay
+  // is free); Bob evaluates and announces one bit.
+  TrivialProtocolResult out;
+  out.charged_bits = input.x.size();  // Alice's input bits
+  out.charged_bits += 1;              // Bob's answer bit
+  out.value = f_prime ? eval_f_prime(input) : eval_f(input);
+  return out;
+}
+
+namespace {
+
+/// Per-party view of the BFS-wave simulation: a party stores state only
+/// for nodes it currently owns.
+struct World {
+  std::vector<Dist> depth;       ///< kInfDist = unknown / not owned
+  std::vector<std::uint8_t> owns;
+
+  explicit World(std::size_t n) : depth(n, kInfDist), owns(n, 0) {}
+};
+
+}  // namespace
+
+ServerSimulationRun simulate_congest_in_server_model(const Gadget& gadget,
+                                                     std::uint64_t rounds,
+                                                     NodeId root) {
+  const WeightedGraph& g = gadget.graph();
+  const NodeId n = g.node_count();
+  QC_REQUIRE(root < n, "root out of range");
+  const SimulationSchedule schedule(gadget);
+  QC_REQUIRE(rounds + 1 < schedule.horizon(),
+             "execution too long for the Lemma 4.1 schedule");
+
+  ServerSimulationRun run;
+  run.rounds = rounds;
+  const std::uint32_t msg_bits = bits_for(n);  // a depth value
+  const std::uint64_t bandwidth = congest::default_bandwidth(n);
+  const std::uint64_t per_round_budget = 2ull * gadget.params().h * bandwidth;
+
+  // Three worlds; index by Owner.
+  std::array<World, 3> worlds{World(n), World(n), World(n)};
+  auto world_of = [&](Owner o) -> World& {
+    return worlds[static_cast<std::size_t>(o)];
+  };
+
+  // Round-0 state: each node's owner-at-round-0 world holds it.
+  for (NodeId v = 0; v < n; ++v) {
+    world_of(schedule.owner(0, v)).owns[v] = 1;
+  }
+  world_of(schedule.owner(0, root)).depth[root] = 0;
+
+  // Messages in flight: (from, to, depth payload), sent during round k,
+  // consumed during round k+1.
+  struct Wire {
+    NodeId from;
+    NodeId to;
+    Dist payload;
+  };
+  std::vector<Wire> inflight;
+  // The root broadcasts in round 0.
+  for (const HalfEdge& h : g.neighbors(root)) {
+    inflight.push_back(Wire{root, h.to, 0});
+  }
+
+  for (std::uint64_t r = 1; r <= rounds; ++r) {
+    // --- ownership handoff: server region shrank; the server sends the
+    // state of newly Alice/Bob-owned nodes for free.
+    for (NodeId v = 0; v < n; ++v) {
+      const Owner prev = schedule.owner(r - 1, v);
+      const Owner cur = schedule.owner(r, v);
+      if (prev == cur) continue;
+      run.partition_sound &= (prev == Owner::kServer);
+      run.transcript.record(Owner::kServer, cur, msg_bits);
+      World& from = world_of(prev);
+      World& to = world_of(cur);
+      to.owns[v] = 1;
+      to.depth[v] = from.depth[v];
+      from.owns[v] = 0;
+    }
+
+    // --- deliver round-(r-1) messages into the receiving party's world,
+    // with Lemma 4.1 accounting.
+    std::uint64_t charged_bits_this_round = 0;
+    std::vector<Wire> deliveries;
+    deliveries.swap(inflight);
+    for (const Wire& w : deliveries) {
+      const Owner sender = schedule.owner(r - 1, w.from);
+      const Owner receiver = schedule.owner(r, w.to);
+      if (sender != receiver) {
+        if ((sender == Owner::kAlice && receiver == Owner::kBob) ||
+            (sender == Owner::kBob && receiver == Owner::kAlice)) {
+          run.partition_sound = false;
+        }
+        run.transcript.record(sender, receiver, msg_bits);
+        if (sender != Owner::kServer) {
+          charged_bits_this_round += msg_bits;
+        }
+      }
+      World& world = world_of(receiver);
+      QC_CHECK(world.owns[w.to], "receiver not in its owner's world");
+      if (world.depth[w.to] == kInfDist) {
+        world.depth[w.to] = w.payload + 1;
+        if (r + 1 <= rounds) {
+          for (const HalfEdge& h : g.neighbors(w.to)) {
+            inflight.push_back(Wire{w.to, h.to, world.depth[w.to]});
+          }
+        }
+      }
+    }
+    run.within_budget &= charged_bits_this_round <= per_round_budget;
+  }
+
+  // --- compare against the monolithic execution: a truncated BFS wave
+  // learns exactly the depths <= rounds.
+  const auto ref = bfs_distances(g, root);
+  for (NodeId v = 0; v < n; ++v) {
+    Dist simulated = kInfDist;
+    for (const World& w : worlds) {
+      if (w.owns[v]) simulated = w.depth[v];
+    }
+    const Dist expected = ref[v] <= rounds ? ref[v] : kInfDist;
+    if (simulated != expected) {
+      run.outputs_match = false;
+    }
+  }
+  return run;
+}
+
+}  // namespace qc::lb

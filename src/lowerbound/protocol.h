@@ -1,0 +1,81 @@
+// The Server communication model (Section 2.3), executable.
+//
+// Three players — Alice, Bob, and a server — exchange messages; only
+// bits *sent by Alice or Bob* count toward the complexity (the server
+// talks for free). Any two-party protocol embeds by treating the server
+// as a wire.
+//
+// Two things live here:
+//
+//  * `ServerTranscript` — the accounting object protocols write to;
+//  * `simulate_congest_in_server_model` — the constructive content of
+//    Lemma 4.1: executes a CONGEST algorithm on the gadget *as a
+//    three-party protocol*, each party stepping only the node programs
+//    it owns under the round-indexed ownership schedule and receiving
+//    foreign messages through the transcript. The result is checked
+//    bit-for-bit against the monolithic execution, and the Alice/Bob
+//    bits against the O(T·h·B) budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "congest/simulator.h"
+#include "lowerbound/gadget.h"
+#include "lowerbound/server.h"
+
+namespace qc::lb {
+
+/// Message accounting for a Server-model protocol run.
+class ServerTranscript {
+ public:
+  /// Records a message of `bits` bits from `from` to `to`. Messages
+  /// with from == kServer are free; everything else is charged.
+  void record(Owner from, Owner to, std::uint64_t bits);
+
+  std::uint64_t charged_bits() const { return charged_bits_; }
+  std::uint64_t charged_messages() const { return charged_messages_; }
+  std::uint64_t free_bits() const { return free_bits_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  std::uint64_t charged_bits_ = 0;
+  std::uint64_t charged_messages_ = 0;
+  std::uint64_t free_bits_ = 0;
+  std::uint64_t total_messages_ = 0;
+};
+
+/// The trivial upper-bound protocol for any F: Alice ships her whole
+/// input to Bob through the server; Bob answers. Costs |x| + 1 charged
+/// bits — the benchmark the Ω(√(2^s·ℓ)) lower bound is measured
+/// against.
+struct TrivialProtocolResult {
+  bool value = false;
+  std::uint64_t charged_bits = 0;
+};
+TrivialProtocolResult trivial_protocol_for_f(const PairInput& input,
+                                             bool f_prime);
+
+/// Result of executing a CONGEST algorithm as a Server-model protocol.
+struct ServerSimulationRun {
+  ServerTranscript transcript;
+  std::uint64_t rounds = 0;
+  /// Per-node outputs matched the monolithic execution exactly.
+  bool outputs_match = true;
+  /// No step ever needed a message from the *opposite* party.
+  bool partition_sound = true;
+  /// charged bits <= 2h·B per round (the Lemma 4.1 budget).
+  bool within_budget = true;
+};
+
+/// Executes `rounds` rounds of a BFS wave (rooted at `root`) on the
+/// gadget in the three-party regime of Lemma 4.1, with each party
+/// independently simulating its owned nodes. Requires
+/// rounds + 1 < 2^{h-1}.
+ServerSimulationRun simulate_congest_in_server_model(const Gadget& gadget,
+                                                     std::uint64_t rounds,
+                                                     NodeId root);
+
+}  // namespace qc::lb

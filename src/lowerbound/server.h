@@ -1,0 +1,111 @@
+// The Server model reduction of Section 4.
+//
+// Lemma 4.1 (quantum simulation lemma): any T-round (T < 2^h/2) CONGEST
+// algorithm on the gadget network can be simulated by Alice, Bob and a
+// free server with only O(T·h·B) communication charged to Alice/Bob.
+// The proof assigns each node an owner per round — the server's share
+// of the paths and tree shrinks by one position per round from both
+// ends — and only messages crossing from Alice/Bob-owned nodes into
+// still-server-owned nodes are charged.
+//
+// This module implements the ownership schedule, meters real message
+// traces from the simulator against it, and checks the two structural
+// facts the proof rests on: (a) an Alice-owned node never needs a
+// message from a Bob-owned node (and vice versa), and (b) charged
+// messages only ever target tree nodes, at most 2h per round.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/simulator.h"
+#include "lowerbound/gadget.h"
+
+namespace qc::lb {
+
+/// Who simulates a node at (the end of) a given round.
+enum class Owner : std::uint8_t { kServer, kAlice, kBob };
+
+/// The Lemma 4.1 ownership schedule for a gadget network.
+class SimulationSchedule {
+ public:
+  explicit SimulationSchedule(const Gadget& gadget);
+
+  /// Owner of v at the end of round r (r = 0 is the initial state:
+  /// server owns all of V_S). Valid while the server region is
+  /// non-empty, i.e. r < 2^{h-1}.
+  Owner owner(std::uint64_t r, NodeId v) const;
+
+  /// Largest round the schedule supports (exclusive): 2^{h-1}.
+  std::uint64_t horizon() const;
+
+ private:
+  const Gadget* gadget_;
+};
+
+/// Metering result for one traced CONGEST execution.
+struct ServerSimulationReport {
+  std::uint64_t rounds = 0;            ///< T
+  std::uint64_t total_messages = 0;    ///< all messages in the trace
+  std::uint64_t charged_messages = 0;  ///< Alice/Bob -> server-owned
+  std::uint64_t charged_bits = 0;
+  std::uint64_t max_charged_in_round = 0;
+  /// 2h per round — the bound from the Lemma 4.1 proof.
+  std::uint64_t per_round_bound = 0;
+  /// (a) cross-side isolation held for every message.
+  bool partition_sound = true;
+  /// (b) every charged message targeted a tree node.
+  bool charged_only_tree = true;
+  /// charged_messages <= 2h·T.
+  bool within_bound = true;
+};
+
+/// Meters a recorded execution (trace from Simulator with record_trace)
+/// against the schedule. Requires the execution length < 2^{h-1}.
+ServerSimulationReport meter_server_simulation(
+    const Gadget& gadget, const std::vector<congest::TraceEntry>& trace,
+    std::uint64_t rounds);
+
+/// Runs a truncated BFS flood (rounds-long) on the gadget with tracing
+/// and meters it — the end-to-end Lemma 4.1 demonstration. The wave
+/// starts at `root` (default: the tree root); rooting it at an Alice
+/// node exercises the nonzero-charge case where information crosses
+/// into the server region through the tree.
+/// Sentinel for "use the gadget's tree root".
+inline constexpr NodeId kAnyRoot = static_cast<NodeId>(-1);
+
+ServerSimulationReport run_and_meter_bfs(const Gadget& gadget,
+                                         std::uint64_t rounds,
+                                         NodeId root = kAnyRoot);
+
+// ---------------------------------------------------------------------
+// Theorems 4.2 / 4.8: the reduction's gap, executably.
+// ---------------------------------------------------------------------
+
+struct ReductionCheck {
+  bool f_value = false;        ///< F(x,y) (diameter) or F'(x,y) (radius)
+  Dist measured = 0;           ///< D_{G',w} or R_{G',w} (or full-G value)
+  Dist threshold_low = 0;      ///< min{α+β, 3α}
+  Dist threshold_high = 0;     ///< max{2α, β} (+n when full graph)
+  bool gap_respected = false;  ///< Lemma 4.4 / 4.9 dichotomy held
+  /// A (3/2−ε)-approximation separates the two cases for α=n², β=2n².
+  bool distinguishable = false;
+};
+
+/// Verifies Lemma 4.4 on an instance. `use_full_graph` computes the
+/// exact diameter of the uncontracted gadget (small h only); otherwise
+/// the contracted G′ is used with the Lemma 4.3 window.
+ReductionCheck check_diameter_reduction(const GadgetParams& params,
+                                        const PairInput& input,
+                                        bool use_full_graph = false);
+
+/// Verifies Lemma 4.9 (radius form, with the a₀ hub).
+ReductionCheck check_radius_reduction(const GadgetParams& params,
+                                      const PairInput& input,
+                                      bool use_full_graph = false);
+
+/// The Theorem 4.2 round lower bound Ω(√(2^s·ℓ)/(h·B)) for the given
+/// gadget parameters and bandwidth.
+double theorem42_round_bound(const GadgetParams& params,
+                             std::uint32_t bandwidth);
+
+}  // namespace qc::lb

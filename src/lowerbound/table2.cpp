@@ -1,0 +1,121 @@
+#include "lowerbound/table2.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace qc::lb {
+
+std::vector<Table2Row> audit_table2(const GadgetParams& params,
+                                    const PairInput& input) {
+  const ContractedGadget g(params, input, /*with_hub=*/false);
+  const Weight alpha = g.alpha();
+  const Weight beta = g.beta();
+  const std::uint64_t two_s = std::uint64_t{1} << params.s;
+  const std::uint32_t m = params.paths();
+
+  // Exact distances from every node (G' is small by construction).
+  const auto apsp = all_pairs_distances(g.graph());
+
+  std::vector<Table2Row> rows;
+  auto add_row = [&](std::string uc, std::string vc, std::string bn,
+                     Dist bound, auto&& pair_visitor) {
+    Table2Row row;
+    row.u_class = std::move(uc);
+    row.v_class = std::move(vc);
+    row.bound_name = std::move(bn);
+    row.bound = bound;
+    pair_visitor([&](NodeId u, NodeId v) {
+      row.measured_max = std::max(row.measured_max, apsp[u][v]);
+      ++row.pairs;
+    });
+    row.ok = row.pairs == 0 || row.measured_max <= row.bound;
+    rows.push_back(std::move(row));
+  };
+
+  add_row("t", "router", "alpha", alpha, [&](auto&& visit) {
+    for (std::uint32_t i = 0; i < m; ++i) visit(g.t(), g.router(i));
+  });
+  add_row("t", "a_i", "2*alpha", 2 * alpha, [&](auto&& visit) {
+    for (std::uint64_t i = 0; i < two_s; ++i) visit(g.t(), g.a(i));
+  });
+  add_row("t", "b_i", "2*alpha", 2 * alpha, [&](auto&& visit) {
+    for (std::uint64_t i = 0; i < two_s; ++i) visit(g.t(), g.b(i));
+  });
+  add_row("a_i", "a_j (j!=i)", "alpha", alpha, [&](auto&& visit) {
+    for (std::uint64_t i = 0; i < two_s; ++i) {
+      for (std::uint64_t j = 0; j < two_s; ++j) {
+        if (i != j) visit(g.a(i), g.a(j));
+      }
+    }
+  });
+  add_row("a_i", "a_j^{bin(i,j)}", "alpha", alpha, [&](auto&& visit) {
+    for (std::uint64_t i = 0; i < two_s; ++i) {
+      for (std::uint32_t j = 0; j < params.s; ++j) {
+        visit(g.a(i), g.router_bit(j, Gadget::bin(i, j)));
+      }
+    }
+  });
+  add_row("a_i", "a_j^{bin(i,j) xor 1}", "2*alpha", 2 * alpha,
+          [&](auto&& visit) {
+            for (std::uint64_t i = 0; i < two_s; ++i) {
+              for (std::uint32_t j = 0; j < params.s; ++j) {
+                visit(g.a(i), g.router_bit(j, Gadget::bin(i, j) ^ 1));
+              }
+            }
+          });
+  add_row("a_i", "b_j (j!=i)", "2*alpha", 2 * alpha, [&](auto&& visit) {
+    for (std::uint64_t i = 0; i < two_s; ++i) {
+      for (std::uint64_t j = 0; j < two_s; ++j) {
+        if (i != j) visit(g.a(i), g.b(j));
+      }
+    }
+  });
+  add_row("a_i", "a_j^*", "beta", beta, [&](auto&& visit) {
+    for (std::uint64_t i = 0; i < two_s; ++i) {
+      for (std::uint32_t j = 0; j < params.ell; ++j) {
+        visit(g.a(i), g.router_star(j));
+      }
+    }
+  });
+  add_row("b_i", "b_j (j!=i)", "alpha", alpha, [&](auto&& visit) {
+    for (std::uint64_t i = 0; i < two_s; ++i) {
+      for (std::uint64_t j = 0; j < two_s; ++j) {
+        if (i != j) visit(g.b(i), g.b(j));
+      }
+    }
+  });
+  add_row("b_i", "a_j^{bin(i,j) xor 1}", "alpha", alpha,
+          [&](auto&& visit) {
+            for (std::uint64_t i = 0; i < two_s; ++i) {
+              for (std::uint32_t j = 0; j < params.s; ++j) {
+                visit(g.b(i), g.router_bit(j, Gadget::bin(i, j) ^ 1));
+              }
+            }
+          });
+  add_row("b_i", "a_j^{bin(i,j)}", "2*alpha", 2 * alpha,
+          [&](auto&& visit) {
+            for (std::uint64_t i = 0; i < two_s; ++i) {
+              for (std::uint32_t j = 0; j < params.s; ++j) {
+                visit(g.b(i), g.router_bit(j, Gadget::bin(i, j)));
+              }
+            }
+          });
+  add_row("b_i", "a_j^*", "beta", beta, [&](auto&& visit) {
+    for (std::uint64_t i = 0; i < two_s; ++i) {
+      for (std::uint32_t j = 0; j < params.ell; ++j) {
+        visit(g.b(i), g.router_star(j));
+      }
+    }
+  });
+  add_row("router", "router", "2*alpha", 2 * alpha, [&](auto&& visit) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+      for (std::uint32_t j = 0; j < m; ++j) {
+        if (i != j) visit(g.router(i), g.router(j));
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace qc::lb

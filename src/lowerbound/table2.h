@@ -1,0 +1,31 @@
+// Table 2 of the paper: per-class distance upper bounds in the
+// contracted gadget G′, each with its witness-path bound. The audit
+// computes the exact distances for every pair in each class and checks
+// them against the table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lowerbound/gadget.h"
+
+namespace qc::lb {
+
+/// One row of Table 2, audited.
+struct Table2Row {
+  std::string u_class;     ///< e.g. "t", "a_i"
+  std::string v_class;     ///< e.g. "router", "b_j (j != i)"
+  std::string bound_name;  ///< "alpha", "2*alpha", "beta"
+  Dist bound = 0;          ///< numeric bound
+  Dist measured_max = 0;   ///< max exact distance over the class
+  std::size_t pairs = 0;   ///< how many pairs were audited
+  bool ok = false;         ///< measured_max <= bound
+};
+
+/// Audits every row of Table 2 on a concrete contracted gadget.
+/// The special pair (a_i, b_i) — whose distance encodes the input — is
+/// intentionally *not* part of Table 2 and is excluded here.
+std::vector<Table2Row> audit_table2(const GadgetParams& params,
+                                    const PairInput& input);
+
+}  // namespace qc::lb

@@ -1,0 +1,590 @@
+#include "paths/distributed.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "paths/reference.h"
+
+namespace qc::paths {
+
+namespace {
+
+using congest::Config;
+using congest::FloodItem;
+using congest::Incoming;
+using congest::Message;
+using congest::NodeContext;
+using congest::NodeProgram;
+using congest::RunStats;
+
+void accumulate(RunStats& total, const RunStats& part) {
+  total.rounds += part.rounds;
+  total.messages += part.messages;
+  total.bits += part.bits;
+}
+
+/// Conservative global bound on any σ-scaled d̃ value (and on shortcut
+/// weights derived from them): every node can compute it from n, W and
+/// the scale, which the model assumes are common knowledge. Used to size
+/// message fields a priori.
+std::uint64_t scaled_distance_bound(const WeightedGraph& g,
+                                    const HopScale& scale) {
+  const std::uint64_t n = g.node_count();
+  const std::uint64_t w = scale.max_weight;
+  const std::uint64_t sigma = scale.sigma();
+  // d̃ <= (1+ε)·d^ℓ·σ <= 2·σ·n·W; shortcut paths concatenate < n of them.
+  const std::uint64_t per_edge = 2 * sigma * n * w;
+  QC_CHECK(per_edge / (2 * sigma) == n * w, "scaled distance bound overflow");
+  return per_edge * n;
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 2: Bounded-Distance SSSP ("timed release": a node announces
+// its distance exactly in round d(s,v), so with positive integer
+// weights every announcement is final).
+// ---------------------------------------------------------------------
+class BoundedDistanceProgram final : public NodeProgram {
+ public:
+  BoundedDistanceProgram(NodeId source, Dist cap,
+                         const std::function<std::uint64_t(Weight)>& weight_of,
+                         std::uint32_t dist_bits)
+      : source_(source),
+        cap_(cap),
+        weight_of_(&weight_of),
+        dist_bits_(dist_bits) {}
+
+  void on_start(NodeContext& ctx) override {
+    for (const HalfEdge& h : ctx.neighbors()) {
+      rounded_[h.to] = (*weight_of_)(h.weight);
+    }
+    if (ctx.id() == source_) best_ = 0;
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    for (const Incoming& in : inbox) {
+      const Dist via = dist_add(in.msg.field(0), rounded_.at(in.from));
+      best_ = std::min(best_, via);
+    }
+    if (!announced_ && best_ == round_ && best_ <= cap_) {
+      announced_ = true;
+      Message m;
+      m.push(best_, dist_bits_);
+      ctx.broadcast(m);
+    }
+    ++round_;
+  }
+
+  bool done() const override { return round_ >= cap_ + 2; }
+
+  Dist final_dist() const { return best_ <= cap_ ? best_ : kInfDist; }
+
+ private:
+  NodeId source_;
+  Dist cap_;
+  const std::function<std::uint64_t(Weight)>* weight_of_;
+  std::uint32_t dist_bits_;
+  std::map<NodeId, std::uint64_t> rounded_;
+  Dist best_ = kInfDist;
+  Dist round_ = 0;
+  bool announced_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Algorithm 1: Bounded-Hop SSSP — one Algorithm 2 pass per weight scale,
+// on a fixed synchronous schedule of (cap+2) rounds per scale.
+// ---------------------------------------------------------------------
+class BoundedHopProgram final : public NodeProgram {
+ public:
+  BoundedHopProgram(NodeId source, const HopScale& scale,
+                    std::uint32_t dist_bits)
+      : source_(source),
+        scale_(scale),
+        scales_(scale.scale_count()),
+        cap_(scale.rounded_cap()),
+        dist_bits_(dist_bits) {}
+
+  void on_start(NodeContext& ctx) override {
+    for (const HalfEdge& h : ctx.neighbors()) {
+      weights_[h.to] = h.weight;
+    }
+    reset_scale(ctx.id());
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    for (const Incoming& in : inbox) {
+      const std::uint64_t w =
+          scale_.rounded_weight(weights_.at(in.from), scale_index_);
+      best_ = std::min(best_, dist_add(in.msg.field(0), w));
+    }
+    if (!announced_ && best_ == offset_ && best_ <= cap_) {
+      announced_ = true;
+      Message m;
+      m.push(best_, dist_bits_);
+      ctx.broadcast(m);
+    }
+    ++offset_;
+    if (offset_ == cap_ + 2) {
+      finalize_scale();
+      ++scale_index_;
+      if (scale_index_ < scales_) reset_scale(ctx.id());
+    }
+  }
+
+  bool done() const override { return scale_index_ >= scales_; }
+
+  Dist approx() const { return dtilde_; }
+
+ private:
+  void reset_scale(NodeId me) {
+    best_ = (me == source_) ? 0 : kInfDist;
+    offset_ = 0;
+    announced_ = false;
+  }
+  void finalize_scale() {
+    if (best_ <= cap_) {
+      const Dist shifted = best_ << scale_index_;
+      QC_CHECK((shifted >> scale_index_) == best_ && shifted < kInfDist,
+               "scaled distance overflow");
+      dtilde_ = std::min(dtilde_, shifted);
+    }
+  }
+
+  NodeId source_;
+  HopScale scale_;
+  std::uint32_t scales_;
+  Dist cap_;
+  std::uint32_t dist_bits_;
+  std::map<NodeId, Weight> weights_;
+  std::uint32_t scale_index_ = 0;
+  Dist best_ = kInfDist;
+  Dist offset_ = 0;
+  bool announced_ = false;
+  Dist dtilde_ = kInfDist;
+};
+
+// ---------------------------------------------------------------------
+// Algorithm 3: random-delay multiplexing of b Algorithm-1 executions.
+//
+// Logical time is divided into windows of `slot_count` physical rounds.
+// Instance a starts at window delays[a] and follows Algorithm 1's fixed
+// schedule (scales × (cap+2) windows). Announcements due in a window
+// are queued at its slot 0 and transmitted one per slot; more than
+// `slot_count` due messages is the algorithm's failure event.
+// ---------------------------------------------------------------------
+class MultiSourceProgram final : public NodeProgram {
+ public:
+  MultiSourceProgram(const std::vector<NodeId>& sources,
+                     const std::vector<std::uint64_t>& delays,
+                     const HopScale& scale, std::uint32_t slot_count)
+      : sources_(&sources),
+        delays_(&delays),
+        scale_(scale),
+        scales_(scale.scale_count()),
+        cap_(scale.rounded_cap()),
+        period_(cap_ + 2),
+        slot_count_(slot_count),
+        inst_bits_(bits_for(sources.size() + 1)),
+        dist_bits_(bits_for(cap_ + 2)) {
+    t_logical_ = scales_ * period_;
+    const std::uint64_t max_delay =
+        *std::max_element(delays.begin(), delays.end());
+    total_windows_ = max_delay + t_logical_ + 1;
+    const std::size_t b = sources.size();
+    cur_.assign(b, kInfDist);
+    announced_.assign(b, false);
+    dtilde_.assign(b, kInfDist);
+  }
+
+  void on_start(NodeContext& ctx) override {
+    for (const HalfEdge& h : ctx.neighbors()) {
+      weights_[h.to] = h.weight;
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    const std::uint64_t window = local_round_ / slot_count_;
+    const std::uint64_t slot = local_round_ % slot_count_;
+
+    if (slot == 0) {
+      // Per-instance schedule updates: finalize completed scales, reset
+      // state at scale starts, enqueue due announcements.
+      for (std::size_t a = 0; a < sources_->size(); ++a) {
+        if (window < (*delays_)[a]) continue;
+        const std::uint64_t tau = window - (*delays_)[a];
+        if (tau > t_logical_) continue;
+        if (tau > 0 && tau % period_ == 0) {
+          // Scale (tau/period - 1) just ended.
+          finalize_scale(a, static_cast<std::uint32_t>(tau / period_ - 1));
+        }
+        if (tau == t_logical_) continue;  // instance finished
+        if (tau % period_ == 0) {
+          cur_[a] = (ctx.id() == (*sources_)[a]) ? 0 : kInfDist;
+          announced_[a] = false;
+        }
+      }
+    }
+
+    // Relax with this round's arrivals. An arrival for instance a in
+    // window w belongs to scale (w - delay)/period — announcements are
+    // never sent at a scale's last offset, so arrivals cannot leak
+    // across scale boundaries (see distributed.h header comment).
+    for (const Incoming& in : inbox) {
+      const std::size_t a = static_cast<std::size_t>(in.msg.field(0));
+      QC_CHECK(a < sources_->size(), "bad instance tag");
+      QC_CHECK(window >= (*delays_)[a], "arrival before instance start");
+      const std::uint64_t tau = window - (*delays_)[a];
+      QC_CHECK(tau < t_logical_, "arrival after instance end");
+      const Dist via =
+          dist_add(in.msg.field(1),
+                   scale_.rounded_weight(
+                       weights_.at(in.from),
+                       static_cast<std::uint32_t>(tau / period_)));
+      cur_[a] = std::min(cur_[a], via);
+    }
+
+    if (slot == 0) {
+      // Announcement checks for this window.
+      for (std::size_t a = 0; a < sources_->size(); ++a) {
+        if (window < (*delays_)[a]) continue;
+        const std::uint64_t tau = window - (*delays_)[a];
+        if (tau >= t_logical_) continue;
+        const std::uint64_t offset = tau % period_;
+        if (!announced_[a] && cur_[a] == offset && cur_[a] <= cap_) {
+          announced_[a] = true;
+          Message m;
+          m.push(a, inst_bits_).push(cur_[a], dist_bits_);
+          queue_.push_back(std::move(m));
+        }
+      }
+      if (queue_.size() > slot_count_) {
+        throw AlgorithmFailure(
+            "Algorithm 3: more than ceil(log n) announcements due in one "
+            "window at node " +
+            std::to_string(ctx.id()));
+      }
+    }
+
+    if (!queue_.empty()) {
+      ctx.broadcast(queue_.front());
+      queue_.erase(queue_.begin());
+    }
+    ++local_round_;
+  }
+
+  bool done() const override {
+    return local_round_ >= total_windows_ * slot_count_;
+  }
+
+  Dist approx(std::size_t a) const { return dtilde_[a]; }
+
+ private:
+  void finalize_scale(std::size_t a, std::uint32_t j) {
+    if (cur_[a] <= cap_) {
+      const Dist shifted = cur_[a] << j;
+      QC_CHECK((shifted >> j) == cur_[a] && shifted < kInfDist,
+               "scaled distance overflow");
+      dtilde_[a] = std::min(dtilde_[a], shifted);
+    }
+  }
+
+  const std::vector<NodeId>* sources_;
+  const std::vector<std::uint64_t>* delays_;
+  HopScale scale_;
+  std::uint32_t scales_;
+  Dist cap_;
+  std::uint64_t period_;
+  std::uint64_t slot_count_;
+  std::uint32_t inst_bits_;
+  std::uint32_t dist_bits_;
+  std::uint64_t t_logical_ = 0;
+  std::uint64_t total_windows_ = 0;
+  std::map<NodeId, Weight> weights_;
+  std::vector<Dist> cur_;
+  std::vector<bool> announced_;
+  std::vector<Dist> dtilde_;
+  std::vector<Message> queue_;
+  std::uint64_t local_round_ = 0;
+};
+
+}  // namespace
+
+BoundedDistanceResult distributed_bounded_distance_sssp(
+    const WeightedGraph& g, NodeId source, Dist cap,
+    const std::function<std::uint64_t(Weight)>& weight_of, Config config) {
+  QC_REQUIRE(source < g.node_count(), "source out of range");
+  const std::uint32_t dist_bits = bits_for(cap + 2);
+  auto run = congest::run_on_all<BoundedDistanceProgram>(
+      g,
+      [&](NodeId) {
+        return std::make_unique<BoundedDistanceProgram>(source, cap,
+                                                        weight_of, dist_bits);
+      },
+      config);
+  BoundedDistanceResult out;
+  out.stats = run.stats;
+  out.dist.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.dist.push_back(run.at(v).final_dist());
+  }
+  return out;
+}
+
+BoundedHopResult distributed_bounded_hop_sssp(const WeightedGraph& g,
+                                              NodeId source,
+                                              const HopScale& scale,
+                                              Config config) {
+  QC_REQUIRE(source < g.node_count(), "source out of range");
+  const std::uint32_t dist_bits = bits_for(scale.rounded_cap() + 2);
+  auto run = congest::run_on_all<BoundedHopProgram>(
+      g,
+      [&](NodeId) {
+        return std::make_unique<BoundedHopProgram>(source, scale, dist_bits);
+      },
+      config);
+  BoundedHopResult out;
+  out.stats = run.stats;
+  out.approx.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.approx.push_back(run.at(v).approx());
+  }
+  return out;
+}
+
+MultiSourceResult distributed_multi_source_bhs(
+    const WeightedGraph& g, const std::vector<NodeId>& sources,
+    const HopScale& scale, Rng& rng, Config config) {
+  QC_REQUIRE(!sources.empty(), "Algorithm 3 needs at least one source");
+  const NodeId n = g.node_count();
+  const std::size_t b = sources.size();
+  const std::uint32_t slot_count = std::max<std::uint32_t>(1, clog2(n));
+
+  MultiSourceResult out;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    // The leader samples the delays and disseminates them by pipelined
+    // flooding (O(D + b) rounds), as in the paper's Algorithm 3 step 2.
+    std::vector<std::uint64_t> delays(b);
+    const std::uint64_t delay_range = b * slot_count + 1;
+    for (auto& d : delays) d = rng.below(delay_range);
+
+    std::vector<std::vector<FloodItem>> items(n);
+    const std::uint32_t idx_bits = bits_for(b + 1);
+    const std::uint32_t delay_bits = bits_for(delay_range + 1);
+    for (std::size_t a = 0; a < b; ++a) {
+      FloodItem item;
+      item.push(a, idx_bits).push(delays[a], delay_bits);
+      items[0].push_back(std::move(item));  // leader = node 0
+    }
+    accumulate(out.stats, congest::flood_items(g, std::move(items), config).stats);
+
+    try {
+      auto run = congest::run_on_all<MultiSourceProgram>(
+          g,
+          [&](NodeId) {
+            return std::make_unique<MultiSourceProgram>(sources, delays,
+                                                        scale, slot_count);
+          },
+          config);
+      accumulate(out.stats, run.stats);
+      out.attempts = attempt;
+      out.approx.assign(b, std::vector<Dist>(n, kInfDist));
+      for (NodeId v = 0; v < n; ++v) {
+        for (std::size_t a = 0; a < b; ++a) {
+          out.approx[a][v] = run.at(v).approx(a);
+        }
+      }
+      return out;
+    } catch (const AlgorithmFailure&) {
+      // Charge the full scheduled duration of the failed attempt, then
+      // retry with fresh delays (failure probability <= 1/poly(n)).
+      const std::uint64_t period = scale.rounded_cap() + 2;
+      const std::uint64_t t_logical = scale.scale_count() * period;
+      out.stats.rounds += (b * slot_count + t_logical + 1) * slot_count;
+      QC_CHECK(attempt < 64, "Algorithm 3 failed too many times");
+    }
+  }
+}
+
+OverlayEmbedding distributed_embed_overlay(
+    const WeightedGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<std::vector<Dist>>& approx_rows, const Params& params,
+    Config config) {
+  const std::size_t b = sources.size();
+  QC_REQUIRE(b >= 1, "overlay needs at least one member");
+  QC_REQUIRE(approx_rows.size() == b, "one approx row per member");
+  const NodeId n = g.node_count();
+
+  OverlayEmbedding out;
+  out.sources = sources;
+
+  // w1 rows: member a reads d̃(S[c], a) from its Algorithm-3 output. d̃
+  // is symmetric in exact arithmetic; symmetrize defensively.
+  out.w1.assign(b, std::vector<Dist>(b, kInfDist));
+  for (std::size_t a = 0; a < b; ++a) {
+    for (std::size_t c = 0; c < b; ++c) {
+      if (a != c) out.w1[a][c] = approx_rows[c][sources[a]];
+    }
+  }
+  for (std::size_t a = 0; a < b; ++a) {
+    for (std::size_t c = a + 1; c < b; ++c) {
+      const Dist m = std::min(out.w1[a][c], out.w1[c][a]);
+      out.w1[a][c] = out.w1[c][a] = m;
+    }
+  }
+
+  const std::size_t kk =
+      static_cast<std::size_t>(std::min<std::uint64_t>(params.k, b - 1));
+
+  // Step 1: each member floods its k shortest incident overlay edges.
+  const HopScale base{params.ell, params.eps_inv, g.max_weight()};
+  const std::uint64_t w_bound = scaled_distance_bound(g, base);
+  const std::uint32_t idx_bits = bits_for(b + 1);
+  const std::uint32_t w_bits = bits_for(w_bound + 1);
+
+  std::vector<std::vector<FloodItem>> items(n);
+  for (std::size_t a = 0; a < b; ++a) {
+    std::vector<std::uint32_t> order;
+    for (std::uint32_t c = 0; c < b; ++c) {
+      if (c != a && out.w1[a][c] < kInfDist) order.push_back(c);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return std::pair(out.w1[a][x], x) <
+                       std::pair(out.w1[a][y], y);
+              });
+    if (order.size() > kk) order.resize(kk);
+    for (const std::uint32_t c : order) {
+      FloodItem item;
+      item.push(a, idx_bits).push(c, idx_bits).push(out.w1[a][c], w_bits);
+      items[sources[a]].push_back(std::move(item));
+    }
+  }
+  auto flood = congest::flood_items(g, std::move(items), config);
+  accumulate(out.stats, flood.stats);
+
+  // Every node now holds the same star union H; reconstruct it from the
+  // flood output of node 0 (tests assert all nodes agree).
+  std::vector<std::vector<Dist>> h(b, std::vector<Dist>(b, kInfDist));
+  for (const FloodItem& item : flood.items_at[0]) {
+    const auto a = static_cast<std::size_t>(item.field(0));
+    const auto c = static_cast<std::size_t>(item.field(1));
+    const Dist w = item.field(2);
+    QC_CHECK(a < b && c < b && a != c, "malformed overlay edge item");
+    h[a][c] = std::min(h[a][c], w);
+    h[c][a] = std::min(h[c][a], w);
+  }
+
+  // Observation 3.12: N^k and the shortcut distances are computed
+  // locally from H (identically at every node).
+  out.nearest_k.assign(b, {});
+  out.w2 = out.w1;
+  for (std::size_t a = 0; a < b; ++a) {
+    const auto dh = dijkstra_matrix(h, static_cast<std::uint32_t>(a));
+    std::vector<std::uint32_t> order(b);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return std::pair(dh[x], x) < std::pair(dh[y], y);
+              });
+    for (const std::uint32_t c : order) {
+      if (c == a || dh[c] >= kInfDist) continue;
+      if (out.nearest_k[a].size() == kk) break;
+      out.nearest_k[a].push_back(c);
+      out.w2[a][c] = std::min(out.w2[a][c], dh[c]);
+      out.w2[c][a] = std::min(out.w2[c][a], dh[c]);
+    }
+  }
+
+  // Disseminate max w″ (for Algorithm 5's scale count) by a global
+  // aggregate; partial values are bounded by w_bound.
+  std::vector<std::uint64_t> inputs(n, 0);
+  for (std::size_t a = 0; a < b; ++a) {
+    std::uint64_t row_max = 0;
+    for (std::size_t c = 0; c < b; ++c) {
+      if (c != a && out.w2[a][c] < kInfDist) {
+        row_max = std::max(row_max, out.w2[a][c]);
+      }
+    }
+    inputs[sources[a]] = std::max(inputs[sources[a]], row_max);
+  }
+  auto agg = congest::global_aggregate(g, 0, inputs, congest::AggregateOp::kMax,
+                                       w_bits, config);
+  accumulate(out.stats, agg.stats);
+  out.max_w2 = std::max<std::uint64_t>(1, agg.value);
+  return out;
+}
+
+OverlaySsspResult distributed_overlay_sssp(const WeightedGraph& g,
+                                           const OverlayEmbedding& overlay,
+                                           const Params& params,
+                                           std::uint32_t source_idx,
+                                           Config config) {
+  const std::size_t b = overlay.sources.size();
+  QC_REQUIRE(source_idx < b, "overlay source out of range");
+  const NodeId n = g.node_count();
+
+  const HopScale hs{params.overlay_ell(b), params.eps_inv, overlay.max_w2};
+  const Dist cap = hs.rounded_cap();
+  const std::uint32_t scales = hs.scale_count();
+  const std::uint32_t idx_bits = bits_for(b + 1);
+  const std::uint32_t d_bits = bits_for(cap + 2);
+
+  OverlaySsspResult out;
+  out.approx.assign(b, kInfDist);
+
+  // Conceptually, cur[a] lives at node overlay.sources[a]; relaxations
+  // use only a's own w″ row plus globally flooded announcements, so the
+  // dataflow matches the real distributed execution exactly.
+  std::vector<Dist> cur(b, kInfDist);
+  for (std::uint32_t j = 0; j < scales; ++j) {
+    std::fill(cur.begin(), cur.end(), kInfDist);
+    cur[source_idx] = 0;
+    std::vector<bool> announced(b, false);
+    for (Dist offset = 0; offset <= cap; ++offset) {
+      // Overlay round: collect due announcements.
+      std::vector<std::pair<std::uint32_t, Dist>> due;
+      for (std::uint32_t a = 0; a < b; ++a) {
+        if (!announced[a] && cur[a] == offset) {
+          announced[a] = true;
+          due.emplace_back(a, cur[a]);
+        }
+      }
+      // "Count a and make every node know a in O(D_G) rounds."
+      std::vector<std::uint64_t> counts(n, 0);
+      for (const auto& [a, d] : due) counts[overlay.sources[a]] += 1;
+      auto agg = congest::global_aggregate(
+          g, 0, counts, congest::AggregateOp::kSum, idx_bits, config);
+      accumulate(out.stats, agg.stats);
+      QC_CHECK(agg.value == due.size(), "announcement count mismatch");
+      if (due.empty()) continue;
+
+      // Broadcast the announcements to all nodes (O(D_G + a) rounds).
+      std::vector<std::vector<FloodItem>> items(n);
+      for (const auto& [a, d] : due) {
+        FloodItem item;
+        item.push(a, idx_bits).push(d, d_bits);
+        items[overlay.sources[a]].push_back(std::move(item));
+      }
+      accumulate(out.stats,
+                 congest::flood_items(g, std::move(items), config).stats);
+
+      // Every node records the announcement; overlay members relax
+      // their own state with their private w″ row.
+      for (const auto& [a, d] : due) {
+        const Dist shifted = d << j;
+        QC_CHECK((shifted >> j) == d && shifted < kInfDist,
+                 "scaled distance overflow");
+        out.approx[a] = std::min(out.approx[a], shifted);
+        for (std::uint32_t c = 0; c < b; ++c) {
+          if (c == a || overlay.w2[c][a] >= kInfDist) continue;
+          const Dist via =
+              dist_add(d, hs.rounded_weight(overlay.w2[c][a], j));
+          cur[c] = std::min(cur[c], via);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qc::paths

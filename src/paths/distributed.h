@@ -1,0 +1,115 @@
+// Distributed (CONGEST) implementations of Nanongkai's toolkit —
+// Algorithms 1–5 of the paper's Appendix A.
+//
+// Each algorithm runs genuinely on the simulator: message-level, with
+// the per-edge bandwidth cap enforced. The returned values are exact
+// integers in the same fixed-point units as the centralized reference
+// (reference.h); tests assert bit-exact agreement.
+//
+// Composition style: Algorithms 4 and 5 are *phase orchestrations* —
+// sequences of engine runs (floods, aggregates, multiplexed SSSPs) whose
+// round counts are summed. Phase boundaries are deterministic given
+// values every node knows (fixed scale schedules; the per-round
+// announcement count a that Algorithm 5 explicitly disseminates), so the
+// free end-of-run detection of the engine does not hide real rounds
+// beyond constants.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "paths/params.h"
+#include "util/rng.h"
+
+namespace qc::paths {
+
+/// Thrown when a randomized algorithm hits its (low-probability) failure
+/// event — e.g. Algorithm 3's per-window message budget overflows.
+/// Wrappers catch it and retry with fresh randomness, counting the
+/// wasted rounds.
+class AlgorithmFailure : public std::runtime_error {
+ public:
+  explicit AlgorithmFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Algorithm 2: Bounded-Distance SSSP. Every node learns
+/// d_{G,f(w)}(s, ·) when it is <= cap (else kInfDist), in cap+2 rounds.
+/// `weight_of(w)` transforms the stored edge weight (identity for plain
+/// runs, Lemma 3.2 rounding for Algorithm 1's scales).
+struct BoundedDistanceResult {
+  congest::RunStats stats;
+  std::vector<Dist> dist;  ///< dist[v], capped
+};
+BoundedDistanceResult distributed_bounded_distance_sssp(
+    const WeightedGraph& g, NodeId source, Dist cap,
+    const std::function<std::uint64_t(Weight)>& weight_of,
+    congest::Config config = {});
+
+/// Algorithm 1: Bounded-Hop SSSP. Every node learns d̃^ℓ(s, ·) in
+/// σ(scale)-scaled units, in scale_count · (cap+2) rounds.
+struct BoundedHopResult {
+  congest::RunStats stats;
+  std::vector<Dist> approx;  ///< d̃^ℓ(s, v), σ units
+};
+BoundedHopResult distributed_bounded_hop_sssp(const WeightedGraph& g,
+                                              NodeId source,
+                                              const HopScale& scale,
+                                              congest::Config config = {});
+
+/// Algorithm 3: Bounded-Hop Multi-Source Shortest Paths via random
+/// delays. Every node v learns d̃^ℓ(s, v) for every s in `sources`.
+/// Retries internally on the algorithm's failure event (new delays),
+/// summing rounds across attempts.
+struct MultiSourceResult {
+  congest::RunStats stats;
+  std::uint32_t attempts = 1;
+  /// approx[a][v] = d̃^ℓ(sources[a], v), σ units.
+  std::vector<std::vector<Dist>> approx;
+};
+MultiSourceResult distributed_multi_source_bhs(const WeightedGraph& g,
+                                               const std::vector<NodeId>& sources,
+                                               const HopScale& scale,
+                                               Rng& rng,
+                                               congest::Config config = {});
+
+/// Algorithm 4: embedding the k-shortcut overlay network (G″_S, w″_S).
+/// Inputs are Algorithm 3's outputs. On return, member a's row of w″ is
+/// what node sources[a] knows locally in the real execution; H (the
+/// union of flooded k-shortest stars) and N^k are known to every node.
+struct OverlayEmbedding {
+  congest::RunStats stats;
+  std::vector<NodeId> sources;
+  /// w1[a][c] = w′({a,c}) = d̃^ℓ, σ units (known to endpoints).
+  std::vector<std::vector<Dist>> w1;
+  /// nearest_k[a]: indices of a's k nearest overlay nodes (all nodes
+  /// can compute this from the flood — Observation 3.12).
+  std::vector<std::vector<std::uint32_t>> nearest_k;
+  /// w2[a][c] = w″({a,c}), σ units (member a knows its row).
+  std::vector<std::vector<Dist>> w2;
+  /// max over w2 entries — disseminated to everyone (needed for the
+  /// scale count of Algorithm 5); computed by a global aggregate.
+  std::uint64_t max_w2 = 1;
+};
+OverlayEmbedding distributed_embed_overlay(
+    const WeightedGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<std::vector<Dist>>& approx_rows, const Params& params,
+    congest::Config config = {});
+
+/// Algorithm 5: SSSP on the overlay network, simulated on G. Every node
+/// learns d̃^{ℓ″}_{G″,w″}(source, u) for every overlay node u, in σ·σ″
+/// units.
+struct OverlaySsspResult {
+  congest::RunStats stats;
+  std::vector<Dist> approx;  ///< indexed by overlay index, σ·σ″ units
+};
+OverlaySsspResult distributed_overlay_sssp(const WeightedGraph& g,
+                                           const OverlayEmbedding& overlay,
+                                           const Params& params,
+                                           std::uint32_t source_idx,
+                                           congest::Config config = {});
+
+}  // namespace qc::paths

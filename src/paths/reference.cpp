@@ -1,0 +1,308 @@
+#include "paths/reference.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/algorithms.h"
+
+namespace qc::paths {
+
+namespace {
+
+/// Multi-source variant: one reweighted graph per scale, shared across
+/// sources. Returns rows indexed like `sources`.
+std::vector<std::vector<Dist>> approx_bounded_hop_multi(
+    const WeightedGraph& g, const std::vector<NodeId>& sources,
+    const HopScale& scale) {
+  const NodeId n = g.node_count();
+  std::vector<std::vector<Dist>> best(sources.size(),
+                                      std::vector<Dist>(n, kInfDist));
+  const std::uint32_t scales = scale.scale_count();
+  const Dist cap = scale.rounded_cap();
+  for (std::uint32_t i = 0; i < scales; ++i) {
+    const WeightedGraph gi = g.reweighted(
+        [&](Weight w) { return scale.rounded_weight(w, i); });
+    for (std::size_t a = 0; a < sources.size(); ++a) {
+      const auto di = dijkstra(gi, sources[a]);
+      for (NodeId v = 0; v < n; ++v) {
+        if (di[v] <= cap) {
+          const Dist shifted = di[v] << i;
+          QC_CHECK((shifted >> i) == di[v] && shifted < kInfDist,
+                   "scaled distance overflow");
+          best[a][v] = std::min(best[a][v], shifted);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Dist> approx_bounded_hop_from(const WeightedGraph& g, NodeId s,
+                                          const HopScale& scale) {
+  return approx_bounded_hop_multi(g, {s}, scale).front();
+}
+
+std::vector<Dist> dijkstra_matrix(const std::vector<std::vector<Dist>>& w,
+                                  std::uint32_t s) {
+  const std::size_t n = w.size();
+  QC_REQUIRE(s < n, "matrix Dijkstra source out of range");
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<bool> fixed(n, false);
+  dist[s] = 0;
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    std::size_t u = n;
+    Dist du = kInfDist;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!fixed[v] && dist[v] < du) {
+        du = dist[v];
+        u = v;
+      }
+    }
+    if (u == n) break;
+    fixed[u] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u || w[u][v] >= kInfDist) continue;
+      const Dist nd = dist_add(du, w[u][v]);
+      if (nd < dist[v]) dist[v] = nd;
+    }
+  }
+  return dist;
+}
+
+Dist hop_diameter_matrix(const std::vector<std::vector<Dist>>& w) {
+  const std::size_t n = w.size();
+  Dist h = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    // Lexicographic Dijkstra on (weight, hops).
+    std::vector<Dist> dist(n, kInfDist);
+    std::vector<Dist> hops(n, kInfDist);
+    std::vector<bool> fixed(n, false);
+    dist[s] = 0;
+    hops[s] = 0;
+    for (std::size_t iter = 0; iter < n; ++iter) {
+      std::size_t u = n;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (fixed[v] || dist[v] >= kInfDist) continue;
+        if (u == n || std::pair(dist[v], hops[v]) < std::pair(dist[u], hops[u])) {
+          u = v;
+        }
+      }
+      if (u == n) break;
+      fixed[u] = true;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == u || w[u][v] >= kInfDist) continue;
+        const Dist nd = dist_add(dist[u], w[u][v]);
+        const Dist nh = hops[u] + 1;
+        if (nd < dist[v] || (nd == dist[v] && nh < hops[v])) {
+          dist[v] = nd;
+          hops[v] = nh;
+        }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (hops[v] < kInfDist) h = std::max(h, hops[v]);
+    }
+  }
+  return h;
+}
+
+std::vector<std::vector<Dist>> approx_bounded_hop_matrix(
+    const std::vector<std::vector<Dist>>& w, const HopScale& scale) {
+  const std::size_t n = w.size();
+  std::vector<std::vector<Dist>> best(n, std::vector<Dist>(n, kInfDist));
+  const std::uint32_t scales = scale.scale_count();
+  const Dist cap = scale.rounded_cap();
+  std::vector<std::vector<Dist>> wi(n, std::vector<Dist>(n, kInfDist));
+  for (std::uint32_t i = 0; i < scales; ++i) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        wi[a][b] = (a != b && w[a][b] < kInfDist)
+                       ? scale.rounded_weight(w[a][b], i)
+                       : kInfDist;
+      }
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      const auto di = dijkstra_matrix(wi, static_cast<std::uint32_t>(a));
+      for (std::size_t b = 0; b < n; ++b) {
+        if (di[b] <= cap) {
+          const Dist shifted = di[b] << i;
+          QC_CHECK((shifted >> i) == di[b] && shifted < kInfDist,
+                   "scaled distance overflow");
+          best[a][b] = std::min(best[a][b], shifted);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Dist Skeleton::approx_distance(std::uint32_t s_idx, NodeId v) const {
+  QC_REQUIRE(s_idx < size(), "skeleton source index out of range");
+  const std::uint64_t sigma2 = overlay_scale.sigma();
+  Dist best = kInfDist;
+  for (std::uint32_t u = 0; u < size(); ++u) {
+    const Dist through = dist_add(
+        overlay_approx[s_idx][u],
+        approx_hop[u][v] >= kInfDist ? kInfDist : approx_hop[u][v] * sigma2);
+    best = std::min(best, through);
+  }
+  return best;
+}
+
+Dist Skeleton::approx_eccentricity(std::uint32_t s_idx) const {
+  Dist ecc = 0;
+  const NodeId n = params.n;
+  for (NodeId v = 0; v < n; ++v) {
+    ecc = std::max(ecc, approx_distance(s_idx, v));
+  }
+  return ecc;
+}
+
+namespace {
+
+/// Shared tail of skeleton construction once the first-level rows are
+/// known (used by both build_skeleton and ToolkitCache::skeleton).
+Skeleton skeleton_from_rows(const WeightedGraph& g, const Params& params,
+                            std::vector<NodeId> sorted_set,
+                            std::vector<std::vector<Dist>> approx_hop) {
+  Skeleton sk;
+  sk.params = params;
+  sk.members = std::move(sorted_set);
+  const std::size_t b = sk.members.size();
+
+  sk.base_scale = HopScale{params.ell, params.eps_inv, g.max_weight()};
+  sk.approx_hop = std::move(approx_hop);
+
+  // Overlay G'_S: complete graph, w'({u,v}) = d̃^ℓ(u,v). d̃^ℓ is symmetric
+  // in exact arithmetic; enforce defensively by taking the min of the
+  // two directed evaluations.
+  sk.overlay_w1.assign(b, std::vector<Dist>(b, kInfDist));
+  for (std::size_t a = 0; a < b; ++a) {
+    for (std::size_t c = 0; c < b; ++c) {
+      if (a != c) sk.overlay_w1[a][c] = sk.approx_hop[a][sk.members[c]];
+    }
+  }
+  for (std::size_t a = 0; a < b; ++a) {
+    for (std::size_t c = a + 1; c < b; ++c) {
+      const Dist m = std::min(sk.overlay_w1[a][c], sk.overlay_w1[c][a]);
+      sk.overlay_w1[a][c] = sk.overlay_w1[c][a] = m;
+    }
+  }
+
+  // Exact full-metric distances on the overlay (kept for validating
+  // Observation 3.12; the construction below uses the H-based procedure
+  // the distributed Algorithm 4 runs).
+  sk.overlay_dist1.reserve(b);
+  for (std::size_t a = 0; a < b; ++a) {
+    sk.overlay_dist1.push_back(
+        dijkstra_matrix(sk.overlay_w1, static_cast<std::uint32_t>(a)));
+  }
+
+  // --- Algorithm 4 / Observation 3.12 construction ---
+  // Each member a contributes its k shortest incident overlay edges
+  // (ties by neighbour index); H is the union of those stars. Distances
+  // in H from a to its k nearest overlay nodes equal the true overlay
+  // distances (Observation 3.12 in [21]).
+  const std::size_t kk = static_cast<std::size_t>(
+      std::min<std::uint64_t>(params.k, b > 0 ? b - 1 : 0));
+  std::vector<std::vector<Dist>> h(b, std::vector<Dist>(b, kInfDist));
+  for (std::size_t a = 0; a < b; ++a) {
+    std::vector<std::uint32_t> order;
+    for (std::uint32_t c = 0; c < b; ++c) {
+      if (c != a && sk.overlay_w1[a][c] < kInfDist) order.push_back(c);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return std::pair(sk.overlay_w1[a][x], x) <
+                       std::pair(sk.overlay_w1[a][y], y);
+              });
+    if (order.size() > kk) order.resize(kk);
+    for (const std::uint32_t c : order) {
+      h[a][c] = h[c][a] = sk.overlay_w1[a][c];
+    }
+  }
+
+  // N^k and shortcut weights from H.
+  sk.nearest_k.assign(b, {});
+  sk.overlay_w2 = sk.overlay_w1;
+  for (std::size_t a = 0; a < b; ++a) {
+    const auto dh = dijkstra_matrix(h, static_cast<std::uint32_t>(a));
+    std::vector<std::uint32_t> order(b);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return std::pair(dh[x], x) < std::pair(dh[y], y);
+              });
+    for (const std::uint32_t c : order) {
+      if (c == a || dh[c] >= kInfDist) continue;
+      if (sk.nearest_k[a].size() == kk) break;
+      sk.nearest_k[a].push_back(c);
+      sk.overlay_w2[a][c] = std::min(sk.overlay_w2[a][c], dh[c]);
+      sk.overlay_w2[c][a] = std::min(sk.overlay_w2[c][a], dh[c]);
+    }
+  }
+
+  // Lemma 3.2 on the overlay with hop bound ℓ'' = 4|S|/k.
+  std::uint64_t max_w2 = 1;
+  for (std::size_t a = 0; a < b; ++a) {
+    for (std::size_t c = 0; c < b; ++c) {
+      if (a != c && sk.overlay_w2[a][c] < kInfDist) {
+        max_w2 = std::max(max_w2, sk.overlay_w2[a][c]);
+      }
+    }
+  }
+  sk.overlay_scale = HopScale{params.overlay_ell(b), params.eps_inv, max_w2};
+  sk.overlay_approx =
+      approx_bounded_hop_matrix(sk.overlay_w2, sk.overlay_scale);
+  return sk;
+}
+
+std::vector<NodeId> checked_sorted_set(const WeightedGraph& g,
+                                       std::vector<NodeId> set) {
+  QC_REQUIRE(!set.empty(), "skeleton set must be non-empty");
+  std::sort(set.begin(), set.end());
+  QC_REQUIRE(std::adjacent_find(set.begin(), set.end()) == set.end(),
+             "skeleton set has duplicates");
+  QC_REQUIRE(set.back() < g.node_count(), "skeleton member out of range");
+  return set;
+}
+
+}  // namespace
+
+Skeleton build_skeleton(const WeightedGraph& g, const Params& params,
+                        std::vector<NodeId> set) {
+  auto sorted = checked_sorted_set(g, std::move(set));
+  const HopScale base{params.ell, params.eps_inv, g.max_weight()};
+  auto rows = approx_bounded_hop_multi(g, sorted, base);
+  return skeleton_from_rows(g, params, std::move(sorted), std::move(rows));
+}
+
+ToolkitCache::ToolkitCache(const WeightedGraph& g, const Params& params)
+    : g_(&g),
+      params_(params),
+      base_scale_{params.ell, params.eps_inv, g.max_weight()},
+      rows_(g.node_count()),
+      has_row_(g.node_count(), false) {}
+
+const std::vector<Dist>& ToolkitCache::approx_row(NodeId u) {
+  QC_REQUIRE(u < g_->node_count(), "node out of range");
+  if (!has_row_[u]) {
+    rows_[u] = approx_bounded_hop_from(*g_, u, base_scale_);
+    has_row_[u] = true;
+  }
+  return rows_[u];
+}
+
+Skeleton ToolkitCache::skeleton(std::vector<NodeId> set) {
+  auto sorted = checked_sorted_set(*g_, std::move(set));
+  std::vector<std::vector<Dist>> rows;
+  rows.reserve(sorted.size());
+  for (const NodeId u : sorted) rows.push_back(approx_row(u));
+  return skeleton_from_rows(*g_, params_, std::move(sorted),
+                            std::move(rows));
+}
+
+}  // namespace qc::paths

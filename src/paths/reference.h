@@ -1,0 +1,113 @@
+// Centralized reference implementation of Nanongkai's toolkit quantities
+// (Lemma 3.2 and Lemma 3.3 of the paper).
+//
+// Everything is computed in exact fixed-point integer units (see
+// params.h): first-level approximate distances d̃^ℓ carry a factor
+// σ = 2·ℓ·eps_inv; second-level (overlay) approximate distances carry
+// σ·σ″ with σ″ = 2·ℓ″·eps_inv. The distributed implementations in
+// distributed.h compute the same integers via CONGEST messages; tests
+// assert bit-exact agreement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "paths/params.h"
+#include "util/mathx.h"
+
+namespace qc::paths {
+
+/// d̃^ℓ_{G,w}(s, ·) in σ-scaled units (Lemma 3.2):
+///   min_i { d_{G,w_i}(s,v) · 2^i  :  d_{G,w_i}(s,v) <= (1+2/ε)·ℓ }
+/// kInfDist where no scale is eligible.
+std::vector<Dist> approx_bounded_hop_from(const WeightedGraph& g, NodeId s,
+                                          const HopScale& scale);
+
+/// Lemma 3.2 on an abstract complete-ish graph given as a distance
+/// matrix `w` (kInfDist entries = no edge). Returns the full matrix of
+/// approximate ℓ-hop distances, in σ(scale)-scaled units *relative to
+/// the units of `w`*.
+std::vector<std::vector<Dist>> approx_bounded_hop_matrix(
+    const std::vector<std::vector<Dist>>& w, const HopScale& scale);
+
+/// Exact Dijkstra on a dense matrix graph (kInfDist = no edge).
+std::vector<Dist> dijkstra_matrix(const std::vector<std::vector<Dist>>& w,
+                                  std::uint32_t s);
+
+/// Hop diameter of a dense matrix graph under its weights: the maximum,
+/// over connected pairs, of the minimum edge count among weight-shortest
+/// paths. Used to check the k-shortcut property (Theorem 3.10 of [21])
+/// that Lemma 3.3's proof relies on: H_{G″,w″} < 4·|S|/k.
+Dist hop_diameter_matrix(const std::vector<std::vector<Dist>>& w);
+
+/// All skeleton structures of Lemma 3.3 for one vertex set S.
+struct Skeleton {
+  Params params;
+  std::vector<NodeId> members;  ///< S, sorted ascending
+
+  HopScale base_scale;     ///< Lemma 3.2 scale on G (units: w)
+  HopScale overlay_scale;  ///< Lemma 3.2 scale on G″ (units: σ·w)
+
+  /// approx_hop[a][v] = d̃^ℓ_{G,w}(S[a], v), σ units.
+  std::vector<std::vector<Dist>> approx_hop;
+  /// overlay_w1[a][b] = w′_S({S[a],S[b]}) = d̃^ℓ(S[a],S[b]), σ units.
+  std::vector<std::vector<Dist>> overlay_w1;
+  /// overlay_dist1[a][b] = d_{G′_S,w′_S}(S[a],S[b]), σ units.
+  std::vector<std::vector<Dist>> overlay_dist1;
+  /// nearest_k[a] = indices (into members) of the k closest other
+  /// members of a on (G′_S, w′_S), ties broken by index.
+  std::vector<std::vector<std::uint32_t>> nearest_k;
+  /// overlay_w2[a][b] = w″_S({S[a],S[b]}), σ units.
+  std::vector<std::vector<Dist>> overlay_w2;
+  /// overlay_approx[a][b] = d̃^{ℓ″}_{G″,w″}(S[a],S[b]), σ·σ″ units.
+  std::vector<std::vector<Dist>> overlay_approx;
+
+  std::size_t size() const { return members.size(); }
+
+  /// σ·σ″ — the fixed-point scale of approx_distance values.
+  std::uint64_t total_scale() const {
+    return base_scale.sigma() * overlay_scale.sigma();
+  }
+
+  /// d̃_{G,w,S}(S[s_idx], v) in σ·σ″ units (Lemma 3.3):
+  ///   min_u { d̃″(s,u) + σ″ · d̃^ℓ(u,v) }.
+  Dist approx_distance(std::uint32_t s_idx, NodeId v) const;
+
+  /// ẽ_{G,w,S}(S[s_idx]) = max_v d̃_{G,w,S}(S[s_idx], v), σ·σ″ units.
+  Dist approx_eccentricity(std::uint32_t s_idx) const;
+};
+
+/// Builds every Lemma 3.3 structure for the set S (must be non-empty,
+/// sorted or not — it is sorted internally).
+Skeleton build_skeleton(const WeightedGraph& g, const Params& params,
+                        std::vector<NodeId> set);
+
+/// Shared backend for building many skeletons on the same (G, w, Params):
+/// the first-level rows d̃^ℓ(u, ·) depend only on the member u (ℓ and ε
+/// are global), so they are computed once per distinct member across all
+/// sets. Used by the Theorem 1.1 driver, which needs n skeletons.
+class ToolkitCache {
+ public:
+  ToolkitCache(const WeightedGraph& g, const Params& params);
+
+  const WeightedGraph& graph() const { return *g_; }
+  const Params& params() const { return params_; }
+  const HopScale& base_scale() const { return base_scale_; }
+
+  /// d̃^ℓ(u, ·) in σ units; computed on first use, then cached.
+  const std::vector<Dist>& approx_row(NodeId u);
+
+  /// Same construction as build_skeleton but reading first-level rows
+  /// from the cache.
+  Skeleton skeleton(std::vector<NodeId> set);
+
+ private:
+  const WeightedGraph* g_;
+  Params params_;
+  HopScale base_scale_;
+  std::vector<std::vector<Dist>> rows_;   // indexed by node; empty = unset
+  std::vector<bool> has_row_;
+};
+
+}  // namespace qc::paths

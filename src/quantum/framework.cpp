@@ -1,0 +1,49 @@
+#include "quantum/framework.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace qc::quantum {
+
+namespace {
+
+OptimizationResult run(const OptimizationProblem& problem, bool negate,
+                       Rng& rng) {
+  QC_REQUIRE(problem.values.size() == problem.weights.size(),
+             "values/weights size mismatch");
+  QC_REQUIRE(!problem.values.empty(), "empty search domain");
+
+  std::vector<std::int64_t> values = problem.values;
+  if (negate) {
+    for (std::int64_t& v : values) v = -v;
+  }
+
+  const std::uint64_t budget = lemma31_budget(problem.rho, problem.delta);
+  const MaxFindResult found =
+      quantum_max_find(values, problem.weights, budget, rng);
+
+  OptimizationResult out;
+  out.index = found.index;
+  out.value = negate ? -found.value : found.value;
+  out.oracle_calls = found.oracle_calls;
+  out.budget_calls = budget;
+  out.rounds = problem.t0_rounds +
+               found.oracle_calls *
+                   (problem.t_setup_rounds + problem.t_eval_rounds);
+  return out;
+}
+
+}  // namespace
+
+OptimizationResult framework_maximize(const OptimizationProblem& problem,
+                                      Rng& rng) {
+  return run(problem, false, rng);
+}
+
+OptimizationResult framework_minimize(const OptimizationProblem& problem,
+                                      Rng& rng) {
+  return run(problem, true, rng);
+}
+
+}  // namespace qc::quantum

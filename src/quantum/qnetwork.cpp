@@ -1,0 +1,159 @@
+#include "quantum/qnetwork.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qc::quantum {
+
+QuantumNetwork::QuantumNetwork(WeightedGraph topology,
+                               std::uint32_t qubit_count,
+                               std::uint32_t qubit_bandwidth)
+    : topology_(std::move(topology)),
+      qubit_bandwidth_(qubit_bandwidth),
+      state_(qubit_count),
+      owner_(qubit_count, 0) {
+  QC_REQUIRE(topology_.node_count() >= 1, "network needs nodes");
+  QC_REQUIRE(qubit_bandwidth >= 1, "qubit bandwidth must be >= 1");
+}
+
+NodeId QuantumNetwork::owner(std::uint32_t qubit) const {
+  QC_REQUIRE(qubit < qubit_count(), "qubit out of range");
+  return owner_[qubit];
+}
+
+void QuantumNetwork::place(std::uint32_t qubit, NodeId node) {
+  QC_REQUIRE(qubit < qubit_count(), "qubit out of range");
+  QC_REQUIRE(node < topology_.node_count(), "node out of range");
+  QC_REQUIRE(!started_, "placement only before the first round");
+  owner_[qubit] = node;
+}
+
+void QuantumNetwork::check_owner(NodeId node, std::uint32_t q) const {
+  QC_REQUIRE(q < qubit_count(), "qubit out of range");
+  if (owner_[q] != node) {
+    throw ModelError("node " + std::to_string(node) +
+                     " operated on qubit " + std::to_string(q) +
+                     " owned by node " + std::to_string(owner_[q]));
+  }
+}
+
+void QuantumNetwork::h(NodeId node, std::uint32_t q) {
+  check_owner(node, q);
+  state_.h(q);
+}
+
+void QuantumNetwork::x(NodeId node, std::uint32_t q) {
+  check_owner(node, q);
+  state_.x(q);
+}
+
+void QuantumNetwork::z(NodeId node, std::uint32_t q) {
+  check_owner(node, q);
+  state_.z(q);
+}
+
+void QuantumNetwork::cnot(NodeId node, std::uint32_t control,
+                          std::uint32_t target) {
+  check_owner(node, control);
+  check_owner(node, target);
+  state_.cnot(control, target);
+}
+
+void QuantumNetwork::cz(NodeId node, std::uint32_t control,
+                        std::uint32_t target) {
+  check_owner(node, control);
+  check_owner(node, target);
+  state_.cz(control, target);
+}
+
+bool QuantumNetwork::measure(NodeId node, std::uint32_t q, Rng& rng) {
+  check_owner(node, q);
+  const bool outcome = rng.uniform() < state_.marginal_one(q);
+  state_.collapse(q, outcome);
+  return outcome;
+}
+
+void QuantumNetwork::send_qubit(NodeId from, NodeId to, std::uint32_t q) {
+  started_ = true;
+  check_owner(from, q);
+  if (to >= topology_.node_count() || !topology_.has_edge(from, to)) {
+    throw ModelError("qubit sent to non-neighbour");
+  }
+  std::uint32_t on_edge = 0;
+  for (const Transfer& t : pending_) {
+    if (t.from == from && t.to == to) ++on_edge;
+    QC_REQUIRE(t.qubit != q, "qubit already in flight this round");
+  }
+  if (on_edge >= qubit_bandwidth_) {
+    throw ModelError("qubit bandwidth exceeded on edge " +
+                     std::to_string(from) + "->" + std::to_string(to));
+  }
+  pending_.push_back(Transfer{from, to, q});
+}
+
+void QuantumNetwork::end_round() {
+  started_ = true;
+  for (const Transfer& t : pending_) owner_[t.qubit] = t.to;
+  pending_.clear();
+  ++rounds_;
+}
+
+std::uint64_t cnot_broadcast(QuantumNetwork& net,
+                             const std::vector<NodeId>& parent,
+                             const std::vector<Dist>& depth) {
+  const std::size_t n = parent.size();
+  QC_REQUIRE(depth.size() == n, "parent/depth size mismatch");
+  QC_REQUIRE(net.qubit_count() >= n, "need one qubit per node");
+
+  // Placement: node v's share starts at its parent (the leader's at the
+  // leader), so the entangling CNOT is always local.
+  net.place(0, 0);
+  for (std::uint32_t v = 1; v < n; ++v) {
+    net.place(v, parent[v]);
+  }
+
+  // The leader prepares its share in (|0> + |1>)/sqrt(2).
+  net.h(0, 0);
+
+  const Dist max_depth = *std::max_element(depth.begin(), depth.end());
+  for (Dist r = 0; r < max_depth; ++r) {
+    for (std::uint32_t v = 1; v < n; ++v) {
+      if (depth[v] != r + 1) continue;
+      const NodeId p = parent[v];
+      // The parent's own share is qubit p; it arrived in an earlier
+      // round (or is the leader's original).
+      net.cnot(p, static_cast<std::uint32_t>(p), v);
+      net.send_qubit(p, static_cast<NodeId>(v), v);
+    }
+    net.end_round();
+  }
+  return net.rounds();
+}
+
+void share_bell_pair(QuantumNetwork& net, NodeId from, NodeId to,
+                     std::uint32_t epr_local, std::uint32_t epr_remote) {
+  net.h(from, epr_local);
+  net.cnot(from, epr_local, epr_remote);
+  net.send_qubit(from, to, epr_remote);
+  net.end_round();
+}
+
+TeleportResult teleport(QuantumNetwork& net, NodeId from, NodeId to,
+                        std::uint32_t payload, std::uint32_t epr_local,
+                        std::uint32_t epr_remote, Rng& rng) {
+  QC_REQUIRE(net.owner(epr_remote) == to, "epr_remote must sit at `to`");
+  // Bell measurement at the sender.
+  net.cnot(from, payload, epr_local);
+  net.h(from, payload);
+  TeleportResult out;
+  out.m1 = net.measure(from, payload, rng);
+  out.m2 = net.measure(from, epr_local, rng);
+  // Two classical bits cross the edge (one CONGEST round), then the
+  // receiver applies the Pauli corrections.
+  net.end_round();
+  if (out.m2) net.x(to, epr_remote);
+  if (out.m1) net.z(to, epr_remote);
+  return out;
+}
+
+}  // namespace qc::quantum

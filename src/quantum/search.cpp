@@ -1,0 +1,159 @@
+#include "quantum/search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace qc::quantum {
+
+namespace {
+
+/// Normalizes weights and computes the marked mass.
+struct Split {
+  std::vector<double> w;  ///< normalized
+  double good_mass = 0.0;
+};
+
+Split split_weights(const std::vector<double>& weights,
+                    const std::function<bool(std::size_t)>& marked) {
+  QC_REQUIRE(!weights.empty(), "search needs a non-empty domain");
+  double total = 0;
+  for (const double w : weights) {
+    QC_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  QC_REQUIRE(total > 0.0, "weights must have positive sum");
+  Split s;
+  s.w.reserve(weights.size());
+  for (std::size_t x = 0; x < weights.size(); ++x) {
+    s.w.push_back(weights[x] / total);
+    if (marked(x)) s.good_mass += s.w.back();
+  }
+  return s;
+}
+
+/// Samples from w restricted to {x : marked(x) == want}, conditioned
+/// mass `mass` (> 0).
+std::size_t sample_class(const std::vector<double>& w,
+                         const std::function<bool(std::size_t)>& marked,
+                         bool want, double mass, Rng& rng) {
+  double u = rng.uniform() * mass;
+  std::size_t last = 0;
+  bool seen = false;
+  for (std::size_t x = 0; x < w.size(); ++x) {
+    if (marked(x) != want) continue;
+    last = x;
+    seen = true;
+    if (u < w[x]) return x;
+    u -= w[x];
+  }
+  QC_CHECK(seen, "sample_class: empty class");
+  return last;  // numerical slack
+}
+
+}  // namespace
+
+SearchOutcome amplified_measure(const std::vector<double>& weights,
+                                const std::function<bool(std::size_t)>& marked,
+                                std::uint64_t iterations, Rng& rng) {
+  const Split s = split_weights(weights, marked);
+  SearchOutcome out;
+  out.oracle_calls = iterations + 1;  // iterations plus final verification
+
+  if (s.good_mass <= 0.0) {
+    out.found = false;
+    out.index = sample_class(s.w, marked, false, 1.0, rng);
+    return out;
+  }
+  if (s.good_mass >= 1.0) {
+    out.found = true;
+    out.index = sample_class(s.w, marked, true, 1.0, rng);
+    return out;
+  }
+
+  const double theta = std::asin(std::sqrt(s.good_mass));
+  const double sin_t =
+      std::sin((2.0 * static_cast<double>(iterations) + 1.0) * theta);
+  const double p_good = sin_t * sin_t;
+
+  out.found = rng.chance(p_good);
+  out.index = out.found
+                  ? sample_class(s.w, marked, true, s.good_mass, rng)
+                  : sample_class(s.w, marked, false, 1.0 - s.good_mass, rng);
+  return out;
+}
+
+SearchOutcome bbht_search(const std::vector<double>& weights,
+                          const std::function<bool(std::size_t)>& marked,
+                          std::uint64_t max_oracle_calls, Rng& rng) {
+  // Cap the iteration scale at the point where even the least likely
+  // single element would be fully amplified.
+  double min_pos = 1.0;
+  double total = 0;
+  for (const double w : weights) {
+    total += w;
+    if (w > 0) min_pos = std::min(min_pos, w);
+  }
+  QC_REQUIRE(total > 0.0, "weights must have positive sum");
+  const double m_cap_d = std::ceil(std::sqrt(total / min_pos)) + 1.0;
+  const auto m_cap = static_cast<std::uint64_t>(m_cap_d);
+
+  SearchOutcome out;
+  double m = 1.0;
+  const double lambda = 6.0 / 5.0;  // BBHT's growth factor
+  while (out.oracle_calls < max_oracle_calls) {
+    const auto m_now =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(m), m_cap);
+    const std::uint64_t j = rng.below(m_now);  // uniform in [0, m)
+    SearchOutcome attempt = amplified_measure(weights, marked, j, rng);
+    out.oracle_calls += attempt.oracle_calls;
+    out.index = attempt.index;
+    if (attempt.found) {
+      out.found = true;
+      return out;
+    }
+    m = std::min(m * lambda, m_cap_d);
+  }
+  out.found = false;
+  return out;
+}
+
+std::uint64_t lemma31_budget(double rho, double delta) {
+  QC_REQUIRE(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
+  QC_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  const double c = 9.0;
+  return static_cast<std::uint64_t>(
+      std::ceil(c * std::sqrt(std::log(1.0 / delta) / rho)));
+}
+
+MaxFindResult quantum_max_find(const std::vector<std::int64_t>& values,
+                               const std::vector<double>& weights,
+                               std::uint64_t max_oracle_calls, Rng& rng) {
+  QC_REQUIRE(values.size() == weights.size(),
+             "values/weights size mismatch");
+  const Split s = split_weights(weights, [](std::size_t) { return false; });
+
+  MaxFindResult best;
+  // Initial threshold: measure the Setup state once (one oracle call).
+  best.index = sample_class(s.w, [](std::size_t) { return false; }, false,
+                            1.0, rng);
+  best.value = values[best.index];
+  best.oracle_calls = 1;
+
+  // Dürr–Høyer: repeatedly amplify {x : f(x) > best} until the budget
+  // runs out or no better element is found.
+  while (best.oracle_calls < max_oracle_calls) {
+    const std::int64_t threshold = best.value;
+    auto better = [&](std::size_t x) { return values[x] > threshold; };
+    const SearchOutcome found = bbht_search(
+        weights, better, max_oracle_calls - best.oracle_calls, rng);
+    best.oracle_calls += found.oracle_calls;
+    if (!found.found) break;
+    best.index = found.index;
+    best.value = values[found.index];
+  }
+  return best;
+}
+
+}  // namespace qc::quantum

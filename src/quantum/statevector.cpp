@@ -1,0 +1,158 @@
+#include "quantum/statevector.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace qc::quantum {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+}
+
+StateVector::StateVector(std::uint32_t qubit_count) : qubits_(qubit_count) {
+  QC_REQUIRE(qubit_count >= 1 && qubit_count <= 24,
+             "state vector supports 1..24 qubits");
+  amps_.assign(std::size_t{1} << qubit_count, Amplitude{0.0, 0.0});
+  amps_[0] = Amplitude{1.0, 0.0};
+}
+
+void StateVector::set_state(std::vector<Amplitude> v) {
+  QC_REQUIRE(v.size() == amps_.size(), "state dimension mismatch");
+  double n = 0;
+  for (const Amplitude& a : v) n += std::norm(a);
+  QC_REQUIRE(std::abs(n - 1.0) < 1e-9, "state must be normalized");
+  amps_ = std::move(v);
+}
+
+void StateVector::h(std::uint32_t q) {
+  QC_REQUIRE(q < qubits_, "qubit index out of range");
+  const std::size_t bit = std::size_t{1} << q;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) continue;
+    const Amplitude a0 = amps_[i];
+    const Amplitude a1 = amps_[i | bit];
+    amps_[i] = (a0 + a1) * kInvSqrt2;
+    amps_[i | bit] = (a0 - a1) * kInvSqrt2;
+  }
+}
+
+void StateVector::x(std::uint32_t q) {
+  QC_REQUIRE(q < qubits_, "qubit index out of range");
+  const std::size_t bit = std::size_t{1} << q;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (!(i & bit)) std::swap(amps_[i], amps_[i | bit]);
+  }
+}
+
+void StateVector::z(std::uint32_t q) {
+  QC_REQUIRE(q < qubits_, "qubit index out of range");
+  const std::size_t bit = std::size_t{1} << q;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::cnot(std::uint32_t control, std::uint32_t target) {
+  QC_REQUIRE(control < qubits_ && target < qubits_ && control != target,
+             "bad control/target");
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & cbit) && !(i & tbit)) std::swap(amps_[i], amps_[i | tbit]);
+  }
+}
+
+void StateVector::cz(std::uint32_t control, std::uint32_t target) {
+  QC_REQUIRE(control < qubits_ && target < qubits_ && control != target,
+             "bad control/target");
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & cbit) && (i & tbit)) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::oracle(const std::function<bool(std::uint64_t)>& marked) {
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (marked(i)) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::diffusion() {
+  // 2|s⟩⟨s| − I: reflect every amplitude about the mean.
+  Amplitude mean{0.0, 0.0};
+  for (const Amplitude& a : amps_) mean += a;
+  mean /= static_cast<double>(amps_.size());
+  for (Amplitude& a : amps_) a = 2.0 * mean - a;
+}
+
+double StateVector::probability(std::uint64_t x) const {
+  QC_REQUIRE(x < amps_.size(), "basis state out of range");
+  return std::norm(amps_[x]);
+}
+
+std::uint64_t StateVector::sample(Rng& rng) const {
+  double u = rng.uniform();
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const double p = std::norm(amps_[i]);
+    if (u < p) return i;
+    u -= p;
+  }
+  return amps_.size() - 1;  // numerical slack lands on the last state
+}
+
+double StateVector::marginal_one(std::uint32_t q) const {
+  QC_REQUIRE(q < qubits_, "qubit index out of range");
+  const std::size_t bit = std::size_t{1} << q;
+  double p = 0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+void StateVector::collapse(std::uint32_t q, bool outcome) {
+  QC_REQUIRE(q < qubits_, "qubit index out of range");
+  const std::size_t bit = std::size_t{1} << q;
+  const double p = outcome ? marginal_one(q) : 1.0 - marginal_one(q);
+  QC_REQUIRE(p > 1e-12, "collapse onto a zero-probability outcome");
+  const double scale = 1.0 / std::sqrt(p);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (((i & bit) != 0) == outcome) {
+      amps_[i] *= scale;
+    } else {
+      amps_[i] = Amplitude{0.0, 0.0};
+    }
+  }
+}
+
+double StateVector::norm() const {
+  double n = 0;
+  for (const Amplitude& a : amps_) n += std::norm(a);
+  return n;
+}
+
+StateVector grover_run(std::uint32_t qubit_count,
+                       const std::function<bool(std::uint64_t)>& marked,
+                       std::uint64_t iterations) {
+  StateVector sv(qubit_count);
+  for (std::uint32_t q = 0; q < qubit_count; ++q) sv.h(q);
+  for (std::uint64_t t = 0; t < iterations; ++t) {
+    sv.oracle(marked);
+    sv.diffusion();
+  }
+  return sv;
+}
+
+double grover_success_probability(std::size_t n_states, std::size_t n_marked,
+                                  std::uint64_t iterations) {
+  QC_REQUIRE(n_marked <= n_states && n_states > 0, "bad Grover instance");
+  if (n_marked == 0) return 0.0;
+  const double theta = std::asin(std::sqrt(static_cast<double>(n_marked) /
+                                           static_cast<double>(n_states)));
+  const double s = std::sin((2.0 * static_cast<double>(iterations) + 1.0) *
+                            theta);
+  return s * s;
+}
+
+}  // namespace qc::quantum

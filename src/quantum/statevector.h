@@ -1,0 +1,88 @@
+// Dense state-vector quantum simulator.
+//
+// Small (≤ ~20 qubits) but exact: used to validate the closed-form
+// amplitude-level search engine (search.h) on instances where full
+// simulation is feasible, and by the examples to demonstrate Grover
+// search from first principles. The CONGEST algorithms never need more
+// than this — see DESIGN.md substitution S1.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace qc::quantum {
+
+using Amplitude = std::complex<double>;
+
+/// A register of `qubit_count` qubits in a pure state, initialized to
+/// |0...0⟩. Qubit 0 is the least significant bit of the basis index.
+class StateVector {
+ public:
+  explicit StateVector(std::uint32_t qubit_count);
+
+  std::uint32_t qubit_count() const { return qubits_; }
+  std::size_t dimension() const { return amps_.size(); }
+
+  const std::vector<Amplitude>& amplitudes() const { return amps_; }
+
+  /// Sets an arbitrary (normalized) state. Throws unless |v| = dim and
+  /// the norm is 1 within 1e-9.
+  void set_state(std::vector<Amplitude> v);
+
+  // --- single-qubit gates ---
+  void h(std::uint32_t q);  ///< Hadamard
+  void x(std::uint32_t q);  ///< Pauli-X
+  void z(std::uint32_t q);  ///< Pauli-Z
+
+  // --- two-qubit gates ---
+  void cnot(std::uint32_t control, std::uint32_t target);
+  void cz(std::uint32_t control, std::uint32_t target);
+
+  /// Phase oracle: negates the amplitude of every basis state x with
+  /// marked(x) == true. This is the standard Grover oracle.
+  void oracle(const std::function<bool(std::uint64_t)>& marked);
+
+  /// Grover diffusion operator 2|s⟩⟨s| − I over all qubits
+  /// (inversion about the uniform superposition).
+  void diffusion();
+
+  /// Probability of measuring basis state x.
+  double probability(std::uint64_t x) const;
+
+  /// Samples a basis state from the measurement distribution (does not
+  /// collapse; callers re-prepare as needed).
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Probability that measuring qubit q yields 1.
+  double marginal_one(std::uint32_t q) const;
+
+  /// Projects onto qubit q = outcome and renormalizes (a measurement's
+  /// state update). Throws if the outcome has zero probability.
+  void collapse(std::uint32_t q, bool outcome);
+
+  /// Σ|amp|² — should be 1; exposed for tests.
+  double norm() const;
+
+ private:
+  std::uint32_t qubits_;
+  std::vector<Amplitude> amps_;
+};
+
+/// Runs textbook Grover search on `qubit_count` qubits with the given
+/// marked predicate for `iterations` rounds (oracle + diffusion) from
+/// the uniform superposition. Returns the final state.
+StateVector grover_run(std::uint32_t qubit_count,
+                       const std::function<bool(std::uint64_t)>& marked,
+                       std::uint64_t iterations);
+
+/// Closed-form Grover success probability sin²((2t+1)·θ) with
+/// θ = asin(√(m/N)) — what grover_run must reproduce exactly.
+double grover_success_probability(std::size_t n_states, std::size_t n_marked,
+                                  std::uint64_t iterations);
+
+}  // namespace qc::quantum

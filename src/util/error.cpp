@@ -1,0 +1,27 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace qc::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": `" << expr << "` failed at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void raise_invariant(const char* expr, const char* file, int line,
+                     const std::string& msg) {
+  throw InvariantError(format("invariant", expr, file, line, msg));
+}
+
+void raise_argument(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw ArgumentError(format("precondition", expr, file, line, msg));
+}
+
+}  // namespace qc::detail

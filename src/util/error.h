@@ -1,0 +1,58 @@
+// Error handling for qcongest.
+//
+// The library signals contract violations with exceptions (CppCoreGuidelines
+// I.10): `InvariantError` for internal invariant breakage, `ModelError` for
+// violations of the CONGEST model itself (e.g. a node trying to push more
+// than B bits over an edge in one round). Benchmarks and tests rely on
+// ModelError being thrown to prove the simulator enforces the model.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qc {
+
+/// Thrown when an internal invariant of the library is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an algorithm violates the CONGEST model's rules
+/// (bandwidth overflow, messaging a non-neighbour, acting after halt, ...).
+class ModelError : public std::logic_error {
+ public:
+  explicit ModelError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a caller passes arguments outside a function's domain.
+class ArgumentError : public std::invalid_argument {
+ public:
+  explicit ArgumentError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+[[noreturn]] void raise_argument(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace qc
+
+/// Check an internal invariant; throws qc::InvariantError when false.
+#define QC_CHECK(expr, msg)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::qc::detail::raise_invariant(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                    \
+  } while (false)
+
+/// Check a caller-facing precondition; throws qc::ArgumentError when false.
+#define QC_REQUIRE(expr, msg)                                            \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::qc::detail::raise_argument(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,50 @@
+#include "util/mathx.h"
+
+#include <cmath>
+
+namespace qc {
+
+std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  // Correct for floating point error in either direction.
+  while (r > 0 && r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+std::uint64_t csqrt(std::uint64_t x) {
+  const std::uint64_t r = isqrt(x);
+  return r * r == x ? r : r + 1;
+}
+
+std::pair<double, double> fit_power_law(const std::vector<double>& xs,
+                                        const std::vector<double>& ys) {
+  QC_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+             "fit_power_law needs >= 2 equal-length samples");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    QC_REQUIRE(xs[i] > 0 && ys[i] > 0, "fit_power_law needs positive samples");
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  QC_REQUIRE(std::abs(denom) > 1e-12, "fit_power_law: degenerate x samples");
+  const double e = (n * sxy - sx * sy) / denom;
+  const double logc = (sy - e * sx) / n;
+  return {e, std::exp(logc)};
+}
+
+double pow1p(double eps, int k) {
+  double r = 1.0;
+  const double b = 1.0 + eps;
+  for (int i = 0; i < k; ++i) r *= b;
+  return r;
+}
+
+}  // namespace qc

@@ -1,0 +1,72 @@
+// Small integer/real math helpers shared across the library.
+//
+// Distances are `std::uint64_t` with an explicit `kInfDist` sentinel; all
+// helpers here are careful never to overflow when combining finite
+// distances with the sentinel.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace qc {
+
+/// Distance value type used throughout the library (weights are positive
+/// integers per the paper, w : E -> N+).
+using Dist = std::uint64_t;
+
+/// "Unreachable" sentinel. Chosen so that kInfDist + (any realistic weight
+/// sum) does not wrap: realistic sums are < 2^56 in our experiments.
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max() / 4;
+
+/// Saturating addition that preserves the infinity sentinel.
+constexpr Dist dist_add(Dist a, Dist b) {
+  if (a >= kInfDist || b >= kInfDist) return kInfDist;
+  const Dist s = a + b;
+  return s >= kInfDist ? kInfDist : s;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t ilog2(std::uint64_t x) {
+  std::uint32_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr std::uint32_t clog2(std::uint64_t x) {
+  return x <= 1 ? 0 : ilog2(x - 1) + 1;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Integer square root: floor(sqrt(x)).
+std::uint64_t isqrt(std::uint64_t x);
+
+/// ceil(sqrt(x)).
+std::uint64_t csqrt(std::uint64_t x);
+
+/// Number of bits needed to encode a value in [0, n-1] (at least 1).
+constexpr std::uint32_t bits_for(std::uint64_t n) {
+  return n <= 2 ? 1 : clog2(n);
+}
+
+/// Least-squares fit of y = c * x^e on log-log scale. Returns {e, c}.
+/// Used by benchmarks to report measured scaling exponents.
+/// Requires all samples positive.
+std::pair<double, double> fit_power_law(const std::vector<double>& xs,
+                                        const std::vector<double>& ys);
+
+/// (1 + eps)^k computed in double precision.
+double pow1p(double eps, int k);
+
+}  // namespace qc

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in qcongest flows through `Rng` so that a fixed seed
+// reproduces an identical execution — identical sampled vertex sets,
+// identical random delays in Algorithm 3, identical quantum measurement
+// outcomes. The generator is xoshiro256** seeded via splitmix64, both
+// public-domain constructions by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace qc {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  // std::uniform_random_bit_generator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (rejection sampling).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Samples each index in [0, n) independently with probability p.
+  std::vector<std::uint32_t> sample_indices(std::uint32_t n, double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace qc

@@ -1,0 +1,55 @@
+// ASCII table rendering for benchmark and example output.
+//
+// The paper's evaluation artifacts are tables (Table 1, Table 2) and graph
+// constructions; `TextTable` renders aligned monospace tables that the
+// bench binaries print, mirroring the paper's rows.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qc {
+
+/// Column-aligned monospace table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_string-like semantics.
+  template <typename... Cells>
+  void add(Cells&&... cells) {
+    add_row({cell_to_string(std::forward<Cells>(cells))...});
+  }
+
+  /// Renders with `|` separators and a rule under the header.
+  std::string render() const;
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(bool b) { return b ? "yes" : "no"; }
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.4g", static_cast<double>(v));
+      return buf;
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qc

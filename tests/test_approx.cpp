@@ -1,0 +1,242 @@
+// Tests for the additional approximation baselines (core/approx.h):
+// distributed weighted SSSP, the folklore 2-approximation, pipelined
+// multi-source BFS, and the 3/2-approximation of the unweighted
+// diameter — plus the ε-override knob on Theorem 1.1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/approx.h"
+#include "core/theorem11.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace qc::core {
+namespace {
+
+WeightedGraph wgraph(std::uint64_t seed, NodeId n, Weight w) {
+  Rng rng(seed);
+  auto g = gen::erdos_renyi_connected(n, 0.12, rng);
+  return gen::randomize_weights(g, w, rng);
+}
+
+// ---------------------------------------------------------------------
+// Weighted SSSP
+// ---------------------------------------------------------------------
+
+class WeightedSsspTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedSsspTest, MatchesDijkstraBitExact) {
+  const auto g = wgraph(GetParam(), 24, 9);
+  for (NodeId s : {NodeId{0}, NodeId{11}, NodeId{23}}) {
+    const auto res = distributed_weighted_sssp(g, s);
+    EXPECT_EQ(res.dist, dijkstra(g, s)) << "source " << s;
+  }
+}
+
+TEST_P(WeightedSsspTest, RoundsTrackWeightedEccentricity) {
+  const auto g = wgraph(GetParam() + 50, 20, 7);
+  const auto res = distributed_weighted_sssp(g, 0);
+  const auto exact = dijkstra(g, 0);
+  const Dist ecc = *std::max_element(exact.begin(), exact.end());
+  EXPECT_GE(res.stats.rounds, ecc);
+  EXPECT_LE(res.stats.rounds, ecc + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedSsspTest,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(WeightedSssp, PathWithHeavyEdges) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 7);
+  const auto res = distributed_weighted_sssp(g, 0);
+  EXPECT_EQ(res.dist, (std::vector<Dist>{0, 5, 6, 13}));
+  EXPECT_LE(res.stats.rounds, 16u);
+}
+
+// ---------------------------------------------------------------------
+// Weighted APSP + classical weighted extremum baselines
+// ---------------------------------------------------------------------
+
+class WeightedApspTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedApspTest, MatchesDijkstraForAllPairs) {
+  const auto g = wgraph(GetParam() + 400, 18, 6);
+  const auto res = distributed_weighted_apsp(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto ref = dijkstra(g, s);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(res.dist[v][s], ref[v]) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST_P(WeightedApspTest, RoundsNearLinearForSmallWeights) {
+  const auto g = wgraph(GetParam() + 500, 24, 4);
+  const auto res = distributed_weighted_apsp(g);
+  const auto ecc = eccentricities(g);
+  const Dist max_ecc = *std::max_element(ecc.begin(), ecc.end());
+  // Token walk ~3n + weighted wave tail + queue drain slack.
+  EXPECT_LE(res.stats.rounds, 8u * g.node_count() + 6 * max_ecc + 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedApspTest,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(ClassicalWeighted, DiameterAndRadiusExact) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto g = wgraph(seed + 600, 20, 7);
+    EXPECT_EQ(classical_weighted_diameter(g).value, weighted_diameter(g));
+    EXPECT_EQ(classical_weighted_radius(g).value, weighted_radius(g));
+  }
+}
+
+TEST(ClassicalWeighted, HeavyEdgeGraph) {
+  WeightedGraph g(5);
+  g.add_edge(0, 1, 100);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 0, 1);
+  EXPECT_EQ(classical_weighted_diameter(g).value, weighted_diameter(g));
+}
+
+// ---------------------------------------------------------------------
+// 2-approximation
+// ---------------------------------------------------------------------
+
+class TwoApproxTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoApproxTest, BoundsSandwichDiameterAndRadius) {
+  const auto g = wgraph(GetParam() + 100, 22, 8);
+  const auto res = two_approx_weighted_diameter(g);
+  const Dist d = weighted_diameter(g);
+  const Dist r = weighted_radius(g);
+  EXPECT_GE(res.ecc_leader, r);           // any ecc >= radius
+  EXPECT_LE(res.ecc_leader, d);           // any ecc <= diameter
+  EXPECT_GE(res.upper_bound, d);          // 2*ecc >= diameter
+  EXPECT_LE(res.upper_bound, 2 * d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoApproxTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// Multi-source BFS
+// ---------------------------------------------------------------------
+
+class MultiBfsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiBfsTest, MatchesBfsOnAllTopologies) {
+  Rng rng(200 + GetParam());
+  WeightedGraph g = GetParam() % 3 == 0   ? gen::path(22)
+                    : GetParam() % 3 == 1 ? gen::grid(5, 5)
+                                          : gen::erdos_renyi_connected(
+                                                28, 0.12, rng);
+  const std::vector<NodeId> sources{0, 3, 7,
+                                    static_cast<NodeId>(g.node_count() - 1)};
+  Rng delays(GetParam());
+  const auto res = distributed_multi_source_bfs(g, sources, delays);
+  for (std::size_t a = 0; a < sources.size(); ++a) {
+    EXPECT_EQ(res.dist[a], bfs_distances(g, sources[a])) << "a=" << a;
+  }
+  EXPECT_LE(res.attempts, 3u);
+}
+
+TEST_P(MultiBfsTest, RoundsScaleAsSourcesPlusDiameter) {
+  Rng rng(300 + GetParam());
+  const auto g = gen::erdos_renyi_connected(32, 0.15, rng);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < 8; ++v) sources.push_back(v * 4);
+  Rng delays(GetParam() + 9);
+  const auto res = distributed_multi_source_bfs(g, sources, delays);
+  const Dist d = unweighted_diameter(g);
+  const std::uint32_t slots = clog2(32);
+  // (b*slots delays + 2D cap + overheads) * slots + preamble.
+  EXPECT_LE(res.stats.rounds,
+            res.attempts * slots * (8 * slots + 2 * d + 4) + 20 * d + 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, MultiBfsTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------
+// 3/2-approximation
+// ---------------------------------------------------------------------
+
+struct ThreeHalvesCase {
+  int topology;
+  std::uint64_t seed;
+};
+
+class ThreeHalvesTest : public ::testing::TestWithParam<ThreeHalvesCase> {};
+
+TEST_P(ThreeHalvesTest, EstimateWithinWindow) {
+  const auto c = GetParam();
+  Rng rng(c.seed);
+  WeightedGraph g = c.topology == 0   ? gen::path(40)
+                    : c.topology == 1 ? gen::grid(6, 7)
+                    : c.topology == 2 ? gen::path_of_cliques(8, 4)
+                                      : gen::erdos_renyi_connected(
+                                            40, 0.1, rng);
+  const auto res = three_halves_unweighted_diameter(g, c.seed);
+  EXPECT_LE(res.estimate, res.exact);
+  EXPECT_GE(res.estimate, res.exact * 2 / 3)
+      << "estimate " << res.estimate << " exact " << res.exact;
+  EXPECT_EQ(res.exact, unweighted_diameter(g));
+  EXPECT_GE(res.sample_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ThreeHalvesTest,
+    ::testing::Values(ThreeHalvesCase{0, 1}, ThreeHalvesCase{0, 2},
+                      ThreeHalvesCase{1, 3}, ThreeHalvesCase{1, 4},
+                      ThreeHalvesCase{2, 5}, ThreeHalvesCase{2, 6},
+                      ThreeHalvesCase{3, 7}, ThreeHalvesCase{3, 8}));
+
+TEST(ThreeHalves, SubLinearRoundsOnLowDiameterGraphs) {
+  Rng rng(9);
+  const auto g = gen::erdos_renyi_connected(64, 0.12, rng);
+  const auto res = three_halves_unweighted_diameter(g, 3);
+  // Õ(sqrt(n) + D): generous polylog allowance, but strictly below the
+  // Θ(n)-ish cost of exact APSP at this size would be ~6n.
+  const Dist d = unweighted_diameter(g);
+  const double budget =
+      (std::sqrt(64.0) * clog2(64) + 2.0 * d) * clog2(64) * 8;
+  EXPECT_LE(static_cast<double>(res.stats.rounds), budget);
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1.1 ε override
+// ---------------------------------------------------------------------
+
+TEST(Theorem11Eps, TighterEpsilonTightensBoundAndCostsMore) {
+  Rng rng(4);
+  auto g = gen::erdos_renyi_connected(28, 0.15, rng);
+  g = gen::randomize_weights(g, 6, rng);
+
+  Theorem11Options loose;
+  loose.seed = 11;
+  loose.eps_inv = 2;  // eps = 1/2
+  const auto a = quantum_weighted_diameter(g, loose);
+
+  Theorem11Options tight = loose;
+  tight.eps_inv = 12;  // eps = 1/12
+  const auto b = quantum_weighted_diameter(g, tight);
+
+  EXPECT_NEAR(a.epsilon, 0.5, 1e-12);
+  EXPECT_NEAR(b.epsilon, 1.0 / 12, 1e-12);
+  EXPECT_TRUE(a.within_bound);
+  EXPECT_TRUE(b.within_bound);
+  // The tighter run must charge more rounds (longer caps, more scales).
+  EXPECT_GT(b.rounds, a.rounds);
+  // And its realized ratio bound is tighter.
+  EXPECT_LT((1 + b.epsilon) * (1 + b.epsilon),
+            (1 + a.epsilon) * (1 + a.epsilon));
+}
+
+}  // namespace
+}  // namespace qc::core

@@ -1,0 +1,383 @@
+// Tests for the CONGEST engine: model enforcement (bandwidth, topology,
+// halting), ledger accounting, and the distributed primitives against
+// their centralized references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace qc::congest {
+namespace {
+
+TEST(Message, FieldAccounting) {
+  Message m;
+  m.push(5, 3).push(1, 1).push(1023, 10);
+  EXPECT_EQ(m.field_count(), 3u);
+  EXPECT_EQ(m.field(0), 5u);
+  EXPECT_EQ(m.field(2), 1023u);
+  EXPECT_EQ(m.field_width(2), 10u);
+  EXPECT_EQ(m.bit_size(), 14u);
+}
+
+TEST(Message, RejectsOversizedValue) {
+  Message m;
+  EXPECT_THROW(m.push(8, 3), ArgumentError);   // 8 needs 4 bits
+  EXPECT_THROW(m.push(0, 0), ArgumentError);   // zero width
+  EXPECT_THROW(m.push(0, 65), ArgumentError);  // too wide
+}
+
+TEST(DefaultBandwidth, ScalesWithLogN) {
+  EXPECT_EQ(default_bandwidth(2), kBandwidthLogFactor * 1);
+  EXPECT_EQ(default_bandwidth(1024), kBandwidthLogFactor * 10);
+  EXPECT_EQ(default_bandwidth(1025), kBandwidthLogFactor * 11);
+}
+
+// A program that sends one configurable message to a fixed target each
+// round for a fixed number of rounds.
+class SpamProgram final : public NodeProgram {
+ public:
+  SpamProgram(NodeId from, NodeId to, std::uint32_t bits_per_msg,
+              std::uint32_t msgs_per_round, std::uint64_t rounds)
+      : from_(from), to_(to), bits_(bits_per_msg), count_(msgs_per_round),
+        rounds_(rounds) {}
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    received_ += inbox.size();
+    if (ctx.id() == from_ && round_ < rounds_) {
+      for (std::uint32_t i = 0; i < count_; ++i) {
+        Message m;
+        m.push(1, bits_);
+        ctx.send(to_, m);
+      }
+    }
+    ++round_;
+  }
+  bool done() const override { return round_ >= rounds_ + 1; }
+
+  std::size_t received() const { return received_; }
+
+ private:
+  NodeId from_, to_;
+  std::uint32_t bits_, count_;
+  std::uint64_t rounds_, round_ = 0;
+  std::size_t received_ = 0;
+};
+
+TEST(Simulator, DeliversMessagesNextRound) {
+  const auto g = gen::path(3);
+  auto run = run_on_all<SpamProgram>(g, [&](NodeId) {
+    return std::make_unique<SpamProgram>(0, 1, 4, 1, 3);
+  });
+  EXPECT_EQ(run.at(1).received(), 3u);
+  EXPECT_EQ(run.at(2).received(), 0u);
+  EXPECT_EQ(run.stats.messages, 3u);
+  EXPECT_EQ(run.stats.bits, 12u);
+}
+
+TEST(Simulator, EnforcesBandwidth) {
+  const auto g = gen::path(4);  // B = 8 * 2 = 16 bits
+  const std::uint32_t b = default_bandwidth(4);
+  // Two messages of just over half the bandwidth each must overflow.
+  EXPECT_THROW(
+      (run_on_all<SpamProgram>(g,
+                               [&](NodeId) {
+                                 return std::make_unique<SpamProgram>(
+                                     0, 1, b / 2 + 1, 2, 1);
+                               })),
+      ModelError);
+}
+
+TEST(Simulator, AllowsExactlyBandwidth) {
+  const auto g = gen::path(4);
+  const std::uint32_t b = default_bandwidth(4);
+  auto run = run_on_all<SpamProgram>(g, [&](NodeId) {
+    return std::make_unique<SpamProgram>(0, 1, b, 1, 2);
+  });
+  EXPECT_EQ(run.at(1).received(), 2u);
+}
+
+TEST(Simulator, RejectsNonNeighborSend) {
+  const auto g = gen::path(4);
+  EXPECT_THROW(
+      (run_on_all<SpamProgram>(g,
+                               [&](NodeId) {
+                                 return std::make_unique<SpamProgram>(
+                                     0, 3, 4, 1, 1);
+                               })),
+      ModelError);
+}
+
+TEST(Simulator, CustomBandwidthOverride) {
+  const auto g = gen::path(4);
+  Config cfg;
+  cfg.bandwidth_bits = 2;
+  EXPECT_THROW(
+      (run_on_all<SpamProgram>(
+          g,
+          [&](NodeId) { return std::make_unique<SpamProgram>(0, 1, 3, 1, 1); },
+          cfg)),
+      ModelError);
+}
+
+class NeverDoneProgram final : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx, std::span<const Incoming>) override {
+    Message m;
+    m.push(1, 1);
+    ctx.broadcast(m);  // keep traffic alive forever
+  }
+  bool done() const override { return false; }
+};
+
+TEST(Simulator, MaxRoundsGuardsNonTermination) {
+  const auto g = gen::path(3);
+  Config cfg;
+  cfg.max_rounds = 50;
+  EXPECT_THROW((run_on_all<NeverDoneProgram>(
+                   g, [&](NodeId) { return std::make_unique<NeverDoneProgram>(); },
+                   cfg)),
+               ModelError);
+}
+
+class IdleProgram final : public NodeProgram {
+ public:
+  void on_round(NodeContext&, std::span<const Incoming>) override {}
+  bool done() const override { return true; }
+};
+
+TEST(Simulator, ImmediateHaltWhenAllDone) {
+  const auto g = gen::path(3);
+  auto run = run_on_all<IdleProgram>(
+      g, [&](NodeId) { return std::make_unique<IdleProgram>(); });
+  EXPECT_EQ(run.stats.rounds, 0u);
+  EXPECT_EQ(run.stats.messages, 0u);
+}
+
+TEST(Simulator, NodeRngIsDeterministicAcrossRuns) {
+  class RngProgram final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx, std::span<const Incoming>) override {
+      value_ = ctx.rng().next();
+      finished_ = true;
+    }
+    bool done() const override { return finished_; }
+    std::uint64_t value() const { return value_; }
+
+   private:
+    bool finished_ = false;
+    std::uint64_t value_ = 0;
+  };
+  const auto g = gen::path(3);
+  auto r1 = run_on_all<RngProgram>(
+      g, [&](NodeId) { return std::make_unique<RngProgram>(); });
+  auto r2 = run_on_all<RngProgram>(
+      g, [&](NodeId) { return std::make_unique<RngProgram>(); });
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(r1.at(v).value(), r2.at(v).value());
+  }
+  EXPECT_NE(r1.at(0).value(), r1.at(1).value());
+}
+
+TEST(Simulator, TraceRecordsEveryMessage) {
+  const auto g = gen::path(4);
+  Config cfg;
+  cfg.record_trace = true;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (NodeId v = 0; v < 4; ++v) {
+    programs.push_back(std::make_unique<SpamProgram>(0, 1, 4, 1, 3));
+  }
+  Simulator sim(g, cfg);
+  const auto stats = sim.run(programs);
+  EXPECT_EQ(sim.trace().size(), stats.messages);
+  std::uint64_t bits = 0;
+  for (const auto& e : sim.trace()) {
+    EXPECT_EQ(e.from, 0u);
+    EXPECT_EQ(e.to, 1u);
+    bits += e.bits;
+  }
+  EXPECT_EQ(bits, stats.bits);
+}
+
+TEST(Simulator, TraceOffByDefault) {
+  const auto g = gen::path(4);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (NodeId v = 0; v < 4; ++v) {
+    programs.push_back(std::make_unique<SpamProgram>(0, 1, 4, 1, 3));
+  }
+  Simulator sim(g, {});
+  sim.run(programs);
+  EXPECT_TRUE(sim.trace().empty());
+}
+
+TEST(Simulator, SeedChangesNodeRngStreams) {
+  class RngOnce final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx, std::span<const Incoming>) override {
+      value_ = ctx.rng().next();
+      finished_ = true;
+    }
+    bool done() const override { return finished_; }
+    std::uint64_t value_ = 0;
+
+   private:
+    bool finished_ = false;
+  };
+  const auto g = gen::path(3);
+  Config c1;
+  c1.seed = 1;
+  Config c2;
+  c2.seed = 2;
+  auto r1 = run_on_all<RngOnce>(
+      g, [&](NodeId) { return std::make_unique<RngOnce>(); }, c1);
+  auto r2 = run_on_all<RngOnce>(
+      g, [&](NodeId) { return std::make_unique<RngOnce>(); }, c2);
+  EXPECT_NE(r1.at(0).value_, r2.at(0).value_);
+}
+
+// ---------------------------------------------------------------------
+// BFS tree
+// ---------------------------------------------------------------------
+
+class BfsTreeParamTest
+    : public ::testing::TestWithParam<std::pair<int, NodeId>> {};
+
+TEST_P(BfsTreeParamTest, DepthsMatchBfsAndTreeIsConsistent) {
+  const auto [kind, root] = GetParam();
+  Rng rng(77);
+  WeightedGraph g = kind == 0   ? gen::path(17)
+                    : kind == 1 ? gen::grid(4, 5)
+                    : kind == 2 ? gen::balanced_binary_tree(21)
+                                : gen::erdos_renyi_connected(25, 0.12, rng);
+  const auto res = build_bfs_tree(g, root);
+  const auto ref = bfs_distances(g, root);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(res.nodes[v].depth, ref[v]) << "node " << v;
+    if (v == root) {
+      EXPECT_EQ(res.nodes[v].parent, kNoParent);
+    } else {
+      const NodeId p = res.nodes[v].parent;
+      ASSERT_NE(p, kNoParent);
+      EXPECT_EQ(res.nodes[p].depth + 1, res.nodes[v].depth);
+      EXPECT_TRUE(g.has_edge(p, v));
+      // v must appear in its parent's child list.
+      const auto& ch = res.nodes[p].children;
+      EXPECT_NE(std::find(ch.begin(), ch.end(), v), ch.end());
+    }
+  }
+  // O(D) rounds.
+  const Dist d = unweighted_diameter(g);
+  EXPECT_LE(res.stats.rounds, 2 * d + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, BfsTreeParamTest,
+    ::testing::Values(std::pair{0, NodeId{0}}, std::pair{0, NodeId{8}},
+                      std::pair{1, NodeId{0}}, std::pair{1, NodeId{19}},
+                      std::pair{2, NodeId{0}}, std::pair{2, NodeId{20}},
+                      std::pair{3, NodeId{0}}, std::pair{3, NodeId{12}}));
+
+// ---------------------------------------------------------------------
+// Global aggregate
+// ---------------------------------------------------------------------
+
+TEST(GlobalAggregate, MinMaxSumOnGrid) {
+  const auto g = gen::grid(4, 4);
+  std::vector<std::uint64_t> inputs(16);
+  for (std::size_t i = 0; i < 16; ++i) inputs[i] = (i * 7 + 3) % 23;
+  const auto mn = global_aggregate(g, 0, inputs, AggregateOp::kMin, 8);
+  const auto mx = global_aggregate(g, 0, inputs, AggregateOp::kMax, 8);
+  const auto sm = global_aggregate(g, 0, inputs, AggregateOp::kSum, 12);
+  EXPECT_EQ(mn.value, *std::min_element(inputs.begin(), inputs.end()));
+  EXPECT_EQ(mx.value, *std::max_element(inputs.begin(), inputs.end()));
+  EXPECT_EQ(sm.value, std::accumulate(inputs.begin(), inputs.end(), 0ull));
+}
+
+TEST(GlobalAggregate, RoundsLinearInDiameter) {
+  const auto g = gen::path(33);
+  std::vector<std::uint64_t> inputs(33, 1);
+  const auto res = global_aggregate(g, 0, inputs, AggregateOp::kSum, 8);
+  EXPECT_EQ(res.value, 33u);
+  const Dist d = unweighted_diameter(g);
+  EXPECT_LE(res.stats.rounds, 3 * d + 8);
+}
+
+TEST(GlobalAggregate, WorksFromNonLeaderRoot) {
+  const auto g = gen::path(9);
+  std::vector<std::uint64_t> inputs(9, 2);
+  const auto res = global_aggregate(g, 4, inputs, AggregateOp::kSum, 8);
+  EXPECT_EQ(res.value, 18u);
+}
+
+// ---------------------------------------------------------------------
+// Pipelined flooding
+// ---------------------------------------------------------------------
+
+FloodItem make_item(std::uint64_t id, std::uint64_t payload) {
+  FloodItem f;
+  f.push(id, 16);
+  f.push(payload, 16);
+  return f;
+}
+
+TEST(Flood, AllItemsReachAllNodes) {
+  const auto g = gen::grid(3, 5);
+  std::vector<std::vector<FloodItem>> initial(15);
+  std::size_t total = 0;
+  for (NodeId v = 0; v < 15; v += 3) {
+    initial[v].push_back(make_item(v, 100 + v));
+    initial[v].push_back(make_item(1000 + v, 200 + v));
+    total += 2;
+  }
+  const auto res = flood_items(g, initial);
+  for (NodeId v = 0; v < 15; ++v) {
+    EXPECT_EQ(res.items_at[v].size(), total);
+    EXPECT_EQ(res.items_at[v], res.items_at[0]);  // identical knowledge
+  }
+}
+
+TEST(Flood, PipelinesWithinDPlusK) {
+  const auto g = gen::path(21);  // D = 20
+  const std::size_t k = 12;
+  std::vector<std::vector<FloodItem>> initial(21);
+  for (std::size_t i = 0; i < k; ++i) {
+    initial[0].push_back(make_item(i, i));
+  }
+  const auto res = flood_items(g, initial);
+  const Dist d = unweighted_diameter(g);
+  EXPECT_LE(res.stats.rounds, d + k + 3);
+  EXPECT_EQ(res.items_at[20].size(), k);
+}
+
+TEST(Flood, NoItemsIsFree) {
+  const auto g = gen::path(5);
+  const auto res = flood_items(g, std::vector<std::vector<FloodItem>>(5));
+  EXPECT_EQ(res.stats.rounds, 0u);
+}
+
+TEST(Flood, RejectsOversizedItems) {
+  const auto g = gen::path(5);
+  std::vector<std::vector<FloodItem>> initial(5);
+  FloodItem big;
+  for (int i = 0; i < 5; ++i) big.push(1, 64);
+  initial[0].push_back(big);
+  EXPECT_THROW(flood_items(g, initial), ArgumentError);
+}
+
+TEST(Flood, DuplicateContentIsDeduplicated) {
+  const auto g = gen::path(9);  // wide enough bandwidth for the items
+  std::vector<std::vector<FloodItem>> initial(9);
+  initial[0].push_back(make_item(1, 1));
+  initial[8].push_back(make_item(1, 1));  // same content elsewhere
+  const auto res = flood_items(g, initial);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(res.items_at[v].size(), 1u);
+}
+
+}  // namespace
+}  // namespace qc::congest

@@ -1,0 +1,103 @@
+// Tests for the Section 3.1 good events and Lemma 3.4 (core/events.h),
+// plus the k-shortcut hop-diameter property (Theorem 3.10 of [21]) that
+// Lemma 3.3's proof uses.
+#include <gtest/gtest.h>
+
+#include "core/events.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "paths/reference.h"
+#include "util/rng.h"
+
+namespace qc::core {
+namespace {
+
+WeightedGraph events_graph(std::uint64_t seed, NodeId n) {
+  Rng rng(seed);
+  auto g = gen::erdos_renyi_connected(n, 0.12, rng);
+  return gen::randomize_weights(g, 8, rng);
+}
+
+class GoodEventsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GoodEventsTest, DiameterEventsHold) {
+  const auto g = events_graph(GetParam(), 40);
+  const auto rep = analyze_good_events(g, GetParam() * 13 + 1, false);
+  // Good-Approximation and the Lemma 3.4 cap are the deterministic
+  // halves at these sizes (ℓ clamps to ~n).
+  EXPECT_TRUE(rep.approximation_ok);
+  EXPECT_TRUE(rep.cap_ok);
+  EXPECT_GE(rep.worst_ecc_ratio, 1.0 - 1e-9);
+  EXPECT_LE(rep.worst_ecc_ratio,
+            (1 + rep.params.epsilon()) * (1 + rep.params.epsilon()) + 1e-9);
+  // The probabilistic halves, with the fixed seeds. Good-Scale is an
+  // asymptotic w.h.p. event: at n = 40 with r ~ 3 a few empty sets are
+  // expected (P(empty) = (1-r/n)^n ~ 4%), so we bound rather than
+  // forbid them.
+  EXPECT_LE(rep.empty_sets, 5u);
+  EXPECT_GE(rep.good_sets, 1u);
+  EXPECT_GE(rep.beta, 1u);
+  // beta concentrates around r = mean set membership per node.
+  EXPECT_LE(rep.beta, 6 * rep.params.r + 6);
+}
+
+TEST_P(GoodEventsTest, RadiusEventsHold) {
+  const auto g = events_graph(GetParam() + 50, 36);
+  const auto rep = analyze_good_events(g, GetParam() * 17 + 3, true);
+  EXPECT_TRUE(rep.approximation_ok);
+  EXPECT_TRUE(rep.cap_ok);  // for the radius: every ẽ >= R
+  EXPECT_GE(rep.good_sets, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoodEventsTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(GoodEvents, MeanSetSizeTracksR) {
+  const auto g = events_graph(9, 64);
+  const auto rep = analyze_good_events(g, 5, false);
+  EXPECT_NEAR(rep.mean_size, static_cast<double>(rep.params.r),
+              0.5 * static_cast<double>(rep.params.r) + 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Theorem 3.10 of [21]: the k-shortcut overlay has hop diameter
+// < 4|S|/k — the fact that justifies Algorithm 5's hop bound ℓ″.
+// ---------------------------------------------------------------------
+
+class ShortcutHopTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShortcutHopTest, ShortcutGraphHasBoundedHopDiameter) {
+  Rng rng(GetParam() * 7 + 2);
+  auto g = gen::erdos_renyi_connected(28, 0.15, rng);
+  g = gen::randomize_weights(g, 7, rng);
+  auto params = paths::Params::make(28, std::max<Dist>(1,
+                                        unweighted_diameter(g)));
+  // Use a larger set than Eq. (1) to make the bound non-trivial.
+  std::vector<NodeId> set;
+  for (NodeId v = 0; v < 28; ++v) {
+    if (rng.chance(0.4)) set.push_back(v);
+  }
+  if (set.size() < 3) set = {0, 5, 9};
+  const auto sk = paths::build_skeleton(g, params, set);
+  const Dist h = paths::hop_diameter_matrix(sk.overlay_w2);
+  EXPECT_LT(h, params.overlay_ell(sk.size()) + 1)
+      << "|S|=" << sk.size() << " k=" << params.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortcutHopTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(HopDiameterMatrix, SmallCases) {
+  // Triangle with a heavy direct edge: the weight-shortest path between
+  // the far pair uses 2 hops.
+  std::vector<std::vector<Dist>> w{
+      {kInfDist, 1, 10}, {1, kInfDist, 1}, {10, 1, kInfDist}};
+  EXPECT_EQ(paths::hop_diameter_matrix(w), 2u);
+  // Complete unit triangle: 1 hop.
+  std::vector<std::vector<Dist>> u{
+      {kInfDist, 1, 1}, {1, kInfDist, 1}, {1, 1, kInfDist}};
+  EXPECT_EQ(paths::hop_diameter_matrix(u), 1u);
+}
+
+}  // namespace
+}  // namespace qc::core

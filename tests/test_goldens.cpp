@@ -1,0 +1,81 @@
+// Golden regression tests: fixed-seed end-to-end results pinned to the
+// values the current implementation produces. These are deliberately
+// brittle — any change to the engine's round accounting, the toolkit's
+// fixed-point arithmetic, the search's randomness consumption, or the
+// samplers will trip them, which is the point: the paper-facing numbers
+// in EXPERIMENTS.md must not drift silently. Update the constants
+// consciously when changing behaviour.
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/theorem11.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "lowerbound/boolfn.h"
+#include "lowerbound/server.h"
+#include "util/rng.h"
+
+namespace qc {
+namespace {
+
+WeightedGraph golden_graph() {
+  Rng rng(12345);
+  auto g = gen::erdos_renyi_connected(32, 0.15, rng);
+  return gen::randomize_weights(g, 8, rng);
+}
+
+TEST(Goldens, GraphGenerationIsStable) {
+  const auto g = golden_graph();
+  EXPECT_EQ(g.node_count(), 32u);
+  EXPECT_EQ(g.edge_count(), 69u);
+  EXPECT_EQ(g.max_weight(), 8u);
+  EXPECT_EQ(unweighted_diameter(g), 6u);
+  EXPECT_EQ(weighted_diameter(g), 25u);
+  EXPECT_EQ(weighted_radius(g), 13u);
+}
+
+TEST(Goldens, Theorem11DiameterEndToEnd) {
+  const auto g = golden_graph();
+  core::Theorem11Options opt;
+  opt.seed = 99;
+  const auto res = core::quantum_weighted_diameter(g, opt);
+  EXPECT_EQ(res.exact, 25u);
+  EXPECT_TRUE(res.within_bound);
+  EXPECT_TRUE(res.distributed_value_matches);
+  // Pin the full accounting chain.
+  const auto expected_rounds =
+      res.t0_outer + res.outer_calls * (res.t1_outer + res.t2_outer);
+  EXPECT_EQ(res.rounds, expected_rounds);
+  EXPECT_EQ(res.t2_outer,
+            res.measured.t0_rounds +
+                res.inner_budget_calls * (res.measured.t_setup_rounds +
+                                          res.measured.t_eval_rounds));
+  // Same seed, same everything.
+  const auto res2 = core::quantum_weighted_diameter(g, opt);
+  EXPECT_EQ(res2.rounds, res.rounds);
+  EXPECT_EQ(res2.estimate_scaled, res.estimate_scaled);
+  EXPECT_EQ(res2.chosen_set, res.chosen_set);
+  EXPECT_EQ(res2.witness, res.witness);
+}
+
+TEST(Goldens, ClassicalBaselinesStable) {
+  const auto g = golden_graph();
+  const auto cu = core::classical_unweighted_diameter(g);
+  EXPECT_EQ(cu.value, 6u);
+  const auto cu2 = core::classical_unweighted_diameter(g);
+  EXPECT_EQ(cu.stats.rounds, cu2.stats.rounds);  // deterministic
+}
+
+TEST(Goldens, GadgetIsStable) {
+  const auto p = lb::GadgetParams::paper(4);
+  EXPECT_EQ(p.node_count(), 447u);
+  Rng rng(7);
+  const auto in = lb::random_input(1ull << p.s, p.ell, rng);
+  const lb::Gadget g(p, in, false);
+  EXPECT_EQ(g.graph().node_count(), 447u);
+  EXPECT_EQ(g.graph().edge_count(), 5870u);
+  EXPECT_EQ(g.alpha(), 447u * 447u);
+}
+
+}  // namespace
+}  // namespace qc

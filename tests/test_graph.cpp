@@ -1,0 +1,381 @@
+// Unit and property tests for src/graph: the graph type, generators,
+// centralized reference algorithms, and the Lemma 4.3 contraction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace qc {
+namespace {
+
+TEST(WeightedGraph, AddAndQueryEdges) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_weight(0, 1), 5u);
+  EXPECT_EQ(g.edge_weight(2, 1), 1u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  g.validate();
+}
+
+TEST(WeightedGraph, RejectsBadEdges) {
+  WeightedGraph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), ArgumentError);       // self loop
+  EXPECT_THROW(g.add_edge(0, 3), ArgumentError);       // out of range
+  EXPECT_THROW(g.add_edge(0, 1, 0), ArgumentError);    // zero weight
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), ArgumentError);       // parallel
+}
+
+TEST(WeightedGraph, SetEdgeWeight) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 4);
+  g.set_edge_weight(1, 0, 9);
+  EXPECT_EQ(g.edge_weight(0, 1), 9u);
+  EXPECT_EQ(g.edges()[0].weight, 9u);
+  EXPECT_THROW(g.set_edge_weight(0, 2, 1), ArgumentError);
+  g.validate();
+}
+
+TEST(WeightedGraph, UnweightedCopyAndReweight) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 7);
+  g.add_edge(1, 2, 3);
+  const auto u = g.unweighted_copy();
+  EXPECT_EQ(u.edge_weight(0, 1), 1u);
+  const auto d = g.reweighted([](Weight w) { return 2 * w; });
+  EXPECT_EQ(d.edge_weight(0, 1), 14u);
+  EXPECT_EQ(g.max_weight(), 7u);
+}
+
+TEST(WeightedGraph, Connectivity) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(WeightedGraph(1).is_connected());
+}
+
+TEST(WeightedGraph, DotExportMentionsWeights) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2, 5);
+  const std::string dot = to_dot(g, "T");
+  EXPECT_NE(dot.find("graph T"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("[label=5]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+TEST(Generators, PathShape) {
+  const auto g = gen::path(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(unweighted_diameter(g), 4u);
+}
+
+TEST(Generators, CycleShape) {
+  const auto g = gen::cycle(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(unweighted_diameter(g), 3u);
+}
+
+TEST(Generators, StarShape) {
+  const auto g = gen::star(9);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_EQ(unweighted_diameter(g), 2u);
+}
+
+TEST(Generators, CompleteShape) {
+  const auto g = gen::complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(unweighted_diameter(g), 1u);
+}
+
+TEST(Generators, BalancedTreeShape) {
+  const auto g = gen::balanced_binary_tree(15);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(unweighted_diameter(g), 6u);  // leaf-to-leaf via root
+}
+
+TEST(Generators, GridShape) {
+  const auto g = gen::grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3u + 2u * 4u);
+  EXPECT_EQ(unweighted_diameter(g), 5u);
+}
+
+TEST(Generators, PathOfCliques) {
+  const auto g = gen::path_of_cliques(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_TRUE(g.is_connected());
+  // Diameter is about one hop per clique plus bridges.
+  EXPECT_GE(unweighted_diameter(g), 4u);
+  EXPECT_LE(unweighted_diameter(g), 8u);
+}
+
+class ErdosRenyiTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErdosRenyiTest, AlwaysConnected) {
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = gen::erdos_renyi_connected(40, GetParam(), rng);
+    EXPECT_TRUE(g.is_connected());
+    g.validate();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ErdosRenyiTest,
+                         ::testing::Values(0.0, 0.02, 0.1, 0.3, 0.9));
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(7);
+  for (NodeId n : {NodeId{1}, NodeId{2}, NodeId{17}, NodeId{60}}) {
+    const auto g = gen::random_tree(n, rng);
+    EXPECT_EQ(g.edge_count(), std::size_t{n} - 1);
+    EXPECT_TRUE(g.is_connected());
+    g.validate();
+  }
+}
+
+TEST(Generators, BarbellShape) {
+  const auto g = gen::barbell(5, 3);
+  EXPECT_EQ(g.node_count(), 13u);
+  EXPECT_TRUE(g.is_connected());
+  // D = 1 (in-clique) + 1 + bridge + 1 + 1 = bridge + 4? Endpoints of
+  // opposite cliques: 1 hop to the bridge attachment, bridge+1 hops
+  // across, 1 hop in.
+  EXPECT_EQ(unweighted_diameter(g), 3u + 3u);
+  const auto g0 = gen::barbell(4, 0);
+  EXPECT_TRUE(g0.is_connected());
+  EXPECT_EQ(g0.node_count(), 8u);
+}
+
+TEST(Generators, HypercubeShape) {
+  const auto g = gen::hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);  // n * d / 2
+  EXPECT_EQ(unweighted_diameter(g), 4u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, RandomRegularNearRegularAndConnected) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = gen::random_regular(40, 4, rng);
+    EXPECT_TRUE(g.is_connected());
+    g.validate();
+    std::size_t total_degree = 0;
+    for (NodeId v = 0; v < 40; ++v) total_degree += g.degree(v);
+    // Approximately 4-regular (loops/duplicates dropped, repair added).
+    EXPECT_GE(total_degree, 40u * 3);
+    EXPECT_LE(total_degree, 40u * 5);
+    // Expander-like: low diameter.
+    EXPECT_LE(unweighted_diameter(g), 8u);
+  }
+}
+
+TEST(Generators, PlantedHeavyPairStretchesTheMetric) {
+  Rng rng(17);
+  const auto plain = gen::randomize_weights(
+      gen::erdos_renyi_connected(30, 0.1, rng), 5, rng);
+  Rng rng2(17);
+  const auto planted = gen::planted_heavy_pair(30, 5, 500, rng2);
+  // Node n-1 is far from everyone in the planted graph.
+  const auto d = dijkstra(planted, 0);
+  EXPECT_GT(d[29], 500u);
+  EXPECT_GE(weighted_diameter(planted), 500u);
+  EXPECT_LT(weighted_diameter(plain), 200u);
+}
+
+TEST(Generators, RandomWeightsStayInRange) {
+  Rng rng(5);
+  const auto g = gen::randomize_weights(gen::grid(4, 4), 10, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, 10u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Reference algorithms
+// ---------------------------------------------------------------------
+
+TEST(Algorithms, BfsOnPath) {
+  const auto g = gen::path(6);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Algorithms, BfsUnreachableIsInf) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(bfs_distances(g, 0)[2], kInfDist);
+}
+
+TEST(Algorithms, DijkstraMatchesBfsOnUnitWeights) {
+  Rng rng(3);
+  const auto g = gen::erdos_renyi_connected(30, 0.1, rng);
+  for (NodeId s = 0; s < 30; s += 7) {
+    EXPECT_EQ(dijkstra(g, s), bfs_distances(g, s));
+  }
+}
+
+TEST(Algorithms, DijkstraWeightedPath) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 3);
+  g.add_edge(0, 2, 10);
+  g.add_edge(2, 3, 1);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[2], 5u);  // through node 1, not the direct 10-edge
+  EXPECT_EQ(d[3], 6u);
+}
+
+TEST(Algorithms, DijkstraWithHopsPrefersFewerEdgesAmongShortest) {
+  // Two shortest paths of weight 4: 0-1-2-3 (3 hops) and 0-4-3 (2 hops).
+  WeightedGraph g(5);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 1);
+  g.add_edge(0, 4, 2);
+  g.add_edge(4, 3, 2);
+  const auto dh = dijkstra_with_hops(g, 0);
+  EXPECT_EQ(dh.dist[3], 4u);
+  EXPECT_EQ(dh.hops[3], 2u);
+}
+
+TEST(Algorithms, BoundedHopDistancesConverge) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 5);
+  g.add_edge(2, 3, 1);
+  EXPECT_EQ(bounded_hop_distances(g, 0, 1)[2], 5u);   // direct edge only
+  EXPECT_EQ(bounded_hop_distances(g, 0, 2)[2], 2u);   // two-hop path
+  EXPECT_EQ(bounded_hop_distances(g, 0, 1)[3], kInfDist);
+  EXPECT_EQ(bounded_hop_distances(g, 0, 8)[3], 3u);
+}
+
+TEST(Algorithms, BoundedHopMonotoneInEll) {
+  Rng rng(21);
+  auto g = gen::erdos_renyi_connected(24, 0.12, rng);
+  g = gen::randomize_weights(g, 9, rng);
+  const auto exact = dijkstra(g, 0);
+  std::vector<Dist> prev(24, kInfDist);
+  for (std::uint64_t ell = 1; ell <= 24; ++ell) {
+    const auto cur = bounded_hop_distances(g, 0, ell);
+    for (NodeId v = 0; v < 24; ++v) {
+      EXPECT_LE(cur[v], prev[v]);
+      EXPECT_GE(cur[v], exact[v]);
+    }
+    prev = cur;
+  }
+  EXPECT_EQ(prev, exact);  // n-1 hops suffice
+}
+
+TEST(Algorithms, EccentricityDiameterRadiusConsistency) {
+  Rng rng(31);
+  auto g = gen::erdos_renyi_connected(25, 0.15, rng);
+  g = gen::randomize_weights(g, 7, rng);
+  const auto ecc = eccentricities(g);
+  const auto apsp = all_pairs_distances(g);
+  for (NodeId u = 0; u < 25; ++u) {
+    const Dist row_max = *std::max_element(apsp[u].begin(), apsp[u].end());
+    EXPECT_EQ(ecc[u], row_max);
+  }
+  EXPECT_EQ(weighted_diameter(g), *std::max_element(ecc.begin(), ecc.end()));
+  EXPECT_EQ(weighted_radius(g), *std::min_element(ecc.begin(), ecc.end()));
+  EXPECT_LE(weighted_radius(g), weighted_diameter(g));
+  EXPECT_LE(weighted_diameter(g), 2 * weighted_radius(g));
+}
+
+TEST(Algorithms, HopDiameterBounds) {
+  const auto g = gen::path(7);
+  EXPECT_EQ(hop_diameter(g), 6u);
+  const auto k = gen::complete(5);
+  EXPECT_EQ(hop_diameter(k), 1u);
+}
+
+TEST(Algorithms, HopDiameterWeightedForcesLongPaths) {
+  // Heavy direct edge: shortest paths go the long way around.
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(0, 3, 100);
+  EXPECT_EQ(hop_diameter(g), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Contraction (Lemma 4.3)
+// ---------------------------------------------------------------------
+
+TEST(Contraction, MergesUnitComponents) {
+  WeightedGraph g(5);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 4);
+  g.add_edge(3, 4, 1);
+  const auto c = contract_unit_edges(g);
+  EXPECT_EQ(c.graph.node_count(), 2u);
+  EXPECT_EQ(c.node_map[0], c.node_map[1]);
+  EXPECT_EQ(c.node_map[1], c.node_map[2]);
+  EXPECT_EQ(c.node_map[3], c.node_map[4]);
+  EXPECT_NE(c.node_map[0], c.node_map[3]);
+  EXPECT_EQ(c.graph.edge_weight(c.node_map[0], c.node_map[3]), 4u);
+}
+
+TEST(Contraction, ParallelEdgesKeepMinimum) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1);  // merges 0,1
+  g.add_edge(2, 3, 1);  // merges 2,3
+  g.add_edge(0, 2, 9);
+  g.add_edge(1, 3, 5);  // parallel after contraction; keep 5
+  const auto c = contract_unit_edges(g);
+  EXPECT_EQ(c.graph.node_count(), 2u);
+  EXPECT_EQ(c.graph.edge_count(), 1u);
+  EXPECT_EQ(c.graph.edges()[0].weight, 5u);
+}
+
+// Lemma 4.3 property: D_{G'} <= D_G <= D_{G'} + n, same for radius.
+class ContractionLemmaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContractionLemmaTest, SandwichBounds) {
+  Rng rng(GetParam());
+  auto g = gen::erdos_renyi_connected(20, 0.15, rng);
+  // Mix unit and heavy weights.
+  g = g.reweighted([&](Weight) {
+    return rng.chance(0.5) ? Weight{1} : Weight{50 + rng.below(50)};
+  });
+  const auto c = contract_unit_edges(g);
+  if (c.graph.node_count() < 2) return;  // fully contracted: trivial
+  const Dist dg = weighted_diameter(g);
+  const Dist dc = weighted_diameter(c.graph);
+  EXPECT_LE(dc, dg);
+  EXPECT_LE(dg, dc + g.node_count());
+  const Dist rg = weighted_radius(g);
+  const Dist rc = weighted_radius(c.graph);
+  EXPECT_LE(rc, rg);
+  EXPECT_LE(rg, rc + g.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContractionLemmaTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace qc

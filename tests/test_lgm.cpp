@@ -1,0 +1,158 @@
+// Tests for the Le Gall–Magniez-structured quantum unweighted
+// diameter/radius (block search, Õ(√(nD)) rounds) and for the round
+// bounds of the toolkit lemmas (Lemmas A.1–A.4) as stated.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/approx.h"
+#include "core/baselines.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "paths/distributed.h"
+#include "paths/params.h"
+#include "paths/reference.h"
+#include "util/rng.h"
+
+namespace qc::core {
+namespace {
+
+class LgmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LgmTest, FindsDiameterWithBlockStructure) {
+  Rng rng(60 + GetParam());
+  WeightedGraph g = GetParam() % 3 == 0   ? gen::grid(5, 8)
+                    : GetParam() % 3 == 1 ? gen::path_of_cliques(10, 4)
+                                          : gen::erdos_renyi_connected(
+                                                40, 0.12, rng);
+  int hits = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto res = lgm_quantum_unweighted_diameter(g, seed);
+    hits += res.value == unweighted_diameter(g);
+    EXPECT_TRUE(res.distributed_value_matches) << "seed " << seed;
+    EXPECT_GE(res.block_count, 1u);
+    EXPECT_EQ(res.block_count,
+              ceil_div(g.node_count(), res.block_size));
+  }
+  EXPECT_GE(hits, 7);
+}
+
+TEST_P(LgmTest, RadiusVariant) {
+  Rng rng(80 + GetParam());
+  const auto g = gen::erdos_renyi_connected(36, 0.12, rng);
+  const auto ecc = eccentricities(g.unweighted_copy());
+  const Dist r = *std::min_element(ecc.begin(), ecc.end());
+  int hits = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    hits += lgm_quantum_unweighted_radius(g, seed).value == r;
+  }
+  EXPECT_GE(hits, 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, LgmTest, ::testing::Range(0, 4));
+
+TEST(Lgm, EvaluationRoundsScaleWithDiameterNotN) {
+  // The point of the block structure: per-call evaluation is Õ(D),
+  // not Õ(n) — compare a low-D dense graph against a path.
+  Rng rng(5);
+  const auto dense = gen::erdos_renyi_connected(64, 0.2, rng);
+  const auto path = gen::path(64);
+  const auto rd = lgm_quantum_unweighted_diameter(dense, 3);
+  const auto rp = lgm_quantum_unweighted_diameter(path, 3);
+  const Dist dd = unweighted_diameter(dense);
+  const Dist dp = unweighted_diameter(path);
+  ASSERT_LT(dd, dp / 4);
+  // Per-evaluation cost must be much smaller on the low-D graph.
+  EXPECT_LT(rd.eval_rounds * 4, rp.eval_rounds);
+  (void)dp;
+}
+
+// ---------------------------------------------------------------------
+// Round bounds of the toolkit lemmas, as stated in Appendix A.
+// ---------------------------------------------------------------------
+
+TEST(LemmaRounds, A1BoundedHopSsspRounds) {
+  // Lemma A.1: Õ(ℓ/ε) rounds; our schedule is exactly
+  // scale_count · (cap + 2) with cap = (1+2/ε)ℓ.
+  Rng rng(1);
+  auto g = gen::erdos_renyi_connected(20, 0.15, rng);
+  g = gen::randomize_weights(g, 8, rng);
+  const paths::HopScale hs{10, 4, g.max_weight()};
+  const auto res = paths::distributed_bounded_hop_sssp(g, 0, hs);
+  EXPECT_EQ(res.stats.rounds,
+            std::uint64_t{hs.scale_count()} * (hs.rounded_cap() + 2));
+  // And each node broadcasts at most once per scale: message count is
+  // bounded by scales · Σdeg.
+  EXPECT_LE(res.stats.messages,
+            std::uint64_t{hs.scale_count()} * 2 * g.edge_count());
+}
+
+TEST(LemmaRounds, A2MultiSourceRounds) {
+  // Lemma A.2: Õ(D + ℓ/ε + |S|). Our schedule costs
+  // (max delay + T + 1) windows of ⌈log n⌉ slots plus the delay flood.
+  Rng rng(2);
+  auto g = gen::erdos_renyi_connected(24, 0.15, rng);
+  g = gen::randomize_weights(g, 6, rng);
+  const paths::HopScale hs{8, 3, g.max_weight()};
+  const std::vector<NodeId> sources{1, 5, 9, 13, 17};
+  Rng delays(3);
+  const auto res = paths::distributed_multi_source_bhs(g, sources, hs,
+                                                       delays);
+  const std::uint64_t slots = clog2(24);
+  const std::uint64_t t_logical =
+      std::uint64_t{hs.scale_count()} * (hs.rounded_cap() + 2);
+  const std::uint64_t bound =
+      res.attempts *
+          ((sources.size() * slots + t_logical + 1) * slots) +
+      res.attempts * (unweighted_diameter(g) + sources.size() + 8);
+  EXPECT_LE(res.stats.rounds, bound);
+}
+
+TEST(LemmaRounds, A3OverlayEmbeddingRounds) {
+  // Lemma A.3: O(D + |S|k) — flooding |S|·k overlay edges plus one
+  // aggregate.
+  Rng rng(4);
+  auto g = gen::erdos_renyi_connected(24, 0.15, rng);
+  g = gen::randomize_weights(g, 6, rng);
+  const auto params = paths::Params::make(24, unweighted_diameter(g));
+  const std::vector<NodeId> sources{0, 4, 8, 12, 16, 20};
+  const paths::HopScale hs{params.ell, params.eps_inv, g.max_weight()};
+  Rng delays(5);
+  const auto ms = paths::distributed_multi_source_bhs(g, sources, hs,
+                                                      delays);
+  const auto emb = paths::distributed_embed_overlay(g, sources, ms.approx,
+                                                    params);
+  const Dist d = unweighted_diameter(g);
+  const std::uint64_t items = sources.size() * params.k;
+  EXPECT_LE(emb.stats.rounds, 6 * d + items + 30);
+}
+
+TEST(LemmaRounds, A4OverlaySsspRounds) {
+  // Lemma A.4: Õ(|S|/(εk)·D + |S|): per overlay round one O(D)
+  // aggregate (+ flood when announcements exist); overlay rounds are
+  // scale_count'' · (cap'' + 1).
+  Rng rng(6);
+  auto g = gen::erdos_renyi_connected(20, 0.18, rng);
+  g = gen::randomize_weights(g, 5, rng);
+  const auto params = paths::Params::make(20, unweighted_diameter(g));
+  const std::vector<NodeId> sources{2, 7, 11, 15};
+  const paths::HopScale hs{params.ell, params.eps_inv, g.max_weight()};
+  Rng delays(7);
+  const auto ms = paths::distributed_multi_source_bhs(g, sources, hs,
+                                                      delays);
+  const auto emb = paths::distributed_embed_overlay(g, sources, ms.approx,
+                                                    params);
+  const auto res = paths::distributed_overlay_sssp(g, emb, params, 0);
+  const paths::HopScale ohs{params.overlay_ell(sources.size()),
+                            params.eps_inv, emb.max_w2};
+  const std::uint64_t overlay_rounds =
+      std::uint64_t{ohs.scale_count()} * (ohs.rounded_cap() + 1);
+  const Dist d = unweighted_diameter(g);
+  // Each overlay round costs <= ~2 primitives of <= ~3D+10 rounds.
+  EXPECT_LE(res.stats.rounds, overlay_rounds * 2 * (3 * d + 10) + 50);
+  EXPECT_GE(res.stats.rounds, overlay_rounds);  // at least the aggregates
+}
+
+}  // namespace
+}  // namespace qc::core

@@ -1,0 +1,491 @@
+// Tests for the Section 4 machinery: boolean functions, approximate
+// degree (Lemma 4.6), gadget graphs (Figures 1-4, Lemmas 4.3/4.4/4.9),
+// Table 2, and the Lemma 4.1 simulation schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "lowerbound/approxdeg.h"
+#include "lowerbound/boolfn.h"
+#include "lowerbound/gadget.h"
+#include "lowerbound/server.h"
+#include "lowerbound/table2.h"
+#include "util/mathx.h"
+#include "util/rng.h"
+
+namespace qc::lb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Boolean functions
+// ---------------------------------------------------------------------
+
+TEST(BoolFn, FRequiresEveryRowHit) {
+  PairInput in;
+  in.rows = 2;
+  in.cols = 2;
+  in.x = {1, 0, 0, 1};
+  in.y = {1, 0, 0, 0};
+  EXPECT_FALSE(eval_f(in));  // row 1 has no common 1
+  EXPECT_TRUE(eval_f_prime(in));
+  in.y = {1, 0, 0, 1};
+  EXPECT_TRUE(eval_f(in));
+}
+
+TEST(BoolFn, GeneratorsProduceIntendedValues) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto hit = input_all_hit(4, 3, rng);
+    EXPECT_TRUE(eval_f(hit));
+    const auto miss = input_one_row_miss(4, 3, trial % 4, rng);
+    EXPECT_FALSE(eval_f(miss));
+  }
+}
+
+TEST(BoolFn, GdtIsOrOfAnds) {
+  EXPECT_FALSE(eval_gdt(0b0000, 0b1111));
+  EXPECT_TRUE(eval_gdt(0b0010, 0b0010));
+  EXPECT_FALSE(eval_gdt(0b0101, 0b1010));
+  EXPECT_TRUE(eval_gdt(0b1111, 0b1000));
+}
+
+TEST(BoolFn, VerDefinition) {
+  for (std::uint8_t x = 0; x < 4; ++x) {
+    for (std::uint8_t y = 0; y < 4; ++y) {
+      EXPECT_EQ(eval_ver(x, y), ((x + y) % 4 == 0 || (x + y) % 4 == 1))
+          << int(x) << "," << int(y);
+    }
+  }
+}
+
+// Lemma 4.7's key structural fact: under the promise encodings, GDT
+// computes exactly VER — for all 16 promise pairs.
+TEST(BoolFn, VerIsPromiseVersionOfGdt) {
+  for (std::uint8_t x = 0; x < 4; ++x) {
+    for (std::uint8_t y = 0; y < 4; ++y) {
+      EXPECT_EQ(eval_gdt(ver_promise_x(x), ver_promise_y(y)),
+                eval_ver(x, y))
+          << int(x) << "," << int(y);
+    }
+  }
+}
+
+// F = (AND ∘ OR) ∘ GDT blockwise: group the ℓ columns of each row into
+// blocks of 4; F equals f = AND ∘ OR over the per-block GDT values.
+TEST(BoolFn, FDecomposesThroughGdt) {
+  Rng rng(7);
+  const std::size_t rows = 8;
+  const std::size_t cols = 8;  // two GDT blocks per row
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto in = random_input(rows, cols, rng);
+    bool composed = true;
+    for (std::size_t i = 0; i < rows && composed; ++i) {
+      bool row = false;
+      for (std::size_t blk = 0; blk < cols / 4; ++blk) {
+        std::uint8_t x4 = 0;
+        std::uint8_t y4 = 0;
+        for (std::size_t t = 0; t < 4; ++t) {
+          x4 |= static_cast<std::uint8_t>(in.xb(i, 4 * blk + t) << t);
+          y4 |= static_cast<std::uint8_t>(in.yb(i, 4 * blk + t) << t);
+        }
+        row = row || eval_gdt(x4, y4);
+      }
+      composed = row;
+    }
+    EXPECT_EQ(composed, eval_f(in)) << "trial " << trial;
+  }
+}
+
+TEST(Formula, AndOfOrsShapeAndSemantics) {
+  const auto f = and_of_ors(3, 2);
+  EXPECT_EQ(f->leaf_count(), 6u);
+  EXPECT_TRUE(f->is_read_once());
+  EXPECT_TRUE(f->eval({1, 0, 0, 1, 1, 1}));
+  EXPECT_FALSE(f->eval({1, 0, 0, 0, 1, 1}));
+}
+
+TEST(Formula, OrOf) {
+  const auto f = or_of(4);
+  EXPECT_TRUE(f->is_read_once());
+  EXPECT_FALSE(f->eval({0, 0, 0, 0}));
+  EXPECT_TRUE(f->eval({0, 0, 1, 0}));
+}
+
+TEST(Formula, RandomReadOnceIsReadOnce) {
+  Rng rng(11);
+  for (std::size_t leaves : {1u, 2u, 5u, 9u, 16u}) {
+    for (int t = 0; t < 10; ++t) {
+      const auto f = random_read_once(leaves, rng);
+      EXPECT_EQ(f->leaf_count(), leaves);
+      EXPECT_TRUE(f->is_read_once());
+    }
+  }
+}
+
+TEST(Formula, TruthTableMatchesEval) {
+  const auto f = and_of_ors(2, 2);
+  const auto table = truth_table(*f, 4);
+  ASSERT_EQ(table.size(), 16u);
+  // f = (x0 | x1) & (x2 | x3).
+  for (std::size_t m = 0; m < 16; ++m) {
+    const bool expect = ((m & 1) || (m & 2)) && ((m & 4) || (m & 8));
+    EXPECT_EQ(table[m] != 0, expect) << m;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Approximate degree
+// ---------------------------------------------------------------------
+
+TEST(Simplex, SolvesTinyLp) {
+  // min -x1 - x2 s.t. x1 + x2 + s = 1 -> objective -1.
+  const auto res = simplex_solve({{1, 1, 1}}, {1}, {-1, -1, 0});
+  ASSERT_TRUE(res.feasible);
+  ASSERT_TRUE(res.bounded);
+  EXPECT_NEAR(res.objective, -1.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x1 = 1 and x1 = 2 simultaneously (x >= 0).
+  const auto res = simplex_solve({{1}, {1}}, {1, 2}, {0});
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(MinimaxError, ConstantFit) {
+  // Fit a constant to {0, 1}: best error 1/2.
+  const double e = minimax_error({{1.0}, {1.0}}, {0.0, 1.0});
+  EXPECT_NEAR(e, 0.5, 1e-7);
+}
+
+TEST(MinimaxError, ExactInterpolation) {
+  // Line through 2 points: zero error.
+  const double e = minimax_error({{1.0, 0.0}, {1.0, 1.0}}, {0.3, 0.9});
+  EXPECT_NEAR(e, 0.0, 1e-7);
+}
+
+TEST(ApproxDegree, KnownSmallValues) {
+  EXPECT_EQ(approx_degree_symmetric(and_levels(1), 1.0 / 3), 1u);
+  EXPECT_EQ(approx_degree_symmetric(and_levels(2), 1.0 / 3), 1u);
+  EXPECT_EQ(approx_degree_symmetric(or_levels(2), 1.0 / 3), 1u);
+  // Smaller eps forces full degree on one variable.
+  EXPECT_EQ(approx_degree_symmetric(and_levels(1), 0.01), 1u);
+}
+
+TEST(ApproxDegree, ParityNeedsFullDegree) {
+  // PARITY_k has approximate degree k for any eps < 1/2.
+  for (std::size_t k : {2u, 3u, 4u}) {
+    std::vector<std::uint8_t> table(std::size_t{1} << k);
+    for (std::size_t m = 0; m < table.size(); ++m) {
+      table[m] = static_cast<std::uint8_t>(__builtin_popcountll(m) & 1);
+    }
+    EXPECT_EQ(approx_degree(table, k, 1.0 / 3), k) << k;
+  }
+}
+
+TEST(ApproxDegree, GeneralAgreesWithSymmetric) {
+  for (std::size_t k : {2u, 3u, 4u}) {
+    std::vector<std::uint8_t> and_table(std::size_t{1} << k, 0);
+    and_table.back() = 1;
+    EXPECT_EQ(approx_degree(and_table, k, 1.0 / 3),
+              approx_degree_symmetric(and_levels(k), 1.0 / 3))
+        << "AND_" << k;
+    std::vector<std::uint8_t> or_table(std::size_t{1} << k, 1);
+    or_table[0] = 0;
+    EXPECT_EQ(approx_degree(or_table, k, 1.0 / 3),
+              approx_degree_symmetric(or_levels(k), 1.0 / 3))
+        << "OR_" << k;
+  }
+}
+
+TEST(ApproxDegree, MonotoneInK) {
+  std::uint32_t prev = 0;
+  for (std::size_t k = 1; k <= 36; k += 5) {
+    const auto d = approx_degree_symmetric(and_levels(k), 1.0 / 3);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+// Lemma 4.6 quantitatively: deg_{1/3}(AND_k) fits k^e with e ~ 1/2.
+TEST(ApproxDegree, SqrtScalingForAndK) {
+  std::vector<double> ks, ds;
+  for (std::size_t k : {4u, 9u, 16u, 25u, 36u, 49u, 64u}) {
+    ks.push_back(static_cast<double>(k));
+    ds.push_back(static_cast<double>(
+        approx_degree_symmetric(and_levels(k), 1.0 / 3)));
+  }
+  const auto [e, c] = fit_power_law(ks, ds);
+  EXPECT_GT(e, 0.35);
+  EXPECT_LT(e, 0.65);
+  (void)c;
+}
+
+TEST(ApproxDegree, RejectsBadArgs) {
+  EXPECT_THROW(approx_degree_symmetric({}, 0.3), ArgumentError);
+  EXPECT_THROW(approx_degree_symmetric({0.0, 1.0}, 0.6), ArgumentError);
+  EXPECT_THROW(approx_degree({0, 1}, 2, 0.3), ArgumentError);
+}
+
+// ---------------------------------------------------------------------
+// Gadgets
+// ---------------------------------------------------------------------
+
+TEST(Gadget, PaperParamsFollowEquationTwo) {
+  const auto p = GadgetParams::paper(4);
+  EXPECT_EQ(p.h, 4u);
+  EXPECT_EQ(p.s, 6u);
+  EXPECT_EQ(p.ell, 4u);
+  EXPECT_EQ(p.node_count(),
+            (2ull << 4) * 1 - 1 + 16ull * (2 * 6 + 4) + 2 * (1ull << 6) +
+                2 * (2 * 6 + 4));
+}
+
+TEST(Gadget, BuildsConnectedGraphWithExpectedSize) {
+  Rng rng(1);
+  const auto p = GadgetParams::paper(2);
+  const auto in = random_input(1ull << p.s, p.ell, rng);
+  const Gadget g(p, in, false);
+  EXPECT_EQ(g.graph().node_count(), p.node_count());
+  EXPECT_TRUE(g.graph().is_connected());
+  g.graph().validate();
+  const Gadget gr(p, in, true);
+  EXPECT_EQ(gr.graph().node_count(), p.node_count() + 1);
+  EXPECT_TRUE(gr.graph().is_connected());
+}
+
+TEST(Gadget, UnweightedDiameterIsLogarithmic) {
+  Rng rng(2);
+  for (std::uint32_t h : {2u, 4u}) {
+    const auto p = GadgetParams::paper(h);
+    const auto in = random_input(1ull << p.s, p.ell, rng);
+    const Gadget g(p, in, false);
+    const Dist d = unweighted_diameter(g.graph());
+    EXPECT_GE(d, h);
+    EXPECT_LE(d, 4u * h + 8u);
+  }
+}
+
+TEST(Gadget, SidePartition) {
+  Rng rng(3);
+  const auto p = GadgetParams::paper(2);
+  const auto in = random_input(1ull << p.s, p.ell, rng);
+  const Gadget g(p, in, false);
+  EXPECT_EQ(g.side(g.root()), Side::kServer);
+  EXPECT_EQ(g.side(g.path(0, 0)), Side::kServer);
+  EXPECT_EQ(g.side(g.a(0)), Side::kAlice);
+  EXPECT_EQ(g.side(g.a_star(0)), Side::kAlice);
+  EXPECT_EQ(g.side(g.b(1)), Side::kBob);
+  EXPECT_EQ(g.side(g.b_bit(0, 1)), Side::kBob);
+}
+
+TEST(Gadget, ContractionMatchesExplicitContractedForm) {
+  Rng rng(4);
+  const auto p = GadgetParams::paper(2);
+  const auto in = random_input(1ull << p.s, p.ell, rng);
+  const Gadget full(p, in, false);
+  const ContractedGadget direct(p, in, false);
+  const auto contracted = contract_unit_edges(full.graph());
+  EXPECT_EQ(contracted.graph.node_count(), direct.graph().node_count());
+  EXPECT_EQ(weighted_diameter(contracted.graph),
+            weighted_diameter(direct.graph()));
+  EXPECT_EQ(weighted_radius(contracted.graph),
+            weighted_radius(direct.graph()));
+}
+
+class GadgetLemmaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Lemma 4.4 on the full (uncontracted) gadget, exact diameter.
+TEST_P(GadgetLemmaTest, Lemma44FullGraph) {
+  Rng rng(GetParam());
+  const auto p = GadgetParams::paper(2);
+  const auto in = (GetParam() % 3 == 0)
+                      ? input_all_hit(1ull << p.s, p.ell, rng)
+                      : (GetParam() % 3 == 1)
+                            ? input_one_row_miss(1ull << p.s, p.ell,
+                                                 GetParam() % (1ull << p.s),
+                                                 rng)
+                            : random_input(1ull << p.s, p.ell, rng);
+  const auto check = check_diameter_reduction(p, in, /*use_full_graph=*/true);
+  EXPECT_TRUE(check.gap_respected)
+      << "F=" << check.f_value << " D=" << check.measured
+      << " low=" << check.threshold_low << " high=" << check.threshold_high;
+  EXPECT_TRUE(check.distinguishable);
+}
+
+TEST_P(GadgetLemmaTest, Lemma44ContractedForm) {
+  Rng rng(GetParam() + 100);
+  const auto p = GadgetParams::paper(4);
+  const auto in = (GetParam() % 2 == 0)
+                      ? input_all_hit(1ull << p.s, p.ell, rng)
+                      : input_one_row_miss(1ull << p.s, p.ell, 3, rng);
+  const auto check = check_diameter_reduction(p, in, false);
+  EXPECT_EQ(check.f_value, GetParam() % 2 == 0);
+  EXPECT_TRUE(check.gap_respected);
+}
+
+TEST_P(GadgetLemmaTest, Lemma49Radius) {
+  Rng rng(GetParam() + 200);
+  const auto p = GadgetParams::paper(2);
+  PairInput in;
+  if (GetParam() % 3 == 0) {
+    in = input_all_hit(1ull << p.s, p.ell, rng);
+  } else if (GetParam() % 3 == 1) {
+    // All-zero y: F' = 0.
+    in = random_input(1ull << p.s, p.ell, rng);
+    std::fill(in.y.begin(), in.y.end(), 0);
+  } else {
+    in = random_input(1ull << p.s, p.ell, rng);
+  }
+  const auto full = check_radius_reduction(p, in, /*use_full_graph=*/true);
+  EXPECT_TRUE(full.gap_respected)
+      << "F'=" << full.f_value << " R=" << full.measured
+      << " low=" << full.threshold_low << " high=" << full.threshold_high;
+  const auto contracted = check_radius_reduction(p, in, false);
+  EXPECT_TRUE(contracted.gap_respected);
+  EXPECT_EQ(full.f_value, contracted.f_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GadgetLemmaTest,
+                         ::testing::Range<std::uint64_t>(0, 9));
+
+// Lemma 4.3 sandwich on actual gadget instances.
+TEST(Gadget, Lemma43SandwichOnGadget) {
+  Rng rng(5);
+  const auto p = GadgetParams::paper(2);
+  for (int t = 0; t < 3; ++t) {
+    const auto in = random_input(1ull << p.s, p.ell, rng);
+    const Gadget full(p, in, false);
+    const ContractedGadget direct(p, in, false);
+    const Dist dg = weighted_diameter(full.graph());
+    const Dist dc = weighted_diameter(direct.graph());
+    EXPECT_LE(dc, dg);
+    EXPECT_LE(dg, dc + full.graph().node_count());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------
+
+TEST(Table2, AllRowsHoldOnRandomInstances) {
+  Rng rng(6);
+  const auto p = GadgetParams::paper(2);
+  for (int t = 0; t < 4; ++t) {
+    const auto in = random_input(1ull << p.s, p.ell, rng);
+    const auto rows = audit_table2(p, in);
+    EXPECT_EQ(rows.size(), 13u);
+    for (const auto& row : rows) {
+      EXPECT_TRUE(row.ok) << row.u_class << " -> " << row.v_class
+                          << " measured " << row.measured_max << " bound "
+                          << row.bound;
+      EXPECT_GT(row.pairs, 0u);
+    }
+  }
+}
+
+TEST(Table2, StarRowsAreTightAtBeta) {
+  // With an all-zero input every a_i - a_j^* edge has weight β and the
+  // bound β is attained.
+  Rng rng(7);
+  const auto p = GadgetParams::paper(2);
+  auto in = random_input(1ull << p.s, p.ell, rng);
+  std::fill(in.x.begin(), in.x.end(), 0);
+  std::fill(in.y.begin(), in.y.end(), 0);
+  const auto rows = audit_table2(p, in);
+  bool saw_beta_tight = false;
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.ok);
+    if (row.bound_name == "beta" && row.measured_max == row.bound) {
+      saw_beta_tight = true;
+    }
+  }
+  EXPECT_TRUE(saw_beta_tight);
+}
+
+// ---------------------------------------------------------------------
+// Simulation lemma (Lemma 4.1)
+// ---------------------------------------------------------------------
+
+TEST(SimulationSchedule, InitialStateAndFixedSides) {
+  Rng rng(8);
+  const auto p = GadgetParams::paper(4);
+  const auto in = random_input(1ull << p.s, p.ell, rng);
+  const Gadget g(p, in, false);
+  const SimulationSchedule sched(g);
+  EXPECT_EQ(sched.horizon(), 8u);
+  EXPECT_EQ(sched.owner(0, g.root()), Owner::kServer);
+  EXPECT_EQ(sched.owner(0, g.path(0, 0)), Owner::kServer);
+  for (std::uint64_t r = 0; r < sched.horizon(); ++r) {
+    EXPECT_EQ(sched.owner(r, g.a(0)), Owner::kAlice);
+    EXPECT_EQ(sched.owner(r, g.b(0)), Owner::kBob);
+  }
+}
+
+TEST(SimulationSchedule, ServerRegionShrinksFromBothEnds) {
+  Rng rng(9);
+  const auto p = GadgetParams::paper(4);
+  const auto in = random_input(1ull << p.s, p.ell, rng);
+  const Gadget g(p, in, false);
+  const SimulationSchedule sched(g);
+  const std::uint64_t row = 1ull << p.h;
+  for (std::uint64_t r = 1; r + 1 < sched.horizon(); ++r) {
+    // Left end of each path slides to Alice, right end to Bob.
+    EXPECT_EQ(sched.owner(r, g.path(0, r - 1)), Owner::kAlice);
+    EXPECT_EQ(sched.owner(r, g.path(0, r)), Owner::kServer);
+    // Server keeps 1-based positions up to 2^h - r, i.e. 0-based
+    // row - r - 1; Bob owns everything to the right of it.
+    EXPECT_EQ(sched.owner(r, g.path(0, row - r - 1)), Owner::kServer);
+    EXPECT_EQ(sched.owner(r, g.path(0, row - r)), Owner::kBob);
+  }
+}
+
+TEST(SimulationSchedule, OwnershipIsMonotone) {
+  Rng rng(10);
+  const auto p = GadgetParams::paper(4);
+  const auto in = random_input(1ull << p.s, p.ell, rng);
+  const Gadget g(p, in, false);
+  const SimulationSchedule sched(g);
+  for (NodeId v = 0; v < g.graph().node_count(); v += 7) {
+    Owner prev = sched.owner(0, v);
+    for (std::uint64_t r = 1; r < sched.horizon(); ++r) {
+      const Owner cur = sched.owner(r, v);
+      if (prev != Owner::kServer) {
+        EXPECT_EQ(cur, prev) << "node " << v << " round " << r;
+      }
+      prev = cur;
+    }
+  }
+}
+
+TEST(SimulationLemma, BfsTraceMetersWithinBound) {
+  Rng rng(11);
+  const auto p = GadgetParams::paper(4);
+  const auto in = random_input(1ull << p.s, p.ell, rng);
+  const Gadget g(p, in, false);
+  const auto rep = run_and_meter_bfs(g, 5);
+  EXPECT_GT(rep.total_messages, 0u);
+  EXPECT_TRUE(rep.partition_sound);
+  EXPECT_TRUE(rep.charged_only_tree);
+  EXPECT_TRUE(rep.within_bound);
+  EXPECT_LE(rep.max_charged_in_round, 2ull * p.h);
+}
+
+TEST(SimulationLemma, RejectsTooLongExecutions) {
+  Rng rng(12);
+  const auto p = GadgetParams::paper(2);  // horizon 2
+  const auto in = random_input(1ull << p.s, p.ell, rng);
+  const Gadget g(p, in, false);
+  EXPECT_THROW(run_and_meter_bfs(g, 10), ArgumentError);
+}
+
+TEST(Theorem42Bound, GrowsWithGadgetSize) {
+  const auto p2 = GadgetParams::paper(2);
+  const auto p4 = GadgetParams::paper(4);
+  EXPECT_GT(theorem42_round_bound(p4, 32), theorem42_round_bound(p2, 32));
+  EXPECT_GT(theorem42_round_bound(p2, 16), theorem42_round_bound(p2, 32));
+}
+
+}  // namespace
+}  // namespace qc::lb

@@ -1,0 +1,291 @@
+// Tests for the Nanongkai toolkit: parameters, the centralized reference
+// (Lemmas 3.2/3.3), the distributed Algorithms 1-5, and bit-exact
+// agreement between the two implementations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "paths/distributed.h"
+#include "paths/params.h"
+#include "paths/reference.h"
+#include "util/rng.h"
+
+namespace qc::paths {
+namespace {
+
+WeightedGraph test_graph(std::uint64_t seed, NodeId n, Weight max_w) {
+  Rng rng(seed);
+  auto g = gen::erdos_renyi_connected(n, 0.15, rng);
+  return gen::randomize_weights(g, max_w, rng);
+}
+
+TEST(Params, MakeFollowsEquationOne) {
+  const auto p = Params::make(1024, 16);
+  EXPECT_EQ(p.eps_inv, 10u);
+  // r = 1024^0.4 * 16^-0.2 = 16 / 1.741 ~ 9.19 -> 9
+  EXPECT_EQ(p.r, 9u);
+  // ell = 1024*10/9 ~ 1138 -> clamped to n
+  EXPECT_EQ(p.ell, 1024u);
+  EXPECT_EQ(p.k, 4u);
+  EXPECT_EQ(p.sigma(), 2 * 1024 * 10u);
+  EXPECT_EQ(p.rounded_cap(), 21 * 1024u);
+}
+
+TEST(Params, ClampsAtSmallN) {
+  const auto p = Params::make(4, 1);
+  EXPECT_GE(p.r, 1u);
+  EXPECT_LE(p.ell, 4u);
+  EXPECT_GE(p.k, 1u);
+}
+
+TEST(Params, RejectsDegenerateInput) {
+  EXPECT_THROW(Params::make(1, 1), ArgumentError);
+  EXPECT_THROW(Params::make(8, 0), ArgumentError);
+}
+
+TEST(HopScale, RoundedWeightCeiling) {
+  HopScale hs{4, 2, 10};  // sigma = 16
+  EXPECT_EQ(hs.rounded_weight(1, 0), 16u);
+  EXPECT_EQ(hs.rounded_weight(1, 3), 2u);
+  EXPECT_EQ(hs.rounded_weight(1, 5), 1u);  // ceil(16/32)
+  EXPECT_EQ(hs.rounded_weight(3, 4), 3u);  // ceil(48/16)
+}
+
+TEST(HopScale, TopScaleRoundsEveryWeightToOne) {
+  HopScale hs{7, 3, 29};
+  const std::uint32_t top = hs.scale_count() - 1;
+  for (std::uint64_t w = 1; w <= hs.max_weight; ++w) {
+    EXPECT_EQ(hs.rounded_weight(w, top), 1u) << "w=" << w;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Lemma 3.2: d <= d̃^ℓ/σ <= (1+ε)·d^ℓ, in exact integer form
+//   σ·d <= d̃_σ   and   eps_inv·d̃_σ <= (eps_inv+1)·σ·d^ℓ.
+// ---------------------------------------------------------------------
+class Lemma32Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma32Test, ApproximationSandwich) {
+  const auto g = test_graph(GetParam(), 20, 12);
+  for (const std::uint64_t ell : {3ull, 7ull, 19ull}) {
+    const HopScale hs{ell, 3, g.max_weight()};
+    for (NodeId s = 0; s < g.node_count(); s += 5) {
+      const auto dt = approx_bounded_hop_from(g, s, hs);
+      const auto exact = dijkstra(g, s);
+      const auto hop = bounded_hop_distances(g, s, ell);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (dt[v] >= kInfDist) {
+          // No eligible scale: d^ℓ may still be finite only if it is
+          // very long; the top scale guarantees eligibility whenever
+          // the ℓ-hop distance exists.
+          EXPECT_EQ(hop[v], kInfDist) << "s=" << s << " v=" << v;
+          continue;
+        }
+        EXPECT_GE(dt[v], hs.sigma() * exact[v]) << "s=" << s << " v=" << v;
+        // The (1+ε) upper bound is stated against d^ℓ, so it only
+        // constrains pairs with an ℓ-hop path. (d̃ can still be finite
+        // without one: eligibility caps the rounded distance, not the
+        // hop count.)
+        if (hop[v] < kInfDist) {
+          EXPECT_LE(hs.eps_inv * dt[v],
+                    (hs.eps_inv + 1) * hs.sigma() * hop[v])
+              << "s=" << s << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma32Test,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// Algorithm 2 vs capped Dijkstra
+// ---------------------------------------------------------------------
+class Alg2Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Alg2Test, MatchesCappedDijkstra) {
+  const auto g = test_graph(GetParam(), 18, 9);
+  const Dist cap = 30;
+  const auto res = distributed_bounded_distance_sssp(
+      g, 2, cap, [](Weight w) { return w; });
+  const auto exact = dijkstra(g, 2);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(res.dist[v], exact[v] <= cap ? exact[v] : kInfDist)
+        << "v=" << v;
+  }
+  EXPECT_EQ(res.stats.rounds, cap + 2);
+}
+
+TEST_P(Alg2Test, MatchesCappedDijkstraUnderRounding) {
+  const auto g = test_graph(GetParam() + 100, 16, 7);
+  const HopScale hs{5, 2, g.max_weight()};
+  for (std::uint32_t i = 0; i < hs.scale_count(); i += 2) {
+    const auto wf = [&](Weight w) { return hs.rounded_weight(w, i); };
+    const auto res =
+        distributed_bounded_distance_sssp(g, 0, hs.rounded_cap(), wf);
+    const auto exact = dijkstra(g.reweighted(wf), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(res.dist[v],
+                exact[v] <= hs.rounded_cap() ? exact[v] : kInfDist);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Alg2Test,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------
+// Algorithm 1 vs reference Lemma 3.2 values (bit exact)
+// ---------------------------------------------------------------------
+class Alg1Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Alg1Test, MatchesReferenceBitExact) {
+  const auto g = test_graph(GetParam() + 40, 16, 8);
+  const HopScale hs{6, 3, g.max_weight()};
+  for (NodeId s : {NodeId{0}, NodeId{7}}) {
+    const auto res = distributed_bounded_hop_sssp(g, s, hs);
+    const auto ref = approx_bounded_hop_from(g, s, hs);
+    EXPECT_EQ(res.approx, ref) << "source " << s;
+    EXPECT_EQ(res.stats.rounds,
+              static_cast<std::uint64_t>(hs.scale_count()) *
+                  (hs.rounded_cap() + 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Alg1Test,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------
+// Algorithm 3 vs reference (bit exact), including the delay machinery
+// ---------------------------------------------------------------------
+class Alg3Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Alg3Test, MatchesReferenceForAllSources) {
+  const auto g = test_graph(GetParam() + 70, 16, 6);
+  const HopScale hs{5, 3, g.max_weight()};
+  const std::vector<NodeId> sources{1, 4, 9, 13};
+  Rng rng(GetParam());
+  const auto res = distributed_multi_source_bhs(g, sources, hs, rng);
+  for (std::size_t a = 0; a < sources.size(); ++a) {
+    const auto ref = approx_bounded_hop_from(g, sources[a], hs);
+    EXPECT_EQ(res.approx[a], ref) << "source index " << a;
+  }
+  EXPECT_LE(res.attempts, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Alg3Test,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------
+// Algorithms 4+5 vs the reference skeleton (bit exact)
+// ---------------------------------------------------------------------
+struct SkeletonFixture {
+  WeightedGraph g;
+  Params params;
+  std::vector<NodeId> set;
+  Skeleton ref;
+  MultiSourceResult ms;
+  OverlayEmbedding emb;
+
+  explicit SkeletonFixture(std::uint64_t seed, NodeId n = 18)
+      : g(test_graph(seed, n, 6)),
+        params(Params::make(n, unweighted_diameter(g))) {
+    Rng rng(seed * 31 + 1);
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.chance(static_cast<double>(params.r) / n)) set.push_back(v);
+    }
+    if (set.empty()) set.push_back(0);
+    ref = build_skeleton(g, params, set);
+    const HopScale hs{params.ell, params.eps_inv, g.max_weight()};
+    Rng delays(seed * 17 + 3);
+    ms = distributed_multi_source_bhs(g, set, hs, delays);
+    emb = distributed_embed_overlay(g, set, ms.approx, params);
+  }
+};
+
+class SkeletonTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkeletonTest, EmbeddingMatchesReference) {
+  SkeletonFixture fx(GetParam());
+  EXPECT_EQ(fx.emb.w1, fx.ref.overlay_w1);
+  EXPECT_EQ(fx.emb.nearest_k, fx.ref.nearest_k);
+  EXPECT_EQ(fx.emb.w2, fx.ref.overlay_w2);
+  EXPECT_EQ(fx.emb.max_w2, fx.ref.overlay_scale.max_weight);
+}
+
+TEST_P(SkeletonTest, OverlaySsspMatchesReference) {
+  SkeletonFixture fx(GetParam());
+  for (std::uint32_t s = 0; s < fx.set.size(); ++s) {
+    const auto res = distributed_overlay_sssp(fx.g, fx.emb, fx.params, s);
+    EXPECT_EQ(res.approx, fx.ref.overlay_approx[s]) << "source idx " << s;
+  }
+}
+
+TEST_P(SkeletonTest, Observation312HoldsForKNearest) {
+  SkeletonFixture fx(GetParam());
+  // The H-based k-nearest distances must equal the full-overlay-metric
+  // distances for the selected k nearest nodes.
+  const std::size_t b = fx.ref.size();
+  for (std::size_t a = 0; a < b; ++a) {
+    for (const std::uint32_t c : fx.ref.nearest_k[a]) {
+      EXPECT_EQ(fx.ref.overlay_w2[a][c],
+                std::min(fx.ref.overlay_w1[a][c], fx.ref.overlay_dist1[a][c]))
+          << "a=" << a << " c=" << c;
+    }
+  }
+}
+
+// Lemma 3.3 sandwich: σσ″·d <= d̃_{G,w,S} <= (1+ε)²·σσ″·d, integer form.
+TEST_P(SkeletonTest, Lemma33ApproximationSandwich) {
+  SkeletonFixture fx(GetParam());
+  const std::uint64_t total = fx.ref.total_scale();
+  const std::uint64_t ei = fx.params.eps_inv;
+  for (std::uint32_t s = 0; s < fx.ref.size(); ++s) {
+    const auto exact = dijkstra(fx.g, fx.ref.members[s]);
+    for (NodeId v = 0; v < fx.g.node_count(); ++v) {
+      const Dist ad = fx.ref.approx_distance(s, v);
+      ASSERT_LT(ad, kInfDist) << "s=" << s << " v=" << v;
+      EXPECT_GE(ad, total * exact[v]);
+      EXPECT_LE(ei * ei * ad, (ei + 1) * (ei + 1) * total * exact[v]);
+    }
+  }
+}
+
+TEST_P(SkeletonTest, ApproxEccentricityIsMaxOfApproxDistances) {
+  SkeletonFixture fx(GetParam());
+  for (std::uint32_t s = 0; s < fx.ref.size(); ++s) {
+    Dist mx = 0;
+    for (NodeId v = 0; v < fx.g.node_count(); ++v) {
+      mx = std::max(mx, fx.ref.approx_distance(s, v));
+    }
+    EXPECT_EQ(fx.ref.approx_eccentricity(s), mx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkeletonTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Skeleton, SingletonSetWorks) {
+  const auto g = test_graph(5, 12, 4);
+  const auto params = Params::make(12, unweighted_diameter(g));
+  const auto sk = build_skeleton(g, params, {3});
+  EXPECT_EQ(sk.size(), 1u);
+  const auto exact = dijkstra(g, 3);
+  for (NodeId v = 0; v < 12; ++v) {
+    EXPECT_GE(sk.approx_distance(0, v), sk.total_scale() * exact[v]);
+  }
+}
+
+TEST(Skeleton, RejectsBadSets) {
+  const auto g = test_graph(6, 10, 4);
+  const auto params = Params::make(10, unweighted_diameter(g));
+  EXPECT_THROW(build_skeleton(g, params, {}), ArgumentError);
+  EXPECT_THROW(build_skeleton(g, params, {1, 1}), ArgumentError);
+  EXPECT_THROW(build_skeleton(g, params, {10}), ArgumentError);
+}
+
+}  // namespace
+}  // namespace qc::paths

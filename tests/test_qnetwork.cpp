@@ -1,0 +1,199 @@
+// Tests for the qubit-level quantum CONGEST network: model enforcement
+// (locality, adjacency, qubit bandwidth), measurement collapse, and the
+// CNOT-copy broadcast of Lemma 3.5's Setup step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/primitives.h"
+#include "graph/generators.h"
+#include "quantum/qnetwork.h"
+#include "util/rng.h"
+
+namespace qc::quantum {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(StateVectorMeasurement, MarginalOfPlusState) {
+  StateVector sv(2);
+  sv.h(0);
+  EXPECT_NEAR(sv.marginal_one(0), 0.5, kTol);
+  EXPECT_NEAR(sv.marginal_one(1), 0.0, kTol);
+}
+
+TEST(StateVectorMeasurement, CollapseBellPair) {
+  StateVector sv(2);
+  sv.h(0);
+  sv.cnot(0, 1);
+  sv.collapse(0, true);
+  EXPECT_NEAR(sv.probability(0b11), 1.0, kTol);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVectorMeasurement, CollapseRejectsImpossibleOutcome) {
+  StateVector sv(1);
+  EXPECT_THROW(sv.collapse(0, true), ArgumentError);  // |0>, outcome 1
+}
+
+TEST(QuantumNetwork, EnforcesLocality) {
+  const auto g = gen::path(3);
+  QuantumNetwork net(g, 3);
+  net.place(1, 1);
+  EXPECT_THROW(net.h(0, 1), ModelError);      // foreign qubit
+  EXPECT_THROW(net.cnot(1, 1, 2), ModelError);  // target not owned
+  net.h(1, 1);                                  // fine
+}
+
+TEST(QuantumNetwork, EnforcesAdjacency) {
+  const auto g = gen::path(3);
+  QuantumNetwork net(g, 1);
+  EXPECT_THROW(net.send_qubit(0, 2, 0), ModelError);  // 0-2 not an edge
+  net.send_qubit(0, 1, 0);
+  net.end_round();
+  EXPECT_EQ(net.owner(0), 1u);
+  EXPECT_EQ(net.rounds(), 1u);
+}
+
+TEST(QuantumNetwork, EnforcesQubitBandwidth) {
+  const auto g = gen::path(2);
+  QuantumNetwork net(g, 3, /*qubit_bandwidth=*/2);
+  net.send_qubit(0, 1, 0);
+  net.send_qubit(0, 1, 1);
+  EXPECT_THROW(net.send_qubit(0, 1, 2), ModelError);
+  net.end_round();
+  EXPECT_EQ(net.owner(0), 1u);
+  EXPECT_EQ(net.owner(1), 1u);
+  EXPECT_EQ(net.owner(2), 0u);
+}
+
+TEST(QuantumNetwork, PlacementFrozenAfterFirstRound) {
+  const auto g = gen::path(2);
+  QuantumNetwork net(g, 2);
+  net.end_round();
+  EXPECT_THROW(net.place(1, 1), ArgumentError);
+}
+
+TEST(QuantumNetwork, RemoteEntanglementSurvivesTransfer) {
+  // Node 0 builds a Bell pair locally and ships one half to node 1:
+  // the canonical "create entanglement, send one qubit" of the model.
+  const auto g = gen::path(2);
+  QuantumNetwork net(g, 2);
+  net.h(0, 0);
+  net.cnot(0, 0, 1);
+  net.send_qubit(0, 1, 1);
+  net.end_round();
+  EXPECT_EQ(net.owner(1), 1u);
+  Rng rng(3);
+  const bool a = net.measure(0, 0, rng);
+  const bool b = net.measure(1, 1, rng);
+  EXPECT_EQ(a, b);  // perfectly correlated
+}
+
+class CnotBroadcastTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CnotBroadcastTest, ProducesGhzInDepthRounds) {
+  Rng rng(41);
+  WeightedGraph g = GetParam() == 0   ? gen::path(6)
+                    : GetParam() == 1 ? gen::star(7)
+                    : GetParam() == 2 ? gen::balanced_binary_tree(7)
+                                      : gen::erdos_renyi_connected(8, 0.3,
+                                                                   rng);
+  const auto tree = congest::build_bfs_tree(g, 0);
+  std::vector<NodeId> parent(g.node_count());
+  std::vector<Dist> depth(g.node_count());
+  Dist max_depth = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    parent[v] = tree.nodes[v].parent;
+    depth[v] = tree.nodes[v].depth;
+    max_depth = std::max(max_depth, depth[v]);
+  }
+
+  QuantumNetwork net(g, g.node_count());
+  const auto rounds = cnot_broadcast(net, parent, depth);
+  EXPECT_EQ(rounds, max_depth);  // exactly tree-depth rounds
+
+  // Every node owns its share.
+  for (std::uint32_t v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(net.owner(v), v);
+  }
+  // The state is the n-qubit GHZ: half mass on |0..0>, half on |1..1>.
+  const std::uint64_t all =
+      (std::uint64_t{1} << g.node_count()) - 1;
+  EXPECT_NEAR(net.state().probability(0), 0.5, kTol);
+  EXPECT_NEAR(net.state().probability(all), 0.5, kTol);
+  EXPECT_NEAR(net.state().norm(), 1.0, kTol);
+
+  // Measuring any one share collapses every share consistently.
+  Rng rng2(GetParam() + 5);
+  const bool first = net.measure(0, 0, rng2);
+  for (std::uint32_t v = 1; v < g.node_count(); ++v) {
+    EXPECT_EQ(net.measure(static_cast<NodeId>(v), v, rng2), first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, CnotBroadcastTest,
+                         ::testing::Range(0, 4));
+
+class TeleportTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TeleportTest, TransfersStateExactly) {
+  // Prepare a known payload state per case, teleport it 0 -> 1, and
+  // verify with a deterministic disentangling measurement.
+  const auto g = gen::path(2);
+  QuantumNetwork net(g, 3);  // payload=0, epr_local=1, epr_remote=2
+  Rng rng(100 + GetParam());
+
+  // Payload preparation: case 0: |1>; case 1: |->; case 2: |+>;
+  // case 3: |0>.
+  switch (GetParam()) {
+    case 0: net.x(0, 0); break;
+    case 1: net.x(0, 0); net.h(0, 0); break;
+    case 2: net.h(0, 0); break;
+    default: break;
+  }
+
+  share_bell_pair(net, 0, 1, 1, 2);
+  EXPECT_EQ(net.owner(2), 1u);
+  teleport(net, 0, 1, 0, 1, 2, rng);
+
+  // Verification at the receiver (deterministic outcomes per case).
+  switch (GetParam()) {
+    case 0:
+      EXPECT_TRUE(net.measure(1, 2, rng));
+      break;
+    case 1:  // H|-> = |1>
+      net.h(1, 2);
+      EXPECT_TRUE(net.measure(1, 2, rng));
+      break;
+    case 2:  // H|+> = |0>
+      net.h(1, 2);
+      EXPECT_FALSE(net.measure(1, 2, rng));
+      break;
+    default:
+      EXPECT_FALSE(net.measure(1, 2, rng));
+      break;
+  }
+  EXPECT_EQ(net.rounds(), 2u);  // Bell-pair shipment + classical bits
+}
+
+INSTANTIATE_TEST_SUITE_P(States, TeleportTest, ::testing::Range(0, 4));
+
+TEST(Teleport, ManyRandomStatesViaRepetition) {
+  // Statistical check on a superposition payload: teleport |+> and
+  // measure in Z — outcomes should be ~50/50 across repetitions.
+  Rng rng(7);
+  int ones = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    QuantumNetwork net(gen::path(2), 3);
+    net.h(0, 0);
+    share_bell_pair(net, 0, 1, 1, 2);
+    teleport(net, 0, 1, 0, 1, 2, rng);
+    ones += net.measure(1, 2, rng);
+  }
+  EXPECT_NEAR(ones / double(trials), 0.5, 0.08);
+}
+
+}  // namespace
+}  // namespace qc::quantum

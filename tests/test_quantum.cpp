@@ -1,0 +1,337 @@
+// Tests for the quantum substrate: state-vector gates, Grover dynamics,
+// the amplitude-exact search engine, cross-validation between the two,
+// and the Lemma 3.1 framework accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "quantum/framework.h"
+#include "quantum/search.h"
+#include "quantum/statevector.h"
+#include "util/rng.h"
+
+namespace qc::quantum {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(StateVector, StartsInZero) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dimension(), 8u);
+  EXPECT_NEAR(sv.probability(0), 1.0, kTol);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, HadamardCreatesUniform) {
+  StateVector sv(3);
+  for (std::uint32_t q = 0; q < 3; ++q) sv.h(q);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_NEAR(sv.probability(x), 1.0 / 8.0, kTol);
+  }
+}
+
+TEST(StateVector, HadamardIsInvolution) {
+  StateVector sv(2);
+  sv.h(0);
+  sv.h(1);
+  sv.h(0);
+  sv.h(1);
+  EXPECT_NEAR(sv.probability(0), 1.0, kTol);
+}
+
+TEST(StateVector, XFlipsBasisState) {
+  StateVector sv(2);
+  sv.x(0);
+  EXPECT_NEAR(sv.probability(1), 1.0, kTol);
+  sv.x(1);
+  EXPECT_NEAR(sv.probability(3), 1.0, kTol);
+}
+
+TEST(StateVector, ZAddsPhaseOnOne) {
+  StateVector sv(1);
+  sv.h(0);
+  sv.z(0);
+  sv.h(0);
+  // HZH = X.
+  EXPECT_NEAR(sv.probability(1), 1.0, kTol);
+}
+
+TEST(StateVector, CnotEntanglesBellPair) {
+  StateVector sv(2);
+  sv.h(0);
+  sv.cnot(0, 1);
+  EXPECT_NEAR(sv.probability(0b00), 0.5, kTol);
+  EXPECT_NEAR(sv.probability(0b11), 0.5, kTol);
+  EXPECT_NEAR(sv.probability(0b01), 0.0, kTol);
+  EXPECT_NEAR(sv.probability(0b10), 0.0, kTol);
+}
+
+TEST(StateVector, CzPhaseOnlyOnBothSet) {
+  StateVector sv(2);
+  sv.h(0);
+  sv.h(1);
+  sv.cz(0, 1);
+  // Probabilities unchanged (pure phase).
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    EXPECT_NEAR(sv.probability(x), 0.25, kTol);
+  }
+  // But H on qubit 1 reveals the phase kickback:
+  // (|00⟩+|01⟩+|10⟩−|11⟩)/2 → (|00⟩+|11⟩)/√2.
+  sv.h(1);
+  EXPECT_NEAR(sv.probability(0b00), 0.5, kTol);
+  EXPECT_NEAR(sv.probability(0b11), 0.5, kTol);
+  EXPECT_NEAR(sv.probability(0b01), 0.0, kTol);
+  EXPECT_NEAR(sv.probability(0b10), 0.0, kTol);
+}
+
+TEST(StateVector, GatePreservesNorm) {
+  Rng rng(3);
+  StateVector sv(4);
+  for (std::uint32_t q = 0; q < 4; ++q) sv.h(q);
+  sv.cnot(0, 2);
+  sv.cz(1, 3);
+  sv.x(2);
+  sv.z(0);
+  sv.oracle([](std::uint64_t x) { return x % 3 == 0; });
+  sv.diffusion();
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+TEST(StateVector, SampleFollowsDistribution) {
+  StateVector sv(2);
+  sv.h(0);  // 50/50 on states 0 and 1
+  Rng rng(7);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[sv.sample(rng)]++;
+  EXPECT_NEAR(counts[0] / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(counts[1] / 10000.0, 0.5, 0.03);
+  EXPECT_EQ(counts[2] + counts[3], 0);
+}
+
+class GroverClosedFormTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(GroverClosedFormTest, MatchesSineFormula) {
+  const auto [qubits, marked_count] = GetParam();
+  const std::size_t dim = std::size_t{1} << qubits;
+  auto marked = [m = marked_count](std::uint64_t x) { return x < m; };
+  for (std::uint64_t t : {0ull, 1ull, 2ull, 3ull, 5ull}) {
+    const StateVector sv = grover_run(qubits, marked, t);
+    double p_good = 0;
+    for (std::uint64_t x = 0; x < dim; ++x) {
+      if (marked(x)) p_good += sv.probability(x);
+    }
+    EXPECT_NEAR(p_good, grover_success_probability(dim, marked_count, t),
+                1e-9)
+        << "qubits=" << qubits << " m=" << marked_count << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, GroverClosedFormTest,
+    ::testing::Values(std::pair{3u, 1ull}, std::pair{4u, 1ull},
+                      std::pair{4u, 3ull}, std::pair{5u, 2ull},
+                      std::pair{6u, 8ull}, std::pair{8u, 1ull}));
+
+TEST(GroverClosedForm, OptimalIterationNearlyCertain) {
+  // ~pi/4*sqrt(N) iterations for one marked item out of 256.
+  const double p = grover_success_probability(256, 1, 12);
+  EXPECT_GT(p, 0.99);
+}
+
+// ---------------------------------------------------------------------
+// Amplitude-level search vs state vector
+// ---------------------------------------------------------------------
+
+TEST(AmplifiedMeasure, AgreesWithStateVectorStatistics) {
+  const std::uint32_t qubits = 4;
+  const std::size_t dim = 16;
+  auto marked_fn = [](std::size_t x) { return x == 5 || x == 11; };
+  const std::vector<double> uniform(dim, 1.0 / dim);
+  for (std::uint64_t t : {1ull, 2ull, 4ull}) {
+    // Exact probability from the full state vector.
+    const StateVector sv = grover_run(
+        qubits, [&](std::uint64_t x) { return marked_fn(x); }, t);
+    double p_exact = 0;
+    for (std::size_t x = 0; x < dim; ++x) {
+      if (marked_fn(x)) p_exact += sv.probability(x);
+    }
+    // Empirical frequency from the amplitude-level engine.
+    Rng rng(42 + t);
+    int hits = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+      hits += amplified_measure(uniform, marked_fn, t, rng).found;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(trials), p_exact, 0.035)
+        << "t=" << t;
+  }
+}
+
+TEST(AmplifiedMeasure, HandlesNonUniformWeights) {
+  std::vector<double> w{0.7, 0.1, 0.1, 0.1};
+  auto marked = [](std::size_t x) { return x == 0; };
+  Rng rng(9);
+  // One Grover iteration with good mass 0.7: p = sin(3*asin(sqrt(.7)))^2.
+  const double theta = std::asin(std::sqrt(0.7));
+  const double p_exact = std::pow(std::sin(3 * theta), 2);
+  int hits = 0;
+  const int trials = 6000;
+  for (int i = 0; i < trials; ++i) {
+    hits += amplified_measure(w, marked, 1, rng).found;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), p_exact, 0.03);
+}
+
+TEST(AmplifiedMeasure, DegenerateMasses) {
+  Rng rng(10);
+  const std::vector<double> w{0.25, 0.25, 0.25, 0.25};
+  auto none = [](std::size_t) { return false; };
+  auto all = [](std::size_t) { return true; };
+  EXPECT_FALSE(amplified_measure(w, none, 3, rng).found);
+  EXPECT_TRUE(amplified_measure(w, all, 3, rng).found);
+}
+
+TEST(AmplifiedMeasure, RejectsBadWeights) {
+  Rng rng(11);
+  auto any = [](std::size_t) { return true; };
+  EXPECT_THROW(amplified_measure({}, any, 1, rng), ArgumentError);
+  EXPECT_THROW(amplified_measure({0.0, 0.0}, any, 1, rng), ArgumentError);
+  EXPECT_THROW(amplified_measure({-1.0, 2.0}, any, 1, rng), ArgumentError);
+}
+
+TEST(Bbht, FindsPlantedElementWithExpectedCalls) {
+  const std::size_t n = 1024;
+  std::vector<double> w(n, 1.0);
+  auto marked = [](std::size_t x) { return x == 137; };
+  Rng rng(13);
+  int found = 0;
+  std::uint64_t total_calls = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    const auto res = bbht_search(w, marked, 100000, rng);
+    found += res.found;
+    total_calls += res.oracle_calls;
+    if (res.found) {
+      EXPECT_EQ(res.index, 137u);
+    }
+  }
+  EXPECT_EQ(found, trials);
+  // Expected O(sqrt(n)) ~ 32; allow generous constant.
+  EXPECT_LT(total_calls / trials, 40 * 32u);
+  EXPECT_GT(total_calls / trials, 4u);
+}
+
+TEST(Bbht, BudgetExhaustionOnEmptyMarkedSet) {
+  std::vector<double> w(64, 1.0);
+  auto none = [](std::size_t) { return false; };
+  Rng rng(17);
+  const auto res = bbht_search(w, none, 500, rng);
+  EXPECT_FALSE(res.found);
+  EXPECT_GE(res.oracle_calls, 500u);
+}
+
+TEST(Lemma31Budget, ScalesAsInverseSqrtRho) {
+  const auto b1 = lemma31_budget(0.01, 0.01);
+  const auto b2 = lemma31_budget(0.0001, 0.01);
+  EXPECT_NEAR(static_cast<double>(b2) / static_cast<double>(b1), 10.0, 0.5);
+  EXPECT_THROW(lemma31_budget(0.0, 0.1), ArgumentError);
+  EXPECT_THROW(lemma31_budget(0.5, 1.0), ArgumentError);
+}
+
+TEST(QuantumMaxFind, FindsTopValueWithHighProbability) {
+  const std::size_t n = 256;
+  std::vector<std::int64_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<std::int64_t>(i % 50);
+  values[200] = 1000;  // unique max
+  std::vector<double> w(n, 1.0);
+  Rng rng(19);
+  int exact_hits = 0;
+  const int trials = 40;
+  for (int i = 0; i < trials; ++i) {
+    const auto res = quantum_max_find(
+        values, w, lemma31_budget(1.0 / n, 0.01), rng);
+    exact_hits += (res.value == 1000);
+  }
+  EXPECT_GE(exact_hits, trials * 9 / 10);
+}
+
+// The Lemma 3.1 guarantee: reach the top-ρ mass with probability
+// >= 1 - δ within the budget.
+class Lemma31GuaranteeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma31GuaranteeTest, ReachesTopRhoMass) {
+  const double rho = GetParam();
+  const std::size_t n = 500;
+  const auto top = static_cast<std::size_t>(rho * n);
+  std::vector<std::int64_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = (i < top) ? 100 : static_cast<std::int64_t>(i % 40);
+  }
+  std::vector<double> w(n, 1.0);
+  Rng rng(23);
+  const double delta = 0.05;
+  int ok = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    const auto res =
+        quantum_max_find(values, w, lemma31_budget(rho, delta), rng);
+    ok += (res.value == 100);
+  }
+  EXPECT_GE(ok, static_cast<int>(trials * (1.0 - 2 * delta)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, Lemma31GuaranteeTest,
+                         ::testing::Values(0.01, 0.05, 0.2));
+
+// ---------------------------------------------------------------------
+// Framework accounting
+// ---------------------------------------------------------------------
+
+TEST(Framework, RoundsFollowLemma31Formula) {
+  OptimizationProblem p;
+  p.values = {5, 1, 9, 3};
+  p.weights = {1, 1, 1, 1};
+  p.t0_rounds = 100;
+  p.t_setup_rounds = 7;
+  p.t_eval_rounds = 3;
+  p.rho = 0.25;
+  p.delta = 0.05;
+  Rng rng(29);
+  const auto res = framework_maximize(p, rng);
+  EXPECT_EQ(res.rounds, 100 + res.oracle_calls * 10);
+  EXPECT_EQ(res.budget_calls, lemma31_budget(0.25, 0.05));
+  EXPECT_EQ(res.value, 9);
+  EXPECT_EQ(res.index, 2u);
+}
+
+TEST(Framework, MinimizeFindsSmallest) {
+  OptimizationProblem p;
+  p.values = {5, 1, 9, 3, 7, 8, 2, 6};
+  p.weights.assign(8, 1.0);
+  p.rho = 1.0 / 8;
+  p.delta = 0.02;
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto res = framework_minimize(p, rng);
+    hits += (res.value == 1);
+  }
+  EXPECT_GE(hits, 27);
+}
+
+TEST(Framework, RejectsMalformedProblem) {
+  OptimizationProblem p;
+  p.values = {1, 2};
+  p.weights = {1.0};
+  Rng rng(1);
+  EXPECT_THROW(framework_maximize(p, rng), ArgumentError);
+  p.values.clear();
+  p.weights.clear();
+  EXPECT_THROW(framework_maximize(p, rng), ArgumentError);
+}
+
+}  // namespace
+}  // namespace qc::quantum

@@ -1,0 +1,209 @@
+// Unit tests for src/util: RNG, math helpers, table rendering, errors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/error.h"
+#include "util/mathx.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace qc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), ArgumentError);
+}
+
+TEST(Rng, BetweenCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, SampleIndicesDensity) {
+  Rng rng(23);
+  const auto s = rng.sample_indices(10000, 0.1);
+  EXPECT_NEAR(static_cast<double>(s.size()), 1000.0, 150.0);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(5);
+  parent_copy.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child.next() == a.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Mathx, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(1023), 9u);
+  EXPECT_EQ(ilog2(1024), 10u);
+}
+
+TEST(Mathx, Clog2) {
+  EXPECT_EQ(clog2(1), 0u);
+  EXPECT_EQ(clog2(2), 1u);
+  EXPECT_EQ(clog2(3), 2u);
+  EXPECT_EQ(clog2(4), 2u);
+  EXPECT_EQ(clog2(5), 3u);
+  EXPECT_EQ(clog2(1024), 10u);
+  EXPECT_EQ(clog2(1025), 11u);
+}
+
+TEST(Mathx, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+}
+
+TEST(Mathx, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(99), 9u);
+  EXPECT_EQ(isqrt(100), 10u);
+  EXPECT_EQ(isqrt((1ULL << 40) - 1), (1ULL << 20) - 1);
+}
+
+TEST(Mathx, Csqrt) {
+  EXPECT_EQ(csqrt(4), 2u);
+  EXPECT_EQ(csqrt(5), 3u);
+  EXPECT_EQ(csqrt(9), 3u);
+}
+
+TEST(Mathx, BitsFor) {
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(256), 8u);
+  EXPECT_EQ(bits_for(257), 9u);
+}
+
+TEST(Mathx, DistAddSaturates) {
+  EXPECT_EQ(dist_add(1, 2), 3u);
+  EXPECT_EQ(dist_add(kInfDist, 5), kInfDist);
+  EXPECT_EQ(dist_add(5, kInfDist), kInfDist);
+  EXPECT_EQ(dist_add(kInfDist - 1, kInfDist - 1), kInfDist);
+}
+
+TEST(Mathx, FitPowerLawRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    xs.push_back(x);
+    ys.push_back(3.5 * std::pow(x, 1.7));
+  }
+  const auto [e, c] = fit_power_law(xs, ys);
+  EXPECT_NEAR(e, 1.7, 1e-9);
+  EXPECT_NEAR(c, 3.5, 1e-9);
+}
+
+TEST(Mathx, FitPowerLawRejectsBadInput) {
+  EXPECT_THROW(fit_power_law({1.0}, {1.0}), ArgumentError);
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {0.0, 1.0}), ArgumentError);
+  EXPECT_THROW(fit_power_law({2.0, 2.0}, {1.0, 1.0}), ArgumentError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 22.5);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ArgumentError);
+}
+
+TEST(Errors, CheckMacroThrowsInvariant) {
+  EXPECT_THROW(QC_CHECK(false, "boom"), InvariantError);
+}
+
+TEST(Errors, RequireMacroThrowsArgument) {
+  EXPECT_THROW(QC_REQUIRE(false, "bad arg"), ArgumentError);
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,218 @@
+// qcongest command-line interface.
+//
+//   qcongest_cli diameter  [--n N] [--family ER|grid|cliques|path]
+//                          [--maxw W] [--seed S] [--radius]
+//                          [--eps-inv E] [--graph FILE]
+//   qcongest_cli gadget    [--h H] [--radius] [--seed S] [--full]
+//   qcongest_cli degree    --k K [--or] [--eps NUM/DEN]
+//   qcongest_cli baseline  [--n N] [--seed S]
+//   qcongest_cli params    --n N --d D
+//
+// Runs the paper's algorithms on generated or user-provided networks
+// (wgraph v1 format; see graph/io.h) and prints the results with their
+// CONGEST round bills.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/approx.h"
+#include "core/baselines.h"
+#include "core/theorem11.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "lowerbound/approxdeg.h"
+#include "lowerbound/boolfn.h"
+#include "lowerbound/server.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qc;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  std::map<std::string, bool> flags;
+
+  std::uint64_t num(const std::string& key, std::uint64_t def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : std::stoull(it->second);
+  }
+  std::string str(const std::string& key, const std::string& def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  bool flag(const std::string& key) const {
+    return flags.count(key) != 0;
+  }
+};
+
+Args parse_args(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      throw ArgumentError("unexpected argument: " + tok);
+    }
+    tok = tok.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      a.kv[tok] = argv[++i];
+    } else {
+      a.flags[tok] = true;
+    }
+  }
+  return a;
+}
+
+WeightedGraph make_graph(const Args& a) {
+  if (a.kv.count("graph")) {
+    return load_graph(a.str("graph", ""));
+  }
+  const auto n = static_cast<NodeId>(a.num("n", 64));
+  const Weight w = a.num("maxw", 10);
+  Rng rng(a.num("seed", 1));
+  const std::string family = a.str("family", "ER");
+  WeightedGraph g;
+  if (family == "ER") {
+    g = gen::erdos_renyi_connected(
+        n, 3.0 * std::log2(double(n)) / n, rng);
+  } else if (family == "grid") {
+    const auto side = static_cast<NodeId>(std::sqrt(double(n)));
+    g = gen::grid(side, side);
+  } else if (family == "cliques") {
+    g = gen::path_of_cliques(std::max<NodeId>(1, n / 4), 4);
+  } else if (family == "path") {
+    g = gen::path(n);
+  } else {
+    throw ArgumentError("unknown family: " + family);
+  }
+  return gen::randomize_weights(g, w, rng);
+}
+
+int cmd_diameter(const Args& a) {
+  const auto g = make_graph(a);
+  const bool radius = a.flag("radius");
+  core::Theorem11Options opt;
+  opt.seed = a.num("seed", 1);
+  opt.eps_inv = static_cast<std::uint32_t>(a.num("eps-inv", 0));
+  const auto res = radius ? core::quantum_weighted_radius(g, opt)
+                          : core::quantum_weighted_diameter(g, opt);
+  std::printf("network: %s, D = %llu\n", g.summary().c_str(),
+              (unsigned long long)unweighted_diameter(g));
+  std::printf("%s estimate: %.1f (exact %llu, ratio %.4f, bound %.4f)\n",
+              radius ? "radius" : "diameter", res.estimate,
+              (unsigned long long)res.exact, res.ratio,
+              (1 + res.epsilon) * (1 + res.epsilon));
+  std::printf("charged rounds: %llu (outer %llu calls x (T1 %llu + T2 "
+              "%llu)); validated: %s\n",
+              (unsigned long long)res.rounds,
+              (unsigned long long)res.outer_calls,
+              (unsigned long long)res.t1_outer,
+              (unsigned long long)res.t2_outer,
+              res.distributed_value_matches ? "yes" : "NO");
+  return res.within_bound ? 0 : 2;
+}
+
+int cmd_gadget(const Args& a) {
+  const auto h = static_cast<std::uint32_t>(a.num("h", 4));
+  const bool radius = a.flag("radius");
+  const bool full = a.flag("full");
+  const auto params = qc::lb::GadgetParams::paper(h);
+  Rng rng(a.num("seed", 1));
+  const auto input =
+      qc::lb::random_input(1ull << params.s, params.ell, rng);
+  const auto check =
+      radius ? qc::lb::check_radius_reduction(params, input, full)
+             : qc::lb::check_diameter_reduction(params, input, full);
+  std::printf("gadget h=%u: n=%llu, F%s(x,y)=%d, measured %s = %llu\n", h,
+              (unsigned long long)params.node_count(), radius ? "'" : "",
+              check.f_value, radius ? "radius" : "diameter",
+              (unsigned long long)check.measured);
+  std::printf("thresholds: YES <= %llu, NO >= %llu; dichotomy holds: %s; "
+              "3/2-separable: %s\n",
+              (unsigned long long)check.threshold_high,
+              (unsigned long long)check.threshold_low,
+              check.gap_respected ? "yes" : "NO",
+              check.distinguishable ? "yes" : "NO");
+  return check.gap_respected ? 0 : 2;
+}
+
+int cmd_degree(const Args& a) {
+  const auto k = a.num("k", 16);
+  const bool use_or = a.flag("or");
+  const double eps = 1.0 / 3.0;
+  const auto levels =
+      use_or ? qc::lb::or_levels(k) : qc::lb::and_levels(k);
+  const auto d = qc::lb::approx_degree_symmetric(levels, eps);
+  std::printf("deg_{1/3}(%s_%llu) = %u  (sqrt(k) = %.2f)\n",
+              use_or ? "OR" : "AND", (unsigned long long)k, d,
+              std::sqrt(double(k)));
+  return 0;
+}
+
+int cmd_baseline(const Args& a) {
+  const auto g = make_graph(a);
+  const auto classical = core::classical_unweighted_diameter(g);
+  const auto lgm = core::lgm_quantum_unweighted_diameter(g, a.num("seed", 1));
+  const auto th = core::three_halves_unweighted_diameter(g, a.num("seed", 1));
+  const auto two = core::two_approx_weighted_diameter(g);
+  TextTable t({"algorithm", "answer", "rounds"});
+  t.add("classical exact APSP (unweighted)", classical.value,
+        classical.stats.rounds);
+  t.add("quantum LGM block search (unweighted)", lgm.value, lgm.rounds);
+  t.add("3/2-approx (unweighted)", th.estimate, th.stats.rounds);
+  t.add("2-approx via SSSP (weighted, upper bound)", two.upper_bound,
+        two.stats.rounds);
+  std::printf("network: %s\n%s", g.summary().c_str(), t.render().c_str());
+  return 0;
+}
+
+int cmd_params(const Args& a) {
+  const auto n = static_cast<std::uint32_t>(a.num("n", 1024));
+  const auto d = a.num("d", 16);
+  const auto p = qc::paths::Params::make(n, d);
+  std::printf("Eq. (1) at n=%u, D=%llu:\n", n, (unsigned long long)d);
+  std::printf("  eps = 1/%u, r = %llu, ell = %llu, k = %llu\n", p.eps_inv,
+              (unsigned long long)p.r, (unsigned long long)p.ell,
+              (unsigned long long)p.k);
+  std::printf("  paper bound: ~%.0f rounds vs classical ~%.0f\n",
+              core::model::theorem11_rounds(n, d),
+              core::model::classical_weighted_rounds(n));
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: qcongest_cli <command> [options]\n"
+      "  diameter  [--n N] [--family ER|grid|cliques|path] [--maxw W]\n"
+      "            [--seed S] [--radius] [--eps-inv E] [--graph FILE]\n"
+      "  gadget    [--h H] [--radius] [--seed S] [--full]\n"
+      "  degree    --k K [--or]\n"
+      "  baseline  [--n N] [--seed S] [--family ...] [--graph FILE]\n"
+      "  params    --n N --d D\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  try {
+    const std::string cmd = argv[1];
+    const Args a = parse_args(argc, argv, 2);
+    if (cmd == "diameter") return cmd_diameter(a);
+    if (cmd == "gadget") return cmd_gadget(a);
+    if (cmd == "degree") return cmd_degree(a);
+    if (cmd == "baseline") return cmd_baseline(a);
+    if (cmd == "params") return cmd_params(a);
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
