@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_diameter_gadget.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_contraction.dir/bench_fig3_contraction.cpp.o"
+  "CMakeFiles/bench_fig3_contraction.dir/bench_fig3_contraction.cpp.o.d"
+  "bench_fig3_contraction"
+  "bench_fig3_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_radius_gadget.dir/bench_fig4_radius_gadget.cpp.o"
+  "CMakeFiles/bench_fig4_radius_gadget.dir/bench_fig4_radius_gadget.cpp.o.d"
+  "bench_fig4_radius_gadget"
+  "bench_fig4_radius_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_radius_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_framework_ablation.dir/bench_framework_ablation.cpp.o"
+  "CMakeFiles/bench_framework_ablation.dir/bench_framework_ablation.cpp.o.d"
+  "bench_framework_ablation"
+  "bench_framework_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_framework_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem11_ablation.dir/bench_theorem11_ablation.cpp.o"
+  "CMakeFiles/bench_theorem11_ablation.dir/bench_theorem11_ablation.cpp.o.d"
+  "bench_theorem11_ablation"
+  "bench_theorem11_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem11_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem11_scaling.dir/bench_theorem11_scaling.cpp.o"
+  "CMakeFiles/bench_theorem11_scaling.dir/bench_theorem11_scaling.cpp.o.d"
+  "bench_theorem11_scaling"
+  "bench_theorem11_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem11_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grover_playground.dir/grover_playground.cpp.o"
+  "CMakeFiles/grover_playground.dir/grover_playground.cpp.o.d"
+  "grover_playground"
+  "grover_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grover_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_network_demo.dir/quantum_network_demo.cpp.o"
+  "CMakeFiles/quantum_network_demo.dir/quantum_network_demo.cpp.o.d"
+  "quantum_network_demo"
+  "quantum_network_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_network_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

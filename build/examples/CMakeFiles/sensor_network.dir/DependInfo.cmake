@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sensor_network.cpp" "examples/CMakeFiles/sensor_network.dir/sensor_network.cpp.o" "gcc" "examples/CMakeFiles/sensor_network.dir/sensor_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/qc_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/qc_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/qc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_congest.dir/primitives.cpp.o"
+  "CMakeFiles/qc_congest.dir/primitives.cpp.o.d"
+  "CMakeFiles/qc_congest.dir/simulator.cpp.o"
+  "CMakeFiles/qc_congest.dir/simulator.cpp.o.d"
+  "libqc_congest.a"
+  "libqc_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx.cpp" "src/core/CMakeFiles/qc_core.dir/approx.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/approx.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/qc_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/events.cpp" "src/core/CMakeFiles/qc_core.dir/events.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/events.cpp.o.d"
+  "/root/repo/src/core/theorem11.cpp" "src/core/CMakeFiles/qc_core.dir/theorem11.cpp.o" "gcc" "src/core/CMakeFiles/qc_core.dir/theorem11.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paths/CMakeFiles/qc_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/qc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_core.dir/approx.cpp.o"
+  "CMakeFiles/qc_core.dir/approx.cpp.o.d"
+  "CMakeFiles/qc_core.dir/baselines.cpp.o"
+  "CMakeFiles/qc_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/qc_core.dir/events.cpp.o"
+  "CMakeFiles/qc_core.dir/events.cpp.o.d"
+  "CMakeFiles/qc_core.dir/theorem11.cpp.o"
+  "CMakeFiles/qc_core.dir/theorem11.cpp.o.d"
+  "libqc_core.a"
+  "libqc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowerbound/approxdeg.cpp" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/approxdeg.cpp.o" "gcc" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/approxdeg.cpp.o.d"
+  "/root/repo/src/lowerbound/boolfn.cpp" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/boolfn.cpp.o" "gcc" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/boolfn.cpp.o.d"
+  "/root/repo/src/lowerbound/gadget.cpp" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/gadget.cpp.o" "gcc" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/gadget.cpp.o.d"
+  "/root/repo/src/lowerbound/protocol.cpp" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/protocol.cpp.o" "gcc" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/protocol.cpp.o.d"
+  "/root/repo/src/lowerbound/server.cpp" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/server.cpp.o" "gcc" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/server.cpp.o.d"
+  "/root/repo/src/lowerbound/table2.cpp" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/table2.cpp.o" "gcc" "src/lowerbound/CMakeFiles/qc_lowerbound.dir/table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/qc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_lowerbound.dir/approxdeg.cpp.o"
+  "CMakeFiles/qc_lowerbound.dir/approxdeg.cpp.o.d"
+  "CMakeFiles/qc_lowerbound.dir/boolfn.cpp.o"
+  "CMakeFiles/qc_lowerbound.dir/boolfn.cpp.o.d"
+  "CMakeFiles/qc_lowerbound.dir/gadget.cpp.o"
+  "CMakeFiles/qc_lowerbound.dir/gadget.cpp.o.d"
+  "CMakeFiles/qc_lowerbound.dir/protocol.cpp.o"
+  "CMakeFiles/qc_lowerbound.dir/protocol.cpp.o.d"
+  "CMakeFiles/qc_lowerbound.dir/server.cpp.o"
+  "CMakeFiles/qc_lowerbound.dir/server.cpp.o.d"
+  "CMakeFiles/qc_lowerbound.dir/table2.cpp.o"
+  "CMakeFiles/qc_lowerbound.dir/table2.cpp.o.d"
+  "libqc_lowerbound.a"
+  "libqc_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

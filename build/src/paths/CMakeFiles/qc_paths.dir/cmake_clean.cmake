@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_paths.dir/distributed.cpp.o"
+  "CMakeFiles/qc_paths.dir/distributed.cpp.o.d"
+  "CMakeFiles/qc_paths.dir/params.cpp.o"
+  "CMakeFiles/qc_paths.dir/params.cpp.o.d"
+  "CMakeFiles/qc_paths.dir/reference.cpp.o"
+  "CMakeFiles/qc_paths.dir/reference.cpp.o.d"
+  "libqc_paths.a"
+  "libqc_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantum/framework.cpp" "src/quantum/CMakeFiles/qc_quantum.dir/framework.cpp.o" "gcc" "src/quantum/CMakeFiles/qc_quantum.dir/framework.cpp.o.d"
+  "/root/repo/src/quantum/qnetwork.cpp" "src/quantum/CMakeFiles/qc_quantum.dir/qnetwork.cpp.o" "gcc" "src/quantum/CMakeFiles/qc_quantum.dir/qnetwork.cpp.o.d"
+  "/root/repo/src/quantum/search.cpp" "src/quantum/CMakeFiles/qc_quantum.dir/search.cpp.o" "gcc" "src/quantum/CMakeFiles/qc_quantum.dir/search.cpp.o.d"
+  "/root/repo/src/quantum/statevector.cpp" "src/quantum/CMakeFiles/qc_quantum.dir/statevector.cpp.o" "gcc" "src/quantum/CMakeFiles/qc_quantum.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_quantum.dir/framework.cpp.o"
+  "CMakeFiles/qc_quantum.dir/framework.cpp.o.d"
+  "CMakeFiles/qc_quantum.dir/qnetwork.cpp.o"
+  "CMakeFiles/qc_quantum.dir/qnetwork.cpp.o.d"
+  "CMakeFiles/qc_quantum.dir/search.cpp.o"
+  "CMakeFiles/qc_quantum.dir/search.cpp.o.d"
+  "CMakeFiles/qc_quantum.dir/statevector.cpp.o"
+  "CMakeFiles/qc_quantum.dir/statevector.cpp.o.d"
+  "libqc_quantum.a"
+  "libqc_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_goldens.dir/test_goldens.cpp.o"
+  "CMakeFiles/test_goldens.dir/test_goldens.cpp.o.d"
+  "test_goldens"
+  "test_goldens.pdb"
+  "test_goldens[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_goldens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

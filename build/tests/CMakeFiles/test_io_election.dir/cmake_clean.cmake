@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_election.dir/test_io_election.cpp.o"
+  "CMakeFiles/test_io_election.dir/test_io_election.cpp.o.d"
+  "test_io_election"
+  "test_io_election.pdb"
+  "test_io_election[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

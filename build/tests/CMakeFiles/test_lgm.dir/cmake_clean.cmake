@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lgm.dir/test_lgm.cpp.o"
+  "CMakeFiles/test_lgm.dir/test_lgm.cpp.o.d"
+  "test_lgm"
+  "test_lgm.pdb"
+  "test_lgm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

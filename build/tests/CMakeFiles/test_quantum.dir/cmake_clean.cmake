@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantum.dir/test_quantum.cpp.o"
+  "CMakeFiles/test_quantum.dir/test_quantum.cpp.o.d"
+  "test_quantum"
+  "test_quantum.pdb"
+  "test_quantum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

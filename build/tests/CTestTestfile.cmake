@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_congest[1]_include.cmake")
+include("/root/repo/build/tests/test_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_quantum[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound[1]_include.cmake")
+include("/root/repo/build/tests/test_approx[1]_include.cmake")
+include("/root/repo/build/tests/test_qnetwork[1]_include.cmake")
+include("/root/repo/build/tests/test_lgm[1]_include.cmake")
+include("/root/repo/build/tests/test_io_election[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_goldens[1]_include.cmake")
+include("/root/repo/build/tests/test_events[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcongest_cli.dir/qcongest_cli.cpp.o"
+  "CMakeFiles/qcongest_cli.dir/qcongest_cli.cpp.o.d"
+  "qcongest_cli"
+  "qcongest_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcongest_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
