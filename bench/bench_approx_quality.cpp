@@ -2,6 +2,10 @@
 // realized approximation ratio of d̃^ℓ and d̃_{G,w,S} across graph
 // families, weight ranges, and the Eq. (1) parameter choices — showing
 // the measured quality sits comfortably inside the proven (1+ε)² bound.
+//
+// Both sweeps (family table, ε ablation) run on the sweep executor:
+// each cell builds its own graph and toolkit in parallel, and the
+// printed numbers are the deterministic per-cell aggregates.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -10,98 +14,129 @@
 #include "graph/generators.h"
 #include "paths/params.h"
 #include "paths/reference.h"
+#include "runtime/sweep.h"
+#include "runtime/thread_pool.h"
 #include "util/table.h"
 
+namespace {
+
+using namespace qc;
+using namespace qc::paths;
+
+/// Realized ratio of the skeleton's approximate distances vs exact
+/// Dijkstra over a few sampled sets (the Lemma 3.3 machinery).
+runtime::TaskOutput measure_family(const runtime::SweepPoint& p,
+                                   const WeightedGraph& g) {
+  const NodeId n = g.node_count();
+  const Dist d = unweighted_diameter(g);
+  const auto params = Params::make(n, std::max<Dist>(1, d));
+  ToolkitCache cache(g, params);
+
+  Rng srng(runtime::derive_seed(p.seed, 7));
+  double max_ratio = 0;
+  double sum_ratio = 0;
+  std::size_t pairs = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<NodeId> set;
+    for (NodeId v = 0; v < n; ++v) {
+      if (srng.chance(double(params.r) / n)) set.push_back(v);
+    }
+    if (set.empty()) set.push_back(srng.below(n));
+    const auto sk = cache.skeleton(set);
+    const double scale = double(sk.total_scale());
+    for (std::uint32_t s = 0; s < sk.size(); ++s) {
+      const auto exact = dijkstra(g, sk.members[s]);
+      for (NodeId v = 0; v < n; ++v) {
+        if (exact[v] == 0) continue;
+        const double ratio =
+            double(sk.approx_distance(s, v)) / (scale * double(exact[v]));
+        max_ratio = std::max(max_ratio, ratio);
+        sum_ratio += ratio;
+        ++pairs;
+      }
+    }
+  }
+  runtime::TaskOutput out;
+  out.metrics["n"] = double(n);
+  out.metrics["D"] = double(d);
+  out.metrics["eps"] = params.epsilon();
+  out.metrics["max_ratio"] = max_ratio;
+  out.metrics["mean_ratio"] = pairs ? sum_ratio / double(pairs) : 0.0;
+  out.metrics["pairs"] = double(pairs);
+  return out;
+}
+
+/// ε ablation (Lemma 3.2 machinery): tightening ε tightens the realized
+/// hop-bounded ratio and raises the cost via more scales/longer caps.
+runtime::TaskOutput measure_eps(const runtime::SweepPoint& p,
+                                const WeightedGraph& g) {
+  const NodeId n = g.node_count();
+  const HopScale hs{n, p.eps_inv, g.max_weight()};
+  double max_ratio = 0;
+  for (NodeId s = 0; s < n; s += 11) {
+    const auto approx = approx_bounded_hop_from(g, s, hs);
+    const auto exact = dijkstra(g, s);
+    for (NodeId v = 0; v < n; ++v) {
+      if (exact[v] == 0 || approx[v] >= kInfDist) continue;
+      max_ratio = std::max(
+          max_ratio, double(approx[v]) / (double(hs.sigma()) *
+                                          double(exact[v])));
+    }
+  }
+  runtime::TaskOutput out;
+  out.metrics["max_ratio"] = max_ratio;
+  out.metrics["weight_scales"] = double(hs.scale_count());
+  out.metrics["rounded_cap"] = double(hs.rounded_cap());
+  return out;
+}
+
+double cell_metric(const runtime::SweepCell& cell, const char* name) {
+  const auto it = cell.metrics.find(name);
+  return it == cell.metrics.end() ? 0.0 : it->second.mean;
+}
+
+}  // namespace
+
 int main() {
-  using namespace qc;
-  using namespace qc::paths;
-
   std::printf("Approximation quality (Lemmas 3.2 / 3.3)\n\n");
+  runtime::ThreadPool pool;
 
-  struct Family {
-    const char* name;
-    WeightedGraph g;
-  };
-  Rng rng(21);
-  std::vector<Family> families;
-  families.push_back({"ER (D~log n)", gen::randomize_weights(
-                                          gen::erdos_renyi_connected(
-                                              64, 0.12, rng),
-                                          16, rng)});
-  families.push_back(
-      {"grid 8x8", gen::randomize_weights(gen::grid(8, 8), 16, rng)});
-  families.push_back(
-      {"path_of_cliques", gen::randomize_weights(
-                              gen::path_of_cliques(12, 5), 16, rng)});
-  families.push_back(
-      {"star+chords", gen::randomize_weights(gen::star(64), 16, rng)});
+  runtime::SweepSpec families;
+  families.ns = {64};
+  families.families = {"ER", "grid", "cliques", "star"};
+  families.seeds = 2;
+  families.max_weight = 16;
+  families.base_seed = 21;
+  const auto fam = runtime::run_sweep(families, measure_family, pool);
 
   TextTable t({"family", "n", "D", "eps", "max ratio d~ vs d", "bound "
                "(1+eps)^2", "mean ratio", "pairs"});
-  for (const auto& fam : families) {
-    const auto& g = fam.g;
-    const NodeId n = g.node_count();
-    const Dist d = unweighted_diameter(g);
-    const auto params = Params::make(n, std::max<Dist>(1, d));
-    ToolkitCache cache(g, params);
-
-    // Sample a few sets and measure the realized ratio of the final
-    // approximate distances.
-    Rng srng(7);
-    double max_ratio = 0;
-    double sum_ratio = 0;
-    std::size_t pairs = 0;
-    for (int trial = 0; trial < 4; ++trial) {
-      std::vector<NodeId> set;
-      for (NodeId v = 0; v < n; ++v) {
-        if (srng.chance(double(params.r) / n)) set.push_back(v);
-      }
-      if (set.empty()) set.push_back(srng.below(n));
-      const auto sk = cache.skeleton(set);
-      const double scale = double(sk.total_scale());
-      for (std::uint32_t s = 0; s < sk.size(); ++s) {
-        const auto exact = dijkstra(g, sk.members[s]);
-        for (NodeId v = 0; v < n; ++v) {
-          if (exact[v] == 0) continue;
-          const double ratio =
-              double(sk.approx_distance(s, v)) / (scale * double(exact[v]));
-          max_ratio = std::max(max_ratio, ratio);
-          sum_ratio += ratio;
-          ++pairs;
-        }
-      }
-    }
-    const double eps = params.epsilon();
-    t.add(fam.name, n, d, eps, max_ratio, (1 + eps) * (1 + eps),
-          pairs ? sum_ratio / double(pairs) : 0.0, pairs);
+  for (const auto& cell : fam.cells) {
+    const double eps = cell_metric(cell, "eps");
+    t.add(cell.family, cell_metric(cell, "n"), cell_metric(cell, "D"), eps,
+          cell.metrics.at("max_ratio").max, (1 + eps) * (1 + eps),
+          cell_metric(cell, "mean_ratio"), cell_metric(cell, "pairs"));
   }
   std::printf("%s\n", t.render().c_str());
 
-  // Epsilon sweep on one family: tightening eps tightens the realized
-  // ratio (and raises the round cost via more scales / longer caps).
   std::printf("-- eps sweep (ER n=48): realized ratio and scale count "
               "--\n");
+  runtime::SweepSpec ablation;
+  ablation.ns = {48};
+  ablation.families = {"ER"};
+  ablation.seeds = 1;
+  ablation.eps_invs = {1, 2, 4, 8, 16};
+  ablation.max_weight = 12;
+  ablation.base_seed = 31;
+  const auto eps_sweep = runtime::run_sweep(ablation, measure_eps, pool);
+
   TextTable e({"eps_inv", "max ratio", "bound", "weight scales",
                "rounded cap"});
-  Rng rng2(31);
-  const auto g = gen::randomize_weights(
-      gen::erdos_renyi_connected(48, 0.15, rng2), 12, rng2);
-  for (const std::uint32_t eps_inv : {1u, 2u, 4u, 8u, 16u}) {
-    const HopScale hs{48, eps_inv, g.max_weight()};
-    double max_ratio = 0;
-    for (NodeId s = 0; s < 48; s += 11) {
-      const auto approx = approx_bounded_hop_from(g, s, hs);
-      const auto exact = dijkstra(g, s);
-      for (NodeId v = 0; v < 48; ++v) {
-        if (exact[v] == 0 || approx[v] >= kInfDist) continue;
-        max_ratio = std::max(
-            max_ratio, double(approx[v]) / (double(hs.sigma()) *
-                                            double(exact[v])));
-      }
-    }
-    e.add(eps_inv, max_ratio, 1.0 + 1.0 / eps_inv, hs.scale_count(),
-          hs.rounded_cap());
+  for (const auto& cell : eps_sweep.cells) {
+    e.add(cell.eps_inv, cell_metric(cell, "max_ratio"),
+          1.0 + 1.0 / cell.eps_inv, cell_metric(cell, "weight_scales"),
+          cell_metric(cell, "rounded_cap"));
   }
   std::printf("%s", e.render().c_str());
-  return 0;
+  return fam.failures + eps_sweep.failures == 0 ? 0 : 1;
 }

@@ -112,6 +112,11 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
   }
 
   std::vector<std::vector<Incoming>> inboxes(n);
+  // Traffic already reported through on_round_metrics; the round-0
+  // report then picks up on_start sends too (they are queued at
+  // round_ == 0, before the first loop iteration).
+  std::uint64_t reported_messages = 0;
+  std::uint64_t reported_bits = 0;
   for (;;) {
     // Deliver: this round's inbox is last round's outbox.
     for (NodeId v = 0; v < n; ++v) {
@@ -133,11 +138,20 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
     }
     if (all_done && !had_messages) break;
 
+    NodeId active = 0;
     for (NodeId v = 0; v < n; ++v) {
       sender_done_[v] = programs[v]->done() && inboxes[v].empty();
       if (sender_done_[v]) continue;  // silent this round
       programs[v]->on_round(contexts[v], inboxes[v]);
       sender_done_[v] = false;
+      ++active;
+    }
+    if (config_.on_round_metrics) {
+      config_.on_round_metrics(RoundMetrics{
+          round_, stats_.messages - reported_messages,
+          stats_.bits - reported_bits, active});
+      reported_messages = stats_.messages;
+      reported_bits = stats_.bits;
     }
     ++round_;
     if (round_ > config_.max_rounds) {

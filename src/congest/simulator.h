@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -24,6 +25,15 @@
 #include "util/rng.h"
 
 namespace qc::congest {
+
+/// Per-round observability snapshot handed to Config::on_round_metrics
+/// after each executed round.
+struct RoundMetrics {
+  std::uint64_t round = 0;     ///< the round that just executed
+  std::uint64_t messages = 0;  ///< messages queued during that round
+  std::uint64_t bits = 0;      ///< bits queued during that round
+  NodeId active_nodes = 0;     ///< nodes whose on_round ran
+};
 
 /// Engine configuration.
 struct Config {
@@ -38,6 +48,10 @@ struct Config {
   /// Record every message (round, from, to, bits) — used by the
   /// lower-bound simulation lemma to meter cross-partition traffic.
   bool record_trace = false;
+  /// Opt-in per-round observability hook (e.g. feeding a
+  /// runtime::MetricsRegistry via runtime::attach_simulator_metrics).
+  /// Called once after every executed round; empty = no overhead.
+  std::function<void(const RoundMetrics&)> on_round_metrics;
 };
 
 /// One recorded message (sent during `round`, delivered in round+1).
@@ -147,7 +161,7 @@ class Simulator {
 /// Convenience: run a homogeneous program type over every node.
 /// `make(node_id)` builds the per-node instance. Returns stats and the
 /// program objects (so callers can read per-node outputs).
-template <typename Program, typename Factory>
+template <typename Program>
 struct HomogeneousRun {
   RunStats stats;
   std::vector<std::unique_ptr<NodeProgram>> programs;
@@ -159,9 +173,8 @@ struct HomogeneousRun {
 };
 
 template <typename Program, typename Factory>
-HomogeneousRun<Program, Factory> run_on_all(const WeightedGraph& g,
-                                            Factory&& make,
-                                            Config config = {}) {
+HomogeneousRun<Program> run_on_all(const WeightedGraph& g, Factory&& make,
+                                   Config config = {}) {
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.reserve(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) {

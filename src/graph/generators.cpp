@@ -1,6 +1,7 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <queue>
 
@@ -201,6 +202,40 @@ WeightedGraph random_regular(NodeId n, std::uint32_t degree, Rng& rng) {
     g.add_edge(reps[i - 1], reps[i]);
   }
   return g;
+}
+
+WeightedGraph from_family(const std::string& family, NodeId n, Weight max_w,
+                          Rng& rng) {
+  QC_REQUIRE(n >= 1, "family instance needs n >= 1");
+  QC_REQUIRE(max_w >= 1, "max_w must be >= 1");
+  WeightedGraph g;
+  if (family == "ER") {
+    g = erdos_renyi_connected(
+        n, 3.0 * std::log2(double(std::max<NodeId>(n, 2))) / double(n), rng);
+  } else if (family == "grid") {
+    const auto side = std::max<NodeId>(
+        1, static_cast<NodeId>(std::sqrt(double(n))));
+    g = grid(side, side);
+  } else if (family == "cliques") {
+    g = path_of_cliques(std::max<NodeId>(1, n / 4), 4);
+  } else if (family == "path") {
+    g = path(n);
+  } else if (family == "cycle") {
+    g = cycle(std::max<NodeId>(3, n));
+  } else if (family == "star") {
+    g = star(std::max<NodeId>(2, n));
+  } else if (family == "tree") {
+    g = random_tree(n, rng);
+  } else if (family == "regular") {
+    g = random_regular(std::max<NodeId>(5, n), 4, rng);
+  } else if (family == "hypercube") {
+    g = hypercube(std::max<std::uint32_t>(1, ilog2(std::max<NodeId>(n, 2))));
+  } else if (family == "complete") {
+    g = complete(std::max<NodeId>(2, n));
+  } else {
+    throw ArgumentError("unknown graph family: " + family);
+  }
+  return randomize_weights(g, max_w, rng);
 }
 
 WeightedGraph planted_heavy_pair(NodeId n, Weight max_w, Weight boost,

@@ -63,6 +63,15 @@ WeightedGraph hypercube(std::uint32_t dims);
 /// diameter, expander-like.
 WeightedGraph random_regular(NodeId n, std::uint32_t degree, Rng& rng);
 
+/// Builds a named family instance at (approximately) n nodes with
+/// weights drawn uniformly from [1, max_w]. Families: "ER", "grid",
+/// "cliques", "path", "cycle", "star", "tree", "regular", "hypercube",
+/// "complete". Note grid/cliques/hypercube round n to their natural
+/// sizes (side², 4·⌊n/4⌋, 2^⌊log n⌋). This is the registry the sweep
+/// executor and the CLI share; unknown names throw ArgumentError.
+WeightedGraph from_family(const std::string& family, NodeId n, Weight max_w,
+                          Rng& rng);
+
 /// A weighted graph with a *planted* weighted diameter: random base
 /// weights in [1, max_w], plus one far pair (u, v) whose only
 /// connecting routes are re-weighted so that d_w(u,v) ≈ target. Useful

@@ -1,0 +1,194 @@
+#include "runtime/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace qc::runtime {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  QC_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    QC_REQUIRE(bounds_[i - 1] < bounds_[i],
+               "histogram bounds must be strictly increasing");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t slot = bounds_.size();  // overflow unless a bound catches v
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      slot = i;
+      break;
+    }
+  }
+  buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t n) {
+  QC_REQUIRE(start > 0 && factor > 1 && n > 0,
+             "exponential_buckets needs start > 0, factor > 1, n > 0");
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QC_REQUIRE(gauges_.find(name) == gauges_.end() &&
+                 histograms_.find(name) == histograms_.end(),
+             "metric name already used by another instrument kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QC_REQUIRE(counters_.find(name) == counters_.end() &&
+                 histograms_.find(name) == histograms_.end(),
+             "metric name already used by another instrument kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QC_REQUIRE(counters_.find(name) == counters_.end() &&
+                 gauges_.find(name) == gauges_.end(),
+             "metric name already used by another instrument kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) {
+      upper_bounds = exponential_buckets(1.0, 2.0, 24);
+    }
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  } else {
+    QC_REQUIRE(upper_bounds.empty() ||
+                   upper_bounds == it->second->upper_bounds(),
+               "histogram re-registered with different bucket bounds");
+  }
+  return *it->second;
+}
+
+std::string json_number(double v) {
+  QC_REQUIRE(std::isfinite(v), "cannot serialize non-finite value to JSON");
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string json_string(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << json_string(name) << ':' << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << json_string(name) << ':' << json_number(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << json_string(name) << ":{\"count\":" << h->count()
+       << ",\"sum\":" << json_number(h->sum()) << ",\"buckets\":[";
+    const auto counts = h->bucket_counts();
+    const auto& bounds = h->upper_bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) os << ',';
+      os << "{\"le\":";
+      if (i < bounds.size()) {
+        os << json_number(bounds[i]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ",\"count\":" << counts[i] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace qc::runtime

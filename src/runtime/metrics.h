@@ -1,0 +1,115 @@
+// Named metrics registry: counters, gauges, and fixed-bucket histograms
+// with a deterministic JSON serializer.
+//
+// The bench binaries historically printed ad-hoc stdout tables; batch
+// sweeps need the round/message/bit ledgers and good-event rates in a
+// machine-readable form instead. A `MetricsRegistry` collects them from
+// any number of threads (instruments are lock-free after registration)
+// and serializes to JSON with sorted keys and fixed float formatting, so
+// equal measurements produce byte-identical files — the property the
+// sweep determinism tests assert.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qc::runtime {
+
+/// Monotone event count. `add` is thread-safe and wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. a per-run ratio). Thread-safe.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// v <= upper_bounds[i] (first matching bucket, non-cumulative); one
+/// implicit overflow bucket catches the rest. Bounds are fixed at
+/// registration so merged/serialized histograms always line up.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; index bounds_.size() is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential bucket bounds {start, start*factor, ...} of length n —
+/// the default layout for round/bit ledgers spanning decades.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t n);
+
+/// Registry of named instruments. Lookup-or-create takes a lock;
+/// returned references stay valid and lock-free for the registry's
+/// lifetime. Names are unique per kind and may not be shared across
+/// kinds (a name is either a counter, a gauge, or a histogram).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Registering the same name again must pass identical bounds (or
+  /// none, which reuses the existing layout).
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  /// Serializes every instrument, keys sorted, floats via "%.17g":
+  /// {"counters":{...},"gauges":{...},"histograms":{name:
+  ///   {"count":N,"sum":S,"buckets":[{"le":b,"count":c},...]}}}
+  /// The overflow bucket serializes with "le":"inf".
+  std::string to_json() const;
+
+  /// Drops every instrument (references from before are invalidated).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Formats a double exactly and reproducibly for JSON ("%.17g", with
+/// integral values printed without exponent/fraction where possible).
+std::string json_number(double v);
+
+/// Escapes a string for use as a JSON string literal (adds quotes).
+std::string json_string(std::string_view s);
+
+}  // namespace qc::runtime

@@ -205,6 +205,59 @@ TEST(Simulator, TraceRecordsEveryMessage) {
   EXPECT_EQ(bits, stats.bits);
 }
 
+// A small broadcast wave: the root floods one token; every node
+// re-broadcasts the first time it hears it, then finishes.
+class BroadcastOnceProgram final : public NodeProgram {
+ public:
+  void on_start(NodeContext& ctx) override {
+    if (ctx.id() == 0) {
+      Message m;
+      m.push(1, 6);
+      ctx.broadcast(m);
+      sent_ = true;
+    }
+  }
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    if (!sent_ && !inbox.empty()) {
+      Message m;
+      m.push(1, 6);
+      ctx.broadcast(m);
+      sent_ = true;
+    }
+  }
+  bool done() const override { return sent_; }
+
+ private:
+  bool sent_ = false;
+};
+
+TEST(Simulator, TraceMatchesLedgerOnBroadcast) {
+  const auto g = gen::grid(3, 4);
+  Config cfg;
+  cfg.record_trace = true;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    programs.push_back(std::make_unique<BroadcastOnceProgram>());
+  }
+  Simulator sim(g, cfg);
+  const auto stats = sim.run(programs);
+  // One entry per queued message, and the per-entry bits sum to the
+  // ledger's total exactly.
+  ASSERT_EQ(sim.trace().size(), stats.messages);
+  std::uint64_t bits = 0;
+  std::uint64_t last_round = 0;
+  for (const auto& e : sim.trace()) {
+    bits += e.bits;
+    EXPECT_GE(e.round, last_round);  // rounds monotone in queue order
+    last_round = e.round;
+    EXPECT_LT(e.round, stats.rounds + 1);
+    EXPECT_TRUE(g.has_edge(e.from, e.to));
+  }
+  EXPECT_EQ(bits, stats.bits);
+  // Every node broadcast exactly once: degree sum = 2|E| messages.
+  EXPECT_EQ(stats.messages, 2 * g.edge_count());
+}
+
 TEST(Simulator, TraceOffByDefault) {
   const auto g = gen::path(4);
   std::vector<std::unique_ptr<NodeProgram>> programs;

@@ -1,0 +1,398 @@
+// Tests for the runtime subsystem: work-stealing pool semantics, seed
+// derivation, metrics instruments, and the sweep executor's determinism
+// contract (identical aggregated JSON at any worker count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "runtime/metrics.h"
+#include "runtime/sweep.h"
+#include "runtime/thread_pool.h"
+
+namespace qc::runtime {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON syntax checker (recursive descent). The sweep writes
+// machine-readable files; this parses them back so a malformed emitter
+// fails here rather than in a downstream notebook.
+// ---------------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_lit();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string_lit()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string_lit() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string_view want(lit);
+    if (s_.compare(pos_, want.size(), want) != 0) return false;
+    pos_ += want.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------
+
+TEST(DeriveSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {1ull, 2ull, 42ull}) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      seen.insert(derive_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 300u);  // no collisions across bases or indices
+}
+
+// ---------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 16,
+                            [&](std::size_t i) {
+                              if (i == 7) {
+                                throw ArgumentError("boom at 7");
+                              }
+                            }),
+               ArgumentError);
+  // The pool must stay usable after a failed batch.
+  std::atomic<int> count{0};
+  parallel_for(pool, 8, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[i] = i;
+  const auto out = parallel_map(pool, items, [](int v, std::size_t i) {
+    EXPECT_EQ(static_cast<std::size_t>(v), i);
+    return v * v;
+  });
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted: must not hang
+  EXPECT_EQ(pool.worker_count(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Metrics instruments
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("events");
+  ThreadPool pool(4);
+  parallel_for(pool, 1000, [&](std::size_t) { c.add(2); });
+  EXPECT_EQ(c.value(), 2000u);
+  EXPECT_EQ(&c, &reg.counter("events"));  // same instrument on re-lookup
+}
+
+TEST(Metrics, HistogramBucketsObservationsByUpperBound) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (const double v : {0.5, 1.0, 1.5, 3.0, 4.0, 7.9, 8.0, 9.0, 100.0}) {
+    h.observe(v);
+  }
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 5u);  // 4 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);      // 0.5, 1.0   (v <= 1)
+  EXPECT_EQ(counts[1], 1u);      // 1.5        (v <= 2)
+  EXPECT_EQ(counts[2], 2u);      // 3.0, 4.0   (v <= 4)
+  EXPECT_EQ(counts[3], 2u);      // 7.9, 8.0   (v <= 8)
+  EXPECT_EQ(counts[4], 2u);      // 9.0, 100.0 (overflow)
+  EXPECT_EQ(h.count(), 9u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 3.0 + 4.0 + 7.9 + 8.0 + 9.0 +
+                                100.0);
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), ArgumentError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), ArgumentError);
+  MetricsRegistry reg;
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW(reg.histogram("h"));            // reuse existing layout
+  EXPECT_NO_THROW(reg.histogram("h", {1.0, 2.0}));
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), ArgumentError);
+}
+
+TEST(Metrics, NamesAreUniqueAcrossKinds) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), ArgumentError);
+  EXPECT_THROW(reg.histogram("x"), ArgumentError);
+}
+
+TEST(Metrics, ExponentialBuckets) {
+  const auto b = exponential_buckets(1.0, 2.0, 4);
+  EXPECT_EQ(b, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_THROW(exponential_buckets(0.0, 2.0, 4), ArgumentError);
+}
+
+TEST(Metrics, JsonIsValidAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("z.count").add(3);
+  reg.counter("a.count").add(1);
+  reg.gauge("ratio").set(1.25);
+  reg.histogram("lat", {1.0, 10.0}).observe(5.0);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonParser(json).valid()) << json;
+  // Sorted keys: "a.count" must serialize before "z.count".
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"z.count\""));
+  EXPECT_NE(json.find("\"ratio\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sweep executor
+// ---------------------------------------------------------------------
+
+TaskOutput bfs_cell(const SweepPoint& p, const WeightedGraph& g) {
+  congest::Config cfg;
+  cfg.bandwidth_bits = p.bandwidth_bits;
+  cfg.seed = p.seed;
+  const auto res = congest::build_bfs_tree(g, 0, cfg);
+  TaskOutput out;
+  record_stats(out, res.stats);
+  return out;
+}
+
+TEST(Sweep, AggregatesInSpecOrder) {
+  SweepSpec spec;
+  spec.ns = {8, 16};
+  spec.families = {"path", "star"};
+  spec.seeds = 3;
+  ThreadPool pool(2);
+  const auto result = run_sweep(spec, bfs_cell, pool);
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.tasks, 12u);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.cells[0].n, 8u);
+  EXPECT_EQ(result.cells[0].family, "path");
+  EXPECT_EQ(result.cells[1].family, "star");
+  EXPECT_EQ(result.cells[2].n, 16u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.runs, 3u);
+    ASSERT_TRUE(cell.metrics.count("rounds"));
+    EXPECT_GE(cell.metrics.at("rounds").min, 1.0);
+    EXPECT_LE(cell.metrics.at("rounds").p50, cell.metrics.at("rounds").p95);
+  }
+}
+
+TEST(Sweep, WorkerCountDoesNotChangeAggregatedJson) {
+  SweepSpec spec;
+  spec.ns = {12, 24};
+  spec.families = {"ER", "tree"};
+  spec.seeds = 16;
+  spec.base_seed = 99;
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  const std::string a = to_json(run_sweep(spec, bfs_cell, two));
+  const std::string b = to_json(run_sweep(spec, bfs_cell, eight));
+  const std::string serial = to_json(run_sweep_serial(spec, bfs_cell));
+  EXPECT_EQ(a, b);       // byte-identical at different worker counts
+  EXPECT_EQ(a, serial);  // and identical to the single-thread reference
+}
+
+TEST(Sweep, JsonParsesBackAndEchoesSpec) {
+  SweepSpec spec;
+  spec.ns = {8};
+  spec.families = {"path"};
+  spec.seeds = 2;
+  ThreadPool pool(2);
+  const auto result = run_sweep(spec, bfs_cell, pool);
+  for (const bool timing : {false, true}) {
+    const std::string json = to_json(result, timing);
+    EXPECT_TRUE(JsonParser(json).valid()) << json;
+  }
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"families\":[\"path\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"seeds\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{\"bits\""), std::string::npos);
+  EXPECT_EQ(json.find("wall_seconds"), std::string::npos);
+  EXPECT_NE(to_json(result, true).find("wall_seconds"), std::string::npos);
+}
+
+TEST(Sweep, FailedTasksAreCountedNotFatal) {
+  SweepSpec spec;
+  spec.ns = {8};
+  spec.families = {"path"};
+  spec.seeds = 4;
+  ThreadPool pool(2);
+  const auto result = run_sweep(
+      spec,
+      [](const SweepPoint& p, const WeightedGraph& g) {
+        if (p.seed_index % 2 == 0) {
+          throw ArgumentError("planned failure");
+        }
+        return bfs_cell(p, g);
+      },
+      pool);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].runs, 2u);
+  EXPECT_EQ(result.cells[0].failures, 2u);
+  EXPECT_EQ(result.failures, 2u);
+  ASSERT_FALSE(result.cells[0].errors.empty());
+  EXPECT_NE(result.cells[0].errors[0].find("planned failure"),
+            std::string::npos);
+}
+
+TEST(Sweep, UnknownFamilyFailsEveryTask) {
+  SweepSpec spec;
+  spec.ns = {8};
+  spec.families = {"no-such-family"};
+  spec.seeds = 2;
+  ThreadPool pool(2);
+  const auto result = run_sweep(spec, bfs_cell, pool);
+  EXPECT_EQ(result.failures, 2u);
+}
+
+TEST(Sweep, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/sweep_roundtrip.json";
+  write_file(path, "{\"ok\":true}");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"ok\":true}");
+}
+
+// ---------------------------------------------------------------------
+// Simulator metrics hook
+// ---------------------------------------------------------------------
+
+TEST(SimulatorMetrics, HookTotalsMatchLedger) {
+  const auto g = gen::grid(4, 4);
+  MetricsRegistry reg;
+  congest::Config cfg;
+  attach_simulator_metrics(cfg, reg);
+  const auto res = congest::build_bfs_tree(g, 0, cfg);
+  EXPECT_EQ(reg.counter("sim.rounds").value(), res.stats.rounds);
+  EXPECT_EQ(reg.counter("sim.messages").value(), res.stats.messages);
+  EXPECT_EQ(reg.counter("sim.bits").value(), res.stats.bits);
+  auto& h = reg.histogram("sim.round_messages");
+  EXPECT_EQ(h.count(), res.stats.rounds);
+  EXPECT_DOUBLE_EQ(h.sum(), double(res.stats.messages));
+  EXPECT_TRUE(JsonParser(reg.to_json()).valid());
+}
+
+TEST(SimulatorMetrics, RoundsAreSequential) {
+  const auto g = gen::path(6);
+  congest::Config cfg;
+  std::vector<std::uint64_t> rounds;
+  cfg.on_round_metrics = [&](const congest::RoundMetrics& rm) {
+    rounds.push_back(rm.round);
+  };
+  congest::build_bfs_tree(g, 0, cfg);
+  ASSERT_FALSE(rounds.empty());
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    EXPECT_EQ(rounds[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace qc::runtime

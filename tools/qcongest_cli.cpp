@@ -7,16 +7,22 @@
 //   qcongest_cli degree    --k K [--or] [--eps NUM/DEN]
 //   qcongest_cli baseline  [--n N] [--seed S]
 //   qcongest_cli params    --n N --d D
+//   qcongest_cli sweep     [--n 64,128] [--family ER,grid] [--seeds K]
+//                          [--eps-inv 0,8] [--algo bfs|baseline|t11|
+//                          t11-radius] [--maxw W] [--seed S]
+//                          [--workers K] [--out FILE] [--round-metrics]
 //
 // Runs the paper's algorithms on generated or user-provided networks
 // (wgraph v1 format; see graph/io.h) and prints the results with their
-// CONGEST round bills.
+// CONGEST round bills. `sweep` fans a whole experiment grid out over a
+// work-stealing pool and writes aggregated JSON (docs/runtime.md).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "congest/primitives.h"
 #include "core/approx.h"
 #include "core/baselines.h"
 #include "core/theorem11.h"
@@ -26,6 +32,9 @@
 #include "lowerbound/approxdeg.h"
 #include "lowerbound/boolfn.h"
 #include "lowerbound/server.h"
+#include "runtime/metrics.h"
+#include "runtime/sweep.h"
+#include "runtime/thread_pool.h"
 #include "util/table.h"
 
 namespace {
@@ -71,24 +80,8 @@ WeightedGraph make_graph(const Args& a) {
     return load_graph(a.str("graph", ""));
   }
   const auto n = static_cast<NodeId>(a.num("n", 64));
-  const Weight w = a.num("maxw", 10);
   Rng rng(a.num("seed", 1));
-  const std::string family = a.str("family", "ER");
-  WeightedGraph g;
-  if (family == "ER") {
-    g = gen::erdos_renyi_connected(
-        n, 3.0 * std::log2(double(n)) / n, rng);
-  } else if (family == "grid") {
-    const auto side = static_cast<NodeId>(std::sqrt(double(n)));
-    g = gen::grid(side, side);
-  } else if (family == "cliques") {
-    g = gen::path_of_cliques(std::max<NodeId>(1, n / 4), 4);
-  } else if (family == "path") {
-    g = gen::path(n);
-  } else {
-    throw ArgumentError("unknown family: " + family);
-  }
-  return gen::randomize_weights(g, w, rng);
+  return gen::from_family(a.str("family", "ER"), n, a.num("maxw", 10), rng);
 }
 
 int cmd_diameter(const Args& a) {
@@ -183,6 +176,123 @@ int cmd_params(const Args& a) {
   return 0;
 }
 
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) throw ArgumentError("empty list argument: " + s);
+  return out;
+}
+
+template <typename T>
+std::vector<T> parse_num_list(const std::string& s) {
+  std::vector<T> out;
+  for (const auto& tok : split_commas(s)) {
+    out.push_back(static_cast<T>(std::stoull(tok)));
+  }
+  return out;
+}
+
+runtime::SweepFn make_sweep_fn(const std::string& algo,
+                               runtime::MetricsRegistry* registry) {
+  using runtime::SweepPoint;
+  using runtime::TaskOutput;
+  if (algo == "bfs") {
+    return [registry](const SweepPoint& p, const WeightedGraph& g) {
+      congest::Config cfg;
+      cfg.bandwidth_bits = p.bandwidth_bits;
+      cfg.seed = p.seed;
+      if (registry) runtime::attach_simulator_metrics(cfg, *registry);
+      const auto res = congest::build_bfs_tree(g, 0, cfg);
+      TaskOutput out;
+      runtime::record_stats(out, res.stats);
+      Dist depth = 0;
+      for (const auto& node : res.nodes) {
+        if (node.depth < kInfDist) depth = std::max(depth, node.depth);
+      }
+      out.metrics["tree_depth"] = double(depth);
+      return out;
+    };
+  }
+  if (algo == "baseline") {
+    return [](const SweepPoint&, const WeightedGraph& g) {
+      const auto classical = core::classical_unweighted_diameter(g);
+      TaskOutput out;
+      runtime::record_stats(out, classical.stats);
+      out.metrics["diameter"] = double(classical.value);
+      out.metrics["value_ok"] =
+          classical.value == unweighted_diameter(g) ? 1.0 : 0.0;
+      return out;
+    };
+  }
+  if (algo == "t11" || algo == "t11-radius") {
+    const bool radius = algo == "t11-radius";
+    return [radius](const SweepPoint& p, const WeightedGraph& g) {
+      core::Theorem11Options opt;
+      opt.seed = p.seed;
+      opt.eps_inv = p.eps_inv;
+      const auto res = radius ? core::quantum_weighted_radius(g, opt)
+                              : core::quantum_weighted_diameter(g, opt);
+      TaskOutput out;
+      out.metrics["rounds"] = double(res.rounds);
+      out.metrics["ratio"] = res.ratio;
+      out.metrics["within_bound"] = res.within_bound ? 1.0 : 0.0;
+      out.metrics["outer_calls"] = double(res.outer_calls);
+      out.metrics["validated"] = res.distributed_value_matches ? 1.0 : 0.0;
+      return out;
+    };
+  }
+  throw ArgumentError("unknown sweep algo: " + algo +
+                      " (want bfs|baseline|t11|t11-radius)");
+}
+
+int cmd_sweep(const Args& a) {
+  runtime::SweepSpec spec;
+  spec.ns = parse_num_list<NodeId>(a.str("n", "64"));
+  spec.families = split_commas(a.str("family", "ER"));
+  spec.seeds = static_cast<std::uint32_t>(a.num("seeds", 4));
+  spec.eps_invs = parse_num_list<std::uint32_t>(a.str("eps-inv", "0"));
+  spec.bandwidth_bits = static_cast<std::uint32_t>(a.num("bandwidth", 0));
+  spec.max_weight = a.num("maxw", 10);
+  spec.base_seed = a.num("seed", 1);
+  const std::string algo = a.str("algo", "baseline");
+  const bool round_metrics = a.flag("round-metrics");
+  const std::string out_path = a.str("out", "sweep_results.json");
+
+  runtime::MetricsRegistry registry;
+  const auto fn = make_sweep_fn(algo, round_metrics ? &registry : nullptr);
+  runtime::ThreadPool pool(static_cast<unsigned>(a.num("workers", 0)));
+  const auto result = runtime::run_sweep(spec, fn, pool);
+
+  std::string json = runtime::to_json(result, /*include_timing=*/true);
+  if (round_metrics) {
+    json = "{\"sweep\":" + json +
+           ",\"round_metrics\":" + registry.to_json() + "}";
+  }
+  runtime::write_file(out_path, json);
+
+  TextTable t({"n", "family", "eps_inv", "runs", "fail", "metric", "mean",
+               "p50", "p95", "max"});
+  for (const auto& cell : result.cells) {
+    for (const auto& [name, agg] : cell.metrics) {
+      t.add(cell.n, cell.family, cell.eps_inv, cell.runs, cell.failures,
+            name, agg.mean, agg.p50, agg.p95, agg.max);
+    }
+  }
+  std::printf("sweep: algo=%s, %zu tasks on %u workers in %.2fs "
+              "(%zu failures)\n%s",
+              algo.c_str(), result.tasks, result.workers,
+              result.wall_seconds, result.failures, t.render().c_str());
+  std::printf("wrote %s\n", out_path.c_str());
+  return result.failures == 0 ? 0 : 2;
+}
+
 void usage() {
   std::printf(
       "usage: qcongest_cli <command> [options]\n"
@@ -191,7 +301,11 @@ void usage() {
       "  gadget    [--h H] [--radius] [--seed S] [--full]\n"
       "  degree    --k K [--or]\n"
       "  baseline  [--n N] [--seed S] [--family ...] [--graph FILE]\n"
-      "  params    --n N --d D\n");
+      "  params    --n N --d D\n"
+      "  sweep     [--n 64,128] [--family ER,grid] [--seeds K]\n"
+      "            [--eps-inv 0,8] [--algo bfs|baseline|t11|t11-radius]\n"
+      "            [--maxw W] [--seed S] [--bandwidth B] [--workers K]\n"
+      "            [--out sweep_results.json] [--round-metrics]\n");
 }
 
 }  // namespace
@@ -209,6 +323,7 @@ int main(int argc, char** argv) {
     if (cmd == "degree") return cmd_degree(a);
     if (cmd == "baseline") return cmd_baseline(a);
     if (cmd == "params") return cmd_params(a);
+    if (cmd == "sweep") return cmd_sweep(a);
     usage();
     return 1;
   } catch (const std::exception& e) {

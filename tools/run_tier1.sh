@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Tier-1 verification, exactly as ROADMAP.md specifies:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest ...
+#
+# Usage:
+#   tools/run_tier1.sh                 # plain build + ctest
+#   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
+#                                           # address | undefined | thread
+#
+# With a thread pool in src/runtime, the TSan configuration is the one
+# that matters most; sanitized builds use build-<sanitizer>/ so they
+# never pollute the primary build tree.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_EXTRA=""
+if [ -n "${QC_SANITIZE:-}" ]; then
+  case "$QC_SANITIZE" in
+    address|undefined|thread) ;;
+    *)
+      echo "error: QC_SANITIZE must be address, undefined, or thread" >&2
+      exit 2
+      ;;
+  esac
+  BUILD_DIR="build-$QC_SANITIZE"
+  CMAKE_EXTRA="-DQC_SANITIZE=$QC_SANITIZE"
+fi
+
+# shellcheck disable=SC2086  # CMAKE_EXTRA is intentionally word-split
+cmake -B "$BUILD_DIR" -S . $CMAKE_EXTRA
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure -j
