@@ -158,11 +158,10 @@ QuantumUnweightedResult quantum_unweighted(const WeightedGraph& g,
 
   // Bookkeeping backend: exact eccentricities.
   quantum::OptimizationProblem p;
+  const auto ecc = unweighted_eccentricities(g);
   p.values.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    const auto d = bfs_distances(g, v);
-    p.values.push_back(static_cast<std::int64_t>(
-        *std::max_element(d.begin(), d.end())));
+    p.values.push_back(static_cast<std::int64_t>(ecc[v]));
   }
   p.weights.assign(n, 1.0);
   p.rho = 1.0 / static_cast<double>(n);
@@ -247,16 +246,15 @@ LgmResult lgm_quantum_unweighted(const WeightedGraph& g, bool radius,
   const std::size_t blocks = ceil_div(n, block_size);
 
   // Bookkeeping backend: the block values from the exact oracle.
+  const auto ecc = unweighted_eccentricities(g);
   std::vector<std::int64_t> values(blocks);
   for (std::size_t b = 0; b < blocks; ++b) {
     std::int64_t best = radius ? std::numeric_limits<std::int64_t>::max()
                                : 0;
     for (NodeId v = static_cast<NodeId>(b * block_size);
          v < std::min<std::size_t>(n, (b + 1) * block_size); ++v) {
-      const auto dist = bfs_distances(g, v);
-      const auto ecc = static_cast<std::int64_t>(
-          *std::max_element(dist.begin(), dist.end()));
-      best = radius ? std::min(best, ecc) : std::max(best, ecc);
+      best = radius ? std::min(best, static_cast<std::int64_t>(ecc[v]))
+                    : std::max(best, static_cast<std::int64_t>(ecc[v]));
     }
     values[b] = best;
   }

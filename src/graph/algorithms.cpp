@@ -1,123 +1,362 @@
 #include "graph/algorithms.h"
 
 #include <algorithm>
-#include <queue>
-#include <tuple>
+#include <unordered_map>
+
+#include "runtime/thread_pool.h"
 
 namespace qc {
 
-std::vector<Dist> bfs_distances(const WeightedGraph& g, NodeId s) {
+namespace {
+
+/// Bucket-queue Dijkstra is used when every edge weight fits a small
+/// circular bucket window and the worst-case empty-bucket scan (bounded
+/// by n·W) stays cheap relative to the edge work.
+constexpr Weight kDialMaxWeight = 128;
+constexpr Dist kDialScanBound = Dist{1} << 22;
+
+/// Below this size the multi-source drivers stay serial: per-source work
+/// is too small to amortize pool handoff.
+constexpr NodeId kParallelSourceThreshold = 256;
+
+runtime::ThreadPool& shared_pool() {
+  // Dedicated pool for the graph kernels. Deliberately distinct from any
+  // caller-owned pool (e.g. the sweep executor's), so a kernel invoked
+  // from inside a pool task blocks on *this* pool's workers instead of
+  // deadlocking on its own.
+  static runtime::ThreadPool pool;
+  return pool;
+}
+
+/// Runs fn(s, ws) for s = 0..n-1, serially or chunked over a pool. Each
+/// chunk owns a workspace; fn must write only to slots indexed by s, so
+/// the combined result is byte-identical at any worker count.
+template <typename Fn>
+void over_sources(NodeId n, runtime::ThreadPool* pool, const Fn& fn) {
+  if (pool == nullptr && n >= kParallelSourceThreshold) {
+    pool = &shared_pool();
+  }
+  if (pool == nullptr || n < 2) {
+    DijkstraWorkspace ws;
+    for (NodeId s = 0; s < n; ++s) fn(s, ws);
+    return;
+  }
+  const std::size_t chunks =
+      std::min<std::size_t>(n, std::size_t{pool->worker_count()} * 4);
+  runtime::parallel_for(*pool, chunks, [&](std::size_t c) {
+    DijkstraWorkspace ws;
+    const NodeId lo = static_cast<NodeId>(n * c / chunks);
+    const NodeId hi = static_cast<NodeId>(n * (c + 1) / chunks);
+    for (NodeId s = lo; s < hi; ++s) fn(s, ws);
+  });
+}
+
+}  // namespace
+
+// --- DijkstraWorkspace -----------------------------------------------
+
+void DijkstraWorkspace::prepare(NodeId n) {
+  if (dist_.size() != n) {
+    dist_.assign(n, kInfDist);
+    hops_.assign(n, kInfDist);
+    touched_.clear();
+  }
+}
+
+void DijkstraWorkspace::reset_touched() {
+  for (const NodeId v : touched_) {
+    dist_[v] = kInfDist;
+    hops_[v] = kInfDist;
+  }
+  touched_.clear();
+}
+
+bool DijkstraWorkspace::use_buckets(const CsrGraph& g) const {
+  return g.max_weight() <= kDialMaxWeight &&
+         static_cast<Dist>(g.node_count()) * g.max_weight() <=
+             kDialScanBound;
+}
+
+void DijkstraWorkspace::bfs(const CsrGraph& g, NodeId s,
+                            std::vector<Dist>& out) {
   QC_REQUIRE(s < g.node_count(), "source out of range");
-  std::vector<Dist> dist(g.node_count(), kInfDist);
-  std::queue<NodeId> q;
-  dist[s] = 0;
-  q.push(s);
-  while (!q.empty()) {
-    const NodeId u = q.front();
-    q.pop();
+  prepare(g.node_count());
+  dist_[s] = 0;
+  touched_.push_back(s);  // touched_ doubles as the FIFO frontier
+  for (std::size_t head = 0; head < touched_.size(); ++head) {
+    const NodeId u = touched_[head];
+    const Dist du = dist_[u];
     for (const HalfEdge& h : g.neighbors(u)) {
-      if (dist[h.to] == kInfDist) {
-        dist[h.to] = dist[u] + 1;
-        q.push(h.to);
+      if (dist_[h.to] == kInfDist) {
+        dist_[h.to] = du + 1;
+        touched_.push_back(h.to);
       }
     }
   }
-  return dist;
+  out.assign(dist_.begin(), dist_.end());
+  reset_touched();
 }
 
-std::vector<Dist> dijkstra(const WeightedGraph& g, NodeId s) {
-  QC_REQUIRE(s < g.node_count(), "source out of range");
-  std::vector<Dist> dist(g.node_count(), kInfDist);
-  using Item = std::pair<Dist, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  dist[s] = 0;
-  pq.emplace(0, s);
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d != dist[u]) continue;
+void DijkstraWorkspace::dijkstra_buckets(const CsrGraph& g, NodeId s) {
+  const std::size_t nb = static_cast<std::size_t>(g.max_weight()) + 1;
+  if (buckets_.size() < nb) buckets_.resize(nb);
+  dist_[s] = 0;
+  touched_.push_back(s);
+  buckets_[0].push_back(s);
+  std::size_t pending = 1;
+  // Monotone sweep: when bucket d is processed, every entry in it was
+  // inserted for distance exactly d (relaxations only reach d+1..d+W,
+  // and W < nb), so the circular window never mixes distances.
+  for (Dist d = 0; pending > 0; ++d) {
+    auto& bucket = buckets_[d % nb];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId u = bucket[i];
+      if (dist_[u] != d) continue;  // superseded by a later improvement
+      for (const HalfEdge& h : g.neighbors(u)) {
+        const Dist nd = d + h.weight;
+        if (nd < dist_[h.to]) {
+          if (dist_[h.to] == kInfDist) touched_.push_back(h.to);
+          dist_[h.to] = nd;
+          buckets_[nd % nb].push_back(h.to);
+          ++pending;
+        }
+      }
+    }
+    pending -= bucket.size();
+    bucket.clear();
+  }
+}
+
+void DijkstraWorkspace::dijkstra_heap(const CsrGraph& g, NodeId s) {
+  heap_.clear();
+  dist_[s] = 0;
+  touched_.push_back(s);
+  heap_.emplace_back(0, s);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (d != dist_[u]) continue;
     for (const HalfEdge& h : g.neighbors(u)) {
       const Dist nd = dist_add(d, h.weight);
-      if (nd < dist[h.to]) {
-        dist[h.to] = nd;
-        pq.emplace(nd, h.to);
+      if (nd < dist_[h.to]) {
+        if (dist_[h.to] == kInfDist) touched_.push_back(h.to);
+        dist_[h.to] = nd;
+        heap_.emplace_back(nd, h.to);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
     }
   }
-  return dist;
 }
 
-DistHops dijkstra_with_hops(const WeightedGraph& g, NodeId s) {
+void DijkstraWorkspace::dijkstra(const CsrGraph& g, NodeId s,
+                                 std::vector<Dist>& out) {
   QC_REQUIRE(s < g.node_count(), "source out of range");
-  DistHops out{std::vector<Dist>(g.node_count(), kInfDist),
-               std::vector<Dist>(g.node_count(), kInfDist)};
-  using Item = std::tuple<Dist, Dist, NodeId>;  // (weight, hops, node)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  out.dist[s] = 0;
-  out.hops[s] = 0;
-  pq.emplace(0, 0, s);
-  while (!pq.empty()) {
-    const auto [d, hp, u] = pq.top();
-    pq.pop();
-    if (d != out.dist[u] || hp != out.hops[u]) continue;
+  prepare(g.node_count());
+  if (use_buckets(g)) {
+    dijkstra_buckets(g, s);
+  } else {
+    dijkstra_heap(g, s);
+  }
+  out.assign(dist_.begin(), dist_.end());
+  reset_touched();
+}
+
+void DijkstraWorkspace::with_hops_buckets(const CsrGraph& g, NodeId s) {
+  const std::size_t nb = static_cast<std::size_t>(g.max_weight()) + 1;
+  if (buckets_h_.size() < nb) buckets_h_.resize(nb);
+  dist_[s] = 0;
+  hops_[s] = 0;
+  touched_.push_back(s);
+  buckets_h_[0].emplace_back(s, 0);
+  std::size_t pending = 1;
+  // Same monotone-window argument as dijkstra_buckets. Hop improvements
+  // at equal distance d come from predecessors at distance < d, so every
+  // (d, hops) entry exists before bucket d is processed; the entry whose
+  // hops match the (final) label is the one processed.
+  for (Dist d = 0; pending > 0; ++d) {
+    auto& bucket = buckets_h_[d % nb];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const auto [u, hp] = bucket[i];
+      if (dist_[u] != d || hops_[u] != hp) continue;
+      for (const HalfEdge& h : g.neighbors(u)) {
+        const Dist nd = d + h.weight;
+        const Dist nh = hp + 1;
+        if (nd < dist_[h.to] ||
+            (nd == dist_[h.to] && nh < hops_[h.to])) {
+          if (dist_[h.to] == kInfDist) touched_.push_back(h.to);
+          dist_[h.to] = nd;
+          hops_[h.to] = nh;
+          buckets_h_[nd % nb].emplace_back(h.to, nh);
+          ++pending;
+        }
+      }
+    }
+    pending -= bucket.size();
+    bucket.clear();
+  }
+}
+
+void DijkstraWorkspace::with_hops_heap(const CsrGraph& g, NodeId s) {
+  heap3_.clear();
+  dist_[s] = 0;
+  hops_[s] = 0;
+  touched_.push_back(s);
+  heap3_.emplace_back(0, 0, s);
+  while (!heap3_.empty()) {
+    std::pop_heap(heap3_.begin(), heap3_.end(), std::greater<>{});
+    const auto [d, hp, u] = heap3_.back();
+    heap3_.pop_back();
+    if (d != dist_[u] || hp != hops_[u]) continue;
     for (const HalfEdge& h : g.neighbors(u)) {
       const Dist nd = dist_add(d, h.weight);
       const Dist nh = hp + 1;
-      if (nd < out.dist[h.to] ||
-          (nd == out.dist[h.to] && nh < out.hops[h.to])) {
-        out.dist[h.to] = nd;
-        out.hops[h.to] = nh;
-        pq.emplace(nd, nh, h.to);
+      if (nd < dist_[h.to] ||
+          (nd == dist_[h.to] && nh < hops_[h.to])) {
+        if (dist_[h.to] == kInfDist) touched_.push_back(h.to);
+        dist_[h.to] = nd;
+        hops_[h.to] = nh;
+        heap3_.emplace_back(nd, nh, h.to);
+        std::push_heap(heap3_.begin(), heap3_.end(), std::greater<>{});
       }
     }
   }
+}
+
+void DijkstraWorkspace::dijkstra_with_hops(const CsrGraph& g, NodeId s,
+                                           std::vector<Dist>& dist_out,
+                                           std::vector<Dist>& hops_out) {
+  QC_REQUIRE(s < g.node_count(), "source out of range");
+  prepare(g.node_count());
+  if (use_buckets(g)) {
+    with_hops_buckets(g, s);
+  } else {
+    with_hops_heap(g, s);
+  }
+  dist_out.assign(dist_.begin(), dist_.end());
+  hops_out.assign(hops_.begin(), hops_.end());
+  reset_touched();
+}
+
+void DijkstraWorkspace::bounded_hop(const CsrGraph& g, NodeId s,
+                                    std::uint64_t ell,
+                                    std::vector<Dist>& out) {
+  QC_REQUIRE(s < g.node_count(), "source out of range");
+  const NodeId n = g.node_count();
+  bf_cur_.assign(n, kInfDist);
+  bf_cur_[s] = 0;
+  // Bellman-Ford: after round t, cur[v] = d^t(s, v). ell rounds suffice;
+  // stop early once a round changes nothing.
+  for (std::uint64_t t = 0; t < ell; ++t) {
+    bf_next_ = bf_cur_;
+    bool changed = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (bf_cur_[u] >= kInfDist) continue;
+      for (const HalfEdge& h : g.neighbors(u)) {
+        const Dist nd = dist_add(bf_cur_[u], h.weight);
+        if (nd < bf_next_[h.to]) {
+          bf_next_[h.to] = nd;
+          changed = true;
+        }
+      }
+    }
+    bf_cur_.swap(bf_next_);
+    if (!changed) break;
+  }
+  out = bf_cur_;
+}
+
+// --- single-source conveniences --------------------------------------
+
+std::vector<Dist> bfs_distances(const CsrGraph& g, NodeId s) {
+  DijkstraWorkspace ws;
+  std::vector<Dist> out;
+  ws.bfs(g, s, out);
+  return out;
+}
+
+std::vector<Dist> bfs_distances(const WeightedGraph& g, NodeId s) {
+  return bfs_distances(g.csr(), s);
+}
+
+std::vector<Dist> dijkstra(const CsrGraph& g, NodeId s) {
+  DijkstraWorkspace ws;
+  std::vector<Dist> out;
+  ws.dijkstra(g, s, out);
+  return out;
+}
+
+std::vector<Dist> dijkstra(const WeightedGraph& g, NodeId s) {
+  return dijkstra(g.csr(), s);
+}
+
+DistHops dijkstra_with_hops(const CsrGraph& g, NodeId s) {
+  DijkstraWorkspace ws;
+  DistHops out;
+  ws.dijkstra_with_hops(g, s, out.dist, out.hops);
+  return out;
+}
+
+DistHops dijkstra_with_hops(const WeightedGraph& g, NodeId s) {
+  return dijkstra_with_hops(g.csr(), s);
+}
+
+std::vector<Dist> bounded_hop_distances(const CsrGraph& g, NodeId s,
+                                        std::uint64_t ell) {
+  DijkstraWorkspace ws;
+  std::vector<Dist> out;
+  ws.bounded_hop(g, s, ell, out);
   return out;
 }
 
 std::vector<Dist> bounded_hop_distances(const WeightedGraph& g, NodeId s,
                                         std::uint64_t ell) {
-  QC_REQUIRE(s < g.node_count(), "source out of range");
-  const NodeId n = g.node_count();
-  std::vector<Dist> cur(n, kInfDist);
-  cur[s] = 0;
-  // Bellman-Ford: after round t, cur[v] = d^t(s, v). ell rounds suffice;
-  // stop early once a round changes nothing.
-  std::vector<Dist> next(n);
-  for (std::uint64_t t = 0; t < ell; ++t) {
-    next = cur;
-    bool changed = false;
-    for (NodeId u = 0; u < n; ++u) {
-      if (cur[u] >= kInfDist) continue;
-      for (const HalfEdge& h : g.neighbors(u)) {
-        const Dist nd = dist_add(cur[u], h.weight);
-        if (nd < next[h.to]) {
-          next[h.to] = nd;
-          changed = true;
-        }
-      }
-    }
-    cur.swap(next);
-    if (!changed) break;
-  }
-  return cur;
+  return bounded_hop_distances(g.csr(), s, ell);
 }
 
-std::vector<std::vector<Dist>> all_pairs_distances(const WeightedGraph& g) {
-  std::vector<std::vector<Dist>> rows;
-  rows.reserve(g.node_count());
-  for (NodeId s = 0; s < g.node_count(); ++s) {
-    rows.push_back(dijkstra(g, s));
-  }
+// --- multi-source drivers --------------------------------------------
+
+std::vector<std::vector<Dist>> all_pairs_distances(
+    const CsrGraph& g, runtime::ThreadPool* pool) {
+  std::vector<std::vector<Dist>> rows(g.node_count());
+  over_sources(g.node_count(), pool, [&](NodeId s, DijkstraWorkspace& ws) {
+    ws.dijkstra(g, s, rows[s]);
+  });
   return rows;
 }
 
-std::vector<Dist> eccentricities(const WeightedGraph& g) {
+std::vector<std::vector<Dist>> all_pairs_distances(const WeightedGraph& g) {
+  return all_pairs_distances(g.csr());
+}
+
+std::vector<Dist> eccentricities(const CsrGraph& g,
+                                 runtime::ThreadPool* pool) {
   std::vector<Dist> ecc(g.node_count(), 0);
-  for (NodeId s = 0; s < g.node_count(); ++s) {
-    const auto dist = dijkstra(g, s);
-    ecc[s] = *std::max_element(dist.begin(), dist.end());
-  }
+  over_sources(g.node_count(), pool, [&](NodeId s, DijkstraWorkspace& ws) {
+    thread_local std::vector<Dist> row;
+    ws.dijkstra(g, s, row);
+    ecc[s] = *std::max_element(row.begin(), row.end());
+  });
   return ecc;
+}
+
+std::vector<Dist> eccentricities(const WeightedGraph& g) {
+  return eccentricities(g.csr());
+}
+
+std::vector<Dist> unweighted_eccentricities(const CsrGraph& g,
+                                            runtime::ThreadPool* pool) {
+  std::vector<Dist> ecc(g.node_count(), 0);
+  over_sources(g.node_count(), pool, [&](NodeId s, DijkstraWorkspace& ws) {
+    thread_local std::vector<Dist> row;
+    ws.bfs(g, s, row);
+    ecc[s] = *std::max_element(row.begin(), row.end());
+  });
+  return ecc;
+}
+
+std::vector<Dist> unweighted_eccentricities(const WeightedGraph& g) {
+  return unweighted_eccentricities(g.csr());
 }
 
 Dist weighted_diameter(const WeightedGraph& g) {
@@ -130,25 +369,36 @@ Dist weighted_radius(const WeightedGraph& g) {
   return ecc.empty() ? 0 : *std::min_element(ecc.begin(), ecc.end());
 }
 
-Dist unweighted_diameter(const WeightedGraph& g) {
-  Dist d = 0;
-  for (NodeId s = 0; s < g.node_count(); ++s) {
-    const auto dist = bfs_distances(g, s);
-    d = std::max(d, *std::max_element(dist.begin(), dist.end()));
-  }
-  return d;
+Dist unweighted_diameter(const CsrGraph& g, runtime::ThreadPool* pool) {
+  const auto ecc = unweighted_eccentricities(g, pool);
+  return ecc.empty() ? 0 : *std::max_element(ecc.begin(), ecc.end());
 }
 
-Dist hop_diameter(const WeightedGraph& g) {
-  Dist h = 0;
-  for (NodeId s = 0; s < g.node_count(); ++s) {
-    const auto dh = dijkstra_with_hops(g, s);
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (dh.hops[v] < kInfDist) h = std::max(h, dh.hops[v]);
+Dist unweighted_diameter(const WeightedGraph& g) {
+  return unweighted_diameter(g.csr());
+}
+
+Dist hop_diameter(const CsrGraph& g, runtime::ThreadPool* pool) {
+  const NodeId n = g.node_count();
+  std::vector<Dist> per_source(n, 0);
+  over_sources(n, pool, [&](NodeId s, DijkstraWorkspace& ws) {
+    thread_local std::vector<Dist> dist;
+    thread_local std::vector<Dist> hops;
+    ws.dijkstra_with_hops(g, s, dist, hops);
+    Dist h = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (hops[v] < kInfDist) h = std::max(h, hops[v]);
     }
-  }
+    per_source[s] = h;
+  });
+  Dist h = 0;
+  for (const Dist v : per_source) h = std::max(h, v);
   return h;
 }
+
+Dist hop_diameter(const WeightedGraph& g) { return hop_diameter(g.csr()); }
+
+// --- contraction ------------------------------------------------------
 
 Contraction contract_unit_edges(const WeightedGraph& g) {
   const NodeId n = g.node_count();
@@ -178,22 +428,30 @@ Contraction contract_unit_edges(const WeightedGraph& g) {
     if (rep_to_id[r] == n) rep_to_id[r] = next_id++;
     node_map[v] = rep_to_id[r];
   }
-  WeightedGraph contracted(next_id);
+  // Fold parallel edges to their min weight via one hash lookup per edge
+  // (first-seen order, so the contracted edge list is deterministic and
+  // matches what repeated add_edge/set_edge_weight used to produce).
+  std::vector<Edge> folded;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(g.edge_count());
   for (const Edge& e : g.edges()) {
     if (e.weight == 1) continue;  // internal to a super-node
     const NodeId cu = node_map[e.u];
     const NodeId cv = node_map[e.v];
     if (cu == cv) continue;  // endpoints merged by unit edges
-    if (contracted.has_edge(cu, cv)) {
+    const NodeId a = std::min(cu, cv);
+    const NodeId b = std::max(cu, cv);
+    const std::uint64_t key = (std::uint64_t{a} << 32) | b;
+    const auto [it, inserted] = index.try_emplace(key, folded.size());
+    if (inserted) {
+      folded.push_back({a, b, e.weight});
+    } else if (e.weight < folded[it->second].weight) {
       // Parallel edge: keep the lowest weight (Lemma 4.3 convention).
-      if (e.weight < contracted.edge_weight(cu, cv)) {
-        contracted.set_edge_weight(cu, cv, e.weight);
-      }
-    } else {
-      contracted.add_edge(cu, cv, e.weight);
+      folded[it->second].weight = e.weight;
     }
   }
-  return {std::move(contracted), std::move(node_map)};
+  return {WeightedGraph::from_edges(next_id, std::move(folded)),
+          std::move(node_map)};
 }
 
 }  // namespace qc

@@ -4,21 +4,89 @@
 // twin here; tests assert bit-exact agreement between the two. These are
 // also the "ground truth" oracles used to check approximation ratios, and
 // the amplitude bookkeeping backend of the quantum search (DESIGN.md, S1).
+//
+// All distance kernels run on the flat CSR adjacency (graph/csr.h); the
+// `WeightedGraph` overloads are thin shims over its cached `csr()` view.
+// Multi-source quantities (eccentricities, APSP, the diameter family)
+// fan their per-source runs out over a `runtime::ThreadPool` with an
+// index-ordered reduction, so results are byte-identical at any worker
+// count (tests/test_runtime.cpp asserts 1 vs 2 vs 8 workers).
 #pragma once
 
 #include <cstdint>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
 #include "util/mathx.h"
 
 namespace qc {
 
+namespace runtime {
+class ThreadPool;  // runtime/thread_pool.h
+}
+
+/// Reusable scratch state for the single-source kernels. One workspace
+/// serves any number of consecutive runs on graphs of any size with zero
+/// allocations after warm-up: label arrays are kept all-kInfDist between
+/// runs via a touched-node list (no O(n) re-initialization), and heap /
+/// bucket / queue storage keeps its capacity. Not thread-safe — use one
+/// workspace per thread (the multi-source drivers below do).
+///
+/// Weighted runs pick between two exact Dijkstra engines: a Dial-style
+/// circular bucket queue (O(m + maxdist), no comparisons) when the max
+/// edge weight is small enough that the bucket scan is cheap, and a
+/// binary heap with lazy deletion otherwise (gadget graphs with
+/// alpha = n^2 weights land here). Both produce identical labels.
+class DijkstraWorkspace {
+ public:
+  /// Hop distances (unweighted BFS) from s. `out` is resized to n.
+  void bfs(const CsrGraph& g, NodeId s, std::vector<Dist>& out);
+
+  /// Weighted single-source distances from s. `out` is resized to n.
+  void dijkstra(const CsrGraph& g, NodeId s, std::vector<Dist>& out);
+
+  /// Lexicographic (weight, hops) Dijkstra from s; see dijkstra_with_hops.
+  void dijkstra_with_hops(const CsrGraph& g, NodeId s,
+                          std::vector<Dist>& dist_out,
+                          std::vector<Dist>& hops_out);
+
+  /// ℓ-hop-bounded distances (truncated Bellman–Ford). Resizes `out`.
+  void bounded_hop(const CsrGraph& g, NodeId s, std::uint64_t ell,
+                   std::vector<Dist>& out);
+
+ private:
+  void prepare(NodeId n);
+  void reset_touched();
+  bool use_buckets(const CsrGraph& g) const;
+  void dijkstra_buckets(const CsrGraph& g, NodeId s);
+  void dijkstra_heap(const CsrGraph& g, NodeId s);
+  void with_hops_buckets(const CsrGraph& g, NodeId s);
+  void with_hops_heap(const CsrGraph& g, NodeId s);
+
+  // Label arrays: all-kInfDist outside a run (touched-list invariant).
+  std::vector<Dist> dist_;
+  std::vector<Dist> hops_;
+  /// Nodes whose labels were set this run, in discovery order (doubles
+  /// as the BFS queue).
+  std::vector<NodeId> touched_;
+  std::vector<std::pair<Dist, NodeId>> heap_;
+  std::vector<std::tuple<Dist, Dist, NodeId>> heap3_;
+  std::vector<std::vector<NodeId>> buckets_;
+  std::vector<std::vector<std::pair<NodeId, Dist>>> buckets_h_;
+  std::vector<Dist> bf_cur_;
+  std::vector<Dist> bf_next_;
+};
+
 /// Hop distances (unweighted BFS) from s. Unreachable -> kInfDist.
 std::vector<Dist> bfs_distances(const WeightedGraph& g, NodeId s);
+std::vector<Dist> bfs_distances(const CsrGraph& g, NodeId s);
 
 /// Weighted single-source distances (Dijkstra). Unreachable -> kInfDist.
 std::vector<Dist> dijkstra(const WeightedGraph& g, NodeId s);
+std::vector<Dist> dijkstra(const CsrGraph& g, NodeId s);
 
 /// Weighted distances plus, for each node, the minimum number of edges
 /// over all *shortest* (by weight) paths from s — the hop distance
@@ -28,17 +96,36 @@ struct DistHops {
   std::vector<Dist> hops;
 };
 DistHops dijkstra_with_hops(const WeightedGraph& g, NodeId s);
+DistHops dijkstra_with_hops(const CsrGraph& g, NodeId s);
 
 /// ℓ-hop-bounded distances d^ℓ_{G,w}(s, ·): least length over paths with
 /// at most ℓ edges (Bellman–Ford truncated to ℓ relaxation rounds).
 std::vector<Dist> bounded_hop_distances(const WeightedGraph& g, NodeId s,
                                         std::uint64_t ell);
+std::vector<Dist> bounded_hop_distances(const CsrGraph& g, NodeId s,
+                                        std::uint64_t ell);
+
+// Multi-source kernels. The CSR overloads take an optional pool: pass
+// one to control the worker count explicitly; pass nullptr to let the
+// kernel use the process-wide shared pool for large graphs and run
+// serially for small ones. Either way the per-source results land in
+// index-ordered slots, so outputs never depend on scheduling.
 
 /// All-pairs weighted distances (row per source).
 std::vector<std::vector<Dist>> all_pairs_distances(const WeightedGraph& g);
+std::vector<std::vector<Dist>> all_pairs_distances(
+    const CsrGraph& g, runtime::ThreadPool* pool = nullptr);
 
 /// Weighted eccentricity of every node; kInfDist on disconnected graphs.
 std::vector<Dist> eccentricities(const WeightedGraph& g);
+std::vector<Dist> eccentricities(const CsrGraph& g,
+                                 runtime::ThreadPool* pool = nullptr);
+
+/// Unweighted (hop) eccentricity of every node — the BFS twin of
+/// `eccentricities`, used by the unweighted baselines.
+std::vector<Dist> unweighted_eccentricities(const WeightedGraph& g);
+std::vector<Dist> unweighted_eccentricities(
+    const CsrGraph& g, runtime::ThreadPool* pool = nullptr);
 
 /// Weighted diameter D_{G,w} = max eccentricity.
 Dist weighted_diameter(const WeightedGraph& g);
@@ -48,9 +135,12 @@ Dist weighted_radius(const WeightedGraph& g);
 
 /// Unweighted diameter D_G (topology only) — the paper's parameter D.
 Dist unweighted_diameter(const WeightedGraph& g);
+Dist unweighted_diameter(const CsrGraph& g,
+                         runtime::ThreadPool* pool = nullptr);
 
 /// Hop diameter H_{G,w}: max over pairs of h_{G,w}(u, v).
 Dist hop_diameter(const WeightedGraph& g);
+Dist hop_diameter(const CsrGraph& g, runtime::ThreadPool* pool = nullptr);
 
 /// Result of contracting all weight-1 edges (Lemma 4.3).
 struct Contraction {

@@ -1,0 +1,34 @@
+#include "graph/csr.h"
+
+#include <memory>
+#include <mutex>
+
+namespace qc {
+
+CsrGraph::CsrGraph(const WeightedGraph& g) {
+  const NodeId n = g.node_count();
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u + 1] = offsets_[u] + g.degree(u);
+  }
+  halves_.resize(offsets_[n]);
+  Weight mx = 1;
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t pos = offsets_[u];
+    for (const HalfEdge& h : g.neighbors(u)) {
+      halves_[pos++] = h;
+      mx = std::max(mx, h.weight);
+    }
+  }
+  max_weight_ = mx;
+}
+
+const CsrGraph& WeightedGraph::csr() const {
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (!csr_cache_) {
+    csr_cache_ = std::make_shared<const CsrGraph>(*this);
+  }
+  return *csr_cache_;
+}
+
+}  // namespace qc

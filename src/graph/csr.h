@@ -1,0 +1,80 @@
+// Flat compressed-sparse-row adjacency for the shortest-path kernels.
+//
+// `WeightedGraph` stores one heap-allocated `std::vector<HalfEdge>` per
+// node, which is convenient for incremental construction but costs one
+// pointer indirection (and usually a cache miss) per visited node. The
+// distance kernels in algorithms.h sweep the whole adjacency once per
+// source, so every multi-source quantity (eccentricities, APSP, the
+// Lemma 3.2 scale loop) pays that miss n times per node. `CsrGraph`
+// packs the same half-edges into a single contiguous array indexed by an
+// offset table: one allocation, sequential scans, and a topology that
+// can be shared across weight transforms (the per-scale reweightings of
+// Lemma 3.2 rewrite only the weights, never the structure).
+//
+// Neighbor order is identical to the source `WeightedGraph`'s rows, so
+// any tie-broken traversal (lexicographic Dijkstra, BFS queue order)
+// visits nodes in exactly the same order on either representation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/error.h"
+
+namespace qc {
+
+class CsrGraph {
+ public:
+  CsrGraph() : offsets_(1, 0) {}
+
+  /// Packs g's adjacency. O(n + m); weights are copied as-is.
+  explicit CsrGraph(const WeightedGraph& g);
+
+  NodeId node_count() const {
+    return static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges (half-edge count / 2).
+  std::size_t edge_count() const { return halves_.size() / 2; }
+
+  std::span<const HalfEdge> neighbors(NodeId u) const {
+    QC_REQUIRE(u < node_count(), "node id out of range");
+    return {halves_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  /// Max edge weight W (1 if the graph has no edges).
+  Weight max_weight() const { return max_weight_; }
+
+  /// Rebuilds *this as `base` with every weight replaced by f(weight).
+  /// The topology arrays are reused across calls (vector assignment keeps
+  /// capacity), so a caller looping over the Lemma 3.2 scales pays zero
+  /// allocations after the first scale. `f` must return weights >= 1.
+  /// `this == &base` is allowed; `f` then receives the *current* (already
+  /// transformed) weights, so per-scale callers should keep a pristine
+  /// base and a separate scratch.
+  template <typename Fn>
+  void assign_reweighted(const CsrGraph& base, Fn&& f) {
+    if (this != &base) {
+      offsets_ = base.offsets_;
+      halves_ = base.halves_;
+    }
+    Weight mx = 1;
+    for (HalfEdge& h : halves_) {
+      h.weight = f(h.weight);
+      QC_CHECK(h.weight >= 1, "reweight produced a zero weight");
+      mx = std::max(mx, h.weight);
+    }
+    max_weight_ = mx;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  ///< size n+1; row u = [off[u], off[u+1])
+  std::vector<HalfEdge> halves_;      ///< 2m half-edges, row-major
+  Weight max_weight_ = 1;
+};
+
+}  // namespace qc

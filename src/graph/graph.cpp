@@ -14,6 +14,25 @@ void WeightedGraph::add_edge(NodeId u, NodeId v, Weight w) {
   adjacency_[u].push_back({v, w});
   adjacency_[v].push_back({u, w});
   edges_.push_back({std::min(u, v), std::max(u, v), w});
+  invalidate_csr();
+}
+
+WeightedGraph WeightedGraph::from_edges(NodeId n, std::vector<Edge> edges) {
+  WeightedGraph g(n);
+  std::vector<std::size_t> deg(n, 0);
+  for (const Edge& e : edges) {
+    QC_REQUIRE(e.u < e.v && e.v < n, "from_edges: edge not canonical");
+    QC_REQUIRE(e.weight >= 1, "weights must be positive integers");
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (NodeId u = 0; u < n; ++u) g.adjacency_[u].reserve(deg[u]);
+  for (const Edge& e : edges) {
+    g.adjacency_[e.u].push_back({e.v, e.weight});
+    g.adjacency_[e.v].push_back({e.u, e.weight});
+  }
+  g.edges_ = std::move(edges);
+  return g;
 }
 
 bool WeightedGraph::has_edge(NodeId u, NodeId v) const {
@@ -49,6 +68,7 @@ void WeightedGraph::set_edge_weight(NodeId u, NodeId v, Weight w) {
   for (Edge& e : edges_) {
     if (e.u == a && e.v == b) e.weight = w;
   }
+  invalidate_csr();
 }
 
 Weight WeightedGraph::max_weight() const {

@@ -8,14 +8,19 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/error.h"
 #include "util/mathx.h"
 
 namespace qc {
+
+class CsrGraph;  // graph/csr.h
 
 using NodeId = std::uint32_t;
 using Weight = std::uint64_t;
@@ -46,6 +51,37 @@ class WeightedGraph {
  public:
   WeightedGraph() = default;
   explicit WeightedGraph(NodeId n) : adjacency_(n) {}
+
+  // Copies/moves transfer only the graph data; the lazily-built CSR cache
+  // travels with moves (sole owner) but is rebuilt on demand for copies.
+  WeightedGraph(const WeightedGraph& o)
+      : adjacency_(o.adjacency_), edges_(o.edges_) {}
+  WeightedGraph& operator=(const WeightedGraph& o) {
+    if (this != &o) {
+      adjacency_ = o.adjacency_;
+      edges_ = o.edges_;
+      invalidate_csr();
+    }
+    return *this;
+  }
+  WeightedGraph(WeightedGraph&& o) noexcept
+      : adjacency_(std::move(o.adjacency_)),
+        edges_(std::move(o.edges_)),
+        csr_cache_(std::move(o.csr_cache_)) {}
+  WeightedGraph& operator=(WeightedGraph&& o) noexcept {
+    adjacency_ = std::move(o.adjacency_);
+    edges_ = std::move(o.edges_);
+    csr_cache_ = std::move(o.csr_cache_);
+    return *this;
+  }
+
+  /// Builds a graph directly from a canonical edge list: every edge must
+  /// have u < v < n, weight >= 1, and the list must be duplicate-free
+  /// (the caller's responsibility — unlike add_edge there is no O(deg)
+  /// duplicate scan, which is what makes this O(n + m)). Adjacency rows
+  /// come out in edge-list order, exactly as repeated add_edge would
+  /// produce them.
+  static WeightedGraph from_edges(NodeId n, std::vector<Edge> edges);
 
   NodeId node_count() const {
     return static_cast<NodeId>(adjacency_.size());
@@ -82,14 +118,32 @@ class WeightedGraph {
   WeightedGraph unweighted_copy() const;
 
   /// Applies f to every weight: used for the w_i roundings of Lemma 3.2.
+  /// Builds the copy directly (this graph's invariants already guarantee
+  /// canonical, duplicate-free edges) with adjacency rows and the edge
+  /// vector reserved up front, so no per-edge duplicate scan and no row
+  /// reallocation churn. f must return weights >= 1.
   template <typename Fn>
   WeightedGraph reweighted(Fn&& f) const {
     WeightedGraph g(node_count());
+    g.edges_.reserve(edges_.size());
+    for (NodeId u = 0; u < node_count(); ++u) {
+      g.adjacency_[u].reserve(adjacency_[u].size());
+    }
     for (const Edge& e : edges_) {
-      g.add_edge(e.u, e.v, f(e.weight));
+      const Weight w = f(e.weight);
+      QC_REQUIRE(w >= 1, "weights must be positive integers");
+      g.adjacency_[e.u].push_back({e.v, w});
+      g.adjacency_[e.v].push_back({e.u, w});
+      g.edges_.push_back({e.u, e.v, w});
     }
     return g;
   }
+
+  /// Flat CSR view of this graph, built lazily on first use and cached;
+  /// mutations (add_edge / set_edge_weight) invalidate it. The reference
+  /// stays valid until the next mutation. Thread-safe to call
+  /// concurrently; building happens once.
+  const CsrGraph& csr() const;
 
   /// True when every pair of nodes is connected (n <= 1 counts as
   /// connected).
@@ -102,8 +156,15 @@ class WeightedGraph {
   std::string summary() const;
 
  private:
+  void invalidate_csr() {
+    std::lock_guard<std::mutex> lock(csr_mutex_);
+    csr_cache_.reset();
+  }
+
   std::vector<std::vector<HalfEdge>> adjacency_;
   std::vector<Edge> edges_;
+  mutable std::mutex csr_mutex_;
+  mutable std::shared_ptr<const CsrGraph> csr_cache_;
 };
 
 /// Graphviz DOT rendering (undirected). Weight-1 edges are drawn plain;

@@ -14,8 +14,10 @@ std::vector<Table2Row> audit_table2(const GadgetParams& params,
   const std::uint64_t two_s = std::uint64_t{1} << params.s;
   const std::uint32_t m = params.paths();
 
-  // Exact distances from every node (G' is small by construction).
-  const auto apsp = all_pairs_distances(g.graph());
+  // Exact distances from every node. Runs on the CSR view with the
+  // pool-parallel APSP driver; gadget weights (alpha = n^2) exceed the
+  // bucket-queue window, so each source uses the heap engine.
+  const auto apsp = all_pairs_distances(g.graph().csr());
 
   std::vector<Table2Row> rows;
   auto add_row = [&](std::string uc, std::string vc, std::string bn,

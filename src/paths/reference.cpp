@@ -10,8 +10,13 @@ namespace qc::paths {
 
 namespace {
 
-/// Multi-source variant: one reweighted graph per scale, shared across
-/// sources. Returns rows indexed like `sources`.
+/// Multi-source variant: one reweighted view per scale, shared across
+/// sources. Returns rows indexed like `sources`. The per-scale rounding
+/// w_i only changes weights, so instead of rebuilding a WeightedGraph per
+/// scale (O(m·deg) duplicate-checked add_edge) the shared CSR topology is
+/// kept and only its weight entries are rewritten; the scratch CSR, the
+/// Dijkstra workspace, and the row buffer are all reused across the
+/// scale × source loop, so iterations allocate nothing after the first.
 std::vector<std::vector<Dist>> approx_bounded_hop_multi(
     const WeightedGraph& g, const std::vector<NodeId>& sources,
     const HopScale& scale) {
@@ -20,11 +25,15 @@ std::vector<std::vector<Dist>> approx_bounded_hop_multi(
                                       std::vector<Dist>(n, kInfDist));
   const std::uint32_t scales = scale.scale_count();
   const Dist cap = scale.rounded_cap();
+  const CsrGraph& base = g.csr();
+  CsrGraph gi;
+  DijkstraWorkspace ws;
+  std::vector<Dist> di;
   for (std::uint32_t i = 0; i < scales; ++i) {
-    const WeightedGraph gi = g.reweighted(
-        [&](Weight w) { return scale.rounded_weight(w, i); });
+    gi.assign_reweighted(
+        base, [&](Weight w) { return scale.rounded_weight(w, i); });
     for (std::size_t a = 0; a < sources.size(); ++a) {
-      const auto di = dijkstra(gi, sources[a]);
+      ws.dijkstra(gi, sources[a], di);
       for (NodeId v = 0; v < n; ++v) {
         if (di[v] <= cap) {
           const Dist shifted = di[v] << i;
@@ -51,22 +60,25 @@ std::vector<Dist> dijkstra_matrix(const std::vector<std::vector<Dist>>& w,
   QC_REQUIRE(s < n, "matrix Dijkstra source out of range");
   std::vector<Dist> dist(n, kInfDist);
   std::vector<bool> fixed(n, false);
+  // Binary heap with lazy deletion, matching the graph kernels: each
+  // settle is O(log n) instead of the previous O(n) linear scan (the
+  // relaxation pass over the row stays O(n) — it's a dense matrix).
+  using Item = std::pair<Dist, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
   dist[s] = 0;
-  for (std::size_t iter = 0; iter < n; ++iter) {
-    std::size_t u = n;
-    Dist du = kInfDist;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (!fixed[v] && dist[v] < du) {
-        du = dist[v];
-        u = v;
-      }
-    }
-    if (u == n) break;
+  pq.emplace(0, s);
+  while (!pq.empty()) {
+    const auto [du, u] = pq.top();
+    pq.pop();
+    if (fixed[u] || du != dist[u]) continue;
     fixed[u] = true;
     for (std::size_t v = 0; v < n; ++v) {
       if (v == u || w[u][v] >= kInfDist) continue;
       const Dist nd = dist_add(du, w[u][v]);
-      if (nd < dist[v]) dist[v] = nd;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.emplace(nd, static_cast<std::uint32_t>(v));
+      }
     }
   }
   return dist;

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <queue>
 
 #include "graph/algorithms.h"
+#include "graph/csr.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -376,6 +378,155 @@ TEST_P(ContractionLemmaTest, SandwichBounds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ContractionLemmaTest,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// CSR adjacency layer (graph/csr.h) and the workspace kernels
+// ---------------------------------------------------------------------
+
+// Textbook Dijkstra, independent of the workspace engines, used as the
+// oracle for the bucket-vs-heap equivalence properties below.
+std::vector<Dist> oracle_dijkstra(const WeightedGraph& g, NodeId s) {
+  std::vector<Dist> dist(g.node_count(), kInfDist);
+  using Item = std::pair<Dist, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[s] = 0;
+  pq.emplace(0, s);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const HalfEdge& h : g.neighbors(u)) {
+      const Dist nd = dist_add(d, h.weight);
+      if (nd < dist[h.to]) {
+        dist[h.to] = nd;
+        pq.emplace(nd, h.to);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(Csr, MirrorsAdjacencyInOrder) {
+  Rng rng(7);
+  const auto g = gen::randomize_weights(
+      gen::erdos_renyi_connected(40, 0.2, rng), 30, rng);
+  const CsrGraph csr(g);
+  ASSERT_EQ(csr.node_count(), g.node_count());
+  EXPECT_EQ(csr.edge_count(), g.edge_count());
+  Weight mx = 1;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto row = csr.neighbors(u);
+    const auto& ref = g.neighbors(u);
+    ASSERT_EQ(row.size(), ref.size());
+    ASSERT_EQ(csr.degree(u), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(row[i].to, ref[i].to);
+      EXPECT_EQ(row[i].weight, ref[i].weight);
+      mx = std::max(mx, ref[i].weight);
+    }
+  }
+  EXPECT_EQ(csr.max_weight(), mx);
+}
+
+TEST(Csr, CachedViewTracksMutation) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2, 3);
+  EXPECT_EQ(g.csr().edge_count(), 2u);
+  g.add_edge(2, 3, 5);  // must invalidate the cached view
+  EXPECT_EQ(g.csr().edge_count(), 3u);
+  EXPECT_EQ(dijkstra(g.csr(), 0)[3], 11u);
+  g.set_edge_weight(2, 3, 1);  // likewise
+  EXPECT_EQ(dijkstra(g.csr(), 0)[3], 7u);
+  // Copies drop the cache but not the data; moves carry it.
+  WeightedGraph h = g;
+  EXPECT_EQ(h.csr().edge_count(), 3u);
+}
+
+TEST(Csr, AssignReweightedMatchesGraphReweighted) {
+  Rng rng(11);
+  const auto g = gen::randomize_weights(
+      gen::erdos_renyi_connected(30, 0.2, rng), 40, rng);
+  const auto f = [](Weight w) { return Weight{2} * w + 1; };
+  CsrGraph scaled;
+  scaled.assign_reweighted(g.csr(), f);
+  const auto expect = g.reweighted(f);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    EXPECT_EQ(dijkstra(scaled, s), oracle_dijkstra(expect, s));
+  }
+  // Re-assigning from the same pristine base must not compound.
+  scaled.assign_reweighted(g.csr(), f);
+  EXPECT_EQ(dijkstra(scaled, 0), oracle_dijkstra(expect, 0));
+}
+
+TEST(WeightedGraph, FromEdgesMatchesAddEdge) {
+  std::vector<Edge> edges{{0, 1, 4}, {1, 3, 2}, {0, 2, 7}, {2, 3, 1}};
+  const auto g = WeightedGraph::from_edges(5, edges);
+  WeightedGraph ref(5);
+  for (const Edge& e : edges) ref.add_edge(e.u, e.v, e.weight);
+  ASSERT_EQ(g.node_count(), ref.node_count());
+  ASSERT_EQ(g.edge_count(), ref.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto& a = g.neighbors(u);
+    const auto& b = ref.neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_EQ(a[i].weight, b[i].weight);
+    }
+  }
+  g.validate();
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{0, 1, 0}}), ArgumentError);
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{1, 0, 1}}), ArgumentError);
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{0, 2, 1}}), ArgumentError);
+}
+
+// Randomized equivalence: every CSR kernel agrees with its WeightedGraph
+// shim and with the oracle, on one workspace reused across all sources
+// and both weight regimes (small weights take the bucket engine, large
+// weights the binary heap — the labels must be identical either way).
+class CsrEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrEquivalenceTest, KernelsMatchAcrossEnginesAndReuse) {
+  Rng rng(GetParam());
+  const NodeId n = 12 + static_cast<NodeId>(rng.below(40));
+  auto g = gen::erdos_renyi_connected(n, 0.05 + rng.uniform() * 0.25, rng);
+  // Odd seeds get gadget-scale weights to force the heap engine; even
+  // seeds stay within the bucket window.
+  const Weight max_w =
+      (GetParam() % 2 != 0) ? Weight{1} << 20 : Weight{60};
+  g = gen::randomize_weights(g, max_w, rng);
+  const CsrGraph& csr = g.csr();
+
+  DijkstraWorkspace ws;  // one workspace, reused for every run below
+  std::vector<Dist> out;
+  std::vector<Dist> hops;
+  for (NodeId s = 0; s < n; ++s) {
+    const auto oracle = oracle_dijkstra(g, s);
+    ws.dijkstra(csr, s, out);
+    EXPECT_EQ(out, oracle);
+    EXPECT_EQ(dijkstra(g, s), oracle);
+
+    ws.bfs(csr, s, out);
+    EXPECT_EQ(out, bfs_distances(g, s));
+
+    ws.dijkstra_with_hops(csr, s, out, hops);
+    const auto dh = dijkstra_with_hops(g, s);
+    EXPECT_EQ(out, dh.dist);
+    EXPECT_EQ(hops, dh.hops);
+    EXPECT_EQ(out, oracle);  // lexicographic run keeps exact distances
+
+    const std::uint64_t ell = 1 + rng.below(n);
+    ws.bounded_hop(csr, s, ell, out);
+    EXPECT_EQ(out, bounded_hop_distances(g, s, ell));
+    ws.bounded_hop(csr, s, n, out);
+    EXPECT_EQ(out, oracle);  // ell >= n-1 hops recovers true distances
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
 
 }  // namespace
 }  // namespace qc

@@ -13,6 +13,8 @@
 
 #include "congest/primitives.h"
 #include "congest/simulator.h"
+#include "graph/algorithms.h"
+#include "graph/csr.h"
 #include "graph/generators.h"
 #include "runtime/metrics.h"
 #include "runtime/sweep.h"
@@ -179,6 +181,38 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // nothing submitted: must not hang
   EXPECT_EQ(pool.worker_count(), 2u);
+}
+
+// The multi-source graph kernels fan out over the pool with per-source
+// result slots; outputs must be byte-identical at any worker count.
+// n >= 256 so the nullptr path also engages the shared kernel pool.
+TEST(ThreadPool, GraphKernelsDeterministicAcrossWorkerCounts) {
+  Rng rng(31);
+  auto g = gen::erdos_renyi_connected(300, 0.03, rng);
+  g = gen::randomize_weights(g, 90, rng);
+  const CsrGraph& csr = g.csr();
+
+  ThreadPool one(1);
+  const auto ecc = eccentricities(csr, &one);
+  const auto apsp = all_pairs_distances(csr, &one);
+  const auto uecc = unweighted_eccentricities(csr, &one);
+  const Dist ud = unweighted_diameter(csr, &one);
+  const Dist hd = hop_diameter(csr, &one);
+
+  for (const unsigned workers : {2u, 8u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(eccentricities(csr, &pool), ecc);
+    EXPECT_EQ(all_pairs_distances(csr, &pool), apsp);
+    EXPECT_EQ(unweighted_eccentricities(csr, &pool), uecc);
+    EXPECT_EQ(unweighted_diameter(csr, &pool), ud);
+    EXPECT_EQ(hop_diameter(csr, &pool), hd);
+  }
+  // nullptr -> shared pool (n >= the parallel threshold): same answers.
+  EXPECT_EQ(eccentricities(csr), ecc);
+  EXPECT_EQ(all_pairs_distances(csr), apsp);
+  // And the WeightedGraph shims agree with the CSR overloads.
+  EXPECT_EQ(eccentricities(g), ecc);
+  EXPECT_EQ(hop_diameter(g), hd);
 }
 
 // ---------------------------------------------------------------------

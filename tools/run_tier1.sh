@@ -4,15 +4,44 @@
 #
 # Usage:
 #   tools/run_tier1.sh                 # plain build + ctest
+#   tools/run_tier1.sh --tsan          # ThreadSanitizer pass over the
+#                                      # concurrency-bearing suites
+#                                      # (test_graph + test_runtime)
 #   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
 #                                           # address | undefined | thread
 #
-# With a thread pool in src/runtime, the TSan configuration is the one
-# that matters most; sanitized builds use build-<sanitizer>/ so they
-# never pollute the primary build tree.
+# With a thread pool in src/runtime and pool-parallel graph kernels in
+# src/graph, the TSan configuration is the one that matters most;
+# sanitized builds use build-<sanitizer>/ so they never pollute the
+# primary build tree. `--tsan` is the quick opt-in: it builds with
+# QC_SANITIZE=thread and runs only the two suites that exercise the
+# pool, rather than the full (slow under TSan) ctest sweep.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+TSAN_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) TSAN_ONLY=1 ;;
+    *)
+      echo "usage: tools/run_tier1.sh [--tsan]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [ "$TSAN_ONLY" -eq 1 ]; then
+  BUILD_DIR=build-thread
+  cmake -B "$BUILD_DIR" -S . -DQC_SANITIZE=thread
+  cmake --build "$BUILD_DIR" -j --target test_graph test_runtime
+  # Run the binaries directly: gtest_discover_tests registers per-test
+  # ctest entries at build time, so a target-filtered build may not have
+  # a complete ctest manifest.
+  "$BUILD_DIR/tests/test_graph"
+  "$BUILD_DIR/tests/test_runtime"
+  exit 0
+fi
 
 BUILD_DIR=build
 CMAKE_EXTRA=""
