@@ -7,6 +7,14 @@
 // in a round and rejects overflows. Declared widths are checked against
 // the actual values (a value must fit in its declared width), so programs
 // cannot under-declare.
+//
+// Storage is a small inline buffer, not heap vectors: every message in
+// the library carries at most 6 fields (Algorithm 4's overlay edges —
+// two ids plus a scaled distance — are the widest at 3), so the common
+// case fits entirely inside the object and copying a message into a
+// mailbox is a flat memcpy-sized move with zero allocations. Wider
+// messages spill transparently to a heap vector; nothing in the API
+// changes.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,9 @@ namespace qc::congest {
 /// A single message: fields with declared widths.
 class Message {
  public:
+  /// Fields stored inline; pushes beyond this spill to the heap.
+  static constexpr std::size_t kInlineFields = 6;
+
   Message() = default;
 
   /// Appends a field. `bits` in [1, 64]; `value` must fit in `bits`.
@@ -28,38 +39,54 @@ class Message {
     QC_REQUIRE(bits >= 1 && bits <= 64, "field width must be in [1, 64]");
     QC_REQUIRE(bits == 64 || value < (std::uint64_t{1} << bits),
                "field value does not fit in declared width");
-    fields_.push_back(value);
-    widths_.push_back(bits);
+    if (count_ < kInlineFields) {
+      values_[count_] = value;
+      widths_[count_] = static_cast<std::uint8_t>(bits);
+    } else {
+      spill_.push_back({value, static_cast<std::uint8_t>(bits)});
+    }
+    ++count_;
     bit_size_ += bits;
     return *this;
   }
 
-  std::size_t field_count() const { return fields_.size(); }
+  std::size_t field_count() const { return count_; }
 
   std::uint64_t field(std::size_t i) const {
-    QC_REQUIRE(i < fields_.size(), "message field index out of range");
-    return fields_[i];
+    QC_REQUIRE(i < count_, "message field index out of range");
+    return i < kInlineFields ? values_[i] : spill_[i - kInlineFields].value;
   }
 
   std::uint32_t field_width(std::size_t i) const {
-    QC_REQUIRE(i < widths_.size(), "message field index out of range");
-    return widths_[i];
+    QC_REQUIRE(i < count_, "message field index out of range");
+    return i < kInlineFields ? widths_[i] : spill_[i - kInlineFields].width;
   }
 
   /// Total declared size in bits — what the bandwidth cap meters.
   std::uint32_t bit_size() const { return bit_size_; }
 
+  // Unused inline slots stay zero-initialized (fields are append-only),
+  // so memberwise equality is exactly field-sequence equality.
   friend bool operator==(const Message&, const Message&) = default;
 
  private:
-  std::vector<std::uint64_t> fields_;
-  std::vector<std::uint32_t> widths_;
+  struct SpillField {
+    std::uint64_t value;
+    std::uint8_t width;
+
+    friend bool operator==(const SpillField&, const SpillField&) = default;
+  };
+
+  std::uint64_t values_[kInlineFields] = {};
+  std::vector<SpillField> spill_;
   std::uint32_t bit_size_ = 0;
+  std::uint16_t count_ = 0;
+  std::uint8_t widths_[kInlineFields] = {};
 };
 
 /// A received message together with its sender.
 struct Incoming {
-  NodeId from;
+  NodeId from = 0;
   Message msg;
 };
 

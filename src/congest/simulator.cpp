@@ -1,6 +1,12 @@
 #include "congest/simulator.h"
 
 #include <algorithm>
+#include <memory>
+#include <new>
+#include <numeric>
+#include <string>
+
+#include "runtime/thread_pool.h"
 
 namespace qc::congest {
 
@@ -9,155 +15,484 @@ std::uint32_t default_bandwidth(NodeId n) {
   return kBandwidthLogFactor * logn;
 }
 
-NodeId NodeContext::n() const { return sim_->graph().node_count(); }
+NodeId NodeContext::n() const { return sim_->csr_->node_count(); }
 std::uint64_t NodeContext::round() const { return sim_->round_; }
 std::uint32_t NodeContext::bandwidth() const { return sim_->bandwidth(); }
 
 std::span<const HalfEdge> NodeContext::neighbors() const {
-  return sim_->graph().neighbors(id_);
+  return sim_->csr_->neighbors(id_);
 }
 
 bool NodeContext::has_neighbor(NodeId v) const {
-  return sim_->graph().has_edge(id_, v);
+  return sim_->slots_->slot(id_, v) != EdgeSlotIndex::kNoSlot;
+}
+
+std::uint32_t NodeContext::neighbor_slot(NodeId v) const {
+  return sim_->slots_->slot(id_, v);
 }
 
 void NodeContext::send(NodeId to, Message m) {
   sim_->queue_message(id_, to, std::move(m));
 }
 
+void NodeContext::send_to_slot(std::uint32_t slot, Message m) {
+  sim_->queue_to_slot(id_, slot, std::move(m));
+}
+
 void NodeContext::broadcast(const Message& m) {
-  for (const HalfEdge& h : neighbors()) {
-    sim_->queue_message(id_, h.to, m);
-  }
+  sim_->queue_broadcast(id_, m);
 }
 
 Rng& NodeContext::rng() { return sim_->node_rngs_[id_]; }
 
 Simulator::Simulator(const WeightedGraph& graph, Config config)
     : graph_(&graph),
-      config_(config),
-      bandwidth_(config.bandwidth_bits != 0
-                     ? config.bandwidth_bits
+      csr_(&graph.csr()),
+      slots_(&graph.slot_index()),
+      config_(std::move(config)),
+      bandwidth_(config_.bandwidth_bits != 0
+                     ? config_.bandwidth_bits
                      : default_bandwidth(graph.node_count())) {
   QC_REQUIRE(graph.node_count() >= 1, "network needs at least one node");
+  const NodeId n = graph.node_count();
   Rng master(config_.seed);
-  node_rngs_.reserve(graph.node_count());
-  for (NodeId v = 0; v < graph.node_count(); ++v) {
+  node_rngs_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
     node_rngs_.push_back(master.fork());
   }
-  sender_done_.assign(graph.node_count(), false);
-  outgoing_.resize(graph.node_count());
-  edge_bits_.resize(graph.node_count());
-  for (NodeId v = 0; v < graph.node_count(); ++v) {
-    edge_bits_[v].assign(graph.degree(v), 0);
+  last_active_epoch_.assign(n, 0);
+  node_done_.assign(n, 0);
+  outbox_.resize(n);
+  edge_bits_.assign(slots_->directed_edge_count(), 0);
+  for (int b = 0; b < 2; ++b) {
+    inbox_begin_[b].assign(n, 0);
+    inbox_count_[b].assign(n, 0);
+    touched_flag_[b].assign(n, 0);
   }
+  fill_.assign(n, 0);
+}
+
+Simulator::~Simulator() = default;
+
+Simulator::MailArena::~MailArena() {
+  std::destroy_n(data_, constructed_);
+  ::operator delete(data_, std::align_val_t{alignof(Incoming)});
+}
+
+void Simulator::MailArena::ensure_capacity(std::size_t need) {
+  if (need <= cap_) return;
+  const std::size_t new_cap = std::max(need, cap_ * 2);
+  auto* fresh = static_cast<Incoming*>(::operator new(
+      new_cap * sizeof(Incoming), std::align_val_t{alignof(Incoming)}));
+  std::uninitialized_move_n(data_, constructed_, fresh);
+  std::destroy_n(data_, constructed_);
+  ::operator delete(data_, std::align_val_t{alignof(Incoming)});
+  data_ = fresh;
+  cap_ = new_cap;
 }
 
 void Simulator::queue_message(NodeId from, NodeId to, Message m) {
-  QC_CHECK(from < graph_->node_count(), "sender out of range");
-  if (to >= graph_->node_count() || !graph_->has_edge(from, to)) {
+  QC_CHECK(from < csr_->node_count(), "sender out of range");
+  const std::uint32_t slot = slots_->slot(from, to);
+  if (slot == EdgeSlotIndex::kNoSlot) {
     throw ModelError("node " + std::to_string(from) +
                      " tried to message non-neighbour " + std::to_string(to));
   }
-  if (sender_done_[from]) {
+  admit(from, to, slot, std::move(m));
+}
+
+void Simulator::queue_to_slot(NodeId from, std::uint32_t slot, Message m) {
+  QC_CHECK(from < csr_->node_count(), "sender out of range");
+  const auto row = csr_->neighbors(from);
+  QC_REQUIRE(slot < row.size(), "neighbour slot out of range");
+  admit(from, row[slot].to, slot, std::move(m));
+}
+
+// One admission sweep for all of from's edges: the epoch check runs
+// once, the bandwidth row is walked sequentially, and the message is
+// parked ONCE — expansion to per-receiver copies happens at scatter.
+void Simulator::queue_broadcast(NodeId from, const Message& m) {
+  QC_CHECK(from < csr_->node_count(), "sender out of range");
+  const auto row = csr_->neighbors(from);
+  if (row.empty()) return;
+  if (last_active_epoch_[from] != epoch_) {
     throw ModelError("node " + std::to_string(from) +
                      " sent a message after declaring done");
   }
-  // Locate the neighbour slot for bandwidth accounting.
-  const auto adj = graph_->neighbors(from);
-  std::size_t slot = adj.size();
-  for (std::size_t i = 0; i < adj.size(); ++i) {
-    if (adj[i].to == to) {
-      slot = i;
-      break;
+  const std::uint32_t bits = m.bit_size();
+  const std::size_t base = slots_->edge_index(from, 0);
+  auto& box = outbox_[from];
+  for (std::uint32_t s = 0; s < row.size(); ++s) {
+    const std::uint32_t used = edge_bits_[base + s] + bits;
+    if (used > bandwidth_) {
+      throw ModelError("bandwidth exceeded on edge " + std::to_string(from) +
+                       "->" + std::to_string(row[s].to) + ": " +
+                       std::to_string(used) +
+                       " bits > B=" + std::to_string(bandwidth_) +
+                       " in round " + std::to_string(round_));
+    }
+    edge_bits_[base + s] = used;
+  }
+  box.bcasts.emplace_back(box.next_seq++, m);
+  if (queue_accounting_) {
+    stats_.messages += row.size();
+    stats_.bits += std::uint64_t{bits} * row.size();
+    queued_count_ += row.size();
+    if (config_.record_trace) {
+      for (std::uint32_t s = 0; s < row.size(); ++s) {
+        trace_.push_back(TraceEntry{round_, from, row[s].to, bits});
+      }
+    }
+    for (std::uint32_t s = 0; s < row.size(); ++s) {
+      const NodeId to = row[s].to;
+      if (pending_count_[to]++ == 0) {
+        pending_touched_->push_back(to);
+        pending_flag_[to] = 1;
+      }
     }
   }
-  QC_CHECK(slot < adj.size(), "neighbour slot lookup failed");
-  const std::uint32_t used = edge_bits_[from][slot] + m.bit_size();
+}
+
+void Simulator::admit(NodeId from, NodeId to, std::uint32_t slot, Message&& m) {
+  // Defensive: a program can only reach its own context during its own
+  // activation, but a buggy one that stashes a context pointer and sends
+  // out of turn must not corrupt the ledger.
+  if (last_active_epoch_[from] != epoch_) {
+    throw ModelError("node " + std::to_string(from) +
+                     " sent a message after declaring done");
+  }
+  const std::size_t e = slots_->edge_index(from, slot);
+  const std::uint32_t used = edge_bits_[e] + m.bit_size();
   if (used > bandwidth_) {
     throw ModelError("bandwidth exceeded on edge " + std::to_string(from) +
                      "->" + std::to_string(to) + ": " + std::to_string(used) +
                      " bits > B=" + std::to_string(bandwidth_) +
                      " in round " + std::to_string(round_));
   }
-  edge_bits_[from][slot] = used;
+  edge_bits_[e] = used;
+  const std::uint32_t bits = m.bit_size();
+  auto& box = outbox_[from];
+  box.singles.emplace_back(to, slot, box.next_seq++, std::move(m));
+  if (queue_accounting_) account(from, to, bits);
+}
+
+// Queue-time accounting (serial engine only): admissions arrive in
+// (sender id, program order) — the exact order the merge pass would
+// replay — so the ledger, trace, and receiver counts can be taken here
+// and the merge's counting pass skipped.
+void Simulator::account(NodeId from, NodeId to, std::uint32_t bits) {
   stats_.messages += 1;
-  stats_.bits += m.bit_size();
+  stats_.bits += bits;
   if (config_.record_trace) {
-    trace_.push_back(TraceEntry{round_, from, to, m.bit_size()});
+    trace_.push_back(TraceEntry{round_, from, to, bits});
   }
-  outgoing_[to].push_back(Incoming{from, std::move(m)});
-  ++outgoing_count_;
+  if (pending_count_[to]++ == 0) {
+    pending_touched_->push_back(to);
+    pending_flag_[to] = 1;
+  }
+  ++queued_count_;
+}
+
+void Simulator::clear_mailbox(int b) {
+  for (NodeId v : touched_[b]) {
+    inbox_count_[b][v] = 0;
+    touched_flag_[b][v] = 0;
+  }
+  touched_[b].clear();
+}
+
+// Serial merge of the per-sender outboxes into mailbox buffer `dst`.
+// Iterating senders in actives_ order (ascending node id) and each
+// outbox in program order reproduces exactly the ledger/trace ordering
+// of queue-time accounting in a serial engine — which is what makes
+// pooled rounds byte-identical to serial ones.
+void Simulator::merge_outboxes(int dst) {
+  auto& arena = arena_[dst];
+  auto& begin = inbox_begin_[dst];
+  auto& count = inbox_count_[dst];
+  auto& touched = touched_[dst];
+
+  // Pass 1: ledger, trace, per-receiver counts, replaying each sender's
+  // singles and broadcasts interleaved in seq (= program) order. Skipped
+  // when the serial engine already accounted at queue time (admission
+  // order is the same order this pass replays).
+  std::size_t total;
+  if (queue_accounting_) {
+    total = queued_count_;
+  } else {
+    total = 0;
+    for (NodeId from : actives_) {
+      const Outbox& box = outbox_[from];
+      auto si = box.singles.begin();
+      auto bi = box.bcasts.begin();
+      const auto row = csr_->neighbors(from);
+      while (si != box.singles.end() || bi != box.bcasts.end()) {
+        if (bi == box.bcasts.end() ||
+            (si != box.singles.end() && si->seq < bi->seq)) {
+          const std::uint32_t bits = si->msg.bit_size();
+          stats_.messages += 1;
+          stats_.bits += bits;
+          if (config_.record_trace) {
+            trace_.push_back(TraceEntry{round_, from, si->to, bits});
+          }
+          if (count[si->to]++ == 0) {
+            touched.push_back(si->to);
+            touched_flag_[dst][si->to] = 1;
+          }
+          ++total;
+          ++si;
+        } else {
+          const std::uint32_t bits = bi->msg.bit_size();
+          stats_.messages += row.size();
+          stats_.bits += std::uint64_t{bits} * row.size();
+          total += row.size();
+          for (const HalfEdge& he : row) {
+            if (config_.record_trace) {
+              trace_.push_back(TraceEntry{round_, from, he.to, bits});
+            }
+            if (count[he.to]++ == 0) {
+              touched.push_back(he.to);
+              touched_flag_[dst][he.to] = 1;
+            }
+          }
+          ++bi;
+        }
+      }
+    }
+    queued_count_ = total;
+  }
+
+  // Pass 2: lay out contiguous per-receiver rows (first-receipt order —
+  // row placement is not observable, only row contents are). The arena
+  // only ever grows and never default-constructs ahead of use.
+  arena.ensure_capacity(total);
+  std::size_t off = 0;
+  for (NodeId v : touched) {
+    begin[v] = off;
+    fill_[v] = off;
+    off += count[v];
+  }
+
+  // Pass 3: scatter, replaying seq order per sender so each receiver's
+  // row is in (sender id, program order) — the order the old
+  // per-receiver push_back produced; broadcasts expand to one copy per
+  // neighbour here (the last edge steals the parked message). Also
+  // resets the bandwidth slots the round actually used (first visit
+  // reads the edge's final total — the utilization sample — and zeroes
+  // it; later visits no-op).
+  Incoming* a = arena.data();
+  const std::size_t watermark = arena.constructed();
+  const auto reset_edge = [&](std::size_t e) {
+    if (edge_bits_[e] != 0) {
+      round_max_edge_bits_ = std::max(round_max_edge_bits_, edge_bits_[e]);
+      edge_bits_[e] = 0;
+    }
+  };
+  const auto put_move = [&](NodeId to, NodeId from, Message&& m) {
+    const std::size_t idx = fill_[to]++;
+    if (idx < watermark) {
+      a[idx].from = from;
+      a[idx].msg = std::move(m);
+    } else {
+      ::new (a + idx) Incoming{from, std::move(m)};
+    }
+  };
+  const auto put_copy = [&](NodeId to, NodeId from, const Message& m) {
+    const std::size_t idx = fill_[to]++;
+    if (idx < watermark) {
+      a[idx].from = from;
+      a[idx].msg = m;
+    } else {
+      ::new (a + idx) Incoming{from, m};
+    }
+  };
+  for (NodeId from : actives_) {
+    Outbox& box = outbox_[from];
+    if (box.empty()) continue;
+    auto si = box.singles.begin();
+    auto bi = box.bcasts.begin();
+    const auto row = csr_->neighbors(from);
+    const std::size_t base = row.empty() ? 0 : slots_->edge_index(from, 0);
+    while (si != box.singles.end() || bi != box.bcasts.end()) {
+      if (bi == box.bcasts.end() ||
+          (si != box.singles.end() && si->seq < bi->seq)) {
+        reset_edge(slots_->edge_index(from, si->slot));
+        put_move(si->to, from, std::move(si->msg));
+        ++si;
+      } else {
+        for (std::size_t s = 0; s + 1 < row.size(); ++s) {
+          reset_edge(base + s);
+          put_copy(row[s].to, from, bi->msg);
+        }
+        const std::size_t last = row.size() - 1;
+        reset_edge(base + last);
+        put_move(row[last].to, from, std::move(bi->msg));
+        ++bi;
+      }
+    }
+    box.clear();
+  }
+  arena.note_filled(total);
+}
+
+// actives = live (not-done) ∪ touched (has mail) — exactly the nodes the
+// reference engine would run: done nodes with empty inboxes are silent.
+// live_ is always sorted; touched_ arrives in first-receipt order, so
+// dense rounds use one O(n) flag scan (node_done_ is maintained for
+// every node, and a node outside live_ is exactly a node with
+// node_done_ set) while sparse rounds sort the short touched list and
+// merge — the active-set design stays sub-O(n) when activity is sparse.
+void Simulator::build_actives() {
+  actives_.clear();
+  auto& touched = touched_[cur_];
+  const NodeId n = csr_->node_count();
+  if ((touched.size() + live_.size()) * 8 >= n) {
+    const char* flag = touched_flag_[cur_].data();
+    for (NodeId v = 0; v < n; ++v) {
+      if (node_done_[v] == 0 || flag[v] != 0) actives_.push_back(v);
+    }
+  } else {
+    std::sort(touched.begin(), touched.end());
+    std::set_union(live_.begin(), live_.end(), touched.begin(), touched.end(),
+                   std::back_inserter(actives_));
+  }
+}
+
+runtime::ThreadPool* Simulator::round_pool() {
+  if (config_.pool != nullptr) return config_.pool;
+  if (config_.workers == 1) return nullptr;
+  if (!own_pool_) {
+    own_pool_ = std::make_unique<runtime::ThreadPool>(config_.workers);
+  }
+  return own_pool_.get();
+}
+
+void Simulator::run_actives(
+    std::span<const std::unique_ptr<NodeProgram>> programs,
+    std::vector<NodeContext>& contexts) {
+  const auto& arena = arena_[cur_];
+  const auto& begin = inbox_begin_[cur_];
+  const auto& count = inbox_count_[cur_];
+  const auto run_one = [&](NodeId v) {
+    const std::span<const Incoming> inbox =
+        count[v] != 0
+            ? std::span<const Incoming>(arena.data() + begin[v], count[v])
+            : std::span<const Incoming>();
+    programs[v]->on_round(contexts[v], inbox);
+    node_done_[v] = programs[v]->done() ? 1 : 0;
+  };
+
+  runtime::ThreadPool* pool = round_pool();
+  if (pool == nullptr || actives_.size() <= 1) {
+    for (NodeId v : actives_) run_one(v);
+    return;
+  }
+  // Everything a worker touches here is owned by the node it runs:
+  // programs[v], contexts[v], node_rngs_[v], outbox_[v], node_done_[v],
+  // and the sender's disjoint stripe of edge_bits_. Shared engine state
+  // (ledger, trace, mailboxes) is only touched in the serial merge.
+  const std::size_t cnt = actives_.size();
+  const std::size_t chunks =
+      std::min(cnt, static_cast<std::size_t>(pool->worker_count()) * 4);
+  runtime::parallel_for(*pool, chunks, [&](std::size_t c) {
+    const std::size_t lo = cnt * c / chunks;
+    const std::size_t hi = cnt * (c + 1) / chunks;
+    for (std::size_t i = lo; i < hi; ++i) run_one(actives_[i]);
+  });
 }
 
 RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) {
-  const NodeId n = graph_->node_count();
+  const NodeId n = csr_->node_count();
   QC_REQUIRE(programs.size() == n, "need exactly one program per node");
 
   stats_ = RunStats{};
   round_ = 0;
-  outgoing_count_ = 0;
+  queued_count_ = 0;
+  round_max_edge_bits_ = 0;
   trace_.clear();
-  for (auto& row : outgoing_) row.clear();
+  cur_ = 0;
+  // Full reset (not just touched slots): a previous run may have been
+  // aborted mid-round by a ModelError, leaving partial residue.
+  for (int b = 0; b < 2; ++b) {
+    std::fill(inbox_count_[b].begin(), inbox_count_[b].end(), 0u);
+    std::fill(touched_flag_[b].begin(), touched_flag_[b].end(), char{0});
+    touched_[b].clear();
+    // Arena contents may be stale; rows are always assigned before they
+    // are spanned, so no reset is needed.
+  }
+  for (auto& box : outbox_) box.clear();
+  std::fill(edge_bits_.begin(), edge_bits_.end(), 0u);
+
+  // No pool configured → the serial engine accounts at queue time and
+  // the merge skips its counting pass (same order, same bytes).
+  queue_accounting_ = config_.pool == nullptr && config_.workers == 1;
 
   std::vector<NodeContext> contexts;
   contexts.reserve(n);
   for (NodeId v = 0; v < n; ++v) contexts.push_back(NodeContext(*this, v));
 
   // Start hook (counts as pre-round-0 local computation; sends land in
-  // round 0 inboxes).
+  // round 0 inboxes and in the round 0 metrics report).
+  ++epoch_;
+  std::fill(last_active_epoch_.begin(), last_active_epoch_.end(), epoch_);
+  pending_count_ = inbox_count_[0].data();
+  pending_touched_ = &touched_[0];
+  pending_flag_ = touched_flag_[0].data();
   for (NodeId v = 0; v < n; ++v) {
-    sender_done_[v] = false;
     programs[v]->on_start(contexts[v]);
   }
+  live_.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    node_done_[v] = programs[v]->done() ? 1 : 0;
+    if (node_done_[v] == 0) live_.push_back(v);
+  }
+  actives_.resize(n);
+  std::iota(actives_.begin(), actives_.end(), NodeId{0});
+  merge_outboxes(0);
 
-  std::vector<std::vector<Incoming>> inboxes(n);
-  // Traffic already reported through on_round_metrics; the round-0
-  // report then picks up on_start sends too (they are queued at
-  // round_ == 0, before the first loop iteration).
   std::uint64_t reported_messages = 0;
   std::uint64_t reported_bits = 0;
   for (;;) {
-    // Deliver: this round's inbox is last round's outbox.
-    for (NodeId v = 0; v < n; ++v) {
-      inboxes[v].clear();
-      inboxes[v].swap(outgoing_[v]);
-    }
-    const bool had_messages = outgoing_count_ > 0;
-    outgoing_count_ = 0;
-    for (auto& bits : edge_bits_) {
-      std::fill(bits.begin(), bits.end(), 0);
+    // arena_[cur_] holds this round's deliveries (merged last phase).
+    const bool had_messages = queued_count_ > 0;
+    queued_count_ = 0;
+    if (live_.empty() && !had_messages) break;
+
+    build_actives();
+    clear_mailbox(1 - cur_);  // two-rounds-ago mail, no longer referenced
+    pending_count_ = inbox_count_[1 - cur_].data();
+    pending_touched_ = &touched_[1 - cur_];
+    pending_flag_ = touched_flag_[1 - cur_].data();
+
+    ++epoch_;
+    for (NodeId v : actives_) last_active_epoch_[v] = epoch_;
+    run_actives(programs, contexts);
+
+    // Only active nodes can change doneness; inactive ones were done and
+    // stayed done, so the new live set filters straight out of actives_.
+    live_.clear();
+    for (NodeId v : actives_) {
+      if (node_done_[v] == 0) live_.push_back(v);
     }
 
-    bool all_done = true;
-    for (NodeId v = 0; v < n; ++v) {
-      if (!programs[v]->done()) {
-        all_done = false;
-        break;
-      }
-    }
-    if (all_done && !had_messages) break;
+    merge_outboxes(1 - cur_);
 
-    NodeId active = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      sender_done_[v] = programs[v]->done() && inboxes[v].empty();
-      if (sender_done_[v]) continue;  // silent this round
-      programs[v]->on_round(contexts[v], inboxes[v]);
-      sender_done_[v] = false;
-      ++active;
-    }
     if (config_.on_round_metrics) {
       config_.on_round_metrics(RoundMetrics{
           round_, stats_.messages - reported_messages,
-          stats_.bits - reported_bits, active});
+          stats_.bits - reported_bits, static_cast<NodeId>(actives_.size()),
+          static_cast<double>(round_max_edge_bits_) / bandwidth_});
       reported_messages = stats_.messages;
       reported_bits = stats_.bits;
     }
+    round_max_edge_bits_ = 0;
+
     ++round_;
     if (round_ > config_.max_rounds) {
       throw ModelError("simulation exceeded max_rounds=" +
                        std::to_string(config_.max_rounds));
     }
+    cur_ = 1 - cur_;
   }
 
   stats_.rounds = round_;

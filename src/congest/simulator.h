@@ -12,6 +12,17 @@
 //
 // The engine also keeps a ledger (rounds, messages, bits) that the
 // benchmarks report; simulated rounds are the paper's complexity measure.
+//
+// Fast path (see docs/perf.md, "Simulator fast path"): message routing
+// and bandwidth accounting are O(1) per send via a precomputed
+// `EdgeSlotIndex`; mailbox rows live in a double-buffered arena that
+// allocates nothing in steady state; each round touches only the active
+// node set (not-done nodes plus message receivers); and with
+// `Config::workers > 1` the independent per-node `on_round` calls fan
+// out over a work-stealing pool. The ledger, traces, per-round metrics,
+// and all program outputs are byte-identical at any worker count — the
+// merge of queued messages always happens serially in (sender id,
+// program order).
 #pragma once
 
 #include <cstdint>
@@ -21,8 +32,14 @@
 #include <vector>
 
 #include "congest/message.h"
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/slot_index.h"
 #include "util/rng.h"
+
+namespace qc::runtime {
+class ThreadPool;  // runtime/thread_pool.h
+}
 
 namespace qc::congest {
 
@@ -33,6 +50,11 @@ struct RoundMetrics {
   std::uint64_t messages = 0;  ///< messages queued during that round
   std::uint64_t bits = 0;      ///< bits queued during that round
   NodeId active_nodes = 0;     ///< nodes whose on_round ran
+  /// Max over directed edges of (bits queued on that edge) / B — 1.0
+  /// means some edge was filled to the bandwidth cap this round.
+  double max_edge_utilization = 0.0;
+
+  friend bool operator==(const RoundMetrics&, const RoundMetrics&) = default;
 };
 
 /// Engine configuration.
@@ -52,6 +74,17 @@ struct Config {
   /// runtime::MetricsRegistry via runtime::attach_simulator_metrics).
   /// Called once after every executed round; empty = no overhead.
   std::function<void(const RoundMetrics&)> on_round_metrics;
+  /// Worker threads for the round loop: 1 = serial (the default and the
+  /// reference semantics), 0 = hardware concurrency, k > 1 = k workers.
+  /// Nodes within a round are independent, so the engine fans `on_round`
+  /// over a pool; results (ledger, traces, metrics, program outputs) are
+  /// byte-identical at any worker count. Programs must then keep their
+  /// mutable state per-node (shared data read-only) — every program in
+  /// this library already does.
+  unsigned workers = 1;
+  /// Optional borrowed pool for the round loop; overrides `workers`.
+  /// The pool must not be one the caller is currently blocking on.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// One recorded message (sent during `round`, delivered in round+1).
@@ -60,6 +93,8 @@ struct TraceEntry {
   NodeId from;
   NodeId to;
   std::uint32_t bits;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
 };
 
 /// Multiplier c in B = c * ceil(log2 n). The paper's B = O(log n); the
@@ -77,6 +112,8 @@ struct RunStats {
   std::uint64_t rounds = 0;    ///< synchronous rounds elapsed
   std::uint64_t messages = 0;  ///< total point-to-point messages
   std::uint64_t bits = 0;      ///< total bits on all edges
+
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 class Simulator;
@@ -91,8 +128,18 @@ class NodeContext {
   std::span<const HalfEdge> neighbors() const;
   bool has_neighbor(NodeId v) const;
 
+  /// Slot of `v` in this node's neighbors() row, or EdgeSlotIndex::kNoSlot
+  /// if v is not a neighbour. O(1). Message senders are always neighbours
+  /// (engine-enforced), so `neighbor_slot(in.from)` lets a program index
+  /// per-neighbour state with a flat vector instead of a map.
+  std::uint32_t neighbor_slot(NodeId v) const;
+
   /// Queues a message to neighbour `to` for delivery next round.
   void send(NodeId to, Message m);
+  /// Queues a message to the neighbour at `slot` of neighbors() — the
+  /// O(1)-admission fast path for senders that already know the slot
+  /// (broadcast uses it for every edge).
+  void send_to_slot(std::uint32_t slot, Message m);
   /// Queues a copy of `m` to every neighbour.
   void broadcast(const Message& m);
 
@@ -119,14 +166,21 @@ class NodeProgram {
   virtual void on_round(NodeContext& ctx, std::span<const Incoming> inbox) = 0;
 
   /// The engine stops when every node is done and no messages are in
-  /// flight. A done node must stay silent (enforced).
+  /// flight. A done node must stay silent (enforced). done() must be a
+  /// pure function of program state, and that state may change only
+  /// inside on_start/on_round — the engine caches doneness between
+  /// activations and re-queries it only after the program runs, so a
+  /// done node with an empty inbox is skipped entirely.
   virtual bool done() const = 0;
 };
 
-/// The synchronous engine. One instance per execution.
+/// The synchronous engine. One instance per execution. The topology must
+/// not be mutated while the simulator is alive (it holds the graph's
+/// cached CSR + slot-index views).
 class Simulator {
  public:
   Simulator(const WeightedGraph& graph, Config config = {});
+  ~Simulator();
 
   /// Runs the given programs (one per node, index = node id) to
   /// completion. Returns the ledger for this run.
@@ -140,22 +194,127 @@ class Simulator {
  private:
   friend class NodeContext;
 
+  /// One queued point-to-point message, parked in its sender's outbox
+  /// until the serial merge scatters it into the receiver-side arena.
+  struct OutMsg {
+    NodeId to;
+    std::uint32_t slot;  ///< slot of `to` in the sender's adjacency row
+    std::uint32_t seq;   ///< sender-local program-order sequence number
+    Message msg;
+  };
+
+  /// One queued broadcast: stored once and expanded to every neighbour
+  /// at scatter time (the dominant primitive — a degree-d broadcast
+  /// parks one message, not d copies).
+  struct OutBcast {
+    std::uint32_t seq;
+    Message msg;
+  };
+
+  /// Per-sender queue for one round. `seq` orders singles and broadcasts
+  /// so the merge can replay the sender's exact program order.
+  struct Outbox {
+    std::vector<OutMsg> singles;
+    std::vector<OutBcast> bcasts;
+    std::uint32_t next_seq = 0;
+
+    bool empty() const { return singles.empty() && bcasts.empty(); }
+    void clear() {
+      singles.clear();
+      bcasts.clear();
+      next_seq = 0;
+    }
+  };
+
+  /// Receiver-side mailbox storage: raw memory with a constructed-element
+  /// watermark. The scatter pass move/copy-constructs each slot on first
+  /// use and assigns thereafter — there is no default-construction pass
+  /// over fresh capacity (a vector resize would value-initialize every
+  /// new element only to overwrite it immediately).
+  class MailArena {
+   public:
+    MailArena() = default;
+    MailArena(const MailArena&) = delete;
+    MailArena& operator=(const MailArena&) = delete;
+    ~MailArena();
+
+    Incoming* data() { return data_; }
+    const Incoming* data() const { return data_; }
+    /// Elements [0, constructed()) are live and assignable; slots beyond
+    /// must be placement-constructed (then note_filled raises the mark).
+    std::size_t constructed() const { return constructed_; }
+    void ensure_capacity(std::size_t need);
+    void note_filled(std::size_t total) {
+      if (total > constructed_) constructed_ = total;
+    }
+
+   private:
+    Incoming* data_ = nullptr;
+    std::size_t cap_ = 0;
+    std::size_t constructed_ = 0;
+  };
+
   void queue_message(NodeId from, NodeId to, Message m);
+  void queue_to_slot(NodeId from, std::uint32_t slot, Message m);
+  void queue_broadcast(NodeId from, const Message& m);
+  void admit(NodeId from, NodeId to, std::uint32_t slot, Message&& m);
+  void account(NodeId from, NodeId to, std::uint32_t bits);
+  void merge_outboxes(int dst);
+  void clear_mailbox(int b);
+  void build_actives();
+  void run_actives(std::span<const std::unique_ptr<NodeProgram>> programs,
+                   std::vector<NodeContext>& contexts);
+  runtime::ThreadPool* round_pool();
 
   const WeightedGraph* graph_;
+  const CsrGraph* csr_;
+  const EdgeSlotIndex* slots_;
   Config config_;
   std::uint32_t bandwidth_;
   std::uint64_t round_ = 0;
   RunStats stats_;
   std::vector<Rng> node_rngs_;
-  std::vector<bool> sender_done_;
-  // outgoing[v] = messages to deliver to v next round.
-  std::vector<std::vector<Incoming>> outgoing_;
-  std::uint64_t outgoing_count_ = 0;
-  // bits_this_round_[sender] accumulates per-neighbour usage; reset each
-  // round. Indexed by (sender, slot-of-neighbour).
-  std::vector<std::vector<std::uint32_t>> edge_bits_;
   std::vector<TraceEntry> trace_;
+
+  // Activation bookkeeping: a node may send only during its own
+  // activation (on_start, or on_round while active). Epochs advance once
+  // per phase; last_active_epoch_[v] == epoch_ iff v runs this phase.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> last_active_epoch_;
+  std::vector<char> node_done_;  ///< done() after the node's last run
+  std::vector<NodeId> live_;     ///< sorted ids of not-done nodes
+  std::vector<NodeId> actives_;  ///< scratch: nodes running this round
+
+  // Serial engine (no pool configured): ledger/trace/receiver counts are
+  // accounted at queue time — admission order is already (sender id,
+  // program order) — and the merge skips its counting pass. Parallel
+  // engine: accounting is deferred to the serial merge, which replays
+  // the same order. Both produce byte-identical results.
+  bool queue_accounting_ = false;
+  std::uint32_t* pending_count_ = nullptr;     ///< counts of filling mailbox
+  std::vector<NodeId>* pending_touched_ = nullptr;
+  char* pending_flag_ = nullptr;               ///< touched flags, same buffer
+
+  // Per-sender outboxes (worker-private during a parallel round) and the
+  // flat per-directed-edge bandwidth ledger, reset via the queued
+  // messages themselves (touched slots only, never an O(2m) refill).
+  std::vector<Outbox> outbox_;
+  std::vector<std::uint32_t> edge_bits_;
+  std::uint32_t round_max_edge_bits_ = 0;
+  std::uint64_t queued_count_ = 0;
+
+  // Double-buffered mailbox arena: arena_[cur_] is delivered this round
+  // while the merge scatters next round's messages into arena_[1-cur_].
+  // Rows are contiguous spans [inbox_begin_[v], +inbox_count_[v]).
+  MailArena arena_[2];
+  std::vector<std::size_t> inbox_begin_[2];
+  std::vector<std::uint32_t> inbox_count_[2];
+  std::vector<NodeId> touched_[2];      ///< receivers with messages
+  std::vector<char> touched_flag_[2];   ///< same set, as per-node flags
+  std::vector<std::size_t> fill_;       ///< scatter cursors, by receiver
+  int cur_ = 0;
+
+  std::unique_ptr<runtime::ThreadPool> own_pool_;
 };
 
 /// Convenience: run a homogeneous program type over every node.

@@ -20,7 +20,8 @@
 
 namespace qc {
 
-class CsrGraph;  // graph/csr.h
+class CsrGraph;       // graph/csr.h
+class EdgeSlotIndex;  // graph/slot_index.h
 
 using NodeId = std::uint32_t;
 using Weight = std::uint64_t;
@@ -67,11 +68,13 @@ class WeightedGraph {
   WeightedGraph(WeightedGraph&& o) noexcept
       : adjacency_(std::move(o.adjacency_)),
         edges_(std::move(o.edges_)),
-        csr_cache_(std::move(o.csr_cache_)) {}
+        csr_cache_(std::move(o.csr_cache_)),
+        slot_index_cache_(std::move(o.slot_index_cache_)) {}
   WeightedGraph& operator=(WeightedGraph&& o) noexcept {
     adjacency_ = std::move(o.adjacency_);
     edges_ = std::move(o.edges_);
     csr_cache_ = std::move(o.csr_cache_);
+    slot_index_cache_ = std::move(o.slot_index_cache_);
     return *this;
   }
 
@@ -145,6 +148,12 @@ class WeightedGraph {
   /// concurrently; building happens once.
   const CsrGraph& csr() const;
 
+  /// O(1) (from, to) -> adjacency-slot lookup over csr(), built lazily
+  /// and cached with the same lifetime/invalidation rules as csr(). The
+  /// CONGEST simulator and the qubit network route every message/qubit
+  /// through it.
+  const EdgeSlotIndex& slot_index() const;
+
   /// True when every pair of nodes is connected (n <= 1 counts as
   /// connected).
   bool is_connected() const;
@@ -159,12 +168,14 @@ class WeightedGraph {
   void invalidate_csr() {
     std::lock_guard<std::mutex> lock(csr_mutex_);
     csr_cache_.reset();
+    slot_index_cache_.reset();
   }
 
   std::vector<std::vector<HalfEdge>> adjacency_;
   std::vector<Edge> edges_;
   mutable std::mutex csr_mutex_;
   mutable std::shared_ptr<const CsrGraph> csr_cache_;
+  mutable std::shared_ptr<const EdgeSlotIndex> slot_index_cache_;
 };
 
 /// Graphviz DOT rendering (undirected). Weight-1 edges are drawn plain;

@@ -1,7 +1,6 @@
 #include "paths/distributed.h"
 
 #include <algorithm>
-#include <map>
 #include <numeric>
 
 #include "paths/reference.h"
@@ -55,15 +54,19 @@ class BoundedDistanceProgram final : public NodeProgram {
         dist_bits_(dist_bits) {}
 
   void on_start(NodeContext& ctx) override {
+    // Rounded weights in slot order, so arrivals index it directly via
+    // ctx.neighbor_slot (senders are always neighbours).
+    rounded_.reserve(ctx.neighbors().size());
     for (const HalfEdge& h : ctx.neighbors()) {
-      rounded_[h.to] = (*weight_of_)(h.weight);
+      rounded_.push_back((*weight_of_)(h.weight));
     }
     if (ctx.id() == source_) best_ = 0;
   }
 
   void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
     for (const Incoming& in : inbox) {
-      const Dist via = dist_add(in.msg.field(0), rounded_.at(in.from));
+      const Dist via =
+          dist_add(in.msg.field(0), rounded_[ctx.neighbor_slot(in.from)]);
       best_ = std::min(best_, via);
     }
     if (!announced_ && best_ == round_ && best_ <= cap_) {
@@ -84,7 +87,7 @@ class BoundedDistanceProgram final : public NodeProgram {
   Dist cap_;
   const std::function<std::uint64_t(Weight)>* weight_of_;
   std::uint32_t dist_bits_;
-  std::map<NodeId, std::uint64_t> rounded_;
+  std::vector<std::uint64_t> rounded_;  ///< by neighbour slot
   Dist best_ = kInfDist;
   Dist round_ = 0;
   bool announced_ = false;
@@ -105,16 +108,17 @@ class BoundedHopProgram final : public NodeProgram {
         dist_bits_(dist_bits) {}
 
   void on_start(NodeContext& ctx) override {
+    weights_.reserve(ctx.neighbors().size());
     for (const HalfEdge& h : ctx.neighbors()) {
-      weights_[h.to] = h.weight;
+      weights_.push_back(h.weight);
     }
     reset_scale(ctx.id());
   }
 
   void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
     for (const Incoming& in : inbox) {
-      const std::uint64_t w =
-          scale_.rounded_weight(weights_.at(in.from), scale_index_);
+      const std::uint64_t w = scale_.rounded_weight(
+          weights_[ctx.neighbor_slot(in.from)], scale_index_);
       best_ = std::min(best_, dist_add(in.msg.field(0), w));
     }
     if (!announced_ && best_ == offset_ && best_ <= cap_) {
@@ -155,7 +159,7 @@ class BoundedHopProgram final : public NodeProgram {
   std::uint32_t scales_;
   Dist cap_;
   std::uint32_t dist_bits_;
-  std::map<NodeId, Weight> weights_;
+  std::vector<Weight> weights_;  ///< by neighbour slot
   std::uint32_t scale_index_ = 0;
   Dist best_ = kInfDist;
   Dist offset_ = 0;
@@ -197,8 +201,9 @@ class MultiSourceProgram final : public NodeProgram {
   }
 
   void on_start(NodeContext& ctx) override {
+    weights_.reserve(ctx.neighbors().size());
     for (const HalfEdge& h : ctx.neighbors()) {
-      weights_[h.to] = h.weight;
+      weights_.push_back(h.weight);
     }
   }
 
@@ -238,7 +243,7 @@ class MultiSourceProgram final : public NodeProgram {
       const Dist via =
           dist_add(in.msg.field(1),
                    scale_.rounded_weight(
-                       weights_.at(in.from),
+                       weights_[ctx.neighbor_slot(in.from)],
                        static_cast<std::uint32_t>(tau / period_)));
       cur_[a] = std::min(cur_[a], via);
     }
@@ -299,7 +304,7 @@ class MultiSourceProgram final : public NodeProgram {
   std::uint32_t dist_bits_;
   std::uint64_t t_logical_ = 0;
   std::uint64_t total_windows_ = 0;
-  std::map<NodeId, Weight> weights_;
+  std::vector<Weight> weights_;  ///< by neighbour slot
   std::vector<Dist> cur_;
   std::vector<bool> announced_;
   std::vector<Dist> dtilde_;

@@ -1,7 +1,6 @@
 #include "quantum/qnetwork.h"
 
 #include <algorithm>
-#include <map>
 
 namespace qc::quantum {
 
@@ -9,9 +8,11 @@ QuantumNetwork::QuantumNetwork(WeightedGraph topology,
                                std::uint32_t qubit_count,
                                std::uint32_t qubit_bandwidth)
     : topology_(std::move(topology)),
+      slots_(&topology_.slot_index()),
       qubit_bandwidth_(qubit_bandwidth),
       state_(qubit_count),
-      owner_(qubit_count, 0) {
+      owner_(qubit_count, 0),
+      edge_in_flight_(slots_->directed_edge_count(), 0) {
   QC_REQUIRE(topology_.node_count() >= 1, "network needs nodes");
   QC_REQUIRE(qubit_bandwidth >= 1, "qubit bandwidth must be >= 1");
 }
@@ -76,24 +77,30 @@ bool QuantumNetwork::measure(NodeId node, std::uint32_t q, Rng& rng) {
 void QuantumNetwork::send_qubit(NodeId from, NodeId to, std::uint32_t q) {
   started_ = true;
   check_owner(from, q);
-  if (to >= topology_.node_count() || !topology_.has_edge(from, to)) {
+  const std::uint32_t slot =
+      from < topology_.node_count() ? slots_->slot(from, to)
+                                    : EdgeSlotIndex::kNoSlot;
+  if (slot == EdgeSlotIndex::kNoSlot) {
     throw ModelError("qubit sent to non-neighbour");
   }
-  std::uint32_t on_edge = 0;
   for (const Transfer& t : pending_) {
-    if (t.from == from && t.to == to) ++on_edge;
     QC_REQUIRE(t.qubit != q, "qubit already in flight this round");
   }
-  if (on_edge >= qubit_bandwidth_) {
+  const std::size_t e = slots_->edge_index(from, slot);
+  if (edge_in_flight_[e] >= qubit_bandwidth_) {
     throw ModelError("qubit bandwidth exceeded on edge " +
                      std::to_string(from) + "->" + std::to_string(to));
   }
-  pending_.push_back(Transfer{from, to, q});
+  ++edge_in_flight_[e];
+  pending_.push_back(Transfer{from, to, slot, q});
 }
 
 void QuantumNetwork::end_round() {
   started_ = true;
-  for (const Transfer& t : pending_) owner_[t.qubit] = t.to;
+  for (const Transfer& t : pending_) {
+    owner_[t.qubit] = t.to;
+    edge_in_flight_[slots_->edge_index(t.from, t.slot)] = 0;
+  }
   pending_.clear();
   ++rounds_;
 }

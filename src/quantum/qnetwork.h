@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/slot_index.h"
 #include "quantum/statevector.h"
 #include "util/rng.h"
 
@@ -62,6 +63,7 @@ class QuantumNetwork {
   void check_owner(NodeId node, std::uint32_t q) const;
 
   WeightedGraph topology_;
+  const EdgeSlotIndex* slots_;  ///< topology_'s cached index (O(1) routing)
   std::uint32_t qubit_bandwidth_;
   StateVector state_;
   std::vector<NodeId> owner_;
@@ -70,9 +72,12 @@ class QuantumNetwork {
   struct Transfer {
     NodeId from;
     NodeId to;
+    std::uint32_t slot;  ///< slot of `to` in from's adjacency row
     std::uint32_t qubit;
   };
   std::vector<Transfer> pending_;
+  /// Qubits queued this round, by dense directed-edge index.
+  std::vector<std::uint32_t> edge_in_flight_;
 };
 
 /// Distributes node 0's superposition qubit to every node by CNOT

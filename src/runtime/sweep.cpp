@@ -241,6 +241,11 @@ void attach_simulator_metrics(congest::Config& config,
   Histogram* h_messages = &registry.histogram(prefix + "round_messages");
   Histogram* h_bits = &registry.histogram(prefix + "round_bits");
   Histogram* h_active = &registry.histogram(prefix + "round_active_nodes");
+  // Utilization lives in [0, 1] (1.0 = some edge hit the bandwidth cap),
+  // so fixed linear bounds instead of the default exponential layout.
+  Histogram* h_util = &registry.histogram(
+      prefix + "round_max_edge_utilization",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
   config.on_round_metrics = [=](const congest::RoundMetrics& rm) {
     rounds->add(1);
     messages->add(rm.messages);
@@ -248,6 +253,7 @@ void attach_simulator_metrics(congest::Config& config,
     h_messages->observe(static_cast<double>(rm.messages));
     h_bits->observe(static_cast<double>(rm.bits));
     h_active->observe(static_cast<double>(rm.active_nodes));
+    h_util->observe(rm.max_edge_utilization);
   };
 }
 

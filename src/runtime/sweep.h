@@ -120,7 +120,9 @@ void write_file(const std::string& path, const std::string& content);
 /// Wires a Simulator's opt-in per-round hook (Config::on_round_metrics)
 /// into a registry: counters `<prefix>rounds/messages/bits`, histograms
 /// `<prefix>round_messages/round_bits/round_active_nodes` of per-round
-/// traffic.
+/// traffic, and `<prefix>round_max_edge_utilization` — the per-round max
+/// of bits-on-an-edge / B, on fixed linear [0, 1] buckets (how close the
+/// hottest edge came to the bandwidth cap).
 void attach_simulator_metrics(congest::Config& config,
                               MetricsRegistry& registry,
                               const std::string& prefix = "sim.");

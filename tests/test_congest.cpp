@@ -432,5 +432,263 @@ TEST(Flood, DuplicateContentIsDeduplicated) {
   for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(res.items_at[v].size(), 1u);
 }
 
+// --- fast-path regression tests (see docs/perf.md) --------------------
+
+TEST(Message, SpillsBeyondInlineFields) {
+  Message m;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    m.push(i, 4 + static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(m.field_count(), 9u);
+  std::uint32_t bits = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(m.field(i), i);
+    EXPECT_EQ(m.field_width(i), 4u + static_cast<std::uint32_t>(i));
+    bits += 4 + static_cast<std::uint32_t>(i);
+  }
+  EXPECT_EQ(m.bit_size(), bits);
+
+  Message same;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    same.push(i, 4 + static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(m, same);
+  Message shorter;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    shorter.push(i, 4 + static_cast<std::uint32_t>(i));
+  }
+  EXPECT_FALSE(m == shorter);
+}
+
+// Spilled messages must survive the outbox -> arena path intact.
+TEST(Simulator, DeliversSpilledMessages) {
+  const auto g = gen::path(2);
+  struct WideSender final : NodeProgram {
+    std::vector<std::uint64_t> got;
+    void on_start(NodeContext& ctx) override {
+      if (ctx.id() != 0) return;
+      Message m;
+      for (std::uint64_t i = 0; i < 8; ++i) m.push(i, 4);  // 32 bits
+      ctx.send(1, m);
+    }
+    void on_round(NodeContext&, std::span<const Incoming> inbox) override {
+      for (const Incoming& in : inbox) {
+        for (std::size_t i = 0; i < in.msg.field_count(); ++i) {
+          got.push_back(in.msg.field(i));
+        }
+      }
+    }
+    bool done() const override { return true; }
+  };
+  Config cfg;
+  cfg.bandwidth_bits = 32;
+  auto run = run_on_all<WideSender>(
+      g, [&](NodeId) { return std::make_unique<WideSender>(); }, cfg);
+  EXPECT_EQ(run.at(1).got,
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// The exact error text is part of the model's contract (callers match on
+// it) and must agree with has_neighbor — both now answer through the
+// same EdgeSlotIndex lookup.
+TEST(Simulator, NonNeighborErrorTextMatchesHasNeighbor) {
+  const auto g = gen::path(4);
+  struct Prober final : NodeProgram {
+    bool saw_neighbor = true;
+    void on_start(NodeContext& ctx) override {
+      if (ctx.id() != 0) return;
+      saw_neighbor = ctx.has_neighbor(3);
+      Message m;
+      m.push(1, 1);
+      ctx.send(3, m);
+    }
+    void on_round(NodeContext&, std::span<const Incoming>) override {}
+    bool done() const override { return true; }
+  };
+  try {
+    run_on_all<Prober>(g, [&](NodeId) { return std::make_unique<Prober>(); });
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_STREQ(e.what(), "node 0 tried to message non-neighbour 3");
+  }
+}
+
+TEST(Simulator, BandwidthOverflowErrorNamesEdgeAndRound) {
+  const auto g = gen::path(2);  // B = 8 bits at n = 2
+  struct Overflower final : NodeProgram {
+    void on_round(NodeContext& ctx, std::span<const Incoming>) override {
+      Message m;
+      m.push(0, 5);
+      ctx.send(1, m);
+      ctx.send(1, m);  // 10 > 8
+    }
+    bool done() const override { return false; }
+  };
+  try {
+    run_on_all<Overflower>(
+        g, [&](NodeId) { return std::make_unique<Overflower>(); });
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_STREQ(e.what(),
+                 "bandwidth exceeded on edge 0->1: 10 bits > B=8 in round 0");
+  }
+}
+
+TEST(Simulator, NeighborSlotAndSendToSlot) {
+  const auto g = gen::star(4);  // hub 0 with leaves 1..3
+  struct SlotSender final : NodeProgram {
+    std::vector<std::uint64_t> got;
+    void on_start(NodeContext& ctx) override {
+      if (ctx.id() != 0) return;
+      const auto row = ctx.neighbors();
+      for (std::uint32_t s = 0; s < row.size(); ++s) {
+        // neighbor_slot must invert the adjacency row.
+        EXPECT_EQ(ctx.neighbor_slot(row[s].to), s);
+        Message m;
+        m.push(row[s].to, 8);
+        ctx.send_to_slot(s, m);
+      }
+      EXPECT_EQ(ctx.neighbor_slot(ctx.id()), EdgeSlotIndex::kNoSlot);
+    }
+    void on_round(NodeContext&, std::span<const Incoming> inbox) override {
+      for (const Incoming& in : inbox) got.push_back(in.msg.field(0));
+    }
+    bool done() const override { return true; }
+  };
+  auto run = run_on_all<SlotSender>(
+      g, [&](NodeId) { return std::make_unique<SlotSender>(); });
+  for (NodeId v = 1; v < 4; ++v) {
+    EXPECT_EQ(run.at(v).got, std::vector<std::uint64_t>{v});
+  }
+}
+
+TEST(Simulator, SendToSlotRejectsOutOfRangeSlot) {
+  const auto g = gen::path(2);
+  struct BadSlot final : NodeProgram {
+    void on_start(NodeContext& ctx) override {
+      if (ctx.id() != 0) return;
+      Message m;
+      m.push(1, 1);
+      ctx.send_to_slot(5, m);  // degree is 1
+    }
+    void on_round(NodeContext&, std::span<const Incoming>) override {}
+    bool done() const override { return true; }
+  };
+  EXPECT_THROW(run_on_all<BadSlot>(
+                   g, [&](NodeId) { return std::make_unique<BadSlot>(); }),
+               ArgumentError);
+}
+
+// Per-round max edge utilization: one 4-bit message on a B=16 edge fills
+// a quarter of the cap.
+TEST(Simulator, ReportsMaxEdgeUtilization) {
+  const auto g = gen::path(2);
+  struct OneShot final : NodeProgram {
+    void on_start(NodeContext& ctx) override {
+      if (ctx.id() != 0) return;
+      Message m;
+      m.push(1, 4);
+      ctx.send(1, m);
+    }
+    void on_round(NodeContext&, std::span<const Incoming>) override {}
+    bool done() const override { return true; }
+  };
+  Config cfg;
+  cfg.bandwidth_bits = 16;
+  std::vector<RoundMetrics> metrics;
+  cfg.on_round_metrics = [&](const RoundMetrics& rm) {
+    metrics.push_back(rm);
+  };
+  run_on_all<OneShot>(g, [&](NodeId) { return std::make_unique<OneShot>(); },
+                      cfg);
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].round, 0u);
+  EXPECT_EQ(metrics[0].messages, 1u);
+  EXPECT_EQ(metrics[0].bits, 4u);
+  EXPECT_DOUBLE_EQ(metrics[0].max_edge_utilization, 0.25);
+}
+
+// A deterministic multi-round workload for the equivalence tests: flood
+// the node id of the minimum-id reachable node, one broadcast per node.
+class MinFloodProgram final : public NodeProgram {
+ public:
+  void on_start(NodeContext& ctx) override {
+    best_ = ctx.id();
+    Message m;
+    m.push(best_, 32);
+    ctx.broadcast(m);
+  }
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    NodeId improved = best_;
+    for (const Incoming& in : inbox) {
+      improved = std::min(improved, static_cast<NodeId>(in.msg.field(0)));
+    }
+    if (improved < best_) {
+      best_ = improved;
+      Message m;
+      m.push(best_, 32);
+      ctx.broadcast(m);
+      quiet_ = 0;
+    } else {
+      ++quiet_;
+    }
+  }
+  bool done() const override { return quiet_ >= 1; }
+  NodeId best() const { return best_; }
+
+ private:
+  NodeId best_ = 0;
+  std::uint32_t quiet_ = 0;
+};
+
+struct RunCapture {
+  RunStats stats;
+  std::vector<TraceEntry> trace;
+  std::vector<RoundMetrics> metrics;
+  std::vector<NodeId> outputs;
+
+  friend bool operator==(const RunCapture&, const RunCapture&) = default;
+};
+
+RunCapture run_min_flood(const WeightedGraph& g, unsigned workers) {
+  Config cfg;
+  cfg.record_trace = true;
+  cfg.workers = workers;
+  std::vector<RoundMetrics> metrics;
+  cfg.on_round_metrics = [&](const RoundMetrics& rm) {
+    metrics.push_back(rm);
+  };
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    programs.push_back(std::make_unique<MinFloodProgram>());
+  }
+  Simulator sim(g, cfg);
+  RunCapture cap;
+  cap.stats = sim.run(programs);
+  cap.trace = sim.trace();
+  cap.metrics = std::move(metrics);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    cap.outputs.push_back(
+        static_cast<const MinFloodProgram&>(*programs[v]).best());
+  }
+  return cap;
+}
+
+// The tentpole determinism contract: ledger, trace, per-round metrics,
+// and program outputs are byte-identical at any worker count.
+TEST(Simulator, SerialAndPooledRunsAreByteIdentical) {
+  Rng rng(42);
+  const auto g = gen::erdos_renyi_connected(96, 0.08, rng);
+  const RunCapture golden = run_min_flood(g, 1);
+  EXPECT_TRUE(std::all_of(golden.outputs.begin(), golden.outputs.end(),
+                          [](NodeId b) { return b == 0; }));
+  EXPECT_FALSE(golden.trace.empty());
+  EXPECT_FALSE(golden.metrics.empty());
+  for (const unsigned workers : {2u, 8u}) {
+    const RunCapture got = run_min_flood(g, workers);
+    EXPECT_EQ(got, golden) << "workers=" << workers;
+  }
+}
+
 }  // namespace
 }  // namespace qc::congest

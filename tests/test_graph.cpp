@@ -9,6 +9,7 @@
 #include "graph/csr.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "graph/slot_index.h"
 #include "util/rng.h"
 
 namespace qc {
@@ -527,6 +528,53 @@ TEST_P(CsrEquivalenceTest, KernelsMatchAcrossEnginesAndReuse) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsrEquivalenceTest,
                          ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(EdgeSlotIndex, MatchesRowScanOnRandomGraph) {
+  Rng rng(7);
+  const auto g = gen::erdos_renyi_connected(64, 0.12, rng);
+  const CsrGraph& csr = g.csr();
+  const EdgeSlotIndex& idx = g.slot_index();
+
+  EXPECT_EQ(idx.directed_edge_count(), 2 * g.edge_count());
+  std::vector<char> seen(idx.directed_edge_count(), 0);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto row = csr.neighbors(u);
+    for (std::uint32_t s = 0; s < row.size(); ++s) {
+      EXPECT_EQ(idx.slot(u, row[s].to), s);
+      const std::size_t e = idx.edge_index(u, s);
+      ASSERT_LT(e, seen.size());
+      EXPECT_EQ(seen[e], 0) << "edge_index must be a bijection";
+      seen[e] = 1;
+    }
+    // Non-neighbours (including u itself) must miss.
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == u || g.has_edge(u, v)) continue;
+      EXPECT_EQ(idx.slot(u, v), EdgeSlotIndex::kNoSlot);
+      break;  // one miss per row keeps the test O(n + m)
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](char c) { return c == 1; }));
+}
+
+TEST(EdgeSlotIndex, CachedAndInvalidatedWithCsr) {
+  auto g = gen::path(4);
+  const EdgeSlotIndex* first = &g.slot_index();
+  EXPECT_EQ(first, &g.slot_index()) << "repeated calls reuse the cache";
+  EXPECT_EQ(g.slot_index().slot(0, 2), EdgeSlotIndex::kNoSlot);
+
+  g.add_edge(0, 2);  // mutation invalidates the cached index
+  const EdgeSlotIndex& rebuilt = g.slot_index();
+  const std::uint32_t s = rebuilt.slot(0, 2);
+  ASSERT_NE(s, EdgeSlotIndex::kNoSlot);
+  EXPECT_EQ(g.csr().neighbors(0)[s].to, 2u);
+}
+
+TEST(EdgeSlotIndex, SingleNodeGraphHasNoEdges) {
+  WeightedGraph g(1);
+  EXPECT_EQ(g.slot_index().directed_edge_count(), 0u);
+  EXPECT_EQ(g.slot_index().slot(0, 0), EdgeSlotIndex::kNoSlot);
+}
 
 }  // namespace
 }  // namespace qc

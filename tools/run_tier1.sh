@@ -6,7 +6,8 @@
 #   tools/run_tier1.sh                 # plain build + ctest
 #   tools/run_tier1.sh --tsan          # ThreadSanitizer pass over the
 #                                      # concurrency-bearing suites
-#                                      # (test_graph + test_runtime)
+#                                      # (test_graph, test_runtime,
+#                                      # test_congest, test_paths)
 #   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
 #                                           # address | undefined | thread
 #
@@ -15,7 +16,9 @@
 # sanitized builds use build-<sanitizer>/ so they never pollute the
 # primary build tree. `--tsan` is the quick opt-in: it builds with
 # QC_SANITIZE=thread and runs only the two suites that exercise the
-# pool, rather than the full (slow under TSan) ctest sweep.
+# pool, rather than the full (slow under TSan) ctest sweep. The congest
+# and paths suites joined the list when the simulator gained its
+# pool-parallel round loop (Config::workers).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,12 +37,15 @@ done
 if [ "$TSAN_ONLY" -eq 1 ]; then
   BUILD_DIR=build-thread
   cmake -B "$BUILD_DIR" -S . -DQC_SANITIZE=thread
-  cmake --build "$BUILD_DIR" -j --target test_graph test_runtime
+  cmake --build "$BUILD_DIR" -j --target \
+    test_graph test_runtime test_congest test_paths
   # Run the binaries directly: gtest_discover_tests registers per-test
   # ctest entries at build time, so a target-filtered build may not have
   # a complete ctest manifest.
   "$BUILD_DIR/tests/test_graph"
   "$BUILD_DIR/tests/test_runtime"
+  "$BUILD_DIR/tests/test_congest"
+  "$BUILD_DIR/tests/test_paths"
   exit 0
 fi
 
