@@ -1,0 +1,191 @@
+#include "congest/faults.h"
+
+#include <algorithm>
+
+namespace qc::congest {
+
+namespace {
+
+// splitmix64 finalizer — the same mixing the library's Rng seeds with.
+// Used here as a counter-based hash: every fault decision is a pure
+// function of its key, which is what makes plans scheduling-independent.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_key(std::uint64_t seed, std::uint64_t round,
+                       std::uint64_t edge, std::uint64_t ordinal,
+                       std::uint64_t cls) {
+  std::uint64_t h = mix64(seed ^ 0x6a09e667f3bcc909ULL);
+  h = mix64(h ^ round);
+  h = mix64(h ^ edge);
+  h = mix64(h ^ ordinal);
+  h = mix64(h ^ cls);
+  return h;
+}
+
+// Top 53 bits → uniform double in [0, 1).
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+enum Cls : std::uint64_t {
+  kClsDrop = 1,
+  kClsDuplicate = 2,
+  kClsDelay = 3,
+  kClsCorrupt = 4,
+  kClsEntropy = 5,
+};
+
+}  // namespace
+
+bool link_down_in(const std::vector<LinkDownInterval>& intervals,
+                  std::uint64_t round, NodeId from, NodeId to) {
+  for (const LinkDownInterval& iv : intervals) {
+    if (round < iv.first_round || round > iv.last_round) continue;
+    if (iv.a == from && iv.b == to) return true;
+    if (iv.symmetric && iv.a == to && iv.b == from) return true;
+  }
+  return false;
+}
+
+FaultEngine::FaultEngine(const FaultPlan& plan, const EdgeSlotIndex& slots,
+                         NodeId n, std::uint64_t engine_seed)
+    : seed_(plan.seed != 0 ? plan.seed : mix64(engine_seed ^ 0xfau)),
+      probs_(plan.probabilities),
+      link_down_(plan.link_down),
+      crash_round_(n, kNeverCrashes) {
+  const auto check_prob = [](double p, const char* name) {
+    QC_REQUIRE(p >= 0.0 && p <= 1.0,
+               std::string("fault probability out of [0, 1]: ") + name);
+  };
+  check_prob(probs_.drop, "drop");
+  check_prob(probs_.duplicate, "duplicate");
+  check_prob(probs_.delay, "delay");
+  check_prob(probs_.corrupt, "corrupt");
+  QC_REQUIRE(probs_.delay_rounds >= 1,
+             "probabilistic delay_rounds must be >= 1");
+
+  for (const FaultEvent& e : plan.events) {
+    QC_REQUIRE(e.from < n && e.to < n, "fault event node out of range");
+    QC_REQUIRE(slots.slot(e.from, e.to) != EdgeSlotIndex::kNoSlot,
+               "fault event names a non-edge " + std::to_string(e.from) +
+                   "->" + std::to_string(e.to));
+    if (e.kind == FaultKind::kDelay) {
+      QC_REQUIRE(e.delay_rounds >= 1, "fault event delay_rounds must be >= 1");
+    }
+    events_[e.round].push_back(e);
+  }
+  for (const LinkDownInterval& iv : link_down_) {
+    QC_REQUIRE(iv.a < n && iv.b < n, "link-down node out of range");
+    QC_REQUIRE(slots.slot(iv.a, iv.b) != EdgeSlotIndex::kNoSlot,
+               "link-down interval names a non-edge " + std::to_string(iv.a) +
+                   "->" + std::to_string(iv.b));
+    QC_REQUIRE(iv.first_round <= iv.last_round,
+               "link-down interval is empty (first_round > last_round)");
+  }
+  for (const CrashEvent& c : plan.crashes) {
+    QC_REQUIRE(c.node < n, "crash event node out of range");
+    crash_round_[c.node] = std::min(crash_round_[c.node], c.round);
+  }
+}
+
+const FaultEvent* FaultEngine::find_event(std::uint64_t delivery_round,
+                                          NodeId from, NodeId to,
+                                          std::uint32_t ordinal) const {
+  const auto it = events_.find(delivery_round);
+  if (it == events_.end()) return nullptr;
+  for (const FaultEvent& e : it->second) {
+    if (e.from == from && e.to == to && e.slot == ordinal) return &e;
+  }
+  return nullptr;
+}
+
+FaultEngine::Decision FaultEngine::decide(std::uint64_t delivery_round,
+                                          NodeId from, NodeId to,
+                                          std::size_t edge,
+                                          std::uint32_t ordinal) const {
+  Decision d;
+  if (const FaultEvent* e = find_event(delivery_round, from, to, ordinal)) {
+    switch (e->kind) {
+      case FaultKind::kDrop:
+        d.drop = true;
+        break;
+      case FaultKind::kDuplicate:
+        d.duplicate = true;
+        break;
+      case FaultKind::kDelay:
+        d.delay = e->delay_rounds;
+        break;
+      case FaultKind::kCorrupt:
+        d.corrupt = true;
+        d.corrupt_explicit = true;
+        d.corrupt_field = e->corrupt_field;
+        d.corrupt_mask = e->corrupt_mask;
+        break;
+    }
+    return d;
+  }
+  if (!probs_.any()) return d;
+  // Priority drop > duplicate > delay > corrupt; each class draws its
+  // own hash so enabling one class never perturbs another's stream.
+  if (probs_.drop > 0.0 &&
+      to_unit(hash_key(seed_, delivery_round, edge, ordinal, kClsDrop)) <
+          probs_.drop) {
+    d.drop = true;
+    return d;
+  }
+  if (probs_.duplicate > 0.0 &&
+      to_unit(hash_key(seed_, delivery_round, edge, ordinal, kClsDuplicate)) <
+          probs_.duplicate) {
+    d.duplicate = true;
+    return d;
+  }
+  if (probs_.delay > 0.0 &&
+      to_unit(hash_key(seed_, delivery_round, edge, ordinal, kClsDelay)) <
+          probs_.delay) {
+    d.delay = probs_.delay_rounds;
+    return d;
+  }
+  if (probs_.corrupt > 0.0 &&
+      to_unit(hash_key(seed_, delivery_round, edge, ordinal, kClsCorrupt)) <
+          probs_.corrupt) {
+    d.corrupt = true;
+    d.entropy = hash_key(seed_, delivery_round, edge, ordinal, kClsEntropy);
+  }
+  return d;
+}
+
+bool FaultEngine::link_down(std::uint64_t delivery_round, NodeId from,
+                            NodeId to) const {
+  return link_down_in(link_down_, delivery_round, from, to);
+}
+
+Message FaultEngine::corrupted_copy(const Message& m, const Decision& d) {
+  const std::size_t fields = m.field_count();
+  if (fields == 0) return m;
+  std::size_t target;
+  std::uint64_t mask;
+  if (d.corrupt_explicit) {
+    target = std::min<std::size_t>(d.corrupt_field, fields - 1);
+    mask = d.corrupt_mask;
+  } else {
+    target = static_cast<std::size_t>(d.entropy % fields);
+    mask = std::uint64_t{1} << ((d.entropy >> 32) % m.field_width(target));
+  }
+  const std::uint32_t width = m.field_width(target);
+  if (width < 64) mask &= (std::uint64_t{1} << width) - 1;
+  if (mask == 0) mask = 1;  // a corruption event must change something
+  Message out;
+  for (std::size_t i = 0; i < fields; ++i) {
+    const std::uint64_t v =
+        i == target ? (m.field(i) ^ mask) : m.field(i);
+    out.push(v, m.field_width(i));
+  }
+  return out;
+}
+
+}  // namespace qc::congest

@@ -13,11 +13,15 @@ namespace {
 // ---------------------------------------------------------------------
 
 // Wire format: {type:1}{payload}. type 0 = announce(depth), type 1 =
-// adopt (no payload).
+// adopt (no payload). `horizon` is the liveness check: an unreached
+// node gives up after that many rounds instead of waiting forever, so
+// a build cut off by crash-stop faults terminates and reports its
+// unreached set. Fault-free the horizon (> any possible depth) never
+// fires and behaviour is bit-for-bit what it was without it.
 class BfsTreeProgram final : public NodeProgram {
  public:
-  BfsTreeProgram(NodeId root, std::uint32_t depth_bits)
-      : root_(root), depth_bits_(depth_bits) {}
+  BfsTreeProgram(NodeId root, std::uint32_t depth_bits, std::uint64_t horizon)
+      : root_(root), depth_bits_(depth_bits), horizon_(horizon) {}
 
   void on_start(NodeContext& ctx) override {
     if (ctx.id() == root_) {
@@ -47,15 +51,20 @@ class BfsTreeProgram final : public NodeProgram {
         result_.children.push_back(in.from);
       }
     }
+    ++rounds_;
   }
 
-  bool done() const override { return result_.depth != kInfDist; }
+  bool done() const override {
+    return result_.depth != kInfDist || rounds_ >= horizon_;
+  }
 
   const BfsTreeNodeResult& result() const { return result_; }
 
  private:
   NodeId root_;
   std::uint32_t depth_bits_;
+  std::uint64_t horizon_;
+  std::uint64_t rounds_ = 0;
   BfsTreeNodeResult result_;
 };
 
@@ -218,6 +227,164 @@ class FloodProgram final : public NodeProgram {
   std::deque<FloodItem> queue_;
 };
 
+std::vector<std::uint64_t> flood_key(const Message& m) {
+  std::vector<std::uint64_t> key(m.field_count());
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = m.field(i);
+  return key;
+}
+
+// Relaying dedups by content, so two identical injected payloads would
+// silently collapse into one item. Fail loudly at injection instead.
+void require_distinct_payloads(
+    const std::vector<std::vector<FloodItem>>& initial) {
+  std::map<std::vector<std::uint64_t>, NodeId> owner;
+  for (NodeId v = 0; v < initial.size(); ++v) {
+    for (const FloodItem& item : initial[v]) {
+      const auto [it, inserted] = owner.emplace(flood_key(item), v);
+      if (!inserted) {
+        throw AlgorithmFailure(
+            "flood: duplicate payload injected at node " +
+            std::to_string(it->second) + " and node " + std::to_string(v) +
+            " — flooding dedups by content, so payloads must be globally "
+            "distinct (give items an id field)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Acked flooding (fault-tolerant dissemination)
+// ---------------------------------------------------------------------
+
+// Wire format: {type:1}{item fields}. type 0 = data, type 1 = ack
+// (echoing the item's fields). Every node keeps, per known item and
+// per neighbour, whether that neighbour has acknowledged the item; an
+// unacked (item, neighbour) pair is retransmitted after
+// timeout << min(attempts, 6) rounds. Receiving data(i) from a
+// neighbour both acks i *to* that neighbour and marks the neighbour as
+// having i (it clearly does); a retransmission of an already-known item
+// is re-acked, which recovers dropped acks. At most one data and one
+// ack message per edge per round (the wrapper checks 2·(bits+1) <= B).
+// A done node that receives a retransmission is reactivated by the
+// engine and re-acks — that is what lets the whole network quiesce.
+class ReliableFloodProgram final : public NodeProgram {
+ public:
+  ReliableFloodProgram(std::vector<FloodItem> initial,
+                       std::uint64_t timeout_rounds)
+      : timeout_(timeout_rounds) {
+    for (FloodItem& item : initial) {
+      const auto key = flood_key(item);
+      if (index_.emplace(key, items_.size()).second) {
+        items_.push_back(ItemState{std::move(item), {}, {}, {}});
+      }
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    const std::size_t degree = ctx.neighbors().size();
+    if (!init_) {
+      init_ = true;
+      ack_queue_.resize(degree);
+      for (ItemState& st : items_) init_slots(st, degree);
+    }
+
+    for (const Incoming& in : inbox) {
+      const std::uint32_t slot = ctx.neighbor_slot(in.from);
+      const std::uint64_t type = in.msg.field(0);
+      Message payload;
+      for (std::size_t i = 1; i < in.msg.field_count(); ++i) {
+        payload.push(in.msg.field(i), in.msg.field_width(i));
+      }
+      const auto key = flood_key(payload);
+      if (type == 0) {
+        // data: learn if new, always (re-)ack, and note the sender has it.
+        auto it = index_.find(key);
+        if (it == index_.end()) {
+          it = index_.emplace(key, items_.size()).first;
+          items_.push_back(ItemState{std::move(payload), {}, {}, {}});
+          init_slots(items_.back(), degree);
+        }
+        ItemState& st = items_[it->second];
+        st.acked[slot] = 1;
+        ack_queue_[slot].push_back(it->second);
+      } else {
+        // ack: the neighbour confirmed receipt. A corrupted ack may name
+        // an item we never sent — ignore it; the retry path recovers.
+        const auto it = index_.find(key);
+        if (it != index_.end()) items_[it->second].acked[slot] = 1;
+      }
+    }
+
+    // Per neighbour: at most one ack and one data retransmission.
+    const std::uint64_t now = ctx.round();
+    for (std::uint32_t s = 0; s < degree; ++s) {
+      if (!ack_queue_[s].empty()) {
+        const std::size_t idx = ack_queue_[s].front();
+        ack_queue_[s].pop_front();
+        ctx.send_to_slot(s, with_type(items_[idx].item, 1));
+      }
+      for (std::size_t idx = 0; idx < items_.size(); ++idx) {
+        ItemState& st = items_[idx];
+        if (st.acked[s] != 0 || st.next_retry[s] > now) continue;
+        ctx.send_to_slot(s, with_type(st.item, 0));
+        st.next_retry[s] =
+            now + (timeout_ << std::min<std::uint32_t>(st.attempts[s], 6));
+        ++st.attempts[s];
+        break;
+      }
+    }
+  }
+
+  bool done() const override {
+    if (!init_) return false;
+    for (const auto& q : ack_queue_) {
+      if (!q.empty()) return false;
+    }
+    for (const ItemState& st : items_) {
+      for (const char a : st.acked) {
+        if (a == 0) return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<FloodItem> known_sorted() const {
+    std::vector<FloodItem> out;
+    out.reserve(index_.size());
+    for (const auto& [key, idx] : index_) out.push_back(items_[idx].item);
+    return out;
+  }
+
+ private:
+  struct ItemState {
+    FloodItem item;
+    std::vector<char> acked;               ///< per neighbour slot
+    std::vector<std::uint64_t> next_retry; ///< round of next send
+    std::vector<std::uint32_t> attempts;   ///< backoff exponent
+  };
+
+  static void init_slots(ItemState& st, std::size_t degree) {
+    st.acked.assign(degree, 0);
+    st.next_retry.assign(degree, 0);
+    st.attempts.assign(degree, 0);
+  }
+
+  static Message with_type(const FloodItem& item, std::uint64_t type) {
+    Message m;
+    m.push(type, 1);
+    for (std::size_t i = 0; i < item.field_count(); ++i) {
+      m.push(item.field(i), item.field_width(i));
+    }
+    return m;
+  }
+
+  std::uint64_t timeout_;
+  bool init_ = false;
+  std::map<std::vector<std::uint64_t>, std::size_t> index_;
+  std::vector<ItemState> items_;  ///< insertion order (= retry priority)
+  std::vector<std::deque<std::size_t>> ack_queue_;  ///< per neighbour slot
+};
+
 // ---------------------------------------------------------------------
 // Leader election (min-id flooding, fixed horizon)
 // ---------------------------------------------------------------------
@@ -289,17 +456,35 @@ BfsTreeResult build_bfs_tree(const WeightedGraph& g, NodeId root,
   QC_REQUIRE(root < g.node_count(), "root out of range");
   QC_REQUIRE(g.is_connected(), "BFS tree needs a connected network");
   const std::uint32_t depth_bits = bits_for(g.node_count());
+  // Liveness horizon: any reachable node is announced within D < n
+  // rounds, so 2n + 2 never fires fault-free but bounds a build whose
+  // frontier was destroyed by crash-stop or link-down faults.
+  const std::uint64_t horizon = 2 * std::uint64_t{g.node_count()} + 2;
   auto run = run_on_all<BfsTreeProgram>(
       g,
       [&](NodeId) {
-        return std::make_unique<BfsTreeProgram>(root, depth_bits);
+        return std::make_unique<BfsTreeProgram>(root, depth_bits, horizon);
       },
       config);
   BfsTreeResult out;
   out.stats = run.stats;
+  out.outcome = run.outcome;
   out.nodes.reserve(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) {
     out.nodes.push_back(run.at(v).result());
+    if (out.nodes.back().depth == kInfDist) out.unreached.push_back(v);
+  }
+  if (!out.unreached.empty()) {
+    out.outcome.completed = false;
+    out.outcome.diagnostic =
+        "BFS tree incomplete: " + std::to_string(out.unreached.size()) +
+        " of " + std::to_string(g.node_count()) +
+        " nodes unreached (crashed nodes: " +
+        std::to_string(out.outcome.faults.crashed_nodes) +
+        ", deliveries lost to crashes: " +
+        std::to_string(out.outcome.faults.crash_drops) +
+        ", to link-down: " +
+        std::to_string(out.outcome.faults.link_down_drops) + ")";
   }
   return out;
 }
@@ -335,6 +520,7 @@ FloodResult flood_items(const WeightedGraph& g,
                         Config config) {
   QC_REQUIRE(initial.size() == g.node_count(), "one item list per node");
   QC_REQUIRE(g.is_connected(), "flooding needs a connected network");
+  require_distinct_payloads(initial);
   const std::uint32_t bandwidth = config.bandwidth_bits != 0
                                       ? config.bandwidth_bits
                                       : default_bandwidth(g.node_count());
@@ -350,6 +536,41 @@ FloodResult flood_items(const WeightedGraph& g,
       config);
   FloodResult out;
   out.stats = run.stats;
+  out.items_at.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.items_at.push_back(run.at(v).known_sorted());
+  }
+  return out;
+}
+
+ReliableFloodResult flood_items_reliable(
+    const WeightedGraph& g, std::vector<std::vector<FloodItem>> initial,
+    std::uint64_t timeout_rounds, Config config) {
+  QC_REQUIRE(initial.size() == g.node_count(), "one item list per node");
+  QC_REQUIRE(g.is_connected(), "flooding needs a connected network");
+  QC_REQUIRE(timeout_rounds >= 1, "retry timeout must be >= 1 round");
+  require_distinct_payloads(initial);
+  const std::uint32_t bandwidth = config.bandwidth_bits != 0
+                                      ? config.bandwidth_bits
+                                      : default_bandwidth(g.node_count());
+  for (const auto& items : initial) {
+    for (const FloodItem& item : items) {
+      // One data + one ack message may share an edge in a round, each
+      // carrying the item plus a 1-bit type tag.
+      QC_REQUIRE(2 * (item.bit_size() + 1) <= bandwidth,
+                 "acked flood item does not fit: need 2*(bits+1) <= B for "
+                 "a data and an ack message per edge per round");
+    }
+  }
+  auto run = run_on_all<ReliableFloodProgram>(
+      g,
+      [&](NodeId v) {
+        return std::make_unique<ReliableFloodProgram>(std::move(initial[v]),
+                                                      timeout_rounds);
+      },
+      config);
+  ReliableFloodResult out;
+  out.outcome = run.outcome;
   out.items_at.reserve(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) {
     out.items_at.push_back(run.at(v).known_sorted());

@@ -70,6 +70,13 @@ Simulator::Simulator(const WeightedGraph& graph, Config config)
     touched_flag_[b].assign(n, 0);
   }
   fill_.assign(n, 0);
+  // An empty plan constructs nothing: the fault path stays cold and the
+  // fast path runs exactly as in a fault-free build.
+  if (!config_.faults.empty()) {
+    faults_ = std::make_unique<FaultEngine>(config_.faults, *slots_, n,
+                                            config_.seed);
+    edge_ordinal_.assign(slots_->directed_edge_count(), 0);
+  }
 }
 
 Simulator::~Simulator() = default;
@@ -138,7 +145,7 @@ void Simulator::queue_broadcast(NodeId from, const Message& m) {
     stats_.messages += row.size();
     stats_.bits += std::uint64_t{bits} * row.size();
     queued_count_ += row.size();
-    if (config_.record_trace) {
+    if (config_.hooks.record_trace) {
       for (std::uint32_t s = 0; s < row.size(); ++s) {
         trace_.push_back(TraceEntry{round_, from, row[s].to, bits});
       }
@@ -183,7 +190,7 @@ void Simulator::admit(NodeId from, NodeId to, std::uint32_t slot, Message&& m) {
 void Simulator::account(NodeId from, NodeId to, std::uint32_t bits) {
   stats_.messages += 1;
   stats_.bits += bits;
-  if (config_.record_trace) {
+  if (config_.hooks.record_trace) {
     trace_.push_back(TraceEntry{round_, from, to, bits});
   }
   if (pending_count_[to]++ == 0) {
@@ -232,7 +239,7 @@ void Simulator::merge_outboxes(int dst) {
           const std::uint32_t bits = si->msg.bit_size();
           stats_.messages += 1;
           stats_.bits += bits;
-          if (config_.record_trace) {
+          if (config_.hooks.record_trace) {
             trace_.push_back(TraceEntry{round_, from, si->to, bits});
           }
           if (count[si->to]++ == 0) {
@@ -247,7 +254,7 @@ void Simulator::merge_outboxes(int dst) {
           stats_.bits += std::uint64_t{bits} * row.size();
           total += row.size();
           for (const HalfEdge& he : row) {
-            if (config_.record_trace) {
+            if (config_.hooks.record_trace) {
               trace_.push_back(TraceEntry{round_, from, he.to, bits});
             }
             if (count[he.to]++ == 0) {
@@ -335,6 +342,179 @@ void Simulator::merge_outboxes(int dst) {
   arena.note_filled(total);
 }
 
+// Fault-path merge: same serial (sender id, program order) replay as
+// merge_outboxes, but every send is resolved through the FaultEngine
+// before it reaches a mailbox. The ledger and trace account every
+// *attempted* send — the bandwidth was spent whether or not delivery
+// succeeds — so an all-drop plan still shows the full message bill.
+// Faults are keyed by delivery round (delivery_round_, set by run()
+// before each merge), which is unique per merge even though the start
+// merge and round 0's merge both run with round_ == 0.
+void Simulator::merge_outboxes_faulted(int dst) {
+  auto& arena = arena_[dst];
+  auto& begin = inbox_begin_[dst];
+  auto& count = inbox_count_[dst];
+  auto& touched = touched_[dst];
+  char* tflag = touched_flag_[dst].data();
+  FaultCounters& fc = fault_counters_;
+
+  resolved_.clear();
+
+  // Pass 1a: delayed messages whose adjusted round has come, in the
+  // order their delays were decided (deterministic — decisions happen
+  // in the serial merge). Only the receiver-crash check is re-run at
+  // arrival; the fault decision itself was consumed at the original
+  // delivery round.
+  if (!delayed_.empty()) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < delayed_.size(); ++i) {
+      Delayed& d = delayed_[i];
+      if (d.round != delivery_round_) {
+        if (keep != i) delayed_[keep] = std::move(d);
+        ++keep;
+        continue;
+      }
+      if (faults_->crashed_by(d.to, delivery_round_)) {
+        ++fc.crash_drops;
+      } else {
+        resolved_.push_back(Delivery{d.to, d.from, std::move(d.msg)});
+      }
+    }
+    delayed_.resize(keep);
+  }
+
+  // Pass 1b: this phase's sends. Resolution order per message:
+  // link-down > receiver crash > explicit/probabilistic decision; a
+  // delayed message is re-checked against receiver crashes on arrival.
+  touched_edge_scratch_.clear();
+  const auto resolve = [&](NodeId from, NodeId to, std::size_t e,
+                           Message&& m) {
+    const std::uint32_t bits = m.bit_size();
+    stats_.messages += 1;
+    stats_.bits += bits;
+    if (config_.hooks.record_trace) {
+      trace_.push_back(TraceEntry{round_, from, to, bits});
+    }
+    // First visit reads the edge's final bandwidth total (the
+    // utilization sample) and zeroes the slot — as in the fast merge.
+    if (edge_bits_[e] != 0) {
+      round_max_edge_bits_ = std::max(round_max_edge_bits_, edge_bits_[e]);
+      edge_bits_[e] = 0;
+    }
+    const std::uint32_t ordinal = edge_ordinal_[e]++;
+    if (ordinal == 0) touched_edge_scratch_.push_back(e);
+    if (faults_->link_down(delivery_round_, from, to)) {
+      ++fc.link_down_drops;
+      return;
+    }
+    if (faults_->crashed_by(to, delivery_round_)) {
+      ++fc.crash_drops;
+      return;
+    }
+    const FaultEngine::Decision d =
+        faults_->decide(delivery_round_, from, to, e, ordinal);
+    if (d.drop) {
+      ++fc.dropped;
+      return;
+    }
+    if (d.corrupt) {
+      m = FaultEngine::corrupted_copy(m, d);
+      ++fc.corrupted;
+    }
+    if (d.delay > 0) {
+      ++fc.delayed;
+      delayed_.push_back(
+          Delayed{delivery_round_ + d.delay, to, from, std::move(m)});
+      return;
+    }
+    if (d.duplicate) {
+      ++fc.duplicated;
+      resolved_.push_back(Delivery{to, from, m});
+    }
+    resolved_.push_back(Delivery{to, from, std::move(m)});
+  };
+
+  for (NodeId from : actives_) {
+    Outbox& box = outbox_[from];
+    if (box.empty()) continue;
+    auto si = box.singles.begin();
+    auto bi = box.bcasts.begin();
+    const auto row = csr_->neighbors(from);
+    const std::size_t base = row.empty() ? 0 : slots_->edge_index(from, 0);
+    while (si != box.singles.end() || bi != box.bcasts.end()) {
+      if (bi == box.bcasts.end() ||
+          (si != box.singles.end() && si->seq < bi->seq)) {
+        resolve(from, si->to, slots_->edge_index(from, si->slot),
+                std::move(si->msg));
+        ++si;
+      } else {
+        for (std::size_t s = 0; s + 1 < row.size(); ++s) {
+          Message copy = bi->msg;
+          resolve(from, row[s].to, base + s, std::move(copy));
+        }
+        const std::size_t last = row.size() - 1;
+        resolve(from, row[last].to, base + last, std::move(bi->msg));
+        ++bi;
+      }
+    }
+    box.clear();
+  }
+  for (const std::size_t e : touched_edge_scratch_) edge_ordinal_[e] = 0;
+
+  // Pass 2 + 3: lay out and scatter the surviving deliveries, exactly
+  // as the fast merge does from its outbox replay.
+  const std::size_t total = resolved_.size();
+  for (const Delivery& d : resolved_) {
+    if (count[d.to]++ == 0) {
+      touched.push_back(d.to);
+      tflag[d.to] = 1;
+    }
+  }
+  arena.ensure_capacity(total);
+  std::size_t off = 0;
+  for (NodeId v : touched) {
+    begin[v] = off;
+    fill_[v] = off;
+    off += count[v];
+  }
+  Incoming* a = arena.data();
+  const std::size_t watermark = arena.constructed();
+  for (Delivery& d : resolved_) {
+    const std::size_t idx = fill_[d.to]++;
+    if (idx < watermark) {
+      a[idx].from = d.from;
+      a[idx].msg = std::move(d.msg);
+    } else {
+      ::new (a + idx) Incoming{d.from, std::move(d.msg)};
+    }
+  }
+  arena.note_filled(total);
+  // Delayed messages are still in flight: they must keep the run alive
+  // until they arrive, so they count as queued work.
+  queued_count_ = total + delayed_.size();
+}
+
+// Crash-stop: from its crash round on, a node neither computes nor
+// sends. Deliveries *to* it are destroyed at merge time; here the node
+// is removed from the live set so build_actives never schedules it
+// again. crashed_nodes counts crash events that stopped a node that
+// was still running (a node that finished before its crash round is
+// unaffected); doneness is deterministic, so this tally is too.
+void Simulator::apply_crashes() {
+  if (live_.empty()) return;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    const NodeId v = live_[i];
+    if (faults_->crashed_by(v, round_)) {
+      node_done_[v] = 1;
+      ++fault_counters_.crashed_nodes;
+    } else {
+      live_[keep++] = v;
+    }
+  }
+  live_.resize(keep);
+}
+
 // actives = live (not-done) ∪ touched (has mail) — exactly the nodes the
 // reference engine would run: done nodes with empty inboxes are silent.
 // live_ is always sorted; touched_ arrives in first-receipt order, so
@@ -359,10 +539,11 @@ void Simulator::build_actives() {
 }
 
 runtime::ThreadPool* Simulator::round_pool() {
-  if (config_.pool != nullptr) return config_.pool;
-  if (config_.workers == 1) return nullptr;
+  if (config_.execution.pool != nullptr) return config_.execution.pool;
+  if (config_.execution.workers == 1) return nullptr;
   if (!own_pool_) {
-    own_pool_ = std::make_unique<runtime::ThreadPool>(config_.workers);
+    own_pool_ =
+        std::make_unique<runtime::ThreadPool>(config_.execution.workers);
   }
   return own_pool_.get();
 }
@@ -422,10 +603,19 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
   }
   for (auto& box : outbox_) box.clear();
   std::fill(edge_bits_.begin(), edge_bits_.end(), 0u);
+  fault_counters_ = FaultCounters{};
+  delayed_.clear();
+  if (faults_) {
+    std::fill(edge_ordinal_.begin(), edge_ordinal_.end(), 0u);
+  }
 
   // No pool configured → the serial engine accounts at queue time and
-  // the merge skips its counting pass (same order, same bytes).
-  queue_accounting_ = config_.pool == nullptr && config_.workers == 1;
+  // the merge skips its counting pass (same order, same bytes). With a
+  // fault plan, accounting always defers to the (serial) faulted merge:
+  // queue-time accounting counts receiver mailboxes at admission, before
+  // the engine has decided whether the message survives.
+  queue_accounting_ = config_.execution.pool == nullptr &&
+                      config_.execution.workers == 1 && faults_ == nullptr;
 
   std::vector<NodeContext> contexts;
   contexts.reserve(n);
@@ -448,7 +638,14 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
   }
   actives_.resize(n);
   std::iota(actives_.begin(), actives_.end(), NodeId{0});
-  merge_outboxes(0);
+  // Start-phase sends are delivered in round 0; round r's sends are
+  // delivered in round r+1 (delivery_round_ keys the fault plan).
+  delivery_round_ = 0;
+  if (faults_) {
+    merge_outboxes_faulted(0);
+  } else {
+    merge_outboxes(0);
+  }
 
   std::uint64_t reported_messages = 0;
   std::uint64_t reported_bits = 0;
@@ -458,6 +655,7 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
     queued_count_ = 0;
     if (live_.empty() && !had_messages) break;
 
+    if (faults_) apply_crashes();
     build_actives();
     clear_mailbox(1 - cur_);  // two-rounds-ago mail, no longer referenced
     pending_count_ = inbox_count_[1 - cur_].data();
@@ -475,10 +673,15 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
       if (node_done_[v] == 0) live_.push_back(v);
     }
 
-    merge_outboxes(1 - cur_);
+    delivery_round_ = round_ + 1;
+    if (faults_) {
+      merge_outboxes_faulted(1 - cur_);
+    } else {
+      merge_outboxes(1 - cur_);
+    }
 
-    if (config_.on_round_metrics) {
-      config_.on_round_metrics(RoundMetrics{
+    if (config_.hooks.on_round_metrics) {
+      config_.hooks.on_round_metrics(RoundMetrics{
           round_, stats_.messages - reported_messages,
           stats_.bits - reported_bits, static_cast<NodeId>(actives_.size()),
           static_cast<double>(round_max_edge_bits_) / bandwidth_});
@@ -488,9 +691,9 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
     round_max_edge_bits_ = 0;
 
     ++round_;
-    if (round_ > config_.max_rounds) {
+    if (round_ > config_.execution.max_rounds) {
       throw ModelError("simulation exceeded max_rounds=" +
-                       std::to_string(config_.max_rounds));
+                       std::to_string(config_.execution.max_rounds));
     }
     cur_ = 1 - cur_;
   }

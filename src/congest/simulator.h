@@ -29,8 +29,10 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "congest/faults.h"
 #include "congest/message.h"
 #include "graph/csr.h"
 #include "graph/graph.h"
@@ -58,33 +60,107 @@ struct RoundMetrics {
 };
 
 /// Engine configuration.
+///
+/// Fields are grouped into sub-structs — `Execution` (how the run is
+/// driven), `Hooks` (observability), `Faults` (the fault plan, see
+/// congest/faults.h) — while flat reference aliases keep pre-grouping
+/// call sites (`cfg.workers = 4`) compiling unchanged. The aliases are
+/// real references into this object's own sub-structs, so either
+/// spelling reads and writes the same storage; docs/api.md describes
+/// the migration path.
 struct Config {
+  /// Execution mechanics: the round budget and the parallelism knobs.
+  struct Execution {
+    /// Hard cap (horizon) on simulated rounds; exceeding it throws
+    /// ModelError (guards against non-terminating programs).
+    std::uint64_t max_rounds = 50'000'000;
+    /// Worker threads for the round loop: 1 = serial (the default and
+    /// the reference semantics), 0 = hardware concurrency, k > 1 = k
+    /// workers. Nodes within a round are independent, so the engine
+    /// fans `on_round` over a pool; results (ledger, traces, metrics,
+    /// program outputs) are byte-identical at any worker count.
+    /// Programs must then keep their mutable state per-node (shared
+    /// data read-only) — every program in this library already does.
+    unsigned workers = 1;
+    /// Optional borrowed pool for the round loop; overrides `workers`.
+    /// The pool must not be one the caller is currently blocking on.
+    runtime::ThreadPool* pool = nullptr;
+  };
+
+  /// Observability hooks. Observers only: they never alter message
+  /// flow, the ledger, or the halting rule.
+  struct Hooks {
+    /// Record every message (round, from, to, bits) — used by the
+    /// lower-bound simulation lemma to meter cross-partition traffic.
+    bool record_trace = false;
+    /// Opt-in per-round observability hook (e.g. feeding a
+    /// runtime::MetricsRegistry via runtime::attach_simulator_metrics).
+    /// Called once after every executed round; empty = no overhead.
+    std::function<void(const RoundMetrics&)> on_round_metrics;
+  };
+
+  /// The fault schedule (congest/faults.h). Default-constructed = empty
+  /// = the fault-free fast path, byte-identical to a config without the
+  /// subsystem.
+  using Faults = FaultPlan;
+
   /// Per-edge per-direction bits per round. 0 means "use the CONGEST
-  /// default" of kBandwidthLogFactor * ceil(log2 n).
+  /// default" of kBandwidthLogFactor * ceil(log2 n). Flat: a model
+  /// parameter, not an execution knob.
   std::uint32_t bandwidth_bits = 0;
-  /// Hard cap on simulated rounds; exceeding it throws ModelError
-  /// (guards against non-terminating programs).
-  std::uint64_t max_rounds = 50'000'000;
-  /// Seed for the engine-supplied per-node RNG streams.
+  /// Seed for the engine-supplied per-node RNG streams (and, unless
+  /// `faults.seed` overrides it, for probabilistic fault decisions).
   std::uint64_t seed = 1;
-  /// Record every message (round, from, to, bits) — used by the
-  /// lower-bound simulation lemma to meter cross-partition traffic.
-  bool record_trace = false;
-  /// Opt-in per-round observability hook (e.g. feeding a
-  /// runtime::MetricsRegistry via runtime::attach_simulator_metrics).
-  /// Called once after every executed round; empty = no overhead.
-  std::function<void(const RoundMetrics&)> on_round_metrics;
-  /// Worker threads for the round loop: 1 = serial (the default and the
-  /// reference semantics), 0 = hardware concurrency, k > 1 = k workers.
-  /// Nodes within a round are independent, so the engine fans `on_round`
-  /// over a pool; results (ledger, traces, metrics, program outputs) are
-  /// byte-identical at any worker count. Programs must then keep their
-  /// mutable state per-node (shared data read-only) — every program in
-  /// this library already does.
-  unsigned workers = 1;
-  /// Optional borrowed pool for the round loop; overrides `workers`.
-  /// The pool must not be one the caller is currently blocking on.
-  runtime::ThreadPool* pool = nullptr;
+
+  Execution execution;
+  Hooks hooks;
+  Faults faults;
+
+  // Flat aliases for the grouped fields: source compatibility with
+  // pre-grouping call sites. These are references into this object's
+  // own sub-structs; the user-defined copy/move members below keep
+  // them bound here (implicitly generated ones would be deleted or
+  // would rebind per-member).
+  std::uint64_t& max_rounds = execution.max_rounds;
+  unsigned& workers = execution.workers;
+  runtime::ThreadPool*& pool = execution.pool;
+  bool& record_trace = hooks.record_trace;
+  std::function<void(const RoundMetrics&)>& on_round_metrics =
+      hooks.on_round_metrics;
+
+  Config() = default;
+  Config(const Config& o)
+      : bandwidth_bits(o.bandwidth_bits),
+        seed(o.seed),
+        execution(o.execution),
+        hooks(o.hooks),
+        faults(o.faults) {}
+  Config(Config&& o) noexcept
+      : bandwidth_bits(o.bandwidth_bits),
+        seed(o.seed),
+        execution(std::move(o.execution)),
+        hooks(std::move(o.hooks)),
+        faults(std::move(o.faults)) {}
+  Config& operator=(const Config& o) {
+    if (this != &o) {
+      bandwidth_bits = o.bandwidth_bits;
+      seed = o.seed;
+      execution = o.execution;
+      hooks = o.hooks;
+      faults = o.faults;
+    }
+    return *this;
+  }
+  Config& operator=(Config&& o) noexcept {
+    if (this != &o) {
+      bandwidth_bits = o.bandwidth_bits;
+      seed = o.seed;
+      execution = std::move(o.execution);
+      hooks = std::move(o.hooks);
+      faults = std::move(o.faults);
+    }
+    return *this;
+  }
 };
 
 /// One recorded message (sent during `round`, delivered in round+1).
@@ -114,6 +190,20 @@ struct RunStats {
   std::uint64_t bits = 0;      ///< total bits on all edges
 
   friend bool operator==(const RunStats&, const RunStats&) = default;
+};
+
+/// Full report for one run: the ledger plus what the fault plan did to
+/// it. Primitives that can detect partial completion (e.g. a BFS tree
+/// cut off by crash-stop failures) set `completed = false` and explain
+/// in `diagnostic`; the raw engine always reports completed runs (a run
+/// that cannot finish throws ModelError at the horizon instead).
+struct RunOutcome {
+  RunStats stats;
+  FaultCounters faults;
+  bool completed = true;
+  std::string diagnostic;  ///< empty when completed
+
+  friend bool operator==(const RunOutcome&, const RunOutcome&) = default;
 };
 
 class Simulator;
@@ -191,6 +281,12 @@ class Simulator {
   /// Message trace of the last run (empty unless config.record_trace).
   const std::vector<TraceEntry>& trace() const { return trace_; }
 
+  /// Per-fault-class tallies of the last run (all zero when the plan is
+  /// empty — the fault path never executes).
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+  /// Ledger + fault counters of the last run as one report.
+  RunOutcome outcome() const { return RunOutcome{stats_, fault_counters_, true, {}}; }
+
  private:
   friend class NodeContext;
 
@@ -260,6 +356,8 @@ class Simulator {
   void admit(NodeId from, NodeId to, std::uint32_t slot, Message&& m);
   void account(NodeId from, NodeId to, std::uint32_t bits);
   void merge_outboxes(int dst);
+  void merge_outboxes_faulted(int dst);
+  void apply_crashes();
   void clear_mailbox(int b);
   void build_actives();
   void run_actives(std::span<const std::unique_ptr<NodeProgram>> programs,
@@ -315,6 +413,32 @@ class Simulator {
   int cur_ = 0;
 
   std::unique_ptr<runtime::ThreadPool> own_pool_;
+
+  // Fault path (null/empty unless Config::faults is non-empty — the
+  // fast path above is untouched by an empty plan). The faulted merge
+  // resolves every send through the engine, so fault outcomes — like
+  // the ledger — are decided serially in (sender id, program order)
+  // and are identical at any worker count.
+  std::unique_ptr<FaultEngine> faults_;
+  FaultCounters fault_counters_;
+  /// One message after fault resolution, waiting to be scattered.
+  struct Delivery {
+    NodeId to;
+    NodeId from;
+    Message msg;
+  };
+  std::vector<Delivery> resolved_;  ///< scratch, reused across merges
+  /// A message held back by a delay fault until its new delivery round.
+  struct Delayed {
+    std::uint64_t round;  ///< adjusted delivery round
+    NodeId to;
+    NodeId from;
+    Message msg;
+  };
+  std::vector<Delayed> delayed_;  ///< in-flight, insertion-ordered
+  std::uint64_t delivery_round_ = 0;  ///< of the merge in progress
+  std::vector<std::uint32_t> edge_ordinal_;  ///< per-merge message ordinals
+  std::vector<std::size_t> touched_edge_scratch_;
 };
 
 /// Convenience: run a homogeneous program type over every node.
@@ -323,6 +447,8 @@ class Simulator {
 template <typename Program>
 struct HomogeneousRun {
   RunStats stats;
+  RunOutcome outcome;  ///< stats + fault counters (faults all zero
+                       ///< when the config carried no plan)
   std::vector<std::unique_ptr<NodeProgram>> programs;
 
   Program& at(NodeId v) { return static_cast<Program&>(*programs[v]); }
@@ -341,7 +467,7 @@ HomogeneousRun<Program> run_on_all(const WeightedGraph& g, Factory&& make,
   }
   Simulator sim(g, config);
   RunStats stats = sim.run(programs);
-  return {stats, std::move(programs)};
+  return {stats, sim.outcome(), std::move(programs)};
 }
 
 }  // namespace qc::congest

@@ -315,8 +315,13 @@ class MultiSourceProgram final : public NodeProgram {
 }  // namespace
 
 BoundedDistanceResult distributed_bounded_distance_sssp(
-    const WeightedGraph& g, NodeId source, Dist cap,
-    const std::function<std::uint64_t(Weight)>& weight_of, Config config) {
+    const WeightedGraph& g, const RunRequest& req) {
+  const NodeId source = req.source;
+  const Dist cap = req.cap;
+  const std::function<std::uint64_t(Weight)> weight_of =
+      req.weight_of ? req.weight_of
+                    : [](Weight w) { return static_cast<std::uint64_t>(w); };
+  const Config& config = req.config;
   QC_REQUIRE(source < g.node_count(), "source out of range");
   const std::uint32_t dist_bits = bits_for(cap + 2);
   auto run = congest::run_on_all<BoundedDistanceProgram>(
@@ -336,9 +341,10 @@ BoundedDistanceResult distributed_bounded_distance_sssp(
 }
 
 BoundedHopResult distributed_bounded_hop_sssp(const WeightedGraph& g,
-                                              NodeId source,
-                                              const HopScale& scale,
-                                              Config config) {
+                                              const RunRequest& req) {
+  const NodeId source = req.source;
+  const HopScale& scale = req.scale;
+  const Config& config = req.config;
   QC_REQUIRE(source < g.node_count(), "source out of range");
   const std::uint32_t dist_bits = bits_for(scale.rounded_cap() + 2);
   auto run = congest::run_on_all<BoundedHopProgram>(
@@ -356,9 +362,14 @@ BoundedHopResult distributed_bounded_hop_sssp(const WeightedGraph& g,
   return out;
 }
 
-MultiSourceResult distributed_multi_source_bhs(
-    const WeightedGraph& g, const std::vector<NodeId>& sources,
-    const HopScale& scale, Rng& rng, Config config) {
+MultiSourceResult distributed_multi_source_bhs(const WeightedGraph& g,
+                                               const RunRequest& req) {
+  QC_REQUIRE(req.rng != nullptr,
+             "Algorithm 3 needs RunRequest::rng (with_rng) for its delays");
+  const std::vector<NodeId>& sources = req.sources;
+  const HopScale& scale = req.scale;
+  Rng& rng = *req.rng;
+  const Config& config = req.config;
   QC_REQUIRE(!sources.empty(), "Algorithm 3 needs at least one source");
   const NodeId n = g.node_count();
   const std::size_t b = sources.size();
@@ -411,9 +422,13 @@ MultiSourceResult distributed_multi_source_bhs(
 }
 
 OverlayEmbedding distributed_embed_overlay(
-    const WeightedGraph& g, const std::vector<NodeId>& sources,
-    const std::vector<std::vector<Dist>>& approx_rows, const Params& params,
-    Config config) {
+    const WeightedGraph& g, const std::vector<std::vector<Dist>>& approx_rows,
+    const RunRequest& req) {
+  QC_REQUIRE(req.params != nullptr,
+             "Algorithm 4 needs RunRequest::params (with_params)");
+  const std::vector<NodeId>& sources = req.sources;
+  const Params& params = *req.params;
+  const Config& config = req.config;
   const std::size_t b = sources.size();
   QC_REQUIRE(b >= 1, "overlay needs at least one member");
   QC_REQUIRE(approx_rows.size() == b, "one approx row per member");
@@ -521,9 +536,12 @@ OverlayEmbedding distributed_embed_overlay(
 
 OverlaySsspResult distributed_overlay_sssp(const WeightedGraph& g,
                                            const OverlayEmbedding& overlay,
-                                           const Params& params,
-                                           std::uint32_t source_idx,
-                                           Config config) {
+                                           const RunRequest& req) {
+  QC_REQUIRE(req.params != nullptr,
+             "Algorithm 5 needs RunRequest::params (with_params)");
+  const Params& params = *req.params;
+  const std::uint32_t source_idx = req.overlay_source;
+  const Config& config = req.config;
   const std::size_t b = overlay.sources.size();
   QC_REQUIRE(source_idx < b, "overlay source out of range");
   const NodeId n = g.node_count();

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "congest/primitives.h"
@@ -29,11 +31,83 @@ namespace qc::paths {
 /// Thrown when a randomized algorithm hits its (low-probability) failure
 /// event — e.g. Algorithm 3's per-window message budget overflows.
 /// Wrappers catch it and retry with fresh randomness, counting the
-/// wasted rounds.
-class AlgorithmFailure : public std::runtime_error {
- public:
-  explicit AlgorithmFailure(const std::string& what)
-      : std::runtime_error(what) {}
+/// wasted rounds. Alias of congest::AlgorithmFailure (primitives and
+/// orchestrations share one failure type).
+using AlgorithmFailure = congest::AlgorithmFailure;
+
+/// One request object for every `distributed_*` entry point, replacing
+/// their historically repeated (source, cap, weight_of, scale, sources,
+/// rng, params, config) parameter lists. Every field is defaulted;
+/// populate the ones your algorithm reads — each entry point documents
+/// which — directly or with the fluent with_* setters:
+///
+///   auto res = distributed_bounded_hop_sssp(
+///       g, RunRequest{}.with_source(0).with_scale(scale).with_config(cfg));
+///
+/// Fault plans ride along in `config.faults` (with_faults is a
+/// shortcut), so every Appendix A algorithm can run under fault
+/// injection without signature changes.
+struct RunRequest {
+  /// Engine configuration, faults included (congest/simulator.h).
+  congest::Config config;
+  /// Source node (Algorithms 1-2).
+  NodeId source = 0;
+  /// Distance cap for bounded-distance SSSP (Algorithm 2).
+  Dist cap = 0;
+  /// Edge-weight transform for bounded-distance SSSP; empty = identity.
+  std::function<std::uint64_t(Weight)> weight_of;
+  /// Hop/scale schedule (Algorithms 1 and 3).
+  HopScale scale{};
+  /// Source set (Algorithms 3-4).
+  std::vector<NodeId> sources;
+  /// Private randomness for Algorithm 3's delays (borrowed, required by
+  /// distributed_multi_source_bhs only).
+  Rng* rng = nullptr;
+  /// Paper parameters (Algorithms 4-5; borrowed, must outlive the call).
+  const Params* params = nullptr;
+  /// Overlay index of the SSSP source (Algorithm 5).
+  std::uint32_t overlay_source = 0;
+
+  RunRequest& with_config(congest::Config c) {
+    config = std::move(c);
+    return *this;
+  }
+  RunRequest& with_faults(congest::FaultPlan plan) {
+    config.faults = std::move(plan);
+    return *this;
+  }
+  RunRequest& with_source(NodeId s) {
+    source = s;
+    return *this;
+  }
+  RunRequest& with_cap(Dist c) {
+    cap = c;
+    return *this;
+  }
+  RunRequest& with_weight_of(std::function<std::uint64_t(Weight)> f) {
+    weight_of = std::move(f);
+    return *this;
+  }
+  RunRequest& with_scale(const HopScale& s) {
+    scale = s;
+    return *this;
+  }
+  RunRequest& with_sources(std::vector<NodeId> s) {
+    sources = std::move(s);
+    return *this;
+  }
+  RunRequest& with_rng(Rng& r) {
+    rng = &r;
+    return *this;
+  }
+  RunRequest& with_params(const Params& p) {
+    params = &p;
+    return *this;
+  }
+  RunRequest& with_overlay_source(std::uint32_t idx) {
+    overlay_source = idx;
+    return *this;
+  }
 };
 
 /// Algorithm 2: Bounded-Distance SSSP. Every node learns
@@ -44,10 +118,23 @@ struct BoundedDistanceResult {
   congest::RunStats stats;
   std::vector<Dist> dist;  ///< dist[v], capped
 };
+/// Reads req.source, req.cap, req.weight_of (empty = identity) and
+/// req.config.
 BoundedDistanceResult distributed_bounded_distance_sssp(
+    const WeightedGraph& g, const RunRequest& req);
+/// Legacy signature; forwards to the RunRequest overload. Candidate for
+/// [[deprecated]] once in-tree callers migrate.
+inline BoundedDistanceResult distributed_bounded_distance_sssp(
     const WeightedGraph& g, NodeId source, Dist cap,
     const std::function<std::uint64_t(Weight)>& weight_of,
-    congest::Config config = {});
+    congest::Config config = {}) {
+  return distributed_bounded_distance_sssp(
+      g, RunRequest{}
+             .with_source(source)
+             .with_cap(cap)
+             .with_weight_of(weight_of)
+             .with_config(std::move(config)));
+}
 
 /// Algorithm 1: Bounded-Hop SSSP. Every node learns d̃^ℓ(s, ·) in
 /// σ(scale)-scaled units, in scale_count · (cap+2) rounds.
@@ -55,10 +142,19 @@ struct BoundedHopResult {
   congest::RunStats stats;
   std::vector<Dist> approx;  ///< d̃^ℓ(s, v), σ units
 };
+/// Reads req.source, req.scale and req.config.
 BoundedHopResult distributed_bounded_hop_sssp(const WeightedGraph& g,
-                                              NodeId source,
-                                              const HopScale& scale,
-                                              congest::Config config = {});
+                                              const RunRequest& req);
+/// Legacy signature; forwards to the RunRequest overload. Candidate for
+/// [[deprecated]] once in-tree callers migrate.
+inline BoundedHopResult distributed_bounded_hop_sssp(
+    const WeightedGraph& g, NodeId source, const HopScale& scale,
+    congest::Config config = {}) {
+  return distributed_bounded_hop_sssp(g, RunRequest{}
+                                             .with_source(source)
+                                             .with_scale(scale)
+                                             .with_config(std::move(config)));
+}
 
 /// Algorithm 3: Bounded-Hop Multi-Source Shortest Paths via random
 /// delays. Every node v learns d̃^ℓ(s, v) for every s in `sources`.
@@ -70,11 +166,20 @@ struct MultiSourceResult {
   /// approx[a][v] = d̃^ℓ(sources[a], v), σ units.
   std::vector<std::vector<Dist>> approx;
 };
+/// Reads req.sources, req.scale, req.rng (required) and req.config.
 MultiSourceResult distributed_multi_source_bhs(const WeightedGraph& g,
-                                               const std::vector<NodeId>& sources,
-                                               const HopScale& scale,
-                                               Rng& rng,
-                                               congest::Config config = {});
+                                               const RunRequest& req);
+/// Legacy signature; forwards to the RunRequest overload. Candidate for
+/// [[deprecated]] once in-tree callers migrate.
+inline MultiSourceResult distributed_multi_source_bhs(
+    const WeightedGraph& g, const std::vector<NodeId>& sources,
+    const HopScale& scale, Rng& rng, congest::Config config = {}) {
+  return distributed_multi_source_bhs(g, RunRequest{}
+                                             .with_sources(sources)
+                                             .with_scale(scale)
+                                             .with_rng(rng)
+                                             .with_config(std::move(config)));
+}
 
 /// Algorithm 4: embedding the k-shortcut overlay network (G″_S, w″_S).
 /// Inputs are Algorithm 3's outputs. On return, member a's row of w″ is
@@ -94,10 +199,24 @@ struct OverlayEmbedding {
   /// scale count of Algorithm 5); computed by a global aggregate.
   std::uint64_t max_w2 = 1;
 };
+/// Reads req.sources, req.params (required) and req.config;
+/// `approx_rows` stays a positional argument (it is Algorithm 3's
+/// output data, not run configuration).
 OverlayEmbedding distributed_embed_overlay(
+    const WeightedGraph& g, const std::vector<std::vector<Dist>>& approx_rows,
+    const RunRequest& req);
+/// Legacy signature; forwards to the RunRequest overload. Candidate for
+/// [[deprecated]] once in-tree callers migrate.
+inline OverlayEmbedding distributed_embed_overlay(
     const WeightedGraph& g, const std::vector<NodeId>& sources,
     const std::vector<std::vector<Dist>>& approx_rows, const Params& params,
-    congest::Config config = {});
+    congest::Config config = {}) {
+  return distributed_embed_overlay(g, approx_rows,
+                                   RunRequest{}
+                                       .with_sources(sources)
+                                       .with_params(params)
+                                       .with_config(std::move(config)));
+}
 
 /// Algorithm 5: SSSP on the overlay network, simulated on G. Every node
 /// learns d̃^{ℓ″}_{G″,w″}(source, u) for every overlay node u, in σ·σ″
@@ -106,10 +225,22 @@ struct OverlaySsspResult {
   congest::RunStats stats;
   std::vector<Dist> approx;  ///< indexed by overlay index, σ·σ″ units
 };
+/// Reads req.params (required), req.overlay_source and req.config;
+/// `overlay` stays positional (Algorithm 4's output data).
 OverlaySsspResult distributed_overlay_sssp(const WeightedGraph& g,
                                            const OverlayEmbedding& overlay,
-                                           const Params& params,
-                                           std::uint32_t source_idx,
-                                           congest::Config config = {});
+                                           const RunRequest& req);
+/// Legacy signature; forwards to the RunRequest overload. Candidate for
+/// [[deprecated]] once in-tree callers migrate.
+inline OverlaySsspResult distributed_overlay_sssp(
+    const WeightedGraph& g, const OverlayEmbedding& overlay,
+    const Params& params, std::uint32_t source_idx,
+    congest::Config config = {}) {
+  return distributed_overlay_sssp(g, overlay,
+                                  RunRequest{}
+                                      .with_params(params)
+                                      .with_overlay_source(source_idx)
+                                      .with_config(std::move(config)));
+}
 
 }  // namespace qc::paths

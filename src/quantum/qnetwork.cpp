@@ -74,6 +74,20 @@ bool QuantumNetwork::measure(NodeId node, std::uint32_t q, Rng& rng) {
   return outcome;
 }
 
+void QuantumNetwork::set_link_faults(
+    std::vector<congest::LinkDownInterval> intervals) {
+  for (const congest::LinkDownInterval& iv : intervals) {
+    QC_REQUIRE(iv.a < topology_.node_count() && iv.b < topology_.node_count(),
+               "link-down node out of range");
+    QC_REQUIRE(slots_->slot(iv.a, iv.b) != EdgeSlotIndex::kNoSlot,
+               "link-down interval names a non-edge " + std::to_string(iv.a) +
+                   "->" + std::to_string(iv.b));
+    QC_REQUIRE(iv.first_round <= iv.last_round,
+               "link-down interval is empty (first_round > last_round)");
+  }
+  link_faults_ = std::move(intervals);
+}
+
 void QuantumNetwork::send_qubit(NodeId from, NodeId to, std::uint32_t q) {
   started_ = true;
   check_owner(from, q);
@@ -82,6 +96,14 @@ void QuantumNetwork::send_qubit(NodeId from, NodeId to, std::uint32_t q) {
                                     : EdgeSlotIndex::kNoSlot;
   if (slot == EdgeSlotIndex::kNoSlot) {
     throw ModelError("qubit sent to non-neighbour");
+  }
+  // Same round-keyed link-down semantics as the classical engine
+  // (congest::link_down_in); the transfer commits in round rounds_.
+  if (!link_faults_.empty() &&
+      congest::link_down_in(link_faults_, rounds_, from, to)) {
+    throw ModelError("qubit transfer on downed link " + std::to_string(from) +
+                     "->" + std::to_string(to) + " in round " +
+                     std::to_string(rounds_));
   }
   for (const Transfer& t : pending_) {
     QC_REQUIRE(t.qubit != q, "qubit already in flight this round");

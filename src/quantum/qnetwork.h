@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "congest/faults.h"
 #include "graph/graph.h"
 #include "graph/slot_index.h"
 #include "quantum/statevector.h"
@@ -51,9 +52,21 @@ class QuantumNetwork {
   /// collapses the global state. Returns the outcome.
   bool measure(NodeId node, std::uint32_t q, Rng& rng);
 
+  /// Installs link outages sharing congest's fault semantics
+  /// (congest::LinkDownInterval, keyed by round): a qubit transfer
+  /// attempted on a downed link in a covered round throws ModelError.
+  /// Quantum transfers cannot be silently dropped-and-retried the way
+  /// classical messages are — no-cloning means the in-flight qubit
+  /// would be destroyed — so the fault surfaces as a model violation
+  /// the protocol must handle (e.g. teleport over another path).
+  /// Intervals are validated against the topology. Call before or
+  /// between rounds.
+  void set_link_faults(std::vector<congest::LinkDownInterval> intervals);
+
   /// Queues a qubit transfer to a neighbour; committed by end_round().
-  /// Throws ModelError on non-neighbours, foreign qubits, or exceeding
-  /// the per-edge qubit budget this round.
+  /// Throws ModelError on non-neighbours, foreign qubits, exceeding
+  /// the per-edge qubit budget this round, or a downed link (see
+  /// set_link_faults).
   void send_qubit(NodeId from, NodeId to, std::uint32_t q);
 
   /// Commits all queued transfers and advances the round counter.
@@ -78,6 +91,8 @@ class QuantumNetwork {
   std::vector<Transfer> pending_;
   /// Qubits queued this round, by dense directed-edge index.
   std::vector<std::uint32_t> edge_in_flight_;
+  /// Installed link outages (empty = fault-free).
+  std::vector<congest::LinkDownInterval> link_faults_;
 };
 
 /// Distributes node 0's superposition qubit to every node by CNOT

@@ -257,4 +257,16 @@ void attach_simulator_metrics(congest::Config& config,
   };
 }
 
+void record_fault_metrics(const congest::FaultCounters& counters,
+                          MetricsRegistry& registry,
+                          const std::string& prefix) {
+  registry.counter(prefix + "dropped").add(counters.dropped);
+  registry.counter(prefix + "duplicated").add(counters.duplicated);
+  registry.counter(prefix + "delayed").add(counters.delayed);
+  registry.counter(prefix + "corrupted").add(counters.corrupted);
+  registry.counter(prefix + "link_down_drops").add(counters.link_down_drops);
+  registry.counter(prefix + "crashed_nodes").add(counters.crashed_nodes);
+  registry.counter(prefix + "crash_drops").add(counters.crash_drops);
+}
+
 }  // namespace qc::runtime

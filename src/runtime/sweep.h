@@ -127,4 +127,13 @@ void attach_simulator_metrics(congest::Config& config,
                               MetricsRegistry& registry,
                               const std::string& prefix = "sim.");
 
+/// Records one run's per-fault-class tallies (Simulator::fault_counters
+/// or RunOutcome::faults) into a registry as counters
+/// `<prefix>dropped/duplicated/delayed/corrupted/link_down_drops/
+/// crashed_nodes/crash_drops`. Counters accumulate across calls, so a
+/// phase orchestration can record each engine run as it finishes.
+void record_fault_metrics(const congest::FaultCounters& counters,
+                          MetricsRegistry& registry,
+                          const std::string& prefix = "sim.faults.");
+
 }  // namespace qc::runtime

@@ -423,13 +423,21 @@ TEST(Flood, RejectsOversizedItems) {
   EXPECT_THROW(flood_items(g, initial), ArgumentError);
 }
 
-TEST(Flood, DuplicateContentIsDeduplicated) {
+// Relaying dedups by content, so two nodes injecting the same payload
+// would silently lose one item. Injection must reject that up front
+// (historically it was let through and produced a wrong item count).
+TEST(Flood, DuplicatePayloadInjectionFailsLoudly) {
   const auto g = gen::path(9);  // wide enough bandwidth for the items
   std::vector<std::vector<FloodItem>> initial(9);
   initial[0].push_back(make_item(1, 1));
   initial[8].push_back(make_item(1, 1));  // same content elsewhere
-  const auto res = flood_items(g, initial);
-  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(res.items_at[v].size(), 1u);
+  EXPECT_THROW(flood_items(g, initial), AlgorithmFailure);
+  try {
+    flood_items(g, initial);
+  } catch (const AlgorithmFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("node 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("node 8"), std::string::npos);
+  }
 }
 
 // --- fast-path regression tests (see docs/perf.md) --------------------

@@ -1,0 +1,676 @@
+// Tests for the fault-injection subsystem (congest/faults.h) and the
+// redesigned run/config API around it:
+//   * empty-plan identity — ledger/trace/metrics/outputs byte-identical
+//     to the fault-free fast path, pinned against analytic goldens;
+//   * schedule determinism — the same seed produces the same faults,
+//     counters, and program outputs at workers = 1/2/8;
+//   * per-class explicit events (drop/duplicate/delay/corrupt),
+//     link-down intervals, crash-stop failures;
+//   * robustness counterparts: acked flooding converging under 10%
+//     drop, BFS liveness + diagnosable RunOutcome under crash-stop;
+//   * Config sub-struct aliases and paths::RunRequest equivalence;
+//   * quantum link faults and the runtime metrics bridge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "congest/faults.h"
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "paths/distributed.h"
+#include "quantum/qnetwork.h"
+#include "runtime/metrics.h"
+#include "runtime/sweep.h"
+#include "util/rng.h"
+
+namespace qc::congest {
+namespace {
+
+// ---------------------------------------------------------------------
+// Workload programs
+// ---------------------------------------------------------------------
+
+// Every node broadcasts its id once at start and is done after the
+// first round — the simplest fully deterministic all-edges workload:
+// exactly 2|E| messages, all in the start phase, 1 round.
+class BroadcastOnceProgram final : public NodeProgram {
+ public:
+  explicit BroadcastOnceProgram(std::uint32_t id_bits) : id_bits_(id_bits) {}
+  void on_start(NodeContext& ctx) override {
+    Message m;
+    m.push(ctx.id(), id_bits_);
+    ctx.broadcast(m);
+  }
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    (void)ctx;
+    received_ += inbox.size();
+    finished_ = true;
+  }
+  bool done() const override { return finished_; }
+  std::uint64_t received() const { return received_; }
+
+ private:
+  std::uint32_t id_bits_;
+  std::uint64_t received_ = 0;
+  bool finished_ = false;
+};
+
+// Min-id flooding until quiescent — the multi-round workload the
+// engine determinism tests use; faults perturb it but it always
+// terminates (a quiet node only re-wakes on mail).
+class MinFloodProgram final : public NodeProgram {
+ public:
+  void on_start(NodeContext& ctx) override {
+    best_ = ctx.id();
+    Message m;
+    m.push(best_, 32);
+    ctx.broadcast(m);
+  }
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    NodeId improved = best_;
+    for (const Incoming& in : inbox) {
+      improved = std::min(improved, static_cast<NodeId>(in.msg.field(0)));
+    }
+    if (improved < best_) {
+      best_ = improved;
+      Message m;
+      m.push(best_, 32);
+      ctx.broadcast(m);
+      quiet_ = 0;
+    } else {
+      ++quiet_;
+    }
+  }
+  bool done() const override { return quiet_ >= 1; }
+  NodeId best() const { return best_; }
+
+ private:
+  NodeId best_ = 0;
+  std::uint32_t quiet_ = 0;
+};
+
+// Fixed-horizon point-to-point prober: `sender` sends the 16-bit
+// payloads to `receiver` at start (ordinals 0..k-1 on that edge), and
+// optionally one fresh payload (100 + r) in each round r <
+// repeat_rounds. Every node stays live `horizon` rounds, so delayed
+// deliveries are observed. Records (round, value, bits) per receipt.
+class ProbeProgram final : public NodeProgram {
+ public:
+  struct Receipt {
+    std::uint64_t round;
+    std::uint64_t value;
+    std::uint32_t bits;
+
+    friend bool operator==(const Receipt&, const Receipt&) = default;
+  };
+
+  ProbeProgram(NodeId sender, NodeId receiver,
+               std::vector<std::uint64_t> payloads, std::uint64_t horizon,
+               std::uint64_t repeat_rounds = 0)
+      : sender_(sender),
+        receiver_(receiver),
+        payloads_(std::move(payloads)),
+        horizon_(horizon),
+        repeat_rounds_(repeat_rounds) {}
+
+  void on_start(NodeContext& ctx) override {
+    if (ctx.id() != sender_) return;
+    for (const std::uint64_t p : payloads_) {
+      Message m;
+      m.push(p, 16);
+      ctx.send(receiver_, m);
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
+    for (const Incoming& in : inbox) {
+      receipts_.push_back(
+          Receipt{rounds_, in.msg.field(0), in.msg.bit_size()});
+    }
+    if (ctx.id() == sender_ && rounds_ < repeat_rounds_) {
+      Message m;
+      m.push(100 + rounds_, 16);
+      ctx.send(receiver_, m);
+    }
+    ++rounds_;
+  }
+
+  bool done() const override { return rounds_ >= horizon_; }
+  const std::vector<Receipt>& receipts() const { return receipts_; }
+
+ private:
+  NodeId sender_;
+  NodeId receiver_;
+  std::vector<std::uint64_t> payloads_;
+  std::uint64_t horizon_;
+  std::uint64_t repeat_rounds_;
+  std::uint64_t rounds_ = 0;
+  std::vector<Receipt> receipts_;
+};
+
+struct RunCapture {
+  RunStats stats;
+  RunOutcome outcome;
+  std::vector<TraceEntry> trace;
+  std::vector<RoundMetrics> metrics;
+  std::vector<NodeId> outputs;
+
+  friend bool operator==(const RunCapture&, const RunCapture&) = default;
+};
+
+RunCapture run_min_flood(const WeightedGraph& g, unsigned workers,
+                         FaultPlan plan = {}) {
+  Config cfg;
+  cfg.record_trace = true;
+  cfg.workers = workers;
+  cfg.faults = std::move(plan);
+  std::vector<RoundMetrics> metrics;
+  cfg.on_round_metrics = [&](const RoundMetrics& rm) {
+    metrics.push_back(rm);
+  };
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    programs.push_back(std::make_unique<MinFloodProgram>());
+  }
+  Simulator sim(g, cfg);
+  RunCapture cap;
+  cap.stats = sim.run(programs);
+  cap.outcome = sim.outcome();
+  cap.trace = sim.trace();
+  cap.metrics = std::move(metrics);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    cap.outputs.push_back(
+        static_cast<const MinFloodProgram&>(*programs[v]).best());
+  }
+  return cap;
+}
+
+// Runs the probe workload on a path graph and returns (receiver
+// receipts, outcome, stats).
+std::tuple<std::vector<ProbeProgram::Receipt>, RunOutcome, RunStats>
+run_probe(const WeightedGraph& g, const FaultPlan& plan, NodeId sender,
+          NodeId receiver, std::vector<std::uint64_t> payloads,
+          std::uint64_t horizon, std::uint64_t repeat_rounds = 0) {
+  Config cfg;
+  cfg.faults = plan;
+  // Tiny probe graphs get a tiny default B; widen it so several 16-bit
+  // probes fit one edge-round (the tests meter faults, not bandwidth).
+  cfg.bandwidth_bits = 64;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    programs.push_back(std::make_unique<ProbeProgram>(
+        sender, receiver, payloads, horizon, repeat_rounds));
+  }
+  Simulator sim(g, cfg);
+  const RunStats stats = sim.run(programs);
+  return {static_cast<const ProbeProgram&>(*programs[receiver]).receipts(),
+          sim.outcome(), stats};
+}
+
+// 7-bit fields keep the acked wire format (1 type bit + item) within
+// the default bandwidth even on small graphs: 2 * (14 + 1) = 30 bits
+// fits B = 32 at n = 16.
+FloodItem make_item(std::uint64_t id, std::uint64_t payload) {
+  FloodItem item;
+  item.push(id, 7);
+  item.push(payload, 7);
+  return item;
+}
+
+// ---------------------------------------------------------------------
+// Empty-plan identity (the acceptance-criteria pin)
+// ---------------------------------------------------------------------
+
+// Analytic goldens for the one-shot broadcast workload: an empty fault
+// plan must reproduce the fault-free engine bit for bit at any worker
+// count. These constants pin the pre-fault-subsystem behaviour: path(6)
+// has 5 edges = 10 directed sends of 8 bits, one executed round.
+TEST(EmptyPlan, MatchesAnalyticGoldensAtAnyWorkerCount) {
+  const auto g = gen::path(6);
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    Config cfg;
+    cfg.workers = workers;
+    cfg.record_trace = true;
+    cfg.faults = FaultPlan{};  // explicitly installed, still empty
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    for (NodeId v = 0; v < 6; ++v) {
+      programs.push_back(std::make_unique<BroadcastOnceProgram>(8));
+    }
+    Simulator sim(g, cfg);
+    const RunStats stats = sim.run(programs);
+    EXPECT_EQ(stats.rounds, 1u) << "workers=" << workers;
+    EXPECT_EQ(stats.messages, 10u) << "workers=" << workers;
+    EXPECT_EQ(stats.bits, 80u) << "workers=" << workers;
+    EXPECT_EQ(sim.trace().size(), 10u) << "workers=" << workers;
+    for (const TraceEntry& t : sim.trace()) EXPECT_EQ(t.round, 0u);
+    EXPECT_EQ(sim.fault_counters(), FaultCounters{}) << "workers=" << workers;
+    const RunOutcome outcome = sim.outcome();
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_EQ(outcome.faults.total(), 0u);
+    // Endpoints received their 1 neighbour's id, inner nodes 2.
+    for (NodeId v = 0; v < 6; ++v) {
+      const auto& p = static_cast<const BroadcastOnceProgram&>(*programs[v]);
+      EXPECT_EQ(p.received(), (v == 0 || v == 5) ? 1u : 2u);
+    }
+  }
+}
+
+// Ledger, trace, metrics, and outputs of a multi-round workload with an
+// (explicitly installed) empty plan are byte-identical to a config that
+// never mentions faults, at every worker count.
+TEST(EmptyPlan, IsByteIdenticalToFaultFreeConfig) {
+  Rng rng(42);
+  const auto g = gen::erdos_renyi_connected(64, 0.1, rng);
+  const RunCapture golden = run_min_flood(g, 1);
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    const RunCapture with_empty_plan = run_min_flood(g, workers, FaultPlan{});
+    EXPECT_EQ(with_empty_plan, golden) << "workers=" << workers;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Schedule determinism
+// ---------------------------------------------------------------------
+
+TEST(FaultDeterminism, SameSeedSameFaultsAtAnyWorkerCount) {
+  Rng rng(7);
+  const auto g = gen::erdos_renyi_connected(48, 0.12, rng);
+  FaultPlan plan;
+  plan.seed = 0xfeedface;
+  plan.probabilities.drop = 0.10;
+  plan.probabilities.duplicate = 0.05;
+  plan.probabilities.delay = 0.05;
+  plan.probabilities.delay_rounds = 2;
+  plan.probabilities.corrupt = 0.05;
+  const RunCapture golden = run_min_flood(g, 1, plan);
+  // The plan actually fired (otherwise this test pins nothing).
+  EXPECT_GT(golden.outcome.faults.dropped, 0u);
+  EXPECT_GT(golden.outcome.faults.duplicated, 0u);
+  EXPECT_GT(golden.outcome.faults.delayed, 0u);
+  EXPECT_GT(golden.outcome.faults.corrupted, 0u);
+  for (const unsigned workers : {2u, 8u}) {
+    EXPECT_EQ(run_min_flood(g, workers, plan), golden)
+        << "workers=" << workers;
+  }
+}
+
+TEST(FaultDeterminism, DifferentSeedsDifferentSchedules) {
+  Rng rng(7);
+  const auto g = gen::erdos_renyi_connected(48, 0.12, rng);
+  FaultPlan a;
+  a.seed = 1;
+  a.probabilities.drop = 0.2;
+  FaultPlan b = a;
+  b.seed = 2;
+  EXPECT_NE(run_min_flood(g, 1, a).outcome.faults,
+            run_min_flood(g, 1, b).outcome.faults);
+}
+
+// ---------------------------------------------------------------------
+// Explicit per-message events
+// ---------------------------------------------------------------------
+
+TEST(FaultEvents, DropDestroysDeliveryButBillsBandwidth) {
+  const auto g = gen::path(2);
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{0, 0, 1, 0, FaultKind::kDrop, 1, 0, 1});
+  const auto [receipts, outcome, stats] = run_probe(g, plan, 0, 1, {7}, 4);
+  EXPECT_TRUE(receipts.empty());
+  EXPECT_EQ(outcome.faults.dropped, 1u);
+  EXPECT_EQ(stats.messages, 1u);  // the attempt is still on the ledger
+  EXPECT_EQ(stats.bits, 16u);
+}
+
+TEST(FaultEvents, DuplicateDeliversTwoCopies) {
+  const auto g = gen::path(2);
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{0, 0, 1, 0, FaultKind::kDuplicate, 1, 0, 1});
+  const auto [receipts, outcome, stats] = run_probe(g, plan, 0, 1, {7}, 4);
+  ASSERT_EQ(receipts.size(), 2u);
+  EXPECT_EQ(receipts[0], (ProbeProgram::Receipt{0, 7, 16}));
+  EXPECT_EQ(receipts[1], (ProbeProgram::Receipt{0, 7, 16}));
+  EXPECT_EQ(outcome.faults.duplicated, 1u);
+  EXPECT_EQ(stats.messages, 1u);  // one send, two deliveries
+}
+
+TEST(FaultEvents, DelayShiftsDeliveryRound) {
+  const auto g = gen::path(2);
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{0, 0, 1, 0, FaultKind::kDelay, 3, 0, 1});
+  const auto [receipts, outcome, stats] = run_probe(g, plan, 0, 1, {7}, 8);
+  ASSERT_EQ(receipts.size(), 1u);
+  // Normal delivery round 0, +3 rounds in flight.
+  EXPECT_EQ(receipts[0], (ProbeProgram::Receipt{3, 7, 16}));
+  EXPECT_EQ(outcome.faults.delayed, 1u);
+}
+
+TEST(FaultEvents, CorruptFlipsMaskedBitsAndPreservesSize) {
+  const auto g = gen::path(2);
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{0, 0, 1, 0, FaultKind::kCorrupt, 1, 0, 0b101});
+  const auto [receipts, outcome, stats] = run_probe(g, plan, 0, 1, {7}, 4);
+  ASSERT_EQ(receipts.size(), 1u);
+  EXPECT_EQ(receipts[0].value, 7u ^ 0b101u);
+  EXPECT_EQ(receipts[0].bits, 16u);  // widths survive corruption
+  EXPECT_EQ(outcome.faults.corrupted, 1u);
+}
+
+TEST(FaultEvents, OrdinalSelectsWithinRound) {
+  const auto g = gen::path(2);
+  // 3 payloads queued the same round: drop only the middle one.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{0, 0, 1, 1, FaultKind::kDrop, 1, 0, 1});
+  const auto [receipts, outcome, stats] =
+      run_probe(g, plan, 0, 1, {5, 6, 7}, 4);
+  ASSERT_EQ(receipts.size(), 2u);
+  EXPECT_EQ(receipts[0].value, 5u);
+  EXPECT_EQ(receipts[1].value, 7u);
+  EXPECT_EQ(outcome.faults.dropped, 1u);
+}
+
+TEST(FaultEvents, ValidationRejectsBadPlans) {
+  const auto g = gen::path(3);
+  const auto make_sim = [&](const FaultPlan& plan) {
+    Config cfg;
+    cfg.faults = plan;
+    return std::make_unique<Simulator>(g, cfg);
+  };
+  FaultPlan bad_prob;
+  bad_prob.probabilities.drop = 1.5;
+  EXPECT_THROW(make_sim(bad_prob), ArgumentError);
+  FaultPlan non_edge;
+  non_edge.events.push_back(FaultEvent{0, 0, 2, 0, FaultKind::kDrop, 1, 0, 1});
+  EXPECT_THROW(make_sim(non_edge), ArgumentError);
+  FaultPlan bad_crash;
+  bad_crash.crashes.push_back(CrashEvent{9, 0});
+  EXPECT_THROW(make_sim(bad_crash), ArgumentError);
+  FaultPlan bad_interval;
+  bad_interval.link_down.push_back(LinkDownInterval{0, 1, 5, 2, true});
+  EXPECT_THROW(make_sim(bad_interval), ArgumentError);
+}
+
+// ---------------------------------------------------------------------
+// Link-down intervals
+// ---------------------------------------------------------------------
+
+TEST(LinkDown, DestroysDeliveriesInsideTheInterval) {
+  const auto g = gen::path(2);
+  FaultPlan plan;
+  plan.link_down.push_back(LinkDownInterval{0, 1, 1, 3, true});
+  // Start send (delivery 0) + sends in rounds 0..5 (deliveries 1..6);
+  // deliveries 1-3 are destroyed.
+  const auto [receipts, outcome, stats] = run_probe(g, plan, 0, 1, {7}, 9, 6);
+  ASSERT_EQ(receipts.size(), 4u);
+  EXPECT_EQ(receipts[0].round, 0u);
+  EXPECT_EQ(receipts[1].round, 4u);
+  EXPECT_EQ(receipts[2].round, 5u);
+  EXPECT_EQ(receipts[3].round, 6u);
+  EXPECT_EQ(outcome.faults.link_down_drops, 3u);
+  EXPECT_EQ(stats.messages, 7u);  // every attempt billed
+}
+
+TEST(LinkDown, AsymmetricIntervalOnlyKillsOneDirection) {
+  const auto g = gen::path(2);
+  FaultPlan plan;
+  plan.link_down.push_back(LinkDownInterval{1, 0, 0, 50, false});  // 1->0 only
+  const auto [receipts, outcome, stats] = run_probe(g, plan, 0, 1, {7}, 4);
+  ASSERT_EQ(receipts.size(), 1u);  // 0->1 unaffected
+  EXPECT_EQ(outcome.faults.link_down_drops, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Crash-stop failures
+// ---------------------------------------------------------------------
+
+TEST(CrashStop, MidBfsSurfacesDiagnosableOutcome) {
+  const auto g = gen::path(8);
+  Config cfg;
+  cfg.faults.crashes.push_back(CrashEvent{3, 2});
+  const BfsTreeResult res = build_bfs_tree(g, 0, cfg);
+  EXPECT_FALSE(res.outcome.completed);
+  EXPECT_NE(res.outcome.diagnostic.find("unreached"), std::string::npos);
+  EXPECT_EQ(res.outcome.faults.crashed_nodes, 1u);
+  // Node 3 crashes at round 2, exactly when depth-3 announcements reach
+  // it: the tree is cut there and everything behind it stays unreached.
+  EXPECT_EQ(res.unreached, (std::vector<NodeId>{3, 4, 5, 6, 7}));
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(res.nodes[v].depth, static_cast<Dist>(v));
+  }
+  // Liveness: the unreached side gave up at the internal horizon instead
+  // of spinning to Config::max_rounds.
+  EXPECT_LE(res.stats.rounds, 2 * g.node_count() + 3);
+}
+
+TEST(CrashStop, FaultFreeBfsStillCompletes) {
+  const auto g = gen::balanced_binary_tree(15);
+  const BfsTreeResult res = build_bfs_tree(g, 0);
+  EXPECT_TRUE(res.outcome.completed);
+  EXPECT_TRUE(res.outcome.diagnostic.empty());
+  EXPECT_TRUE(res.unreached.empty());
+}
+
+TEST(CrashStop, CrashedNodeStopsSendingAndReceiving) {
+  const auto g = gen::path(2);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{1, 2});
+  // Sender keeps sending rounds 0..5; deliveries at rounds >= 2 are
+  // destroyed by the receiver's crash.
+  const auto [receipts, outcome, stats] = run_probe(g, plan, 0, 1, {7}, 8, 6);
+  ASSERT_EQ(receipts.size(), 2u);  // deliveries at rounds 0 and 1 only
+  EXPECT_EQ(outcome.faults.crashed_nodes, 1u);
+  EXPECT_EQ(outcome.faults.crash_drops, 5u);
+}
+
+// ---------------------------------------------------------------------
+// Acked flooding
+// ---------------------------------------------------------------------
+
+TEST(ReliableFlood, MatchesPlainFloodFaultFree) {
+  Rng rng(11);
+  const auto g = gen::erdos_renyi_connected(20, 0.2, rng);
+  std::vector<std::vector<FloodItem>> initial(g.node_count());
+  initial[0].push_back(make_item(1, 100));
+  initial[5].push_back(make_item(2, 101));
+  initial[12].push_back(make_item(3, 102));
+  const auto plain = flood_items(g, initial);
+  const auto acked = flood_items_reliable(g, initial);
+  EXPECT_TRUE(acked.outcome.completed);
+  EXPECT_EQ(acked.outcome.faults.total(), 0u);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(acked.items_at[v], plain.items_at[v]) << "node " << v;
+  }
+}
+
+TEST(ReliableFlood, ConvergesUnderTenPercentDrop) {
+  Rng rng(11);
+  const auto g = gen::erdos_renyi_connected(20, 0.2, rng);
+  std::vector<std::vector<FloodItem>> initial(g.node_count());
+  initial[0].push_back(make_item(1, 100));
+  initial[5].push_back(make_item(2, 101));
+  initial[12].push_back(make_item(3, 102));
+  const auto expected = flood_items(g, initial).items_at;
+
+  Config cfg;
+  cfg.faults.seed = 99;
+  cfg.faults.probabilities.drop = 0.10;
+  const auto acked = flood_items_reliable(g, initial, 8, cfg);
+  EXPECT_GT(acked.outcome.faults.dropped, 0u);  // faults actually hit
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(acked.items_at[v], expected[v]) << "node " << v;
+  }
+}
+
+TEST(ReliableFlood, DropScheduleIsDeterministicAcrossWorkers) {
+  Rng rng(13);
+  const auto g = gen::erdos_renyi_connected(16, 0.25, rng);
+  std::vector<std::vector<FloodItem>> initial(g.node_count());
+  initial[2].push_back(make_item(1, 100));
+  initial[9].push_back(make_item(2, 101));
+  const auto run = [&](unsigned workers) {
+    Config cfg;
+    cfg.workers = workers;
+    cfg.faults.seed = 4242;
+    cfg.faults.probabilities.drop = 0.10;
+    cfg.faults.probabilities.delay = 0.05;
+    return flood_items_reliable(g, initial, 4, cfg);
+  };
+  const auto golden = run(1);
+  EXPECT_GT(golden.outcome.faults.total(), 0u);
+  for (const unsigned workers : {2u, 8u}) {
+    const auto got = run(workers);
+    EXPECT_EQ(got.outcome, golden.outcome) << "workers=" << workers;
+    EXPECT_EQ(got.items_at, golden.items_at) << "workers=" << workers;
+  }
+}
+
+TEST(ReliableFlood, RejectsDuplicatePayloads) {
+  const auto g = gen::path(16);
+  std::vector<std::vector<FloodItem>> initial(16);
+  initial[1].push_back(make_item(1, 100));
+  initial[13].push_back(make_item(1, 100));
+  EXPECT_THROW(flood_items_reliable(g, initial), AlgorithmFailure);
+}
+
+// ---------------------------------------------------------------------
+// Config sub-structs and aliases
+// ---------------------------------------------------------------------
+
+TEST(ConfigApi, AliasesShareStorageWithSubStructs) {
+  Config cfg;
+  cfg.workers = 4;  // legacy flat spelling
+  EXPECT_EQ(cfg.execution.workers, 4u);
+  cfg.execution.max_rounds = 123;  // grouped spelling
+  EXPECT_EQ(cfg.max_rounds, 123u);
+  cfg.record_trace = true;
+  EXPECT_TRUE(cfg.hooks.record_trace);
+  bool fired = false;
+  cfg.on_round_metrics = [&](const RoundMetrics&) { fired = true; };
+  ASSERT_TRUE(static_cast<bool>(cfg.hooks.on_round_metrics));
+  cfg.hooks.on_round_metrics(RoundMetrics{});
+  EXPECT_TRUE(fired);
+}
+
+TEST(ConfigApi, CopiesRebindAliasesToTheirOwnStorage) {
+  Config a;
+  a.workers = 3;
+  a.max_rounds = 99;
+  Config b = a;  // must not alias a's storage
+  b.workers = 7;
+  EXPECT_EQ(a.workers, 3u);
+  EXPECT_EQ(a.execution.workers, 3u);
+  EXPECT_EQ(b.execution.workers, 7u);
+  EXPECT_EQ(b.max_rounds, 99u);
+  Config c;
+  c = b;  // copy-assignment too
+  c.execution.workers = 9;
+  EXPECT_EQ(b.workers, 7u);
+  EXPECT_EQ(c.workers, 9u);
+}
+
+// ---------------------------------------------------------------------
+// paths::RunRequest
+// ---------------------------------------------------------------------
+
+TEST(RunRequestApi, BoundedHopMatchesLegacySignature) {
+  Rng rng(5);
+  const auto g =
+      gen::randomize_weights(gen::erdos_renyi_connected(24, 0.15, rng), 8, rng);
+  const paths::HopScale scale{4, 2, g.max_weight()};
+  const auto legacy = paths::distributed_bounded_hop_sssp(g, 0, scale);
+  const auto via_request = paths::distributed_bounded_hop_sssp(
+      g, paths::RunRequest{}.with_source(0).with_scale(scale));
+  EXPECT_EQ(via_request.stats, legacy.stats);
+  EXPECT_EQ(via_request.approx, legacy.approx);
+}
+
+TEST(RunRequestApi, BoundedDistanceMatchesLegacySignature) {
+  Rng rng(6);
+  const auto g =
+      gen::randomize_weights(gen::erdos_renyi_connected(24, 0.15, rng), 4, rng);
+  const auto weight_of = [](Weight w) { return static_cast<std::uint64_t>(w); };
+  const auto legacy =
+      paths::distributed_bounded_distance_sssp(g, 0, 40, weight_of);
+  // Empty weight_of means identity.
+  const auto via_request = paths::distributed_bounded_distance_sssp(
+      g, paths::RunRequest{}.with_source(0).with_cap(40));
+  EXPECT_EQ(via_request.stats, legacy.stats);
+  EXPECT_EQ(via_request.dist, legacy.dist);
+}
+
+TEST(RunRequestApi, MissingRequiredFieldsFailLoudly) {
+  const auto g = gen::path(4);
+  // Algorithm 3 without an rng, Algorithms 4/5 without params.
+  EXPECT_THROW(paths::distributed_multi_source_bhs(
+                   g, paths::RunRequest{}.with_sources({0})),
+               ArgumentError);
+  EXPECT_THROW(
+      paths::distributed_embed_overlay(g, {}, paths::RunRequest{}),
+      ArgumentError);
+}
+
+TEST(RunRequestApi, CarriesFaultPlanIntoTheEngine) {
+  const auto g = gen::path(6);
+  FaultPlan plan;
+  plan.probabilities.drop = 0.3;
+  plan.seed = 3;
+  // Drops perturb the SSSP ledger relative to fault-free — proof the
+  // plan reached the engine through the request.
+  const auto clean = paths::distributed_bounded_distance_sssp(
+      g, paths::RunRequest{}.with_source(0).with_cap(10));
+  const auto faulted = paths::distributed_bounded_distance_sssp(
+      g, paths::RunRequest{}.with_source(0).with_cap(10).with_faults(plan));
+  EXPECT_NE(faulted.stats, clean.stats);
+}
+
+// ---------------------------------------------------------------------
+// Quantum link faults
+// ---------------------------------------------------------------------
+
+TEST(QuantumFaults, DownedLinkRejectsQubitTransfer) {
+  quantum::QuantumNetwork net(gen::path(2), 1);
+  net.set_link_faults({LinkDownInterval{0, 1, 0, 1, true}});
+  EXPECT_THROW(net.send_qubit(0, 1, 0), ModelError);
+  net.end_round();  // round 1: still down
+  EXPECT_THROW(net.send_qubit(0, 1, 0), ModelError);
+  net.end_round();  // round 2: back up
+  net.send_qubit(0, 1, 0);
+  net.end_round();
+  EXPECT_EQ(net.owner(0), 1u);
+}
+
+TEST(QuantumFaults, ValidationRejectsNonEdges) {
+  quantum::QuantumNetwork net(gen::path(3), 1);
+  EXPECT_THROW(net.set_link_faults({LinkDownInterval{0, 2, 0, 1, true}}),
+               ArgumentError);
+}
+
+// ---------------------------------------------------------------------
+// Metrics bridge
+// ---------------------------------------------------------------------
+
+TEST(FaultMetrics, RecordIntoRegistry) {
+  FaultCounters c;
+  c.dropped = 3;
+  c.delayed = 2;
+  c.crashed_nodes = 1;
+  runtime::MetricsRegistry registry;
+  runtime::record_fault_metrics(c, registry);
+  EXPECT_EQ(registry.counter("sim.faults.dropped").value(), 3u);
+  EXPECT_EQ(registry.counter("sim.faults.delayed").value(), 2u);
+  EXPECT_EQ(registry.counter("sim.faults.crashed_nodes").value(), 1u);
+  EXPECT_EQ(registry.counter("sim.faults.corrupted").value(), 0u);
+  // Counters accumulate across runs, as phase orchestrations need.
+  runtime::record_fault_metrics(c, registry);
+  EXPECT_EQ(registry.counter("sim.faults.dropped").value(), 6u);
+}
+
+}  // namespace
+}  // namespace qc::congest

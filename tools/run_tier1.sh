@@ -4,10 +4,13 @@
 #
 # Usage:
 #   tools/run_tier1.sh                 # plain build + ctest
+#   tools/run_tier1.sh --faults        # build + only the fault-injection
+#                                      # suite (ctest label `faults`)
 #   tools/run_tier1.sh --tsan          # ThreadSanitizer pass over the
 #                                      # concurrency-bearing suites
 #                                      # (test_graph, test_runtime,
-#                                      # test_congest, test_paths)
+#                                      # test_congest, test_paths,
+#                                      # test_faults)
 #   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
 #                                           # address | undefined | thread
 #
@@ -24,11 +27,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 TSAN_ONLY=0
+FAULTS_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) TSAN_ONLY=1 ;;
+    --faults) FAULTS_ONLY=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--faults]" >&2
       exit 2
       ;;
   esac
@@ -38,7 +43,7 @@ if [ "$TSAN_ONLY" -eq 1 ]; then
   BUILD_DIR=build-thread
   cmake -B "$BUILD_DIR" -S . -DQC_SANITIZE=thread
   cmake --build "$BUILD_DIR" -j --target \
-    test_graph test_runtime test_congest test_paths
+    test_graph test_runtime test_congest test_paths test_faults
   # Run the binaries directly: gtest_discover_tests registers per-test
   # ctest entries at build time, so a target-filtered build may not have
   # a complete ctest manifest.
@@ -46,6 +51,19 @@ if [ "$TSAN_ONLY" -eq 1 ]; then
   "$BUILD_DIR/tests/test_runtime"
   "$BUILD_DIR/tests/test_congest"
   "$BUILD_DIR/tests/test_paths"
+  "$BUILD_DIR/tests/test_faults"
+  exit 0
+fi
+
+if [ "$FAULTS_ONLY" -eq 1 ]; then
+  # Fault-injection suite only (tests/test_faults.cpp, ctest label
+  # `faults`): determinism across worker counts, empty-plan identity,
+  # per-class fault events, robust primitives.
+  BUILD_DIR=build
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target test_faults
+  cd "$BUILD_DIR"
+  ctest --output-on-failure -j -L faults
   exit 0
 fi
 
