@@ -37,7 +37,8 @@ int main() {
   for (NodeId n : std::vector<NodeId>{16, 24, 32, 48}) {
     const auto g = family(n, n);
     const HopScale hs{n / 2, clog2(n), g.max_weight()};
-    const auto res = distributed_bounded_hop_sssp(g, 0, hs);
+    const auto res = distributed_bounded_hop_sssp(
+        g, RunRequest{}.with_source(0).with_scale(hs));
     a1.add(n, hs.ell, hs.eps_inv, res.stats.rounds,
            std::uint64_t{hs.scale_count()} * (hs.rounded_cap() + 2),
            double(hs.ell) * hs.eps_inv * hs.scale_count());
@@ -55,7 +56,8 @@ int main() {
     std::vector<NodeId> sources;
     for (NodeId v = 0; v < n; v += 5) sources.push_back(v);
     Rng rng(n);
-    const auto res = distributed_multi_source_bhs(g, sources, hs, rng);
+    const auto res = distributed_multi_source_bhs(
+        g, RunRequest{}.with_sources(sources).with_scale(hs).with_rng(rng));
     const std::uint64_t slots = clog2(n);
     const std::uint64_t t_log =
         std::uint64_t{hs.scale_count()} * (hs.rounded_cap() + 2);
@@ -76,9 +78,10 @@ int main() {
     for (NodeId v = 0; v < n; v += 4) sources.push_back(v);
     const HopScale hs{params.ell, params.eps_inv, g.max_weight()};
     Rng rng(n + 7);
-    const auto ms = distributed_multi_source_bhs(g, sources, hs, rng);
-    const auto emb = distributed_embed_overlay(g, sources, ms.approx,
-                                               params);
+    const auto ms = distributed_multi_source_bhs(
+        g, RunRequest{}.with_sources(sources).with_scale(hs).with_rng(rng));
+    const auto emb = distributed_embed_overlay(
+        g, ms.approx, RunRequest{}.with_sources(sources).with_params(params));
     const Dist d = unweighted_diameter(g);
     a3.add(n, sources.size(), params.k, emb.stats.rounds,
            6 * d + sources.size() * params.k + 30);
@@ -97,10 +100,12 @@ int main() {
     for (NodeId v = 0; v < n; v += 4) sources.push_back(v);
     const HopScale hs{params.ell, params.eps_inv, g.max_weight()};
     Rng rng(n + 9);
-    const auto ms = distributed_multi_source_bhs(g, sources, hs, rng);
-    const auto emb = distributed_embed_overlay(g, sources, ms.approx,
-                                               params);
-    const auto res = distributed_overlay_sssp(g, emb, params, 0);
+    const auto ms = distributed_multi_source_bhs(
+        g, RunRequest{}.with_sources(sources).with_scale(hs).with_rng(rng));
+    const auto emb = distributed_embed_overlay(
+        g, ms.approx, RunRequest{}.with_sources(sources).with_params(params));
+    const auto res = distributed_overlay_sssp(
+        g, emb, RunRequest{}.with_params(params).with_overlay_source(0));
     const HopScale ohs{params.overlay_ell(sources.size()), params.eps_inv,
                        emb.max_w2};
     const Dist d = unweighted_diameter(g);

@@ -669,8 +669,12 @@ int main(int argc, char** argv) {
     const auto run_overlay = [&](unsigned w) {
       congest::Config cfg;
       cfg.workers = w;
-      return paths::distributed_embed_overlay(g, sources, approx_rows,
-                                              params, cfg);
+      return paths::distributed_embed_overlay(
+          g, approx_rows,
+          paths::RunRequest{}
+              .with_sources(sources)
+              .with_params(params)
+              .with_config(cfg));
     };
     paths::OverlayEmbedding golden;
     const double t_base = time_of([&] { golden = run_overlay(1); });

@@ -55,6 +55,7 @@ runtime::TaskOutput measure_instance(const runtime::SweepPoint& p,
   core::Theorem11Options opt;
   opt.seed = p.seed;
   opt.eps_inv = p.eps_inv;
+  opt.census = true;
   const auto t11d = core::quantum_weighted_diameter(g, opt);
   m["t11_diam_rounds"] = double(t11d.rounds);
   m["t11_diam_ok"] = t11d.within_bound ? 1 : 0;

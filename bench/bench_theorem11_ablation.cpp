@@ -34,6 +34,7 @@ int main() {
   std::printf("-- (a) skeleton size r (Eq. 1 optimum marked) --\n");
   core::Theorem11Options base;
   base.seed = 5;
+  base.census = true;
   const auto eq1 = core::quantum_weighted_diameter(g, base);
   const std::uint64_t r_star = eq1.params.r;
   TextTable ra({"r", "ell", "T0 (init)", "T_setup+T_eval", "inner budget",

@@ -29,6 +29,7 @@ int main() {
   // 2. Run the quantum weighted-diameter algorithm (Theorem 1.1).
   core::Theorem11Options opt;
   opt.seed = 7;  // all randomness is seeded and reproducible
+  opt.census = true;  // also compute the exact answer for comparison
   const auto diam = core::quantum_weighted_diameter(g, opt);
 
   std::printf("\nweighted diameter:\n");

@@ -28,6 +28,7 @@ void analyze(const char* name, const WeightedGraph& g, std::uint64_t seed) {
 
   core::Theorem11Options opt;
   opt.seed = seed;
+  opt.census = true;
   const auto diam = core::quantum_weighted_diameter(g, opt);
   const auto rad = core::quantum_weighted_radius(g, opt);
 

@@ -194,7 +194,7 @@ class AggregateProgram final : public NodeProgram {
 class FloodProgram final : public NodeProgram {
  public:
   explicit FloodProgram(std::vector<FloodItem> initial) {
-    for (FloodItem& item : initial) learn(std::move(item));
+    for (FloodItem& item : initial) learn(item);
   }
 
   void on_round(NodeContext& ctx, std::span<const Incoming> inbox) override {
@@ -215,16 +215,22 @@ class FloodProgram final : public NodeProgram {
   }
 
  private:
-  void learn(FloodItem item) {
-    std::vector<std::uint64_t> key(item.field_count());
-    for (std::size_t i = 0; i < key.size(); ++i) key[i] = item.field(i);
-    if (known_.emplace(std::move(key), item).second) {
-      queue_.push_back(std::move(item));
+  // Every delivered copy of every item lands here (Theta(m * items)
+  // calls per flood), so the duplicate check must not allocate: the
+  // key is built in a reused buffer and only genuinely new items pay
+  // for a map insertion.
+  void learn(const FloodItem& item) {
+    key_.resize(item.field_count());
+    for (std::size_t i = 0; i < key_.size(); ++i) key_[i] = item.field(i);
+    if (known_.find(key_) == known_.end()) {
+      known_.emplace(key_, item);
+      queue_.push_back(item);
     }
   }
 
   std::map<std::vector<std::uint64_t>, FloodItem> known_;
   std::deque<FloodItem> queue_;
+  std::vector<std::uint64_t> key_;  // reused learn() scratch
 };
 
 std::vector<std::uint64_t> flood_key(const Message& m) {
@@ -517,7 +523,7 @@ AggregateResult global_aggregate(const WeightedGraph& g, NodeId root,
 
 FloodResult flood_items(const WeightedGraph& g,
                         std::vector<std::vector<FloodItem>> initial,
-                        Config config) {
+                        Config config, FloodCollect collect) {
   QC_REQUIRE(initial.size() == g.node_count(), "one item list per node");
   QC_REQUIRE(g.is_connected(), "flooding needs a connected network");
   require_distinct_payloads(initial);
@@ -536,8 +542,12 @@ FloodResult flood_items(const WeightedGraph& g,
       config);
   FloodResult out;
   out.stats = run.stats;
-  out.items_at.reserve(g.node_count());
-  for (NodeId v = 0; v < g.node_count(); ++v) {
+  const NodeId read_out = collect == FloodCollect::kAllNodes ? g.node_count()
+                          : collect == FloodCollect::kFirstNode
+                              ? std::min<NodeId>(1, g.node_count())
+                              : 0;
+  out.items_at.reserve(read_out);
+  for (NodeId v = 0; v < read_out; ++v) {
     out.items_at.push_back(run.at(v).known_sorted());
   }
   return out;

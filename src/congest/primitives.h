@@ -98,13 +98,26 @@ struct FloodResult {
   std::vector<std::vector<FloodItem>> items_at;
 };
 
+/// How much of the converged flood state to materialize into
+/// `FloodResult::items_at`. The protocol (rounds, messages, stats) is
+/// identical in all modes — only the final read-out differs. Most
+/// callers drive a flood purely for its round cost and read `.stats`;
+/// copying every item out of every node is the single largest local
+/// cost of a big flood, so skip it when nothing reads the items.
+enum class FloodCollect : std::uint8_t {
+  kAllNodes,   ///< items_at[v] for every node v (default)
+  kFirstNode,  ///< items_at = { node 0's items } only
+  kStatsOnly,  ///< items_at left empty
+};
+
 /// Floods every node's initial items to all nodes, pipelined: each node
 /// relays one not-yet-relayed item per round to all neighbours.
 /// O(D + k) rounds for k total items. Throws `AlgorithmFailure` if two
 /// injected payloads are identical (see FloodItem).
 FloodResult flood_items(const WeightedGraph& g,
                         std::vector<std::vector<FloodItem>> initial,
-                        Config config = {});
+                        Config config = {},
+                        FloodCollect collect = FloodCollect::kAllNodes);
 
 /// Result of an acked flood.
 struct ReliableFloodResult {

@@ -406,7 +406,9 @@ MultiBfsResult distributed_multi_source_bfs(const WeightedGraph& g,
       items[0].push_back(std::move(f));
     }
     accumulate(out.stats,
-               congest::flood_items(g, std::move(items), config).stats);
+               congest::flood_items(g, std::move(items), config,
+                                    congest::FloodCollect::kStatsOnly)
+                   .stats);
 
     try {
       auto run = congest::run_on_all<MultiBfsDelayProgram>(

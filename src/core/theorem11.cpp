@@ -1,8 +1,10 @@
 #include "core/theorem11.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "congest/primitives.h"
 #include "graph/algorithms.h"
@@ -10,6 +12,8 @@
 #include "paths/reference.h"
 #include "quantum/framework.h"
 #include "quantum/search.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace qc::core {
 
@@ -18,12 +22,17 @@ namespace {
 constexpr std::int64_t kMinusInf = std::numeric_limits<std::int64_t>::min() / 4;
 constexpr std::int64_t kPlusInf = std::numeric_limits<std::int64_t>::max() / 4;
 
-/// f(i) for one set: max (diameter) or min (radius) of the approximate
-/// eccentricities of its members, as a signed scaled value.
-std::int64_t set_value(const paths::Skeleton& sk, bool radius) {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// f(i) for one set from its members' approximate eccentricities: the
+/// max (diameter) or min (radius), as a signed scaled value.
+std::int64_t set_value_from_eccs(const std::vector<Dist>& eccs, bool radius) {
   std::int64_t best = radius ? kPlusInf : kMinusInf;
-  for (std::uint32_t s = 0; s < sk.size(); ++s) {
-    const Dist e = sk.approx_eccentricity(s);
+  for (const Dist e : eccs) {
     if (e >= kInfDist) {
       // Approximation failed to cover some node (the w.h.p. event of
       // Lemma 3.3 not holding for this set); treat as worst value.
@@ -36,19 +45,25 @@ std::int64_t set_value(const paths::Skeleton& sk, bool radius) {
   return best;
 }
 
-/// Index (into sk.members) achieving f(i); requires a finite value.
-std::uint32_t set_arg(const paths::Skeleton& sk, bool radius) {
+/// Index (into the set) achieving f(i). Ties go to the lowest index for
+/// both directions — the same convention the Dürr–Høyer search induces
+/// (its threshold predicate is strict, so an equal value never displaces
+/// an earlier winner). Pinned by the ties regression test.
+std::uint32_t set_arg_from_eccs(const std::vector<Dist>& eccs, bool radius) {
   std::uint32_t arg = 0;
-  Dist best = radius ? kInfDist : 0;
-  for (std::uint32_t s = 0; s < sk.size(); ++s) {
-    const Dist e = sk.approx_eccentricity(s);
-    const bool better = radius ? (e < best) : (e >= best);
-    if (s == 0 || better) {
-      best = e;
-      arg = s;
-    }
+  for (std::uint32_t s = 1; s < eccs.size(); ++s) {
+    const bool better = radius ? (eccs[s] < eccs[arg]) : (eccs[s] > eccs[arg]);
+    if (better) arg = s;
   }
   return arg;
+}
+
+std::vector<Dist> skeleton_eccs(const paths::Skeleton& sk) {
+  std::vector<Dist> eccs(sk.size());
+  for (std::uint32_t s = 0; s < sk.size(); ++s) {
+    eccs[s] = sk.approx_eccentricity(s);
+  }
+  return eccs;
 }
 
 Theorem11Result run(const WeightedGraph& g, bool radius,
@@ -57,9 +72,16 @@ Theorem11Result run(const WeightedGraph& g, bool radius,
   QC_REQUIRE(n >= 2, "Theorem 1.1 needs n >= 2");
   QC_REQUIRE(g.is_connected(), "Theorem 1.1 needs a connected network");
 
+  const auto t_run = Clock::now();
   Rng rng(opt.seed);
   Theorem11Result out;
   out.radius = radius;
+  const bool lazy = opt.oracle_mode == OracleMode::kLazySerial ||
+                    opt.oracle_mode == OracleMode::kLazyPooled;
+  const bool pooled = opt.oracle_mode == OracleMode::kEagerPooled ||
+                      opt.oracle_mode == OracleMode::kLazyPooled;
+  out.oracle.lazy = lazy;
+  out.oracle.pooled = pooled;
 
   // ---- Preamble: the leader estimates the unweighted diameter D by a
   // BFS + depth convergecast (ecc(leader) <= D <= 2·ecc(leader)).
@@ -80,71 +102,142 @@ Theorem11Result run(const WeightedGraph& g, bool radius,
   out.epsilon = out.params.epsilon();
 
   // ---- Sample the n vertex sets (local coins; free in rounds).
+  // Geometric skip sampling (Rng::sample_indices): per-set joint
+  // distribution identical to n independent Bernoulli(p) coins, but the
+  // stream consumes one uniform per *member* plus one per set, so the
+  // sampled sets for a given seed differ from the historical per-node
+  // coin loop. Every oracle mode consumes the stream identically, so
+  // results stay mode- and worker-count-invariant for a fixed seed.
   const double p = static_cast<double>(out.params.r) / n;
   std::vector<std::vector<NodeId>> sets(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (NodeId v = 0; v < n; ++v) {
-      if (rng.chance(p)) sets[i].push_back(v);
-    }
+    sets[i] = rng.sample_indices(n, p);
   }
 
-  // ---- Bookkeeping backend: f(i) for all sets via the shared cache.
-  paths::ToolkitCache cache(g, out.params);
-  std::vector<std::int64_t> f(n);
-  std::vector<paths::Skeleton> skeletons(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (sets[i].empty()) {
-      f[i] = radius ? kPlusInf : kMinusInf;
-      continue;
-    }
-    skeletons[i] = cache.skeleton(sets[i]);
-    f[i] = set_value(skeletons[i], radius);
-
-  }
-
-  // All non-empty sets share ℓ and ε, but σ″ depends on |S_i| and the
-  // overlay weights, so scaled values are only comparable after
-  // normalizing to a common scale. Renormalize every f(i) to the
-  // *maximum* total scale via exact integer rescaling.
+  // ---- Scale-only pass: σ·σ″ depends on |S_i| alone (Params::
+  // total_scale), so the common renormalization scale needs no skeleton.
+  std::vector<std::uint64_t> total_scales(n, 0);
   std::uint64_t max_scale = 1;
+  std::vector<NodeId> member_union;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!sets[i].empty()) {
-      max_scale = std::max(max_scale, skeletons[i].total_scale());
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (sets[i].empty() || f[i] == kMinusInf || f[i] == kPlusInf) continue;
-    const std::uint64_t si = skeletons[i].total_scale();
-    std::uint64_t val;
-    if (max_scale % si == 0) {
-      val = static_cast<std::uint64_t>(f[i]) * (max_scale / si);
-    } else {
-      // f, max_scale, si are all < 2^50; the long double product keeps
-      // the error below one unit, and we round against the search
-      // direction so the sandwich guarantee survives renormalization.
-      const long double exactv = static_cast<long double>(f[i]) *
-                                 static_cast<long double>(max_scale) /
-                                 static_cast<long double>(si);
-      val = static_cast<std::uint64_t>(radius ? std::ceil(exactv)
-                                              : std::floor(exactv));
-    }
-    f[i] = static_cast<std::int64_t>(val);
+    if (sets[i].empty()) continue;
+    ++out.oracle.sets_nonempty;
+    total_scales[i] = out.params.total_scale(sets[i].size());
+    max_scale = std::max(max_scale, total_scales[i]);
+    member_union.insert(member_union.end(), sets[i].begin(), sets[i].end());
   }
   out.total_scale = max_scale;
 
-  // ---- Oracle ground truth (for reporting and the Lemma 3.4 check).
-  out.exact = radius ? weighted_radius(g) : weighted_diameter(g);
-  const auto target = static_cast<std::int64_t>(out.exact * max_scale);
+  // All non-empty sets share ℓ and ε, but σ″ depends on |S_i|, so scaled
+  // values are only comparable after normalizing to the *maximum* total
+  // scale — exact integer rescaling when it divides, else rounded
+  // against the search direction so the sandwich guarantee survives.
+  const auto renorm = [&](std::int64_t raw,
+                          std::uint64_t scale) -> std::int64_t {
+    if (raw == kMinusInf || raw == kPlusInf) return raw;
+    std::uint64_t val;
+    if (max_scale % scale == 0) {
+      val = static_cast<std::uint64_t>(raw) * (max_scale / scale);
+    } else {
+      // raw, max_scale, scale are all < 2^50; the long double product
+      // keeps the error below one unit.
+      const long double exactv = static_cast<long double>(raw) *
+                                 static_cast<long double>(max_scale) /
+                                 static_cast<long double>(scale);
+      val = static_cast<std::uint64_t>(radius ? std::ceil(exactv)
+                                              : std::floor(exactv));
+    }
+    return static_cast<std::int64_t>(val);
+  };
+  out.phase_seconds.sample = seconds_since(t_run);
+
+  // ---- Bookkeeping backend: f(i) through the oracle-mode strategy.
+  const auto t_oracle = Clock::now();
+  paths::ToolkitCache cache(g, out.params);
+  std::optional<runtime::ThreadPool> pool;
+  if (pooled) pool.emplace(opt.oracle_workers);
+
+  // Batched prefetch: every evaluation reads only first-level rows of
+  // its members, and the amplitude-exact search touches every set, so
+  // fill the union's rows once — chunked across the pool when present.
+  cache.ensure_rows(member_union, pool ? &*pool : nullptr);
+
+  std::vector<paths::Skeleton> skeletons;  // eager modes only
+  std::vector<std::int64_t> prefill(n, 0);
+  std::vector<char> prefilled(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (f[i] == kMinusInf || f[i] == kPlusInf) continue;
-    if ((radius && f[i] <= target) || (!radius && f[i] >= target)) {
-      ++out.good_sets;
+    if (sets[i].empty()) {
+      prefill[i] = radius ? kPlusInf : kMinusInf;
+      prefilled[i] = 1;
     }
   }
 
+  std::uint64_t batched_evals = 0;
+  if (!lazy) {
+    // Eager: build every skeleton and read f(i) off it (the historical
+    // behaviour; kept as the bench baseline and as the equivalence
+    // anchor for the lazy modes).
+    skeletons.resize(n);
+    const auto eval_eager = [&](std::size_t i) {
+      if (sets[i].empty()) return;
+      skeletons[i] = cache.skeleton(sets[i]);
+      prefill[i] = renorm(set_value_from_eccs(skeleton_eccs(skeletons[i]),
+                                              radius),
+                          skeletons[i].total_scale());
+      prefilled[i] = 1;
+    };
+    if (pooled) {
+      runtime::parallel_for(*pool, n, eval_eager);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) eval_eager(i);
+    }
+    out.oracle.skeletons_built += out.oracle.sets_nonempty;
+  } else if (opt.oracle_mode == OracleMode::kLazyPooled) {
+    // Batched pooled value pass: the search's amplitude bookkeeping
+    // reads every index anyway, so evaluate all sets up front in
+    // index-ordered slots (one trimmed-evaluation workspace per chunk)
+    // and hand the memoized oracle a full cache. No skeleton is built.
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!sets[i].empty()) work.push_back(i);
+    }
+    if (!work.empty()) {
+      const std::size_t chunk_count = std::min<std::size_t>(
+          work.size(), static_cast<std::size_t>(pool->worker_count()) * 4);
+      runtime::parallel_for(*pool, chunk_count, [&](std::size_t c) {
+        paths::SetEvalWorkspace ws;
+        const std::size_t lo = work.size() * c / chunk_count;
+        const std::size_t hi = work.size() * (c + 1) / chunk_count;
+        for (std::size_t w = lo; w < hi; ++w) {
+          const std::size_t i = work[w];
+          const auto ev = cache.evaluate_set(sets[i], ws);
+          prefill[i] = renorm(set_value_from_eccs(ev.member_ecc, radius),
+                              ev.total_scale);
+          prefilled[i] = 1;
+        }
+      });
+    }
+    batched_evals = work.size();
+  }
+  // kLazySerial: nothing up front — the oracle callback below evaluates
+  // on demand with a single reused workspace.
+
+  paths::SetEvalWorkspace serial_ws;
+  quantum::LazyOracle oracle(n, [&](std::size_t i) -> std::int64_t {
+    if (sets[i].empty()) return radius ? kPlusInf : kMinusInf;
+    const auto ev = cache.evaluate_set(sets[i], serial_ws);
+    return renorm(set_value_from_eccs(ev.member_ecc, radius),
+                  ev.total_scale);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (prefilled[i]) oracle.prefill(i, prefill[i]);
+  }
+  out.phase_seconds.oracle = seconds_since(t_oracle);
+
   // ---- Outer quantum search over i ∈ [1, n].
-  quantum::OptimizationProblem outer;
-  outer.values = f;
+  const auto t_search = Clock::now();
+  quantum::LazyOptimizationProblem outer;
+  outer.oracle = &oracle;
   outer.weights.assign(n, 1.0);
   outer.rho = static_cast<double>(std::max<std::uint64_t>(1, out.params.r)) /
               static_cast<double>(n);
@@ -166,7 +259,7 @@ Theorem11Result run(const WeightedGraph& g, bool radius,
     for (std::size_t i = 0; i < n; ++i) {
       if (!sets[i].empty()) {
         out.chosen_set = i;
-        out.estimate_scaled = static_cast<Dist>(f[i]);
+        out.estimate_scaled = static_cast<Dist>(oracle.value(i));
         break;
       }
     }
@@ -174,8 +267,24 @@ Theorem11Result run(const WeightedGraph& g, bool radius,
              "all sampled sets were empty — n too small for Eq. (1)");
   }
   const auto& chosen = sets[out.chosen_set];
-  const auto& sk = skeletons[out.chosen_set];
   out.chosen_set_size = chosen.size();
+  out.phase_seconds.search = seconds_since(t_search);
+
+  // ---- Materialize the chosen set's skeleton (the only one the lazy
+  // modes ever build) and cross-check it against the oracle's value.
+  const auto t_measure = Clock::now();
+  paths::Skeleton lazy_sk;
+  if (lazy) {
+    lazy_sk = cache.skeleton(chosen);
+    out.oracle.skeletons_built += 1;
+  }
+  const paths::Skeleton& sk = lazy ? lazy_sk : skeletons[out.chosen_set];
+  QC_CHECK(sk.total_scale() == total_scales[out.chosen_set],
+           "scale-only pass disagrees with the built skeleton");
+  const std::vector<Dist> chosen_eccs = skeleton_eccs(sk);
+  QC_CHECK(renorm(set_value_from_eccs(chosen_eccs, radius),
+                  sk.total_scale()) == oracle.value(out.chosen_set),
+           "trimmed oracle evaluation disagrees with the built skeleton");
 
   // ---- Measure the Lemma 3.5 procedures on the chosen set, genuinely
   // distributed.
@@ -189,28 +298,33 @@ Theorem11Result run(const WeightedGraph& g, bool radius,
       it.push(s, id_bits);
       items[s].push_back(std::move(it));
     }
-    const auto flood = congest::flood_items(g, std::move(items));
+    const auto flood = congest::flood_items(
+        g, std::move(items), {}, congest::FloodCollect::kStatsOnly);
 
     const paths::HopScale hs{out.params.ell, out.params.eps_inv,
                              g.max_weight()};
     Rng delays = rng.fork();
-    const auto ms =
-        paths::distributed_multi_source_bhs(g, chosen, hs, delays);
-    const auto emb =
-        paths::distributed_embed_overlay(g, chosen, ms.approx, out.params);
+    const auto ms = paths::distributed_multi_source_bhs(
+        g, paths::RunRequest{}.with_sources(chosen).with_scale(hs).with_rng(
+               delays));
+    const auto emb = paths::distributed_embed_overlay(
+        g, ms.approx,
+        paths::RunRequest{}.with_sources(chosen).with_params(out.params));
     out.measured.t0_rounds =
         flood.stats.rounds + ms.stats.rounds + emb.stats.rounds;
 
     // Setup_i: leader collects S_i and broadcasts the superposition via
     // CNOT copies (O(D + r): model as one aggregate round trip), then
     // Algorithm 5 for the measured source.
-    const std::uint32_t s_idx = set_arg(sk, radius);
+    const std::uint32_t s_idx = set_arg_from_eccs(chosen_eccs, radius);
     out.witness = sk.members[s_idx];
     std::vector<std::uint64_t> zeros(n, 0);
     const auto sync = congest::global_aggregate(
         g, 0, zeros, congest::AggregateOp::kMax, 1);
-    const auto alg5 =
-        paths::distributed_overlay_sssp(g, emb, out.params, s_idx);
+    const auto alg5 = paths::distributed_overlay_sssp(
+        g, emb,
+        paths::RunRequest{}.with_params(out.params).with_overlay_source(
+            s_idx));
     out.measured.t_setup_rounds = sync.stats.rounds + alg5.stats.rounds;
 
     // Evaluation_i: each node locally combines d̃″(s,u) + σ″·d̃^ℓ(u,v)
@@ -238,7 +352,7 @@ Theorem11Result run(const WeightedGraph& g, bool radius,
     if (opt.validate_distributed) {
       // The distributed evaluation of ẽ(s*) must equal the bookkeeping
       // value bit for bit.
-      const Dist ref_e = sk.approx_eccentricity(s_idx);
+      const Dist ref_e = chosen_eccs[s_idx];
       out.distributed_value_matches = (eval.value == ref_e);
       // And Algorithm 3's rows must match the cached reference rows.
       for (std::size_t a = 0;
@@ -262,18 +376,85 @@ Theorem11Result run(const WeightedGraph& g, bool radius,
   out.t1_outer = bfs.stats.rounds;
   out.rounds =
       out.t0_outer + out.outer_calls * (out.t1_outer + out.t2_outer);
-
-  // ---- Report quality.
   out.estimate =
       static_cast<double>(out.estimate_scaled) / static_cast<double>(max_scale);
-  out.ratio = out.estimate / static_cast<double>(out.exact);
-  const double bound =
-      (1.0 + out.epsilon) * (1.0 + out.epsilon) + 1e-12;
-  out.within_bound = out.ratio >= 1.0 - 1e-12 && out.ratio <= bound;
+  out.phase_seconds.measure = seconds_since(t_measure);
+
+  // ---- Ground-truth census (opt-in): exact oracle answer, sandwich
+  // check, and the Lemma 3.4 good-set count. The default run never pays
+  // for the all-pairs oracle; without the census, `exact`, `ratio`,
+  // `within_bound` and `good_sets` keep their zero defaults.
+  if (opt.census) {
+    const auto t_census = Clock::now();
+    out.exact = radius ? weighted_radius(g) : weighted_diameter(g);
+    const auto target = static_cast<std::int64_t>(out.exact * max_scale);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t fi = oracle.value(i);
+      if (fi == kMinusInf || fi == kPlusInf) continue;
+      if ((radius && fi <= target) || (!radius && fi >= target)) {
+        ++out.good_sets;
+      }
+    }
+    out.ratio = out.estimate / static_cast<double>(out.exact);
+    const double bound =
+        (1.0 + out.epsilon) * (1.0 + out.epsilon) + 1e-12;
+    out.within_bound = out.ratio >= 1.0 - 1e-12 && out.ratio <= bound;
+    out.phase_seconds.census = seconds_since(t_census);
+  }
+
+  out.oracle.value_evaluations = oracle.evaluations() + batched_evals;
+  out.oracle.memo_hits = oracle.hits();
+  out.phase_seconds.total = seconds_since(t_run);
+
+  if (opt.metrics != nullptr) {
+    auto& m = *opt.metrics;
+    m.counter("theorem11.runs").add();
+    m.counter("theorem11.skeletons_built").add(out.oracle.skeletons_built);
+    m.counter("theorem11.value_evaluations")
+        .add(out.oracle.value_evaluations);
+    m.counter("theorem11.memo_hits").add(out.oracle.memo_hits);
+    m.counter("theorem11.sets_nonempty").add(out.oracle.sets_nonempty);
+    m.counter("theorem11.outer_calls").add(out.outer_calls);
+    m.gauge("theorem11.phase.sample_seconds").set(out.phase_seconds.sample);
+    m.gauge("theorem11.phase.oracle_seconds").set(out.phase_seconds.oracle);
+    m.gauge("theorem11.phase.search_seconds").set(out.phase_seconds.search);
+    m.gauge("theorem11.phase.measure_seconds")
+        .set(out.phase_seconds.measure);
+    m.gauge("theorem11.phase.census_seconds").set(out.phase_seconds.census);
+    m.gauge("theorem11.phase.total_seconds").set(out.phase_seconds.total);
+  }
   return out;
 }
 
 }  // namespace
+
+bool semantically_equal(const Theorem11Result& a, const Theorem11Result& b) {
+  const auto params_equal = [](const paths::Params& x,
+                               const paths::Params& y) {
+    return x.n == y.n && x.unweighted_diameter == y.unweighted_diameter &&
+           x.eps_inv == y.eps_inv && x.r == y.r && x.ell == y.ell &&
+           x.k == y.k;
+  };
+  const auto measured_equal = [](const MeasuredSetCosts& x,
+                                 const MeasuredSetCosts& y) {
+    return x.t0_rounds == y.t0_rounds &&
+           x.t_setup_rounds == y.t_setup_rounds &&
+           x.t_eval_rounds == y.t_eval_rounds;
+  };
+  return a.radius == b.radius && a.estimate_scaled == b.estimate_scaled &&
+         a.total_scale == b.total_scale && a.estimate == b.estimate &&
+         a.exact == b.exact && a.ratio == b.ratio &&
+         a.within_bound == b.within_bound && a.good_sets == b.good_sets &&
+         a.epsilon == b.epsilon && a.rounds == b.rounds &&
+         a.t0_outer == b.t0_outer && a.t1_outer == b.t1_outer &&
+         a.t2_outer == b.t2_outer && a.outer_calls == b.outer_calls &&
+         a.inner_budget_calls == b.inner_budget_calls &&
+         measured_equal(a.measured, b.measured) &&
+         params_equal(a.params, b.params) && a.d_hat == b.d_hat &&
+         a.chosen_set == b.chosen_set &&
+         a.chosen_set_size == b.chosen_set_size && a.witness == b.witness &&
+         a.distributed_value_matches == b.distributed_value_matches;
+}
 
 Theorem11Result quantum_weighted_diameter(const WeightedGraph& g,
                                           const Theorem11Options& opt) {

@@ -18,6 +18,16 @@
 // the CONGEST costs T₀/T_setup/T_eval are *measured* on real distributed
 // executions for the set the search measures. Charged rounds follow
 // Lemma 3.1 exactly.
+//
+// Oracle evaluation strategy (docs/perf.md, "Theorem 1.1 driver fast
+// path"): f(i) can be served eagerly (all n skeletons built up front,
+// the historical behaviour) or lazily (a memoized value callback backed
+// by the trimmed `ToolkitCache::evaluate_set`, with only the measured
+// set ever materialized as a full `Skeleton`), serially or batched onto
+// the qc_pool work-stealing pool. All four modes produce a semantically
+// identical `Theorem11Result` for the same options (asserted by
+// tests/test_theorem11.cpp) — only the run-report diagnostics in
+// `Theorem11Result::oracle` and `Theorem11Result::phase_seconds` differ.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +37,21 @@
 #include "paths/params.h"
 #include "util/rng.h"
 
+namespace qc::runtime {
+class MetricsRegistry;  // runtime/metrics.h
+}
+
 namespace qc::core {
+
+/// How the outer search obtains f(i) (see the file comment). The
+/// numeric result is identical in every mode; they differ only in what
+/// gets built and where the work runs.
+enum class OracleMode : std::uint8_t {
+  kEagerSerial,  ///< all n skeletons, one thread (historical behaviour)
+  kEagerPooled,  ///< all n skeletons, built on the pool
+  kLazySerial,   ///< memoized on-demand evaluation, one thread
+  kLazyPooled,   ///< batched pooled value pass + memoized oracle (default)
+};
 
 struct Theorem11Options {
   std::uint64_t seed = 1;
@@ -44,6 +68,19 @@ struct Theorem11Options {
   /// choice balances Initialization (∝ n/r per Algorithm 1's ℓ) against
   /// the searches (outer √(n/r), inner √r).
   std::uint64_t r_override = 0;
+  /// Oracle evaluation strategy; never changes the answer.
+  OracleMode oracle_mode = OracleMode::kLazyPooled;
+  /// Worker count for the pooled modes (0 = hardware concurrency).
+  /// Results are byte-identical at any worker count.
+  unsigned oracle_workers = 0;
+  /// Run the all-sets ground-truth census: the exact oracle answer, the
+  /// approximation ratio / sandwich check, and the Lemma 3.4 good-set
+  /// count. Off by default — the default run pays only for the search
+  /// itself; see Theorem11Result for which fields the census populates.
+  bool census = false;
+  /// Optional run-report sink (borrowed). When set, the driver records
+  /// "theorem11.*" counters and per-phase timings into it.
+  runtime::MetricsRegistry* metrics = nullptr;
 };
 
 /// Measured CONGEST costs of the Lemma 3.5 procedures on the chosen set.
@@ -53,16 +90,49 @@ struct MeasuredSetCosts {
   std::uint64_t t_eval_rounds = 0;  ///< Evaluation_i (convergecast)
 };
 
+/// Run-report diagnostics of the oracle backend. Excluded from
+/// `semantically_equal` — these describe *how* the run executed, and
+/// legitimately differ across oracle modes.
+struct OracleStats {
+  bool lazy = false;    ///< an on-demand memoized oracle served the search
+  bool pooled = false;  ///< batch work ran on the qc_pool pool
+  /// Full `paths::Skeleton` constructions (lazy modes build exactly one:
+  /// the measured set; eager modes build one per non-empty sampled set).
+  std::uint64_t skeletons_built = 0;
+  /// Value-callback invocations (lazy modes; cache misses).
+  std::uint64_t value_evaluations = 0;
+  /// Memoized oracle queries served without re-evaluation. The exact
+  /// amplitude simulation touches every index at least once per Grover
+  /// step, so laziness pays through memoization and the trimmed
+  /// per-evaluation cost — not through untouched indices.
+  std::uint64_t memo_hits = 0;
+  std::uint64_t sets_nonempty = 0;
+};
+
+/// Wall-clock seconds per driver phase (reporting only; excluded from
+/// `semantically_equal`).
+struct PhaseSeconds {
+  double sample = 0;   ///< preamble + set sampling + scale-only pass
+  double oracle = 0;   ///< skeleton builds / batched value passes
+  double search = 0;   ///< outer quantum search
+  double measure = 0;  ///< distributed Lemma 3.5 measurement
+  double census = 0;   ///< exact oracle + good-set census (if enabled)
+  double total = 0;
+};
+
 struct Theorem11Result {
   bool radius = false;          ///< which problem this solved
   // --- answer ---
   Dist estimate_scaled = 0;     ///< f(i*) in σ·σ″ fixed-point units
   std::uint64_t total_scale = 1;
   double estimate = 0;          ///< estimate_scaled / total_scale
+  // --- ground-truth census (populated only when opt.census) ---
   Dist exact = 0;               ///< true D_{G,w} or R_{G,w} (oracle)
   double ratio = 0;             ///< estimate / exact
-  double epsilon = 0;           ///< ε = 1/⌈log n⌉ used
   bool within_bound = false;    ///< exact <= estimate <= (1+ε)²·exact
+  std::uint64_t good_sets = 0;  ///< |{i : f(i) at least/at most target}|
+  // --- quality parameters ---
+  double epsilon = 0;           ///< ε = 1/⌈log n⌉ used
   // --- cost ---
   std::uint64_t rounds = 0;       ///< total charged CONGEST rounds
   std::uint64_t t0_outer = 0;     ///< D-estimation preamble (measured)
@@ -77,11 +147,22 @@ struct Theorem11Result {
   std::size_t chosen_set = 0;     ///< the i* the search measured
   std::size_t chosen_set_size = 0;
   /// The node achieving f(i*): an approximate center (radius) or a
-  /// node of near-maximum eccentricity (diameter).
+  /// node of near-maximum eccentricity (diameter). Ties go to the
+  /// lowest member index, matching the search convention (see
+  /// theorem11.cpp's set_arg_from_eccs).
   NodeId witness = 0;
-  std::uint64_t good_sets = 0;    ///< |{i : f(i) at least/at most target}|
   bool distributed_value_matches = true;  ///< validation outcome
+  // --- run-report only (excluded from semantically_equal) ---
+  OracleStats oracle;
+  PhaseSeconds phase_seconds;
 };
+
+/// True when two results agree on every semantically meaningful field —
+/// everything except the run-report diagnostics (`oracle`,
+/// `phase_seconds`), which describe execution rather than the answer.
+/// This is the equality the oracle-mode / worker-count invariance tests
+/// and benches assert.
+bool semantically_equal(const Theorem11Result& a, const Theorem11Result& b);
 
 /// Runs the Theorem 1.1 algorithm for the weighted diameter.
 Theorem11Result quantum_weighted_diameter(const WeightedGraph& g,

@@ -97,7 +97,8 @@ void DijkstraWorkspace::bfs(const CsrGraph& g, NodeId s,
   reset_touched();
 }
 
-void DijkstraWorkspace::dijkstra_buckets(const CsrGraph& g, NodeId s) {
+void DijkstraWorkspace::dijkstra_buckets(const CsrGraph& g, NodeId s,
+                                         Dist cap) {
   const std::size_t nb = static_cast<std::size_t>(g.max_weight()) + 1;
   if (buckets_.size() < nb) buckets_.resize(nb);
   dist_[s] = 0;
@@ -107,6 +108,9 @@ void DijkstraWorkspace::dijkstra_buckets(const CsrGraph& g, NodeId s) {
   // Monotone sweep: when bucket d is processed, every entry in it was
   // inserted for distance exactly d (relaxations only reach d+1..d+W,
   // and W < nb), so the circular window never mixes distances.
+  // Relaxations past `cap` are never enqueued, so the sweep drains on
+  // its own once the cap ball is settled (labels beyond it stay
+  // kInfDist, which honours the > cap contract).
   for (Dist d = 0; pending > 0; ++d) {
     auto& bucket = buckets_[d % nb];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
@@ -114,7 +118,7 @@ void DijkstraWorkspace::dijkstra_buckets(const CsrGraph& g, NodeId s) {
       if (dist_[u] != d) continue;  // superseded by a later improvement
       for (const HalfEdge& h : g.neighbors(u)) {
         const Dist nd = d + h.weight;
-        if (nd < dist_[h.to]) {
+        if (nd < dist_[h.to] && nd <= cap) {
           if (dist_[h.to] == kInfDist) touched_.push_back(h.to);
           dist_[h.to] = nd;
           buckets_[nd % nb].push_back(h.to);
@@ -127,7 +131,8 @@ void DijkstraWorkspace::dijkstra_buckets(const CsrGraph& g, NodeId s) {
   }
 }
 
-void DijkstraWorkspace::dijkstra_heap(const CsrGraph& g, NodeId s) {
+void DijkstraWorkspace::dijkstra_heap(const CsrGraph& g, NodeId s,
+                                      Dist cap) {
   heap_.clear();
   dist_[s] = 0;
   touched_.push_back(s);
@@ -139,7 +144,7 @@ void DijkstraWorkspace::dijkstra_heap(const CsrGraph& g, NodeId s) {
     if (d != dist_[u]) continue;
     for (const HalfEdge& h : g.neighbors(u)) {
       const Dist nd = dist_add(d, h.weight);
-      if (nd < dist_[h.to]) {
+      if (nd < dist_[h.to] && nd <= cap) {
         if (dist_[h.to] == kInfDist) touched_.push_back(h.to);
         dist_[h.to] = nd;
         heap_.emplace_back(nd, h.to);
@@ -150,13 +155,13 @@ void DijkstraWorkspace::dijkstra_heap(const CsrGraph& g, NodeId s) {
 }
 
 void DijkstraWorkspace::dijkstra(const CsrGraph& g, NodeId s,
-                                 std::vector<Dist>& out) {
+                                 std::vector<Dist>& out, Dist cap) {
   QC_REQUIRE(s < g.node_count(), "source out of range");
   prepare(g.node_count());
   if (use_buckets(g)) {
-    dijkstra_buckets(g, s);
+    dijkstra_buckets(g, s, cap);
   } else {
-    dijkstra_heap(g, s);
+    dijkstra_heap(g, s, cap);
   }
   out.assign(dist_.begin(), dist_.end());
   reset_touched();

@@ -46,7 +46,16 @@ class DijkstraWorkspace {
   void bfs(const CsrGraph& g, NodeId s, std::vector<Dist>& out);
 
   /// Weighted single-source distances from s. `out` is resized to n.
-  void dijkstra(const CsrGraph& g, NodeId s, std::vector<Dist>& out);
+  ///
+  /// `cap` bounds the useful distance range: labels <= cap are exact;
+  /// any label > cap (including kInfDist) only certifies that the true
+  /// distance exceeds cap. Relaxations past the cap are pruned, so a
+  /// tight cap settles only the ball it can reach — the Lemma 3.2 scale
+  /// schedule discards everything above its eligibility cap anyway, and
+  /// at fine scales that ball is tiny. The default cap disables pruning
+  /// and yields the classic full-graph labels.
+  void dijkstra(const CsrGraph& g, NodeId s, std::vector<Dist>& out,
+                Dist cap = kInfDist);
 
   /// Lexicographic (weight, hops) Dijkstra from s; see dijkstra_with_hops.
   void dijkstra_with_hops(const CsrGraph& g, NodeId s,
@@ -61,8 +70,8 @@ class DijkstraWorkspace {
   void prepare(NodeId n);
   void reset_touched();
   bool use_buckets(const CsrGraph& g) const;
-  void dijkstra_buckets(const CsrGraph& g, NodeId s);
-  void dijkstra_heap(const CsrGraph& g, NodeId s);
+  void dijkstra_buckets(const CsrGraph& g, NodeId s, Dist cap);
+  void dijkstra_heap(const CsrGraph& g, NodeId s, Dist cap);
   void with_hops_buckets(const CsrGraph& g, NodeId s);
   void with_hops_heap(const CsrGraph& g, NodeId s);
 

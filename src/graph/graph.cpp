@@ -84,6 +84,10 @@ WeightedGraph WeightedGraph::unweighted_copy() const {
 bool WeightedGraph::is_connected() const {
   const NodeId n = node_count();
   if (n <= 1) return true;
+  {
+    std::lock_guard<std::mutex> lock(csr_mutex_);
+    if (connected_cache_) return *connected_cache_;
+  }
   std::vector<bool> seen(n, false);
   std::queue<NodeId> q;
   q.push(0);
@@ -100,7 +104,14 @@ bool WeightedGraph::is_connected() const {
       }
     }
   }
-  return reached == n;
+  const bool connected = reached == n;
+  {
+    std::lock_guard<std::mutex> lock(csr_mutex_);
+    if (!connected_cache_) {
+      connected_cache_ = std::make_shared<const bool>(connected);
+    }
+  }
+  return connected;
 }
 
 void WeightedGraph::validate() const {

@@ -69,12 +69,14 @@ class WeightedGraph {
       : adjacency_(std::move(o.adjacency_)),
         edges_(std::move(o.edges_)),
         csr_cache_(std::move(o.csr_cache_)),
-        slot_index_cache_(std::move(o.slot_index_cache_)) {}
+        slot_index_cache_(std::move(o.slot_index_cache_)),
+        connected_cache_(std::move(o.connected_cache_)) {}
   WeightedGraph& operator=(WeightedGraph&& o) noexcept {
     adjacency_ = std::move(o.adjacency_);
     edges_ = std::move(o.edges_);
     csr_cache_ = std::move(o.csr_cache_);
     slot_index_cache_ = std::move(o.slot_index_cache_);
+    connected_cache_ = std::move(o.connected_cache_);
     return *this;
   }
 
@@ -155,7 +157,9 @@ class WeightedGraph {
   const EdgeSlotIndex& slot_index() const;
 
   /// True when every pair of nodes is connected (n <= 1 counts as
-  /// connected).
+  /// connected). The BFS runs once; the answer is cached with the same
+  /// lifetime/invalidation rules as csr() (the CONGEST primitives call
+  /// this on every aggregate/flood, thousands of times per run).
   bool is_connected() const;
 
   /// Throws InvariantError if internal structures are inconsistent.
@@ -169,6 +173,7 @@ class WeightedGraph {
     std::lock_guard<std::mutex> lock(csr_mutex_);
     csr_cache_.reset();
     slot_index_cache_.reset();
+    connected_cache_.reset();
   }
 
   std::vector<std::vector<HalfEdge>> adjacency_;
@@ -176,6 +181,7 @@ class WeightedGraph {
   mutable std::mutex csr_mutex_;
   mutable std::shared_ptr<const CsrGraph> csr_cache_;
   mutable std::shared_ptr<const EdgeSlotIndex> slot_index_cache_;
+  mutable std::shared_ptr<const bool> connected_cache_;
 };
 
 /// Graphviz DOT rendering (undirected). Weight-1 edges are drawn plain;

@@ -122,8 +122,8 @@ struct BoundedDistanceResult {
 /// req.config.
 BoundedDistanceResult distributed_bounded_distance_sssp(
     const WeightedGraph& g, const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload. Candidate for
-/// [[deprecated]] once in-tree callers migrate.
+/// Legacy signature; forwards to the RunRequest overload.
+[[deprecated("build a RunRequest instead (see the overload above)")]]
 inline BoundedDistanceResult distributed_bounded_distance_sssp(
     const WeightedGraph& g, NodeId source, Dist cap,
     const std::function<std::uint64_t(Weight)>& weight_of,
@@ -145,8 +145,8 @@ struct BoundedHopResult {
 /// Reads req.source, req.scale and req.config.
 BoundedHopResult distributed_bounded_hop_sssp(const WeightedGraph& g,
                                               const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload. Candidate for
-/// [[deprecated]] once in-tree callers migrate.
+/// Legacy signature; forwards to the RunRequest overload.
+[[deprecated("build a RunRequest instead (see the overload above)")]]
 inline BoundedHopResult distributed_bounded_hop_sssp(
     const WeightedGraph& g, NodeId source, const HopScale& scale,
     congest::Config config = {}) {
@@ -169,8 +169,8 @@ struct MultiSourceResult {
 /// Reads req.sources, req.scale, req.rng (required) and req.config.
 MultiSourceResult distributed_multi_source_bhs(const WeightedGraph& g,
                                                const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload. Candidate for
-/// [[deprecated]] once in-tree callers migrate.
+/// Legacy signature; forwards to the RunRequest overload.
+[[deprecated("build a RunRequest instead (see the overload above)")]]
 inline MultiSourceResult distributed_multi_source_bhs(
     const WeightedGraph& g, const std::vector<NodeId>& sources,
     const HopScale& scale, Rng& rng, congest::Config config = {}) {
@@ -205,8 +205,8 @@ struct OverlayEmbedding {
 OverlayEmbedding distributed_embed_overlay(
     const WeightedGraph& g, const std::vector<std::vector<Dist>>& approx_rows,
     const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload. Candidate for
-/// [[deprecated]] once in-tree callers migrate.
+/// Legacy signature; forwards to the RunRequest overload.
+[[deprecated("build a RunRequest instead (see the overload above)")]]
 inline OverlayEmbedding distributed_embed_overlay(
     const WeightedGraph& g, const std::vector<NodeId>& sources,
     const std::vector<std::vector<Dist>>& approx_rows, const Params& params,
@@ -230,8 +230,8 @@ struct OverlaySsspResult {
 OverlaySsspResult distributed_overlay_sssp(const WeightedGraph& g,
                                            const OverlayEmbedding& overlay,
                                            const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload. Candidate for
-/// [[deprecated]] once in-tree callers migrate.
+/// Legacy signature; forwards to the RunRequest overload.
+[[deprecated("build a RunRequest instead (see the overload above)")]]
 inline OverlaySsspResult distributed_overlay_sssp(
     const WeightedGraph& g, const OverlayEmbedding& overlay,
     const Params& params, std::uint32_t source_idx,

@@ -55,6 +55,16 @@ struct Params {
     return std::max<std::uint64_t>(1, ceil_div(4 * set_size, k));
   }
 
+  /// Combined fixed-point scale σ·σ″ of a skeleton built for a set of
+  /// `set_size` members — what `Skeleton::total_scale()` returns — without
+  /// building anything. σ″ = 2·ℓ″·eps_inv depends only on |S| (the
+  /// overlay's max weight influences its *scale count*, never σ″), so the
+  /// Theorem 1.1 driver can renormalize all n oracle values after an O(1)
+  /// pass over set sizes instead of n skeleton constructions.
+  std::uint64_t total_scale(std::uint64_t set_size) const {
+    return sigma() * 2 * overlay_ell(set_size) * eps_inv;
+  }
+
   /// ε as a double — for reporting approximation ratios only; never used
   /// in distance arithmetic.
   double epsilon() const { return 1.0 / static_cast<double>(eps_inv); }

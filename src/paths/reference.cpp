@@ -1,10 +1,12 @@
 #include "paths/reference.h"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 #include <queue>
 
 #include "graph/algorithms.h"
+#include "runtime/thread_pool.h"
 
 namespace qc::paths {
 
@@ -33,7 +35,11 @@ std::vector<std::vector<Dist>> approx_bounded_hop_multi(
     gi.assign_reweighted(
         base, [&](Weight w) { return scale.rounded_weight(w, i); });
     for (std::size_t a = 0; a < sources.size(); ++a) {
-      ws.dijkstra(gi, sources[a], di);
+      // Labels above the eligibility cap are discarded by the filter
+      // below, so the capped run (exact up to `cap`, see algorithms.h)
+      // yields identical rows while settling only the cap ball — at
+      // fine scales that ball is a small fraction of the graph.
+      ws.dijkstra(gi, sources[a], di, cap);
       for (NodeId v = 0; v < n; ++v) {
         if (di[v] <= cap) {
           const Dist shifted = di[v] << i;
@@ -47,6 +53,129 @@ std::vector<std::vector<Dist>> approx_bounded_hop_multi(
   return best;
 }
 
+/// Dense-matrix Dijkstra into caller-owned scratch. Binary heap with
+/// lazy deletion, matching the graph kernels: each settle is O(log n)
+/// instead of an O(n) linear scan (the relaxation pass over the row
+/// stays O(n) — it's a dense matrix). `cap` follows the
+/// DijkstraWorkspace contract: labels <= cap are exact, relaxations
+/// past it are pruned (pruned targets keep kInfDist), so a caller that
+/// discards labels above `cap` sees identical output either way.
+void dijkstra_matrix_into(const std::vector<std::vector<Dist>>& w,
+                          std::uint32_t s, Dist cap, std::vector<Dist>& dist,
+                          std::vector<char>& fixed,
+                          std::vector<std::pair<Dist, std::uint32_t>>& heap) {
+  const std::size_t n = w.size();
+  QC_REQUIRE(s < n, "matrix Dijkstra source out of range");
+  dist.assign(n, kInfDist);
+  fixed.assign(n, 0);
+  heap.clear();
+  const auto cmp = std::greater<>{};
+  dist[s] = 0;
+  heap.emplace_back(0, s);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [du, u] = heap.back();
+    heap.pop_back();
+    if (fixed[u] || du != dist[u]) continue;
+    fixed[u] = 1;
+    const auto& row = w[u];
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u || row[v] >= kInfDist) continue;
+      const Dist nd = dist_add(du, row[v]);
+      if (nd < dist[v] && nd <= cap) {
+        dist[v] = nd;
+        heap.emplace_back(nd, static_cast<std::uint32_t>(v));
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+}
+
+/// Scratch-reusing body of approx_bounded_hop_matrix: Lemma 3.2 on a
+/// dense matrix. Each scale's APSP is one in-place Floyd-Warshall over
+/// the rounded matrix (dense graph: cheaper than per-source Dijkstras),
+/// with the eligibility cap applied when folding. `best` is resized
+/// and overwritten.
+void approx_matrix_into(const std::vector<std::vector<Dist>>& w,
+                        const HopScale& scale,
+                        std::vector<std::vector<Dist>>& wi,
+                        std::vector<std::vector<Dist>>& best) {
+  const std::size_t n = w.size();
+  best.assign(n, std::vector<Dist>(n, kInfDist));
+  const std::uint32_t scales = scale.scale_count();
+  const Dist cap = scale.rounded_cap();
+  wi.assign(n, std::vector<Dist>(n, kInfDist));
+  // Useful-scale band, exact on both ends: a scale whose lightest
+  // rounded edge already exceeds the eligibility cap settles nothing
+  // beyond the diagonal (skip it), and once every pair is finite with
+  // value <= 2^{i+1}, scale j > i only offers dist_j·2^j >= 2^{i+1}
+  // (every rounded weight is >= 1), so no later scale can improve any
+  // entry (stop). Skipped and stopped scales reproduce the full loop's
+  // integers exactly.
+  Dist min_w = kInfDist;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a != b) min_w = std::min(min_w, w[a][b]);
+    }
+  }
+  for (std::uint32_t i = 0; i < scales; ++i) {
+    if (min_w < kInfDist && scale.rounded_weight(min_w, i) > cap) {
+      for (std::size_t a = 0; a < n; ++a) best[a][a] = 0;
+      continue;
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        wi[a][b] = (a != b && w[a][b] < kInfDist)
+                       ? scale.rounded_weight(w[a][b], i)
+                       : a == b ? 0
+                                : kInfDist;
+      }
+    }
+    // In-place Floyd–Warshall APSP on the rounded matrix. For a dense
+    // b×b graph this beats b heap Dijkstras by a large constant, and
+    // the integers cannot differ: shortest distances are unique, and a
+    // pair is folded into `best` iff its distance is <= cap — exactly
+    // the pairs the cap-pruned Dijkstra would have settled (every
+    // prefix of a <= cap path is <= cap). Sums cannot overflow:
+    // every stored label is <= kInfDist = 2^64/4.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::vector<Dist>& wk = wi[k];
+      for (std::size_t a = 0; a < n; ++a) {
+        const Dist dak = wi[a][k];
+        if (dak >= kInfDist) continue;
+        std::vector<Dist>& wa = wi[a];
+        for (std::size_t b = 0; b < n; ++b) {
+          const Dist nd = dak + wk[b];
+          if (nd < wa[b]) wa[b] = nd;
+        }
+      }
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (wi[a][b] <= cap) {
+          const Dist shifted = wi[a][b] << i;
+          QC_CHECK((shifted >> i) == wi[a][b] && shifted < kInfDist,
+                   "scaled distance overflow");
+          best[a][b] = std::min(best[a][b], shifted);
+        }
+      }
+    }
+    bool settled = true;
+    Dist mx = 0;
+    for (std::size_t a = 0; a < n && settled; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        if (best[a][b] >= kInfDist) {
+          settled = false;
+          break;
+        }
+        mx = std::max(mx, best[a][b]);
+      }
+    }
+    if (settled && mx <= (Dist{1} << (i + 1))) break;
+  }
+}
+
 }  // namespace
 
 std::vector<Dist> approx_bounded_hop_from(const WeightedGraph& g, NodeId s,
@@ -56,31 +185,10 @@ std::vector<Dist> approx_bounded_hop_from(const WeightedGraph& g, NodeId s,
 
 std::vector<Dist> dijkstra_matrix(const std::vector<std::vector<Dist>>& w,
                                   std::uint32_t s) {
-  const std::size_t n = w.size();
-  QC_REQUIRE(s < n, "matrix Dijkstra source out of range");
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<bool> fixed(n, false);
-  // Binary heap with lazy deletion, matching the graph kernels: each
-  // settle is O(log n) instead of the previous O(n) linear scan (the
-  // relaxation pass over the row stays O(n) — it's a dense matrix).
-  using Item = std::pair<Dist, std::uint32_t>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  dist[s] = 0;
-  pq.emplace(0, s);
-  while (!pq.empty()) {
-    const auto [du, u] = pq.top();
-    pq.pop();
-    if (fixed[u] || du != dist[u]) continue;
-    fixed[u] = true;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (v == u || w[u][v] >= kInfDist) continue;
-      const Dist nd = dist_add(du, w[u][v]);
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        pq.emplace(nd, static_cast<std::uint32_t>(v));
-      }
-    }
-  }
+  std::vector<Dist> dist;
+  std::vector<char> fixed;
+  std::vector<std::pair<Dist, std::uint32_t>> heap;
+  dijkstra_matrix_into(w, s, kInfDist, dist, fixed, heap);
   return dist;
 }
 
@@ -123,31 +231,9 @@ Dist hop_diameter_matrix(const std::vector<std::vector<Dist>>& w) {
 
 std::vector<std::vector<Dist>> approx_bounded_hop_matrix(
     const std::vector<std::vector<Dist>>& w, const HopScale& scale) {
-  const std::size_t n = w.size();
-  std::vector<std::vector<Dist>> best(n, std::vector<Dist>(n, kInfDist));
-  const std::uint32_t scales = scale.scale_count();
-  const Dist cap = scale.rounded_cap();
-  std::vector<std::vector<Dist>> wi(n, std::vector<Dist>(n, kInfDist));
-  for (std::uint32_t i = 0; i < scales; ++i) {
-    for (std::size_t a = 0; a < n; ++a) {
-      for (std::size_t b = 0; b < n; ++b) {
-        wi[a][b] = (a != b && w[a][b] < kInfDist)
-                       ? scale.rounded_weight(w[a][b], i)
-                       : kInfDist;
-      }
-    }
-    for (std::size_t a = 0; a < n; ++a) {
-      const auto di = dijkstra_matrix(wi, static_cast<std::uint32_t>(a));
-      for (std::size_t b = 0; b < n; ++b) {
-        if (di[b] <= cap) {
-          const Dist shifted = di[b] << i;
-          QC_CHECK((shifted >> i) == di[b] && shifted < kInfDist,
-                   "scaled distance overflow");
-          best[a][b] = std::min(best[a][b], shifted);
-        }
-      }
-    }
-  }
+  std::vector<std::vector<Dist>> best;
+  std::vector<std::vector<Dist>> wi;
+  approx_matrix_into(w, scale, wi, best);
   return best;
 }
 
@@ -297,15 +383,71 @@ ToolkitCache::ToolkitCache(const WeightedGraph& g, const Params& params)
       params_(params),
       base_scale_{params.ell, params.eps_inv, g.max_weight()},
       rows_(g.node_count()),
-      has_row_(g.node_count(), false) {}
+      row_ready_(new std::atomic<std::uint8_t>[g.node_count()]) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    row_ready_[u].store(0, std::memory_order_relaxed);
+  }
+  // Warm the lazily built CSR view now, while we are provably
+  // single-threaded; concurrent row fills then only ever read it.
+  (void)g.csr();
+}
+
+void ToolkitCache::publish_row(NodeId u, std::vector<Dist>&& row) {
+  std::lock_guard<std::mutex> lock(row_mutex_[u % kRowShards]);
+  if (row_ready_[u].load(std::memory_order_relaxed)) return;
+  rows_[u] = std::move(row);
+  row_ready_[u].store(1, std::memory_order_release);
+}
 
 const std::vector<Dist>& ToolkitCache::approx_row(NodeId u) {
   QC_REQUIRE(u < g_->node_count(), "node out of range");
-  if (!has_row_[u]) {
-    rows_[u] = approx_bounded_hop_from(*g_, u, base_scale_);
-    has_row_[u] = true;
+  if (!row_ready_[u].load(std::memory_order_acquire)) {
+    publish_row(u, approx_bounded_hop_from(*g_, u, base_scale_));
   }
   return rows_[u];
+}
+
+void ToolkitCache::ensure_rows(const std::vector<NodeId>& nodes,
+                               runtime::ThreadPool* pool) {
+  std::vector<NodeId> missing;
+  for (const NodeId u : nodes) {
+    QC_REQUIRE(u < g_->node_count(), "node out of range");
+    if (!row_ready_[u].load(std::memory_order_acquire)) missing.push_back(u);
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  if (missing.empty()) return;
+  if (pool == nullptr || pool->worker_count() <= 1 || missing.size() < 2) {
+    auto rows = approx_bounded_hop_multi(*g_, missing, base_scale_);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      publish_row(missing[i], std::move(rows[i]));
+    }
+    return;
+  }
+  // Chunked fan-out: each chunk shares one Dijkstra workspace and one
+  // reweighted scratch CSR (via approx_bounded_hop_multi), and rows land
+  // keyed by node id — the cache contents cannot depend on scheduling.
+  const std::size_t chunk_count = std::min<std::size_t>(
+      missing.size(), static_cast<std::size_t>(pool->worker_count()) * 4);
+  runtime::parallel_for(*pool, chunk_count, [&](std::size_t c) {
+    const std::size_t lo = missing.size() * c / chunk_count;
+    const std::size_t hi = missing.size() * (c + 1) / chunk_count;
+    if (lo == hi) return;
+    const std::vector<NodeId> slice(missing.begin() + lo,
+                                    missing.begin() + hi);
+    auto rows = approx_bounded_hop_multi(*g_, slice, base_scale_);
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      publish_row(slice[i], std::move(rows[i]));
+    }
+  });
+}
+
+std::size_t ToolkitCache::cached_row_count() const {
+  std::size_t count = 0;
+  for (NodeId u = 0; u < g_->node_count(); ++u) {
+    if (row_ready_[u].load(std::memory_order_acquire)) ++count;
+  }
+  return count;
 }
 
 Skeleton ToolkitCache::skeleton(std::vector<NodeId> set) {
@@ -315,6 +457,170 @@ Skeleton ToolkitCache::skeleton(std::vector<NodeId> set) {
   for (const NodeId u : sorted) rows.push_back(approx_row(u));
   return skeleton_from_rows(*g_, params_, std::move(sorted),
                             std::move(rows));
+}
+
+SetEvaluation ToolkitCache::evaluate_set(std::vector<NodeId> set,
+                                         SetEvalWorkspace& ws) {
+  auto sorted = checked_sorted_set(*g_, std::move(set));
+  const std::size_t b = sorted.size();
+  ws.row_ptrs_.clear();
+  ws.row_ptrs_.reserve(b);
+  for (const NodeId u : sorted) ws.row_ptrs_.push_back(&approx_row(u));
+
+  // Overlay weights w′({u,v}) = d̃^ℓ(u,v), symmetrized exactly as
+  // skeleton_from_rows does.
+  ws.w1_.assign(b, std::vector<Dist>(b, kInfDist));
+  for (std::size_t a = 0; a < b; ++a) {
+    for (std::size_t c = 0; c < b; ++c) {
+      if (a != c) ws.w1_[a][c] = (*ws.row_ptrs_[a])[sorted[c]];
+    }
+  }
+  for (std::size_t a = 0; a < b; ++a) {
+    for (std::size_t c = a + 1; c < b; ++c) {
+      const Dist m = std::min(ws.w1_[a][c], ws.w1_[c][a]);
+      ws.w1_[a][c] = ws.w1_[c][a] = m;
+    }
+  }
+
+  // k-star union H (Algorithm 4 / Observation 3.12), as in
+  // skeleton_from_rows.
+  const std::size_t kk = static_cast<std::size_t>(
+      std::min<std::uint64_t>(params_.k, b > 0 ? b - 1 : 0));
+  ws.h_.assign(b, std::vector<Dist>(b, kInfDist));
+  for (std::size_t a = 0; a < b; ++a) {
+    ws.order_.clear();
+    for (std::uint32_t c = 0; c < b; ++c) {
+      if (c != a && ws.w1_[a][c] < kInfDist) ws.order_.push_back(c);
+    }
+    std::sort(ws.order_.begin(), ws.order_.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return std::pair(ws.w1_[a][x], x) <
+                       std::pair(ws.w1_[a][y], y);
+              });
+    if (ws.order_.size() > kk) ws.order_.resize(kk);
+    for (const std::uint32_t c : ws.order_) {
+      ws.h_[a][c] = ws.h_[c][a] = ws.w1_[a][c];
+    }
+  }
+
+  // Shortcut weights w″ from H — identical to skeleton_from_rows except
+  // the nearest_k lists are consumed on the fly instead of stored. The
+  // per-source Dijkstras on H become one in-place Floyd-Warshall APSP
+  // (dense b×b matrix; shortest distances are unique, so the selection
+  // below sees the same integers).
+  ws.w2_ = ws.w1_;
+  ws.wi_ = ws.h_;
+  for (std::size_t a = 0; a < b; ++a) ws.wi_[a][a] = 0;
+  for (std::size_t k2 = 0; k2 < b; ++k2) {
+    const std::vector<Dist>& wk = ws.wi_[k2];
+    for (std::size_t a = 0; a < b; ++a) {
+      const Dist dak = ws.wi_[a][k2];
+      if (dak >= kInfDist) continue;
+      std::vector<Dist>& wa = ws.wi_[a];
+      for (std::size_t c = 0; c < b; ++c) {
+        const Dist nd = dak + wk[c];
+        if (nd < wa[c]) wa[c] = nd;
+      }
+    }
+  }
+  for (std::size_t a = 0; a < b; ++a) {
+    const std::vector<Dist>& da = ws.wi_[a];
+    ws.order_.resize(b);
+    std::iota(ws.order_.begin(), ws.order_.end(), 0);
+    std::sort(ws.order_.begin(), ws.order_.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return std::pair(da[x], x) < std::pair(da[y], y);
+              });
+    std::size_t taken = 0;
+    for (const std::uint32_t c : ws.order_) {
+      if (c == a || da[c] >= kInfDist) continue;
+      if (taken == kk) break;
+      ++taken;
+      ws.w2_[a][c] = std::min(ws.w2_[a][c], da[c]);
+      ws.w2_[c][a] = std::min(ws.w2_[c][a], da[c]);
+    }
+  }
+
+  std::uint64_t max_w2 = 1;
+  for (std::size_t a = 0; a < b; ++a) {
+    for (std::size_t c = 0; c < b; ++c) {
+      if (a != c && ws.w2_[a][c] < kInfDist) {
+        max_w2 = std::max(max_w2, ws.w2_[a][c]);
+      }
+    }
+  }
+  const HopScale overlay_scale{params_.overlay_ell(b), params_.eps_inv,
+                               max_w2};
+  approx_matrix_into(ws.w2_, overlay_scale, ws.wi_, ws.overlay_);
+
+  SetEvaluation out;
+  out.total_scale = base_scale_.sigma() * overlay_scale.sigma();
+  QC_CHECK(out.total_scale == params_.total_scale(b),
+           "scale-only pass disagrees with built overlay scale");
+
+  // Member eccentricities, matching Skeleton::approx_eccentricity
+  // integer-for-integer: ecc(s) = max_v min_u { A(s,u) + B(u,v) } where
+  // A(s,u) = d̃″(s,u) and B(u,v) = σ″·d̃^ℓ(u,v). B is member-independent,
+  // so one b·n pass finds each target's smallest B and its hub; that
+  // candidate seeds the minimum, and the inner scan — hubs in ascending
+  // A order — stops at the first hub with A(s,u) + B₁(v) ≥ best, which
+  // lower-bounds everything later in the order. dist_add is monotone and
+  // saturating, so the pruned scan returns exactly the full scan's
+  // integers (including kInfDist).
+  const std::uint64_t sigma2 = overlay_scale.sigma();
+  const NodeId n = g_->node_count();
+  ws.bmin_arg_.assign(n, 0);
+  ws.bmin1_.assign(n, kInfDist);
+  for (std::uint32_t u = 0; u < b; ++u) {
+    const std::vector<Dist>& row = *ws.row_ptrs_[u];
+    for (NodeId v = 0; v < n; ++v) {
+      const Dist hop = row[v];
+      const Dist bv = hop >= kInfDist ? kInfDist : hop * sigma2;
+      if (bv < ws.bmin1_[v]) {
+        ws.bmin1_[v] = bv;
+        ws.bmin_arg_[v] = u;
+      }
+    }
+  }
+  // Targets in descending-B₁ order: the first targets are the ones that
+  // can set the max, and once even A_max(s) + B₁(v) cannot beat the
+  // running eccentricity no later target can either.
+  ws.tord_.resize(n);
+  std::iota(ws.tord_.begin(), ws.tord_.end(), 0);
+  std::sort(ws.tord_.begin(), ws.tord_.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              return std::pair(ws.bmin1_[y], x) < std::pair(ws.bmin1_[x], y);
+            });
+  out.member_ecc.assign(b, 0);
+  for (std::size_t s = 0; s < b; ++s) {
+    ws.order_.resize(b);
+    std::iota(ws.order_.begin(), ws.order_.end(), 0);
+    std::sort(ws.order_.begin(), ws.order_.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return ws.overlay_[s][x] < ws.overlay_[s][y];
+              });
+    Dist amax = 0;
+    for (std::size_t u = 0; u < b; ++u) {
+      amax = std::max(amax, ws.overlay_[s][u]);
+    }
+    Dist ecc = 0;
+    for (const std::uint32_t v : ws.tord_) {
+      const Dist b1 = ws.bmin1_[v];
+      if (dist_add(amax, b1) <= ecc) break;  // bounds all later targets
+      Dist best = dist_add(ws.overlay_[s][ws.bmin_arg_[v]], b1);
+      if (best <= ecc) continue;  // an upper bound: v cannot raise the max
+      for (const std::uint32_t u : ws.order_) {
+        const Dist hub = ws.overlay_[s][u];
+        if (dist_add(hub, b1) >= best) break;
+        const Dist hop = (*ws.row_ptrs_[u])[v];
+        best = std::min(
+            best, dist_add(hub, hop >= kInfDist ? kInfDist : hop * sigma2));
+      }
+      ecc = std::max(ecc, best);
+    }
+    out.member_ecc[s] = ecc;
+  }
+  return out;
 }
 
 }  // namespace qc::paths

@@ -9,12 +9,20 @@
 // assert bit-exact agreement.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.h"
 #include "paths/params.h"
 #include "util/mathx.h"
+
+namespace qc::runtime {
+class ThreadPool;  // runtime/thread_pool.h
+}
 
 namespace qc::paths {
 
@@ -83,13 +91,55 @@ struct Skeleton {
 Skeleton build_skeleton(const WeightedGraph& g, const Params& params,
                         std::vector<NodeId> set);
 
+/// What the Theorem 1.1 oracle actually consumes from a set: the scale of
+/// its approximate distances and the approximate eccentricity of every
+/// member (kInfDist where Lemma 3.3 fails to certify a finite value).
+/// Produced by `ToolkitCache::evaluate_set` without materializing a
+/// `Skeleton` — see that method for what is skipped.
+struct SetEvaluation {
+  std::uint64_t total_scale = 0;  ///< σ·σ″, == Params::total_scale(|S|)
+  std::vector<Dist> member_ecc;   ///< indexed like the sorted set
+};
+
+/// Reusable scratch for `ToolkitCache::evaluate_set`: overlay matrices,
+/// heap/order buffers, and the per-scale rounded-weight copy all keep
+/// their capacity across calls, so repeated evaluations allocate nothing
+/// after warm-up. Not thread-safe — one workspace per worker.
+class SetEvalWorkspace {
+ public:
+  SetEvalWorkspace() = default;
+
+ private:
+  friend class ToolkitCache;
+  std::vector<std::vector<Dist>> w1_;      // overlay weights w′
+  std::vector<std::vector<Dist>> h_;       // k-star union H
+  std::vector<std::vector<Dist>> w2_;      // shortcut weights w″
+  std::vector<std::vector<Dist>> overlay_; // d̃^{ℓ″} on (G″, w″)
+  std::vector<std::vector<Dist>> wi_;      // Floyd-Warshall scratch matrix
+  std::vector<std::uint32_t> order_;
+  std::vector<const std::vector<Dist>*> row_ptrs_;
+  std::vector<std::uint32_t> bmin_arg_;    // per-target best hub by B
+  std::vector<Dist> bmin1_;                // smallest B(u, v) per target v
+  std::vector<std::uint32_t> tord_;        // targets by descending B₁
+};
+
 /// Shared backend for building many skeletons on the same (G, w, Params):
 /// the first-level rows d̃^ℓ(u, ·) depend only on the member u (ℓ and ε
 /// are global), so they are computed once per distinct member across all
 /// sets. Used by the Theorem 1.1 driver, which needs n skeletons.
+///
+/// Thread-safety: `approx_row`, `ensure_rows`, and `evaluate_set` may be
+/// called concurrently — row publication is guarded by sharded mutexes
+/// with an atomic ready flag per node (double-checked, acquire/release),
+/// and `evaluate_set` only reads published rows plus caller-owned
+/// scratch. `skeleton` is also safe under the same rules but copies its
+/// rows, so prefer `evaluate_set` on hot paths.
 class ToolkitCache {
  public:
   ToolkitCache(const WeightedGraph& g, const Params& params);
+
+  ToolkitCache(const ToolkitCache&) = delete;
+  ToolkitCache& operator=(const ToolkitCache&) = delete;
 
   const WeightedGraph& graph() const { return *g_; }
   const Params& params() const { return params_; }
@@ -98,16 +148,53 @@ class ToolkitCache {
   /// d̃^ℓ(u, ·) in σ units; computed on first use, then cached.
   const std::vector<Dist>& approx_row(NodeId u);
 
+  /// Batch-fills the first-level rows of every node in `nodes` that is
+  /// not cached yet. With a pool, missing rows are chunked across
+  /// workers (one Dijkstra workspace and reweighted CSR per chunk); the
+  /// cached rows are identical either way, so downstream results never
+  /// depend on the worker count. Call this once with the union of
+  /// members before fanning `evaluate_set` out over a pool — it keeps
+  /// the per-row mutex path contention-free.
+  void ensure_rows(const std::vector<NodeId>& nodes,
+                   runtime::ThreadPool* pool = nullptr);
+
   /// Same construction as build_skeleton but reading first-level rows
   /// from the cache.
   Skeleton skeleton(std::vector<NodeId> set);
 
+  /// Trimmed construction for the Theorem 1.1 oracle: computes exactly
+  /// the `SetEvaluation` a value query needs, in exactly the integers
+  /// `skeleton(set)` would produce, but skips everything the oracle
+  /// never reads — the exact overlay metric `overlay_dist1` (kept on
+  /// `Skeleton` only to validate Observation 3.12), the `nearest_k`
+  /// lists, the per-member row copies, and the `Skeleton` itself. The
+  /// eccentricity scan precomputes, per target v, the smallest
+  /// B(u,v) = σ″·d̃^ℓ(u,v) over hubs u (one b·n pass shared by all
+  /// members) and visits targets in descending-B₁ order, so each
+  /// member's max converges within the first few targets: a target whose
+  /// best-B candidate cannot beat the running max is skipped outright,
+  /// and the whole scan stops once even A_max(s) + B₁(v) cannot. When a
+  /// target does need its exact minimum, hubs are scanned in ascending
+  /// d̃″(s,u) order and the scan breaks at d̃″(s,u) + B₁(v) ≥ best. All
+  /// bounds are monotone under the saturating `dist_add`, so the pruned
+  /// integers equal the full scan's exactly.
+  SetEvaluation evaluate_set(std::vector<NodeId> set, SetEvalWorkspace& ws);
+
+  /// Number of cached first-level rows (reporting only).
+  std::size_t cached_row_count() const;
+
  private:
+  static constexpr std::size_t kRowShards = 16;
+
+  void publish_row(NodeId u, std::vector<Dist>&& row);
+
   const WeightedGraph* g_;
   Params params_;
   HopScale base_scale_;
   std::vector<std::vector<Dist>> rows_;   // indexed by node; empty = unset
-  std::vector<bool> has_row_;
+  /// rows_[u] is readable iff row_ready_[u] (acquire) is nonzero.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> row_ready_;
+  mutable std::array<std::mutex, kRowShards> row_mutex_;
 };
 
 }  // namespace qc::paths

@@ -127,33 +127,42 @@ std::uint64_t lemma31_budget(double rho, double delta) {
       std::ceil(c * std::sqrt(std::log(1.0 / delta) / rho)));
 }
 
-MaxFindResult quantum_max_find(const std::vector<std::int64_t>& values,
-                               const std::vector<double>& weights,
-                               std::uint64_t max_oracle_calls, Rng& rng) {
-  QC_REQUIRE(values.size() == weights.size(),
-             "values/weights size mismatch");
+MaxFindResult quantum_max_find(
+    std::size_t domain_size,
+    const std::function<std::int64_t(std::size_t)>& value_of,
+    const std::vector<double>& weights, std::uint64_t max_oracle_calls,
+    Rng& rng) {
+  QC_REQUIRE(domain_size == weights.size(), "values/weights size mismatch");
   const Split s = split_weights(weights, [](std::size_t) { return false; });
 
   MaxFindResult best;
   // Initial threshold: measure the Setup state once (one oracle call).
   best.index = sample_class(s.w, [](std::size_t) { return false; }, false,
                             1.0, rng);
-  best.value = values[best.index];
+  best.value = value_of(best.index);
   best.oracle_calls = 1;
 
   // Dürr–Høyer: repeatedly amplify {x : f(x) > best} until the budget
   // runs out or no better element is found.
   while (best.oracle_calls < max_oracle_calls) {
     const std::int64_t threshold = best.value;
-    auto better = [&](std::size_t x) { return values[x] > threshold; };
+    auto better = [&](std::size_t x) { return value_of(x) > threshold; };
     const SearchOutcome found = bbht_search(
         weights, better, max_oracle_calls - best.oracle_calls, rng);
     best.oracle_calls += found.oracle_calls;
     if (!found.found) break;
     best.index = found.index;
-    best.value = values[found.index];
+    best.value = value_of(found.index);
   }
   return best;
+}
+
+MaxFindResult quantum_max_find(const std::vector<std::int64_t>& values,
+                               const std::vector<double>& weights,
+                               std::uint64_t max_oracle_calls, Rng& rng) {
+  return quantum_max_find(
+      values.size(), [&](std::size_t x) { return values[x]; }, weights,
+      max_oracle_calls, rng);
 }
 
 }  // namespace qc::quantum

@@ -57,6 +57,21 @@ MaxFindResult quantum_max_find(const std::vector<std::int64_t>& values,
                                const std::vector<double>& weights,
                                std::uint64_t max_oracle_calls, Rng& rng);
 
+/// Callback form of quantum_max_find: f is pulled through `value_of`
+/// instead of a precomputed vector. The RNG trajectory — and therefore
+/// every field of the result — is identical to the vector overload on
+/// the same f, so a lazy caller can be validated against an eager one
+/// bit-for-bit. Note the simulation is amplitude-exact: each Grover
+/// step's good mass is a sum over the whole domain, so `value_of` is
+/// still invoked for every index (the win is per-index memoization and
+/// how cheap one evaluation is, not fewer indices touched — see
+/// quantum::LazyOracle).
+MaxFindResult quantum_max_find(
+    std::size_t domain_size,
+    const std::function<std::int64_t(std::size_t)>& value_of,
+    const std::vector<double>& weights, std::uint64_t max_oracle_calls,
+    Rng& rng);
+
 /// The Lemma 3.1 oracle-call budget O(√(log(1/δ)/ρ)), with the constant
 /// we use throughout: ⌈c·√(ln(1/δ)/ρ)⌉, c = 9 (validated empirically by
 /// the framework tests' success-rate assertions).

@@ -1,5 +1,7 @@
 #include "util/rng.h"
 
+#include <cmath>
+
 namespace qc {
 
 namespace {
@@ -70,8 +72,29 @@ bool Rng::chance(double p) {
 
 std::vector<std::uint32_t> Rng::sample_indices(std::uint32_t n, double p) {
   std::vector<std::uint32_t> out;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (chance(p)) out.push_back(i);
+  if (n == 0 || p <= 0.0) return out;
+  if (p >= 1.0) {
+    out.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  // Geometric skip sampling: the gap before the next success of an
+  // i.i.d. Bernoulli(p) scan is Geom(p), sampled by inverse CDF as
+  // floor(ln U / ln(1-p)). The included indices have exactly the same
+  // joint distribution as the per-index coin-flip loop, but the stream
+  // consumes one draw per *selected* index (plus one terminating draw)
+  // instead of one per candidate — O(np) expected work instead of O(n).
+  const double denom = std::log1p(-p);  // ln(1-p) < 0
+  std::uint64_t i = 0;
+  for (;;) {
+    const double u = uniform();
+    if (u <= 0.0) break;  // ln(0) -> infinite skip: no further successes
+    const double skip = std::floor(std::log(u) / denom);
+    if (skip >= static_cast<double>(n)) break;  // off the end
+    i += static_cast<std::uint64_t>(skip);
+    if (i >= n) break;
+    out.push_back(static_cast<std::uint32_t>(i));
+    ++i;
   }
   return out;
 }

@@ -220,6 +220,7 @@ TEST(Theorem11Eps, TighterEpsilonTightensBoundAndCostsMore) {
 
   Theorem11Options loose;
   loose.seed = 11;
+  loose.census = true;
   loose.eps_inv = 2;  // eps = 1/2
   const auto a = quantum_weighted_diameter(g, loose);
 

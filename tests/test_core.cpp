@@ -123,6 +123,7 @@ TEST_P(Theorem11Test, DiameterWithinApproximationBound) {
   const auto g = weighted_test_graph(c.seed, c.n, c.max_w);
   Theorem11Options opt;
   opt.seed = c.seed;
+  opt.census = true;
   const auto res = quantum_weighted_diameter(g, opt);
   EXPECT_TRUE(res.distributed_value_matches);
   EXPECT_GE(res.good_sets, 1u) << "no good set sampled (seed effect)";
@@ -143,6 +144,7 @@ TEST_P(Theorem11Test, RadiusWithinApproximationBound) {
   const auto g = weighted_test_graph(c.seed + 1000, c.n, c.max_w);
   Theorem11Options opt;
   opt.seed = c.seed;
+  opt.census = true;
   const auto res = quantum_weighted_radius(g, opt);
   EXPECT_TRUE(res.distributed_value_matches);
   EXPECT_GE(res.ratio, 1.0 - 1e-9);
@@ -175,6 +177,7 @@ TEST(Theorem11, WorksOnLowDiameterFamilies) {
   g = gen::randomize_weights(g, 9, rng);
   Theorem11Options opt;
   opt.seed = 5;
+  opt.census = true;
   const auto res = quantum_weighted_diameter(g, opt);
   EXPECT_LE(res.d_hat, 2u);
   EXPECT_TRUE(res.within_bound);
@@ -186,6 +189,7 @@ TEST(Theorem11, WorksOnHighDiameterFamilies) {
   g = gen::randomize_weights(g, 5, rng);
   Theorem11Options opt;
   opt.seed = 7;
+  opt.census = true;
   const auto res = quantum_weighted_diameter(g, opt);
   EXPECT_TRUE(res.within_bound);
   EXPECT_TRUE(res.distributed_value_matches);
@@ -210,6 +214,7 @@ TEST(Theorem11, CrossFamilyStress) {
   for (auto& [name, g] : families) {
     Theorem11Options opt;
     opt.seed = 13;
+    opt.census = true;
     const auto res = quantum_weighted_diameter(g, opt);
     EXPECT_TRUE(res.within_bound) << name << ": ratio " << res.ratio;
     EXPECT_TRUE(res.distributed_value_matches) << name;

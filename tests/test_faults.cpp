@@ -579,6 +579,11 @@ TEST(ConfigApi, CopiesRebindAliasesToTheirOwnStorage) {
 // paths::RunRequest
 // ---------------------------------------------------------------------
 
+// These tests deliberately exercise the [[deprecated]] legacy
+// signatures to pin their equivalence with the RunRequest overloads.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST(RunRequestApi, BoundedHopMatchesLegacySignature) {
   Rng rng(5);
   const auto g =
@@ -604,6 +609,8 @@ TEST(RunRequestApi, BoundedDistanceMatchesLegacySignature) {
   EXPECT_EQ(via_request.stats, legacy.stats);
   EXPECT_EQ(via_request.dist, legacy.dist);
 }
+
+#pragma GCC diagnostic pop
 
 TEST(RunRequestApi, MissingRequiredFieldsFailLoudly) {
   const auto g = gen::path(4);

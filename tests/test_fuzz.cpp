@@ -94,7 +94,8 @@ TEST_P(FuzzSweep, ToolkitAgreesUnderRandomParameters) {
                            static_cast<std::uint32_t>(1 + rng.below(6)),
                            g.max_weight()};
   const auto s = static_cast<NodeId>(rng.below(g.node_count()));
-  const auto dist_run = paths::distributed_bounded_hop_sssp(g, s, hs);
+  const auto dist_run = paths::distributed_bounded_hop_sssp(
+      g, paths::RunRequest{}.with_source(s).with_scale(hs));
   EXPECT_EQ(dist_run.approx, paths::approx_bounded_hop_from(g, s, hs));
 }
 

@@ -38,6 +38,7 @@ TEST(Goldens, Theorem11DiameterEndToEnd) {
   const auto g = golden_graph();
   core::Theorem11Options opt;
   opt.seed = 99;
+  opt.census = true;
   const auto res = core::quantum_weighted_diameter(g, opt);
   EXPECT_EQ(res.exact, 25u);
   EXPECT_TRUE(res.within_bound);

@@ -79,7 +79,8 @@ TEST(LemmaRounds, A1BoundedHopSsspRounds) {
   auto g = gen::erdos_renyi_connected(20, 0.15, rng);
   g = gen::randomize_weights(g, 8, rng);
   const paths::HopScale hs{10, 4, g.max_weight()};
-  const auto res = paths::distributed_bounded_hop_sssp(g, 0, hs);
+  const auto res = paths::distributed_bounded_hop_sssp(
+      g, paths::RunRequest{}.with_source(0).with_scale(hs));
   EXPECT_EQ(res.stats.rounds,
             std::uint64_t{hs.scale_count()} * (hs.rounded_cap() + 2));
   // And each node broadcasts at most once per scale: message count is
@@ -97,8 +98,10 @@ TEST(LemmaRounds, A2MultiSourceRounds) {
   const paths::HopScale hs{8, 3, g.max_weight()};
   const std::vector<NodeId> sources{1, 5, 9, 13, 17};
   Rng delays(3);
-  const auto res = paths::distributed_multi_source_bhs(g, sources, hs,
-                                                       delays);
+  const auto res = paths::distributed_multi_source_bhs(
+      g,
+      paths::RunRequest{}.with_sources(sources).with_scale(hs).with_rng(
+          delays));
   const std::uint64_t slots = clog2(24);
   const std::uint64_t t_logical =
       std::uint64_t{hs.scale_count()} * (hs.rounded_cap() + 2);
@@ -119,10 +122,13 @@ TEST(LemmaRounds, A3OverlayEmbeddingRounds) {
   const std::vector<NodeId> sources{0, 4, 8, 12, 16, 20};
   const paths::HopScale hs{params.ell, params.eps_inv, g.max_weight()};
   Rng delays(5);
-  const auto ms = paths::distributed_multi_source_bhs(g, sources, hs,
-                                                      delays);
-  const auto emb = paths::distributed_embed_overlay(g, sources, ms.approx,
-                                                    params);
+  const auto ms = paths::distributed_multi_source_bhs(
+      g,
+      paths::RunRequest{}.with_sources(sources).with_scale(hs).with_rng(
+          delays));
+  const auto emb = paths::distributed_embed_overlay(
+      g, ms.approx,
+      paths::RunRequest{}.with_sources(sources).with_params(params));
   const Dist d = unweighted_diameter(g);
   const std::uint64_t items = sources.size() * params.k;
   EXPECT_LE(emb.stats.rounds, 6 * d + items + 30);
@@ -139,11 +145,16 @@ TEST(LemmaRounds, A4OverlaySsspRounds) {
   const std::vector<NodeId> sources{2, 7, 11, 15};
   const paths::HopScale hs{params.ell, params.eps_inv, g.max_weight()};
   Rng delays(7);
-  const auto ms = paths::distributed_multi_source_bhs(g, sources, hs,
-                                                      delays);
-  const auto emb = paths::distributed_embed_overlay(g, sources, ms.approx,
-                                                    params);
-  const auto res = paths::distributed_overlay_sssp(g, emb, params, 0);
+  const auto ms = paths::distributed_multi_source_bhs(
+      g,
+      paths::RunRequest{}.with_sources(sources).with_scale(hs).with_rng(
+          delays));
+  const auto emb = paths::distributed_embed_overlay(
+      g, ms.approx,
+      paths::RunRequest{}.with_sources(sources).with_params(params));
+  const auto res = paths::distributed_overlay_sssp(
+      g, emb,
+      paths::RunRequest{}.with_params(params).with_overlay_source(0));
   const paths::HopScale ohs{params.overlay_ell(sources.size()),
                             params.eps_inv, emb.max_w2};
   const std::uint64_t overlay_rounds =

@@ -110,7 +110,8 @@ TEST_P(Alg2Test, MatchesCappedDijkstra) {
   const auto g = test_graph(GetParam(), 18, 9);
   const Dist cap = 30;
   const auto res = distributed_bounded_distance_sssp(
-      g, 2, cap, [](Weight w) { return w; });
+      g, RunRequest{}.with_source(2).with_cap(cap).with_weight_of(
+             [](Weight w) { return w; }));
   const auto exact = dijkstra(g, 2);
   for (NodeId v = 0; v < g.node_count(); ++v) {
     EXPECT_EQ(res.dist[v], exact[v] <= cap ? exact[v] : kInfDist)
@@ -124,8 +125,9 @@ TEST_P(Alg2Test, MatchesCappedDijkstraUnderRounding) {
   const HopScale hs{5, 2, g.max_weight()};
   for (std::uint32_t i = 0; i < hs.scale_count(); i += 2) {
     const auto wf = [&](Weight w) { return hs.rounded_weight(w, i); };
-    const auto res =
-        distributed_bounded_distance_sssp(g, 0, hs.rounded_cap(), wf);
+    const auto res = distributed_bounded_distance_sssp(
+        g, RunRequest{}.with_source(0).with_cap(hs.rounded_cap())
+               .with_weight_of(wf));
     const auto exact = dijkstra(g.reweighted(wf), 0);
     for (NodeId v = 0; v < g.node_count(); ++v) {
       EXPECT_EQ(res.dist[v],
@@ -146,7 +148,8 @@ TEST_P(Alg1Test, MatchesReferenceBitExact) {
   const auto g = test_graph(GetParam() + 40, 16, 8);
   const HopScale hs{6, 3, g.max_weight()};
   for (NodeId s : {NodeId{0}, NodeId{7}}) {
-    const auto res = distributed_bounded_hop_sssp(g, s, hs);
+    const auto res = distributed_bounded_hop_sssp(
+        g, RunRequest{}.with_source(s).with_scale(hs));
     const auto ref = approx_bounded_hop_from(g, s, hs);
     EXPECT_EQ(res.approx, ref) << "source " << s;
     EXPECT_EQ(res.stats.rounds,
@@ -168,7 +171,8 @@ TEST_P(Alg3Test, MatchesReferenceForAllSources) {
   const HopScale hs{5, 3, g.max_weight()};
   const std::vector<NodeId> sources{1, 4, 9, 13};
   Rng rng(GetParam());
-  const auto res = distributed_multi_source_bhs(g, sources, hs, rng);
+  const auto res = distributed_multi_source_bhs(
+      g, RunRequest{}.with_sources(sources).with_scale(hs).with_rng(rng));
   for (std::size_t a = 0; a < sources.size(); ++a) {
     const auto ref = approx_bounded_hop_from(g, sources[a], hs);
     EXPECT_EQ(res.approx[a], ref) << "source index " << a;
@@ -201,8 +205,10 @@ struct SkeletonFixture {
     ref = build_skeleton(g, params, set);
     const HopScale hs{params.ell, params.eps_inv, g.max_weight()};
     Rng delays(seed * 17 + 3);
-    ms = distributed_multi_source_bhs(g, set, hs, delays);
-    emb = distributed_embed_overlay(g, set, ms.approx, params);
+    ms = distributed_multi_source_bhs(
+        g, RunRequest{}.with_sources(set).with_scale(hs).with_rng(delays));
+    emb = distributed_embed_overlay(
+        g, ms.approx, RunRequest{}.with_sources(set).with_params(params));
   }
 };
 
@@ -219,7 +225,9 @@ TEST_P(SkeletonTest, EmbeddingMatchesReference) {
 TEST_P(SkeletonTest, OverlaySsspMatchesReference) {
   SkeletonFixture fx(GetParam());
   for (std::uint32_t s = 0; s < fx.set.size(); ++s) {
-    const auto res = distributed_overlay_sssp(fx.g, fx.emb, fx.params, s);
+    const auto res = distributed_overlay_sssp(
+        fx.g, fx.emb,
+        RunRequest{}.with_params(fx.params).with_overlay_source(s));
     EXPECT_EQ(res.approx, fx.ref.overlay_approx[s]) << "source idx " << s;
   }
 }

@@ -1,0 +1,284 @@
+// Tests for the Theorem 1.1 driver's oracle fast path (docs/perf.md):
+// oracle-mode and worker-count invariance of the result, the census
+// flag, the lazy memoized oracle, the trimmed set evaluation, and the
+// first-index tie-breaking convention of the witness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/theorem11.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "paths/params.h"
+#include "paths/reference.h"
+#include "quantum/framework.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace qc::core {
+namespace {
+
+WeightedGraph weighted_test_graph(std::uint64_t seed, NodeId n,
+                                  Weight max_w) {
+  Rng rng(seed);
+  auto g = gen::erdos_renyi_connected(n, 0.12, rng);
+  return gen::randomize_weights(g, max_w, rng);
+}
+
+// ---------------------------------------------------------------------
+// Oracle-mode invariance
+// ---------------------------------------------------------------------
+
+struct ModeCase {
+  std::uint64_t seed;
+  NodeId n;
+  bool radius;
+};
+
+class OracleModeTest : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(OracleModeTest, AllModesAgreeWithEagerSerial) {
+  const auto c = GetParam();
+  const auto g = weighted_test_graph(c.seed, c.n, 7);
+  Theorem11Options opt;
+  opt.seed = c.seed + 17;
+  opt.census = true;  // include the census fields in the comparison
+
+  const auto run = [&](OracleMode m) {
+    Theorem11Options o = opt;
+    o.oracle_mode = m;
+    return c.radius ? quantum_weighted_radius(g, o)
+                    : quantum_weighted_diameter(g, o);
+  };
+
+  const auto eager = run(OracleMode::kEagerSerial);
+  EXPECT_FALSE(eager.oracle.lazy);
+  EXPECT_EQ(eager.oracle.skeletons_built, eager.oracle.sets_nonempty);
+
+  for (const OracleMode m : {OracleMode::kEagerPooled,
+                             OracleMode::kLazySerial,
+                             OracleMode::kLazyPooled}) {
+    const auto res = run(m);
+    EXPECT_TRUE(semantically_equal(eager, res))
+        << "mode " << static_cast<int>(m) << " diverged";
+    if (m == OracleMode::kLazySerial || m == OracleMode::kLazyPooled) {
+      // Lazy modes materialize exactly one full skeleton: the set the
+      // driver measures.
+      EXPECT_TRUE(res.oracle.lazy);
+      EXPECT_EQ(res.oracle.skeletons_built, 1u);
+      EXPECT_GT(res.oracle.value_evaluations, 0u);
+    }
+    EXPECT_EQ(res.oracle.sets_nonempty, eager.oracle.sets_nonempty);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, OracleModeTest,
+                         ::testing::Values(ModeCase{1, 26, false},
+                                           ModeCase{2, 32, false},
+                                           ModeCase{3, 26, true},
+                                           ModeCase{4, 32, true}));
+
+TEST(OracleMode, WorkerCountNeverChangesTheResult) {
+  const auto g = weighted_test_graph(11, 30, 6);
+  for (const bool radius : {false, true}) {
+    for (const OracleMode m :
+         {OracleMode::kEagerPooled, OracleMode::kLazyPooled}) {
+      Theorem11Options opt;
+      opt.seed = 23;
+      opt.census = true;
+      opt.oracle_mode = m;
+      opt.oracle_workers = 1;
+      const auto one = radius ? quantum_weighted_radius(g, opt)
+                              : quantum_weighted_diameter(g, opt);
+      for (const unsigned w : {2u, 8u}) {
+        opt.oracle_workers = w;
+        const auto many = radius ? quantum_weighted_radius(g, opt)
+                                 : quantum_weighted_diameter(g, opt);
+        EXPECT_TRUE(semantically_equal(one, many))
+            << "workers " << w << (radius ? " (radius)" : " (diameter)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Census flag
+// ---------------------------------------------------------------------
+
+TEST(Census, OffLeavesOnlyReportingFieldsEmpty) {
+  const auto g = weighted_test_graph(7, 28, 8);
+  Theorem11Options opt;
+  opt.seed = 9;
+  opt.census = true;
+  const auto on = quantum_weighted_diameter(g, opt);
+  opt.census = false;
+  const auto off = quantum_weighted_diameter(g, opt);
+
+  // The census populates exactly its four reporting fields...
+  EXPECT_GT(on.exact, 0u);
+  EXPECT_GT(on.ratio, 0.0);
+  EXPECT_TRUE(on.within_bound);
+  EXPECT_GE(on.good_sets, 1u);
+  EXPECT_EQ(off.exact, 0u);
+  EXPECT_EQ(off.ratio, 0.0);
+  EXPECT_FALSE(off.within_bound);
+  EXPECT_EQ(off.good_sets, 0u);
+
+  // ...and nothing else: answer, costs, and diagnostics are untouched.
+  EXPECT_EQ(on.estimate_scaled, off.estimate_scaled);
+  EXPECT_EQ(on.total_scale, off.total_scale);
+  EXPECT_EQ(on.estimate, off.estimate);
+  EXPECT_EQ(on.epsilon, off.epsilon);
+  EXPECT_EQ(on.rounds, off.rounds);
+  EXPECT_EQ(on.t0_outer, off.t0_outer);
+  EXPECT_EQ(on.t1_outer, off.t1_outer);
+  EXPECT_EQ(on.t2_outer, off.t2_outer);
+  EXPECT_EQ(on.outer_calls, off.outer_calls);
+  EXPECT_EQ(on.inner_budget_calls, off.inner_budget_calls);
+  EXPECT_EQ(on.measured.t0_rounds, off.measured.t0_rounds);
+  EXPECT_EQ(on.measured.t_setup_rounds, off.measured.t_setup_rounds);
+  EXPECT_EQ(on.measured.t_eval_rounds, off.measured.t_eval_rounds);
+  EXPECT_EQ(on.d_hat, off.d_hat);
+  EXPECT_EQ(on.chosen_set, off.chosen_set);
+  EXPECT_EQ(on.chosen_set_size, off.chosen_set_size);
+  EXPECT_EQ(on.witness, off.witness);
+  EXPECT_EQ(on.distributed_value_matches, off.distributed_value_matches);
+}
+
+// ---------------------------------------------------------------------
+// Witness tie-breaking
+// ---------------------------------------------------------------------
+
+// On a uniform-weight complete graph every node has the same (exact and
+// approximate) eccentricity, so every member of the chosen set ties.
+// The documented convention (theorem11.h) is that ties go to the lowest
+// member index — replaying the driver's sampling stream recovers the
+// chosen set's members and pins the witness to its first one.
+TEST(Ties, WitnessIsLowestMemberOnUniformCompleteGraph) {
+  const NodeId n = 24;
+  const auto g = gen::complete(n);
+  for (const bool radius : {false, true}) {
+    Theorem11Options opt;
+    opt.seed = 31;
+    opt.census = true;
+    const auto res = radius ? quantum_weighted_radius(g, opt)
+                            : quantum_weighted_diameter(g, opt);
+    // Replay the sampling: same d_hat -> same params -> same p, and the
+    // driver draws the n sets first on a fresh Rng(seed).
+    const auto params = paths::Params::make(n, res.d_hat, opt.eps_inv);
+    ASSERT_EQ(params.r, res.params.r);
+    Rng rng(opt.seed);
+    const double p = static_cast<double>(params.r) / n;
+    std::vector<std::vector<NodeId>> sets(n);
+    for (std::size_t i = 0; i < n; ++i) sets[i] = rng.sample_indices(n, p);
+    const auto& chosen = sets[res.chosen_set];
+    ASSERT_EQ(chosen.size(), res.chosen_set_size);
+    ASSERT_FALSE(chosen.empty());
+    EXPECT_EQ(res.witness, chosen.front())
+        << (radius ? "radius" : "diameter")
+        << ": all members tie, so the witness must be the first";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Trimmed set evaluation vs full skeleton construction
+// ---------------------------------------------------------------------
+
+TEST(EvaluateSet, MatchesBuildSkeletonExactly) {
+  const auto g = weighted_test_graph(13, 30, 9);
+  const auto params =
+      paths::Params::make(g.node_count(), unweighted_diameter(g));
+  paths::ToolkitCache cache(g, params);
+  paths::SetEvalWorkspace ws;
+  Rng rng(41);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto set = rng.sample_indices(g.node_count(), 0.2);
+    if (set.empty()) continue;
+    const auto sk = paths::build_skeleton(
+        g, params, std::vector<NodeId>(set.begin(), set.end()));
+    const auto ev =
+        cache.evaluate_set(std::vector<NodeId>(set.begin(), set.end()), ws);
+    EXPECT_EQ(ev.total_scale, sk.total_scale());
+    EXPECT_EQ(ev.total_scale, params.total_scale(set.size()));
+    ASSERT_EQ(ev.member_ecc.size(), sk.size());
+    for (std::uint32_t a = 0; a < sk.size(); ++a) {
+      EXPECT_EQ(ev.member_ecc[a], sk.approx_eccentricity(a))
+          << "trial " << trial << " member " << a;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// LazyOracle
+// ---------------------------------------------------------------------
+
+TEST(LazyOracle, MemoizesAndCountsEvaluations) {
+  std::uint64_t calls = 0;
+  quantum::LazyOracle o(5, [&](std::size_t x) {
+    ++calls;
+    return static_cast<std::int64_t>(10 * x);
+  });
+  EXPECT_EQ(o.size(), 5u);
+  EXPECT_FALSE(o.known(3));
+  EXPECT_EQ(o.value(3), 30);
+  EXPECT_TRUE(o.known(3));
+  EXPECT_EQ(o.value(3), 30);  // served from the memo
+  EXPECT_EQ(o.value(0), 0);
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(o.evaluations(), 2u);
+  EXPECT_EQ(o.hits(), 1u);
+}
+
+TEST(LazyOracle, PrefillSkipsTheCallbackAndMustAgree) {
+  std::uint64_t calls = 0;
+  quantum::LazyOracle o(3, [&](std::size_t x) {
+    ++calls;
+    return static_cast<std::int64_t>(x) + 100;
+  });
+  o.prefill(1, 101);
+  EXPECT_TRUE(o.known(1));
+  EXPECT_EQ(o.value(1), 101);
+  EXPECT_EQ(calls, 0u);           // never invoked
+  EXPECT_EQ(o.evaluations(), 0u); // prefill does not count
+  o.prefill(1, 101);              // idempotent re-install is fine
+  EXPECT_THROW(o.prefill(1, 999), InvariantError);
+  EXPECT_THROW(o.value(3), ArgumentError);  // out of range
+}
+
+// ---------------------------------------------------------------------
+// Geometric skip sampling (Rng::sample_indices)
+// ---------------------------------------------------------------------
+
+TEST(SampleIndices, SortedUniqueAndEdgeCases) {
+  Rng rng(5);
+  EXPECT_TRUE(rng.sample_indices(0, 0.5).empty());
+  EXPECT_TRUE(rng.sample_indices(100, 0.0).empty());
+  const auto all = rng.sample_indices(50, 1.0);
+  ASSERT_EQ(all.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(all[i], i);
+  for (int t = 0; t < 20; ++t) {
+    const auto s = rng.sample_indices(200, 0.3);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    for (const auto v : s) EXPECT_LT(v, 200u);
+  }
+}
+
+TEST(SampleIndices, MeanTracksNP) {
+  Rng rng(8);
+  const std::uint32_t n = 400;
+  const double p = 0.15;
+  double total = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(rng.sample_indices(n, p).size());
+  }
+  const double mean = total / trials;
+  // E = np = 60, sd of the mean = sqrt(np(1-p)/trials) ~ 0.5; 5 sigma.
+  EXPECT_NEAR(mean, n * p, 2.5);
+}
+
+}  // namespace
+}  // namespace qc::core

@@ -90,6 +90,7 @@ int cmd_diameter(const Args& a) {
   core::Theorem11Options opt;
   opt.seed = a.num("seed", 1);
   opt.eps_inv = static_cast<std::uint32_t>(a.num("eps-inv", 0));
+  opt.census = true;
   const auto res = radius ? core::quantum_weighted_radius(g, opt)
                           : core::quantum_weighted_diameter(g, opt);
   std::printf("network: %s, D = %llu\n", g.summary().c_str(),
@@ -237,6 +238,7 @@ runtime::SweepFn make_sweep_fn(const std::string& algo,
       core::Theorem11Options opt;
       opt.seed = p.seed;
       opt.eps_inv = p.eps_inv;
+      opt.census = true;
       const auto res = radius ? core::quantum_weighted_radius(g, opt)
                               : core::quantum_weighted_diameter(g, opt);
       TaskOutput out;

@@ -10,7 +10,7 @@
 #                                      # concurrency-bearing suites
 #                                      # (test_graph, test_runtime,
 #                                      # test_congest, test_paths,
-#                                      # test_faults)
+#                                      # test_faults, test_theorem11)
 #   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
 #                                           # address | undefined | thread
 #
@@ -43,7 +43,8 @@ if [ "$TSAN_ONLY" -eq 1 ]; then
   BUILD_DIR=build-thread
   cmake -B "$BUILD_DIR" -S . -DQC_SANITIZE=thread
   cmake --build "$BUILD_DIR" -j --target \
-    test_graph test_runtime test_congest test_paths test_faults
+    test_graph test_runtime test_congest test_paths test_faults \
+    test_theorem11
   # Run the binaries directly: gtest_discover_tests registers per-test
   # ctest entries at build time, so a target-filtered build may not have
   # a complete ctest manifest.
@@ -52,6 +53,9 @@ if [ "$TSAN_ONLY" -eq 1 ]; then
   "$BUILD_DIR/tests/test_congest"
   "$BUILD_DIR/tests/test_paths"
   "$BUILD_DIR/tests/test_faults"
+  # The Theorem 1.1 driver suite exercises the pool-parallel oracle
+  # (ensure_rows fan-out + concurrent evaluate_set) at workers > 1.
+  "$BUILD_DIR/tests/test_theorem11"
   exit 0
 fi
 
