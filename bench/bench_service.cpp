@@ -1,0 +1,333 @@
+// Warm-vs-cold benchmark of the resident query service (src/service).
+//
+// The QueryEngine's reason to exist is amortization: resident CSR,
+// eccentricity tables, and toolkit rows answer repeated queries at
+// lookup cost, where the batch drivers re-paid construction per
+// invocation. This bench pins that claim:
+//
+//  * correctness gates first — the concurrent engine must return
+//    byte-identical results to a serial single-worker replay at 1/2/8
+//    workers with 4 concurrent clients, at batch size 1 vs max, and
+//    from per-query cold engines (the ISSUE's determinism acceptance
+//    criteria, also pinned by tests/test_service.cpp);
+//  * then timing — closed-loop clients (1, 4, 16) against one warm
+//    resident engine vs per-query cold construction (fresh engine +
+//    graph copy per query, the old drivers' shape), reporting
+//    throughput and p50/p95 latency per configuration;
+//  * writes BENCH_service.json; in full mode exits nonzero unless the
+//    1-client warm/cold throughput ratio clears 2x (the acceptance
+//    floor — measured ratios are far higher).
+//
+// Usage: bench_service [--smoke] [--n N] [--queries Q] [--out FILE]
+//   --smoke   tiny instance for ctest (correctness + JSON, no timing
+//             claims)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "runtime/sweep.h"
+#include "service/query_engine.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qc;
+using service::EngineOptions;
+using service::Query;
+using service::QueryEngine;
+using service::QueryResult;
+
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic mixed workload over every built-in plus the unweighted
+/// extension — a pure function of (count, n), so every engine shape
+/// replays the identical stream.
+std::vector<Query> make_queries(std::size_t count, NodeId n) {
+  static const char* kTypes[] = {"diameter",
+                                 "radius",
+                                 "eccentricity",
+                                 "sssp",
+                                 "approx_distance",
+                                 "unweighted_diameter"};
+  std::vector<Query> qs;
+  qs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    q.id = i + 1;
+    q.type = kTypes[i % (sizeof(kTypes) / sizeof(kTypes[0]))];
+    q.node = static_cast<NodeId>((i * 13) % n);
+    q.target = static_cast<NodeId>((i * 7 + 1) % n);
+    qs.push_back(q);
+  }
+  return qs;
+}
+
+std::unique_ptr<QueryEngine> make_engine(const WeightedGraph& g,
+                                         unsigned workers,
+                                         bool auto_dispatch) {
+  EngineOptions opt;
+  opt.workers = workers;
+  opt.auto_dispatch = auto_dispatch;
+  auto engine = std::make_unique<QueryEngine>(opt);
+  service::register_unweighted_handlers(*engine);
+  engine->add_graph("g0", g);
+  return engine;
+}
+
+std::map<std::uint64_t, QueryResult> reference_results(
+    const WeightedGraph& g, const std::vector<Query>& qs) {
+  const auto engine = make_engine(g, 1, /*auto_dispatch=*/false);
+  std::map<std::uint64_t, QueryResult> out;
+  for (const Query& q : qs) out[q.id] = engine->query(q);
+  return out;
+}
+
+/// One cold answer, the old drivers' shape: fresh engine, fresh graph
+/// copy (cold CSR/tables), one query, teardown.
+QueryResult cold_query(const WeightedGraph& g, const Query& q,
+                       unsigned workers) {
+  const auto engine = make_engine(g, workers, /*auto_dispatch=*/false);
+  return engine->query(q);
+}
+
+bool check_worker_and_client_invariance(
+    const WeightedGraph& g, const std::vector<Query>& qs,
+    const std::map<std::uint64_t, QueryResult>& ref) {
+  bool ok = true;
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    const auto engine = make_engine(g, workers, /*auto_dispatch=*/true);
+    constexpr std::size_t kClients = 4;
+    std::vector<std::vector<std::pair<std::uint64_t, QueryResult>>> got(
+        kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = c; i < qs.size(); i += kClients) {
+          got[c].emplace_back(qs[i].id, engine->submit(qs[i]).get());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (const auto& per_client : got) {
+      for (const auto& [id, r] : per_client) ok &= r == ref.at(id);
+    }
+  }
+  return ok;
+}
+
+bool check_batch_invariance(const WeightedGraph& g,
+                            const std::vector<Query>& qs,
+                            const std::map<std::uint64_t, QueryResult>& ref) {
+  bool ok = true;
+  for (const std::size_t max_batch : {std::size_t{1}, qs.size()}) {
+    EngineOptions opt;
+    opt.workers = 2;
+    opt.auto_dispatch = false;
+    opt.max_batch = max_batch;
+    QueryEngine engine(opt);
+    service::register_unweighted_handlers(engine);
+    engine.add_graph("g0", g);
+    std::vector<std::pair<std::uint64_t, std::future<QueryResult>>> futs;
+    for (const Query& q : qs) futs.emplace_back(q.id, engine.submit(q));
+    while (engine.drain() > 0) {
+    }
+    for (auto& [id, fut] : futs) ok &= fut.get() == ref.at(id);
+  }
+  return ok;
+}
+
+struct TimedRow {
+  std::string mode;
+  std::size_t clients = 0;
+  std::size_t queries = 0;
+  double wall_s = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+};
+
+TimedRow aggregate_row(std::string mode, std::size_t clients,
+                       std::size_t queries, double wall,
+                       std::vector<double> latencies) {
+  const auto agg = runtime::Aggregate::of(std::move(latencies));
+  TimedRow row;
+  row.mode = std::move(mode);
+  row.clients = clients;
+  row.queries = queries;
+  row.wall_s = wall;
+  row.qps = wall > 0 ? double(queries) / wall : 0.0;
+  row.p50_ms = agg.p50 * 1e3;
+  row.p95_ms = agg.p95 * 1e3;
+  return row;
+}
+
+/// Closed-loop clients against the shared warm engine: each submits its
+/// slice one query at a time and waits for the answer.
+TimedRow run_warm(QueryEngine& engine, const std::vector<Query>& qs,
+                  std::size_t clients) {
+  std::vector<std::vector<double>> lat(clients);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t i = c; i < qs.size(); i += clients) {
+        const auto q0 = Clock::now();
+        engine.submit(qs[i]).get();
+        lat[c].push_back(
+            std::chrono::duration<double>(Clock::now() - q0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<double> merged;
+  for (auto& per_client : lat) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  return aggregate_row("warm", clients, qs.size(), wall, std::move(merged));
+}
+
+/// The same closed loop, but every query pays full construction.
+TimedRow run_cold(const WeightedGraph& g, const std::vector<Query>& qs,
+                  std::size_t clients, unsigned workers) {
+  std::vector<std::vector<double>> lat(clients);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t i = c; i < qs.size(); i += clients) {
+        const auto q0 = Clock::now();
+        cold_query(g, qs[i], workers);
+        lat[c].push_back(
+            std::chrono::duration<double>(Clock::now() - q0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<double> merged;
+  for (auto& per_client : lat) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  return aggregate_row("cold", clients, qs.size(), wall, std::move(merged));
+}
+
+std::string to_json(const WeightedGraph& g, std::size_t queries, bool smoke,
+                    bool det_workers, bool det_batch, bool det_cold,
+                    const std::vector<TimedRow>& rows, double speedup,
+                    bool meets_2x) {
+  std::ostringstream os;
+  os << "{\n  \"spec\": {\"n\": " << g.node_count()
+     << ", \"m\": " << g.edge_count() << ", \"queries\": " << queries
+     << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n"
+     << "  \"determinism\": {\"workers_1_2_8_with_4_clients\": "
+     << (det_workers ? "true" : "false")
+     << ", \"batch_1_vs_max\": " << (det_batch ? "true" : "false")
+     << ", \"cold_matches_warm\": " << (det_cold ? "true" : "false")
+     << "},\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TimedRow& r = rows[i];
+    os << "    {\"mode\": \"" << r.mode << "\", \"clients\": " << r.clients
+       << ", \"queries\": " << r.queries << ", \"wall_s\": " << r.wall_s
+       << ", \"qps\": " << r.qps << ", \"p50_ms\": " << r.p50_ms
+       << ", \"p95_ms\": " << r.p95_ms << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"acceptance\": {\"warm_over_cold_speedup_1client\": "
+     << speedup << ", \"meets_2x\": " << (meets_2x ? "true" : "false")
+     << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NodeId n = 512;
+  std::size_t queries = 384;
+  bool smoke = false;
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      n = 64;
+      queries = 48;
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<NodeId>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  Rng rng(2022);
+  auto g = gen::randomize_weights(
+      gen::erdos_renyi_connected(n, 8.0 / double(n), rng), 10, rng);
+
+  const auto qs = make_queries(queries, n);
+  // Cold mode rebuilds everything per query; cap its sample so the
+  // bench stays minutes-free while qps stays per-mode honest.
+  const std::size_t cold_count = std::min<std::size_t>(queries, 48);
+  const std::vector<Query> cold_qs(qs.begin(), qs.begin() + cold_count);
+
+  // --- correctness gates (always, before any timing) ---
+  const auto ref = reference_results(g, qs);
+  const bool det_workers = check_worker_and_client_invariance(g, qs, ref);
+  const bool det_batch = check_batch_invariance(g, qs, ref);
+  bool det_cold = true;
+  for (const Query& q : cold_qs) {
+    det_cold &= cold_query(g, q, 1) == ref.at(q.id);
+  }
+  const bool deterministic = det_workers && det_batch && det_cold;
+
+  // --- timing: one warm resident engine vs per-query cold builds ---
+  const auto warm_engine = make_engine(g, 0, /*auto_dispatch=*/true);
+  warm_engine->warm_all();
+  const std::vector<std::size_t> client_counts =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 4, 16};
+  std::vector<TimedRow> rows;
+  for (const std::size_t clients : client_counts) {
+    rows.push_back(run_warm(*warm_engine, qs, clients));
+  }
+  for (const std::size_t clients : client_counts) {
+    rows.push_back(run_cold(g, cold_qs, clients, 0));
+  }
+
+  const double warm_qps = rows.front().qps;
+  const double cold_qps = rows[client_counts.size()].qps;
+  const double speedup = cold_qps > 0 ? warm_qps / cold_qps : 0.0;
+  const bool meets_2x = speedup >= 2.0;
+
+  TextTable table({"mode", "clients", "queries", "wall s", "qps", "p50 ms",
+                   "p95 ms"});
+  for (const TimedRow& r : rows) {
+    table.add(r.mode, r.clients, r.queries, r.wall_s, r.qps, r.p50_ms,
+              r.p95_ms);
+  }
+  std::printf("service warm-vs-cold: %s, %zu queries\n\n%s\n",
+              g.summary().c_str(), queries, table.render().c_str());
+  std::printf("determinism: workers=%s batch=%s cold=%s; warm/cold speedup "
+              "(1 client) = %.1fx\n",
+              det_workers ? "ok" : "FAIL", det_batch ? "ok" : "FAIL",
+              det_cold ? "ok" : "FAIL", speedup);
+
+  runtime::write_file(out_path,
+                      to_json(g, queries, smoke, det_workers, det_batch,
+                              det_cold, rows, speedup, meets_2x));
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!deterministic) return 1;
+  if (!smoke && !meets_2x) return 2;
+  return 0;
+}

@@ -14,7 +14,7 @@ void WeightedGraph::add_edge(NodeId u, NodeId v, Weight w) {
   adjacency_[u].push_back({v, w});
   adjacency_[v].push_back({u, w});
   edges_.push_back({std::min(u, v), std::max(u, v), w});
-  invalidate_csr();
+  invalidate_csr(/*topology_changed=*/true);
 }
 
 WeightedGraph WeightedGraph::from_edges(NodeId n, std::vector<Edge> edges) {
@@ -68,7 +68,7 @@ void WeightedGraph::set_edge_weight(NodeId u, NodeId v, Weight w) {
   for (Edge& e : edges_) {
     if (e.u == a && e.v == b) e.weight = w;
   }
-  invalidate_csr();
+  invalidate_csr(/*topology_changed=*/false);
 }
 
 Weight WeightedGraph::max_weight() const {
@@ -86,7 +86,9 @@ bool WeightedGraph::is_connected() const {
   if (n <= 1) return true;
   {
     std::lock_guard<std::mutex> lock(csr_mutex_);
-    if (connected_cache_) return *connected_cache_;
+    if (connected_cache_ != ConnCache::kUnknown) {
+      return connected_cache_ == ConnCache::kConnected;
+    }
   }
   std::vector<bool> seen(n, false);
   std::queue<NodeId> q;
@@ -107,8 +109,9 @@ bool WeightedGraph::is_connected() const {
   const bool connected = reached == n;
   {
     std::lock_guard<std::mutex> lock(csr_mutex_);
-    if (!connected_cache_) {
-      connected_cache_ = std::make_shared<const bool>(connected);
+    if (connected_cache_ == ConnCache::kUnknown) {
+      connected_cache_ =
+          connected ? ConnCache::kConnected : ConnCache::kDisconnected;
     }
   }
   return connected;

@@ -61,7 +61,11 @@ class WeightedGraph {
     if (this != &o) {
       adjacency_ = o.adjacency_;
       edges_ = o.edges_;
-      invalidate_csr();
+      std::lock_guard<std::mutex> lock(csr_mutex_);
+      csr_cache_.reset();
+      slot_index_cache_.reset();
+      // Arbitrary replacement data: the old verdict says nothing.
+      connected_cache_ = ConnCache::kUnknown;
     }
     return *this;
   }
@@ -70,13 +74,13 @@ class WeightedGraph {
         edges_(std::move(o.edges_)),
         csr_cache_(std::move(o.csr_cache_)),
         slot_index_cache_(std::move(o.slot_index_cache_)),
-        connected_cache_(std::move(o.connected_cache_)) {}
+        connected_cache_(o.connected_cache_) {}
   WeightedGraph& operator=(WeightedGraph&& o) noexcept {
     adjacency_ = std::move(o.adjacency_);
     edges_ = std::move(o.edges_);
     csr_cache_ = std::move(o.csr_cache_);
     slot_index_cache_ = std::move(o.slot_index_cache_);
-    connected_cache_ = std::move(o.connected_cache_);
+    connected_cache_ = o.connected_cache_;
     return *this;
   }
 
@@ -157,10 +161,22 @@ class WeightedGraph {
   const EdgeSlotIndex& slot_index() const;
 
   /// True when every pair of nodes is connected (n <= 1 counts as
-  /// connected). The BFS runs once; the answer is cached with the same
-  /// lifetime/invalidation rules as csr() (the CONGEST primitives call
-  /// this on every aggregate/flood, thousands of times per run).
+  /// connected). The BFS runs once; the answer is cached (the CONGEST
+  /// primitives call this on every aggregate/flood, thousands of times
+  /// per run). Unlike csr(), the verdict survives mutations that cannot
+  /// change it: set_edge_weight never touches topology, and add_edge on
+  /// a connected graph keeps it connected — only add_edge on a graph
+  /// whose cached verdict is "disconnected" downgrades the cache to
+  /// dirty (the new edge may have bridged the components).
   bool is_connected() const;
+
+  /// True when is_connected() would be answered from the cached verdict
+  /// without re-running the BFS. Diagnostic hook for the dirty-bit
+  /// invalidation tests and the service warm-state report.
+  bool connectivity_cached() const {
+    std::lock_guard<std::mutex> lock(csr_mutex_);
+    return connected_cache_ != ConnCache::kUnknown;
+  }
 
   /// Throws InvariantError if internal structures are inconsistent.
   void validate() const;
@@ -169,11 +185,25 @@ class WeightedGraph {
   std::string summary() const;
 
  private:
-  void invalidate_csr() {
+  /// Cached is_connected() verdict. A tri-state rather than the CSR
+  /// caches' build-or-null because mutations *downgrade* it selectively
+  /// (see invalidate_csr) instead of always discarding it.
+  enum class ConnCache : std::uint8_t { kUnknown, kConnected, kDisconnected };
+
+  /// Invalidates the derived caches after a mutation. The CSR view and
+  /// slot index embed weights and slot layout, so they always go. The
+  /// connectivity verdict only goes stale when an edge appears while the
+  /// cache says "disconnected" (the edge may bridge components); weight
+  /// changes (`topology_changed == false`) and edge additions to a
+  /// connected graph preserve it. No mutation removes edges, so a cached
+  /// "connected" never goes stale.
+  void invalidate_csr(bool topology_changed) {
     std::lock_guard<std::mutex> lock(csr_mutex_);
     csr_cache_.reset();
     slot_index_cache_.reset();
-    connected_cache_.reset();
+    if (topology_changed && connected_cache_ == ConnCache::kDisconnected) {
+      connected_cache_ = ConnCache::kUnknown;
+    }
   }
 
   std::vector<std::vector<HalfEdge>> adjacency_;
@@ -181,7 +211,7 @@ class WeightedGraph {
   mutable std::mutex csr_mutex_;
   mutable std::shared_ptr<const CsrGraph> csr_cache_;
   mutable std::shared_ptr<const EdgeSlotIndex> slot_index_cache_;
-  mutable std::shared_ptr<const bool> connected_cache_;
+  mutable ConnCache connected_cache_ = ConnCache::kUnknown;
 };
 
 /// Graphviz DOT rendering (undirected). Weight-1 edges are drawn plain;

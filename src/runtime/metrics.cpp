@@ -1,7 +1,9 @@
 #include "runtime/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "util/error.h"
@@ -44,6 +46,23 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+double Histogram::quantile(double q) const {
+  QC_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) return bounds_[i];
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 std::vector<double> exponential_buckets(double start, double factor,

@@ -64,6 +64,18 @@ class Histogram {
   /// Per-bucket counts; index bounds_.size() is the overflow bucket.
   std::vector<std::uint64_t> bucket_counts() const;
 
+  /// Nearest-rank quantile over the bucketed observations: the upper
+  /// bound of the bucket holding the ⌈q·count⌉-th smallest observation
+  /// (so quantile(0.5) is p50, quantile(0.95) is p95). Returns 0 with no
+  /// observations and +infinity when the rank lands in the overflow
+  /// bucket. The answer depends only on the multiset of observed values
+  /// — never on recording order or thread interleaving — so once
+  /// recording quiesces, concurrent writers produce the same quantiles
+  /// as a serial replay (asserted by tests/test_runtime.cpp). Racing
+  /// with in-flight observe() calls is safe and yields a value between
+  /// the quantiles of the observations that started before and after.
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;

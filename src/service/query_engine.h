@@ -1,0 +1,338 @@
+// Resident query service over warm graph artifacts.
+//
+// Every driver before this subsystem was batch-shaped: build a graph,
+// run one algorithm, print, exit — so each invocation re-paid CSR
+// construction, eccentricity tables, and the toolkit's first-level
+// d̃^ℓ rows. The `QueryEngine` inverts that: it loads N named graphs
+// once, keeps the derived artifacts (CsrGraph, EdgeSlotIndex,
+// eccentricity tables, `paths::ToolkitCache`) resident, and answers
+// diameter / radius / eccentricity / SSSP / approximate-distance
+// queries from many concurrent clients against the warm state.
+//
+// Three load-bearing properties (tests/test_service.cpp pins each):
+//
+//  * Determinism. A query's result is a pure function of
+//    (graph, type, operands, seed). Admission order, batching, worker
+//    count, and client concurrency never change any result — warm
+//    tables are built by deterministic pooled algorithms (PR 2's
+//    contract), seeds come from `Query::seed` (never from threads or
+//    arrival time), and result slots are index-ordered.
+//
+//  * Admission control. At most `EngineOptions::max_in_flight` admitted
+//    queries exist at once; `submit` past that throws `AdmissionError`
+//    immediately instead of queueing unboundedly. Once admitted, a
+//    query is always answered — shutdown drains the queue.
+//
+//  * Batching. The dispatcher drains up to `max_batch` queued queries
+//    at a time and groups compatible ones — same graph, same type — so
+//    a handler sees the whole group in one `run_batch` call and can
+//    coalesce work: the SSSP handler fans sources across the qc_pool
+//    pool, the approx-distance handler prefetches the union of first-
+//    level rows before answering any member.
+//
+// Dispatch is a registry: `register_handler` adds a new query type
+// without touching the engine core (the unweighted-diameter
+// specialization and the Theorem 1.1 drivers register exactly this
+// way — see register_unweighted_handlers / register_theorem11_handlers).
+//
+// Threading rules for handlers: `run_batch` always executes on a
+// client or dispatcher thread, never on a pool worker, so handlers may
+// (and do) run warm-table builds and `runtime::parallel_for` directly.
+// Handlers must not keep per-call mutable state on `this` — one handler
+// instance serves concurrent `query()` callers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/thread_pool.h"
+#include "util/mathx.h"
+
+namespace qc::runtime {
+class MetricsRegistry;  // runtime/metrics.h
+}
+
+namespace qc::paths {
+class ToolkitCache;  // paths/reference.h
+struct Params;       // paths/params.h
+}  // namespace qc::paths
+
+namespace qc::service {
+
+/// Thrown by `submit` when admission control refuses a query: the
+/// engine is saturated (`max_in_flight` admitted queries outstanding)
+/// or shutting down. The query was *not* enqueued; retrying later is
+/// safe. Distinct from ArgumentError so clients can treat backpressure
+/// differently from malformed requests.
+class AdmissionError : public std::runtime_error {
+ public:
+  explicit AdmissionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One request. `type` selects the handler; the operand fields mean
+/// whatever the handler documents (see docs/service.md for the
+/// built-ins: `node` is the SSSP/eccentricity source and the
+/// approx-distance s, `target` the approx-distance t, `seed` feeds the
+/// randomized Theorem 1.1 handlers). `id` is opaque to the engine and
+/// echoed into the result so clients can match responses to requests.
+struct Query {
+  std::uint64_t id = 0;
+  std::string graph;  ///< named graph; "" = the engine's only graph
+  std::string type;   ///< handler key, e.g. "diameter", "sssp"
+  NodeId node = 0;
+  NodeId target = 0;
+  std::uint64_t seed = 1;
+};
+
+/// One answer. Exactly one of {ok, error} is meaningful; `value` is the
+/// scalar answer in `scale`-scaled fixed-point units (scale == 1 for
+/// the exact handlers), `dist` is the per-node vector for SSSP-shaped
+/// queries. Defaulted equality is what the determinism tests compare —
+/// every field is part of the contract.
+struct QueryResult {
+  std::uint64_t id = 0;
+  std::string type;
+  bool ok = false;
+  std::string error;
+  Dist value = 0;
+  std::uint64_t scale = 1;     ///< fixed-point scale of value (σ·σ″ etc.)
+  std::vector<Dist> dist;      ///< per-node payload (SSSP), else empty
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+/// One loaded graph plus its lazily-built warm artifacts. Accessors
+/// build on first use (guarded by std::call_once — concurrent queries
+/// pay for each table exactly once) and return references that stay
+/// valid for the context's lifetime; the underlying graph is immutable
+/// once added, which is what makes indefinite caching sound (see the
+/// WeightedGraph dirty-bit rules for why mutation would not be).
+/// The toolkit accessors require a connected graph (ArgumentError
+/// otherwise), mirroring the Theorem 1.1 preconditions.
+class GraphContext {
+ public:
+  GraphContext(std::string name, WeightedGraph g);
+  ~GraphContext();
+
+  GraphContext(const GraphContext&) = delete;
+  GraphContext& operator=(const GraphContext&) = delete;
+
+  const std::string& name() const { return name_; }
+  const WeightedGraph& graph() const { return g_; }
+  bool connected() const { return g_.is_connected(); }
+
+  /// Weighted eccentricity table (pooled Dijkstra sweep on first use).
+  const std::vector<Dist>& weighted_eccentricities(runtime::ThreadPool& pool);
+
+  /// Hop eccentricity table (pooled BFS sweep on first use) — the
+  /// unweighted specialization's warm state.
+  const std::vector<Dist>& hop_eccentricities(runtime::ThreadPool& pool);
+
+  /// Resident first-level row cache, built with core::derive_params(g)
+  /// on first use — the same Params a default Theorem 1.1 run derives,
+  /// so the cache can be handed to `Theorem11Options::toolkit` as-is.
+  paths::ToolkitCache& toolkit();
+  const paths::Params& toolkit_params();
+
+  /// Which warm artifacts exist right now (reporting only — the serve
+  /// driver's startup summary).
+  struct WarmState {
+    bool csr = false;
+    bool connectivity = false;
+    bool weighted_ecc = false;
+    bool hop_ecc = false;
+    std::size_t toolkit_rows = 0;  ///< cached d̃^ℓ rows (0 = no cache yet)
+  };
+  WarmState warm_state() const;
+
+ private:
+  std::string name_;
+  WeightedGraph g_;
+  std::once_flag ecc_once_;
+  std::once_flag hop_ecc_once_;
+  std::once_flag toolkit_once_;
+  std::vector<Dist> ecc_;
+  std::vector<Dist> hop_ecc_;
+  std::unique_ptr<paths::ToolkitCache> toolkit_;
+};
+
+/// Everything a handler needs to answer a group of queries.
+struct QueryContext {
+  GraphContext& graph;
+  runtime::ThreadPool& pool;
+};
+
+/// One query type. `run_batch` receives every query of a compatible
+/// group (same graph, same type, batch order) and must fill
+/// `results[i]` for `queries[i]` — set `ok`/payload or `ok = false`
+/// with `error`; the engine stamps `id` and `type` afterwards, so
+/// handlers cannot mismatch them. Throwing fails the whole group with
+/// the exception text (fine for preconditions that hold for all
+/// members, e.g. "graph is not connected").
+class QueryHandler {
+ public:
+  virtual ~QueryHandler() = default;
+
+  /// The registry key this handler serves (stable, lowercase).
+  virtual std::string type() const = 0;
+
+  virtual void run_batch(QueryContext& ctx, std::span<const Query> queries,
+                         std::span<QueryResult> results) = 0;
+};
+
+struct EngineOptions {
+  /// Workers of the engine-owned qc_pool pool (0 = hardware
+  /// concurrency). Results are byte-identical at any value.
+  unsigned workers = 0;
+  /// Admission bound: maximum admitted-but-unanswered queries. submit
+  /// beyond it throws AdmissionError.
+  std::size_t max_in_flight = 1024;
+  /// Maximum queries one dispatch drains and groups together.
+  std::size_t max_batch = 64;
+  /// Run the background dispatcher thread. Off = the owner pumps the
+  /// queue via drain() (the deterministic-batching tests do this to
+  /// control grouping exactly).
+  bool auto_dispatch = true;
+  /// Optional run-report sink (borrowed; must outlive the engine).
+  /// When set, the engine records "service.*" counters and per-type
+  /// latency histograms into it — see docs/service.md for the schema.
+  runtime::MetricsRegistry* metrics = nullptr;
+};
+
+/// The resident engine. Construction registers the five built-in
+/// handlers (diameter, radius, eccentricity, sssp, approx_distance);
+/// graphs and further handlers are added by the owner, then clients
+/// call `query` (synchronous) or `submit` (admission-controlled,
+/// batched) from any number of threads.
+///
+/// Registration (`add_graph`, `register_handler`) is thread-safe but
+/// meant for setup: do it before serving traffic, or accept that
+/// in-flight queries race against the new entry (they see it or they
+/// don't — never a torn state).
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions opt = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Loads a named graph. Throws ArgumentError on an empty or duplicate
+  /// name. The graph is frozen from here on (the engine hands out const
+  /// references only), which is what lets warm artifacts live forever.
+  GraphContext& add_graph(std::string name, WeightedGraph g);
+
+  /// Looks up a loaded graph; "" resolves to the engine's only graph
+  /// (nullptr when none or several are loaded — ambiguity is an error
+  /// the caller must surface). Unknown names return nullptr.
+  GraphContext* find_graph(std::string_view name);
+
+  std::vector<std::string> graph_names() const;
+
+  /// Adds a query type. Throws ArgumentError on an empty or duplicate
+  /// type key.
+  void register_handler(std::unique_ptr<QueryHandler> handler);
+
+  bool has_handler(std::string_view type) const;
+  std::vector<std::string> handler_types() const;
+
+  /// Eagerly builds the warm artifacts of one graph (CSR + slot index +
+  /// connectivity always; eccentricity tables and the toolkit cache
+  /// when connected) so first queries don't pay construction latency.
+  void warm(std::string_view name);
+  void warm_all();
+
+  /// Synchronous path: answers on the calling thread against the warm
+  /// state, bypassing admission control and batching (the caller *is*
+  /// the backpressure). Safe from any number of threads concurrently.
+  QueryResult query(const Query& q);
+
+  /// Admission-controlled path: enqueues and returns a future. Throws
+  /// AdmissionError when saturated or stopping; otherwise the future is
+  /// always eventually fulfilled (errors arrive as ok = false results,
+  /// not exceptions). With auto_dispatch the background dispatcher
+  /// picks the query up; otherwise call drain().
+  std::future<QueryResult> submit(Query q);
+
+  /// Manually dispatches one batch: drains up to max_batch queued
+  /// queries, groups by (graph, type), runs each group's handler, and
+  /// fulfills the promises. Returns how many queries it answered
+  /// (0 = queue was empty). The deterministic-batching tests call this
+  /// with max_batch = 1 vs max to pin grouping-independence.
+  std::size_t drain();
+
+  /// Admitted-but-unanswered queries right now (queued + executing).
+  std::size_t in_flight() const;
+
+  unsigned worker_count() const { return pool_.worker_count(); }
+  const EngineOptions& options() const { return opt_; }
+  runtime::ThreadPool& pool() { return pool_; }
+
+ private:
+  struct Pending {
+    Query q;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void register_builtin_handlers();
+  void dispatch_loop();
+  /// Runs one already-grouped batch (same graph, same type) and writes
+  /// results; never throws (handler exceptions become error results).
+  void execute_group(std::span<const Query> queries,
+                     std::span<QueryResult> results);
+  void record_query_metrics(const Query& q, const QueryResult& r,
+                            double seconds);
+
+  EngineOptions opt_;
+  runtime::ThreadPool pool_;
+
+  mutable std::mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<GraphContext>, std::less<>> graphs_;
+  std::map<std::string, std::unique_ptr<QueryHandler>, std::less<>> handlers_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> pending_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::optional<std::thread> dispatcher_;  // last member: started in ctor
+};
+
+/// The bucket layout of every "service.latency_seconds.<type>"
+/// histogram the engine records (1µs to ~33s in powers of two).
+/// Callers reading quantiles out of the shared registry pass this to
+/// `MetricsRegistry::histogram` so lookup never conflicts with the
+/// engine's registration.
+std::vector<double> latency_histogram_bounds();
+
+/// Registers the unweighted specialization as extension query types —
+/// "unweighted_diameter" and "unweighted_eccentricity" answer from the
+/// hop-eccentricity warm table (the Õ(√(nD)) Le Gall–Magniez setting's
+/// exact baseline). Exists to demonstrate that a specialization plugs
+/// into the registry without touching the engine core.
+void register_unweighted_handlers(QueryEngine& engine);
+
+/// Registers the Theorem 1.1 drivers as query types — "t11_diameter"
+/// and "t11_radius" run the full quantum estimate with Query::seed,
+/// handing the context's resident ToolkitCache to
+/// `Theorem11Options::toolkit` so repeated estimates on one graph share
+/// first-level rows instead of rebuilding them per run.
+void register_theorem11_handlers(QueryEngine& engine);
+
+}  // namespace qc::service

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "graph/algorithms.h"
 #include "graph/csr.h"
@@ -574,6 +575,82 @@ TEST(EdgeSlotIndex, SingleNodeGraphHasNoEdges) {
   WeightedGraph g(1);
   EXPECT_EQ(g.slot_index().directed_edge_count(), 0u);
   EXPECT_EQ(g.slot_index().slot(0, 0), EdgeSlotIndex::kNoSlot);
+}
+
+// ---------------------------------------------------------------------
+// Connectivity verdict dirty bit: mutations that cannot change the
+// answer keep the cache; only a possibly-bridging edge drops it.
+// ---------------------------------------------------------------------
+
+TEST(WeightedGraph, ConnectivityVerdictSurvivesSafeMutations) {
+  Rng rng(5);
+  auto g = gen::erdos_renyi_connected(20, 0.2, rng);
+  EXPECT_FALSE(g.connectivity_cached());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.connectivity_cached());
+
+  // Weight changes never touch topology: verdict retained.
+  g.set_edge_weight(g.edges().front().u, g.edges().front().v, 99);
+  EXPECT_TRUE(g.connectivity_cached());
+  EXPECT_TRUE(g.is_connected());
+
+  // An edge added to a connected graph keeps it connected: retained.
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!g.has_edge(u, (u + 2) % g.node_count()) &&
+        u != (u + 2) % g.node_count()) {
+      g.add_edge(u, (u + 2) % g.node_count(), 3);
+      break;
+    }
+  }
+  EXPECT_TRUE(g.connectivity_cached());
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(WeightedGraph, BridgingEdgeInvalidatesDisconnectedVerdict) {
+  // The stale-cache hazard the dirty bit exists for: cache says
+  // "disconnected", then an edge bridges the components — the stale
+  // verdict must not be served.
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_TRUE(g.connectivity_cached());
+  g.add_edge(1, 2, 7);  // bridges {0,1} and {2,3}
+  EXPECT_FALSE(g.connectivity_cached());  // downgraded, not reused
+  EXPECT_TRUE(g.is_connected());
+
+  // A growth edge that still leaves components re-resolves to
+  // "disconnected" and re-caches.
+  WeightedGraph h(5);
+  h.add_edge(0, 1, 1);
+  h.add_edge(2, 3, 1);
+  EXPECT_FALSE(h.is_connected());
+  h.add_edge(3, 4, 1);  // merges {2,3} and {4}; {0,1} still apart
+  EXPECT_FALSE(h.connectivity_cached());
+  EXPECT_FALSE(h.is_connected());
+  EXPECT_TRUE(h.connectivity_cached());
+}
+
+TEST(WeightedGraph, CopyAndAssignResetConnectivityVerdict) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  EXPECT_TRUE(g.is_connected());
+
+  WeightedGraph copy = g;  // copies start with cold caches
+  EXPECT_FALSE(copy.connectivity_cached());
+  EXPECT_TRUE(copy.is_connected());
+
+  WeightedGraph target(2);  // two isolated nodes: cache "disconnected"
+  EXPECT_FALSE(target.is_connected());
+  EXPECT_TRUE(target.connectivity_cached());
+  target = g;  // assignment replaces the data: verdict must reset
+  EXPECT_FALSE(target.connectivity_cached());
+  EXPECT_TRUE(target.is_connected());
+
+  WeightedGraph moved = std::move(copy);  // moves carry the verdict
+  EXPECT_TRUE(moved.connectivity_cached());
+  EXPECT_TRUE(moved.is_connected());
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <iterator>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "congest/primitives.h"
@@ -280,6 +282,58 @@ TEST(Metrics, JsonIsValidAndSorted) {
   EXPECT_LT(json.find("\"a.count\""), json.find("\"z.count\""));
   EXPECT_NE(json.find("\"ratio\":1.25"), std::string::npos);
   EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+}
+
+TEST(Metrics, HistogramQuantileIsNearestRankOverBuckets) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // no observations yet
+  for (const double v : {0.5, 1.5, 1.6, 3.0, 3.5, 7.0}) h.observe(v);
+  // Bucketed observations, smallest-first, by bucket upper bound:
+  // 1, 2, 2, 4, 4, 8.
+  EXPECT_EQ(h.quantile(0.0), 1.0);   // rank clamps to the 1st
+  EXPECT_EQ(h.quantile(0.5), 2.0);   // ceil(0.5 * 6) = 3rd
+  EXPECT_EQ(h.quantile(0.95), 8.0);  // ceil(0.95 * 6) = 6th
+  EXPECT_EQ(h.quantile(1.0), 8.0);
+  h.observe(100.0);  // overflow bucket has no finite upper bound
+  EXPECT_TRUE(std::isinf(h.quantile(1.0)));
+  EXPECT_EQ(h.quantile(0.5), 4.0);  // ceil(0.5 * 7) = 4th of 1,2,2,4,4,8,inf
+  EXPECT_THROW(h.quantile(-0.1), ArgumentError);
+  EXPECT_THROW(h.quantile(1.1), ArgumentError);
+}
+
+TEST(Metrics, HistogramQuantilesMatchSerialReplayAfterConcurrentRecording) {
+  // Many threads record the same deterministic multiset in different
+  // interleavings; once recording quiesces, every percentile must equal
+  // a serial replay's — quantiles depend on the multiset only, never on
+  // recording order (the property the service latency report relies on).
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  const auto value_of = [](int t, int i) {
+    const auto x = derive_seed(static_cast<std::uint64_t>(t),
+                               static_cast<std::uint64_t>(i));
+    return 0.001 * static_cast<double>(1 + x % 3000);
+  };
+
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", exponential_buckets(0.001, 2.0, 16));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(value_of(t, i));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Histogram serial(exponential_buckets(0.001, 2.0, 16));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) serial.observe(value_of(t, i));
+  }
+  ASSERT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket_counts(), serial.bucket_counts());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), serial.quantile(q)) << "q=" << q;
+  }
 }
 
 // ---------------------------------------------------------------------

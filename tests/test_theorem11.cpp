@@ -251,6 +251,66 @@ TEST(LazyOracle, PrefillSkipsTheCallbackAndMustAgree) {
 // Geometric skip sampling (Rng::sample_indices)
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Resident toolkit cache (Theorem11Options::toolkit)
+// ---------------------------------------------------------------------
+
+TEST(ResidentToolkit, MatchesPerRunCacheAndIsReused) {
+  const auto g = weighted_test_graph(21, 26, 9);
+  Theorem11Options opt;
+  opt.seed = 4;
+  opt.oracle_mode = OracleMode::kLazySerial;
+  const auto baseline = quantum_weighted_diameter(g, opt);
+
+  // derive_params must be exactly what the run derived.
+  const auto params = derive_params(g, opt);
+  EXPECT_EQ(params.eps_inv, baseline.params.eps_inv);
+  EXPECT_EQ(params.r, baseline.params.r);
+  EXPECT_EQ(params.ell, baseline.params.ell);
+  EXPECT_EQ(params.k, baseline.params.k);
+
+  paths::ToolkitCache cache(g, params);
+  EXPECT_EQ(cache.cached_row_count(), 0u);
+  opt.toolkit = &cache;
+  const auto resident = quantum_weighted_diameter(g, opt);
+  EXPECT_TRUE(semantically_equal(baseline, resident));
+  const auto rows = cache.cached_row_count();
+  EXPECT_GT(rows, 0u);
+
+  // Second run against the warm rows: identical answer, rows retained.
+  const auto again = quantum_weighted_diameter(g, opt);
+  EXPECT_TRUE(semantically_equal(baseline, again));
+  EXPECT_GE(cache.cached_row_count(), rows);
+
+  // The radius run shares the same cache — Params don't depend on
+  // which problem is being solved.
+  Theorem11Options no_cache = opt;
+  no_cache.toolkit = nullptr;
+  EXPECT_TRUE(semantically_equal(quantum_weighted_radius(g, opt),
+                                 quantum_weighted_radius(g, no_cache)));
+}
+
+TEST(ResidentToolkit, RejectsMismatchedCache) {
+  const auto g = weighted_test_graph(22, 24, 7);
+  Theorem11Options opt;
+  opt.oracle_mode = OracleMode::kLazySerial;
+
+  // Same data, different graph object: identity is the contract (the
+  // cache holds a pointer into the graph it was built on).
+  const WeightedGraph copy = g;
+  paths::ToolkitCache other_graph(copy, derive_params(copy, opt));
+  opt.toolkit = &other_graph;
+  EXPECT_THROW(quantum_weighted_diameter(g, opt), ArgumentError);
+
+  // Right graph, wrong Params (built under an eps_inv override the run
+  // won't use).
+  Theorem11Options overridden;
+  overridden.eps_inv = 16;
+  paths::ToolkitCache wrong_params(g, derive_params(g, overridden));
+  opt.toolkit = &wrong_params;
+  EXPECT_THROW(quantum_weighted_diameter(g, opt), ArgumentError);
+}
+
 TEST(SampleIndices, SortedUniqueAndEdgeCases) {
   Rng rng(5);
   EXPECT_TRUE(rng.sample_indices(0, 0.5).empty());

@@ -11,15 +11,28 @@
 //                          [--eps-inv 0,8] [--algo bfs|baseline|t11|
 //                          t11-radius] [--maxw W] [--seed S]
 //                          [--workers K] [--out FILE] [--round-metrics]
+//   qcongest_cli serve     [--graphs f1.wg,f2.wg | --count K --n N
+//                          --family F --maxw W --seed S] [--warm]
+//                          [--workers K] [--queue Q] [--batch B]
+//                          [--metrics FILE]
+//   qcongest_cli query     --type T [--graph FILE | --n N ...]
+//                          [--node U] [--target V] [--query-seed S]
+//                          [--id I] [--workers K]
 //
 // Runs the paper's algorithms on generated or user-provided networks
 // (wgraph v1 format; see graph/io.h) and prints the results with their
 // CONGEST round bills. `sweep` fans a whole experiment grid out over a
 // work-stealing pool and writes aggregated JSON (docs/runtime.md).
+// `serve` keeps a resident service::QueryEngine answering line-delimited
+// JSON requests from stdin against warm graph artifacts; `query` is its
+// one-shot twin (docs/service.md documents both and the wire format).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "congest/primitives.h"
@@ -35,6 +48,8 @@
 #include "runtime/metrics.h"
 #include "runtime/sweep.h"
 #include "runtime/thread_pool.h"
+#include "service/query_engine.h"
+#include "service/wire.h"
 #include "util/table.h"
 
 namespace {
@@ -295,6 +310,157 @@ int cmd_sweep(const Args& a) {
   return result.failures == 0 ? 0 : 2;
 }
 
+/// Builds the engine both service commands share: extension handlers
+/// registered on top of the built-ins, metrics wired when given.
+service::QueryEngine make_engine(const Args& a, bool auto_dispatch,
+                                 runtime::MetricsRegistry* registry) {
+  service::EngineOptions opt;
+  opt.workers = static_cast<unsigned>(a.num("workers", 0));
+  opt.max_in_flight = a.num("queue", 1024);
+  opt.max_batch = a.num("batch", 64);
+  opt.auto_dispatch = auto_dispatch;
+  opt.metrics = registry;
+  return service::QueryEngine(opt);
+}
+
+int cmd_serve(const Args& a) {
+  runtime::MetricsRegistry registry;
+  auto engine = make_engine(a, /*auto_dispatch=*/true, &registry);
+  service::register_unweighted_handlers(engine);
+  service::register_theorem11_handlers(engine);
+
+  // Graphs come from files (--graphs) or the generator registry
+  // (--count copies of --family, seeds derived per index). Names are
+  // positional — g0, g1, ... — and echoed to stderr so clients know
+  // what to put in the "graph" field.
+  if (a.kv.count("graphs")) {
+    const auto files = split_commas(a.str("graphs", ""));
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const std::string name = "g" + std::to_string(i);
+      const auto& ctx = engine.add_graph(name, load_graph(files[i]));
+      std::fprintf(stderr, "loaded %s = %s (%s)\n", name.c_str(),
+                   files[i].c_str(), ctx.graph().summary().c_str());
+    }
+  } else {
+    const auto count = a.num("count", 1);
+    const auto n = static_cast<NodeId>(a.num("n", 64));
+    const std::string family = a.str("family", "ER");
+    const auto maxw = a.num("maxw", 10);
+    const auto seed = a.num("seed", 1);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::string name = "g" + std::to_string(i);
+      Rng rng(runtime::derive_seed(seed, i));
+      const auto& ctx =
+          engine.add_graph(name, gen::from_family(family, n, maxw, rng));
+      std::fprintf(stderr, "generated %s = %s[%llu] (%s)\n", name.c_str(),
+                   family.c_str(), (unsigned long long)i,
+                   ctx.graph().summary().c_str());
+    }
+  }
+  if (a.flag("warm")) {
+    engine.warm_all();
+    for (const auto& name : engine.graph_names()) {
+      const auto w = engine.find_graph(name)->warm_state();
+      std::fprintf(stderr, "warmed %s: ecc=%d hop_ecc=%d toolkit_rows=%zu\n",
+                   name.c_str(), int(w.weighted_ecc), int(w.hop_ecc),
+                   w.toolkit_rows);
+    }
+  }
+  std::fprintf(stderr, "serving %zu graph(s), %u workers, queue=%zu, "
+               "batch=%zu; one JSON request per line on stdin\n",
+               engine.graph_names().size(), engine.worker_count(),
+               engine.options().max_in_flight, engine.options().max_batch);
+
+  // Responses go out in request order: futures queue up here and flush
+  // as their fronts become ready (fully blocking only at EOF), so slow
+  // queries never reorder the stream even though batches complete
+  // out of order internally.
+  struct Out {
+    std::string immediate;
+    std::optional<std::future<service::QueryResult>> fut;
+  };
+  std::deque<Out> outq;
+  const auto emit_ready = [&outq](bool block) {
+    while (!outq.empty()) {
+      Out& front = outq.front();
+      if (front.fut.has_value()) {
+        if (!block && front.fut->wait_for(std::chrono::seconds(0)) !=
+                          std::future_status::ready) {
+          return;
+        }
+        std::printf("%s\n", service::format_response(front.fut->get()).c_str());
+      } else {
+        std::printf("%s\n", front.immediate.c_str());
+      }
+      std::fflush(stdout);
+      outq.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      emit_ready(false);
+      continue;
+    }
+    service::Query q;
+    try {
+      q = service::parse_request(line);
+    } catch (const std::exception& e) {
+      service::QueryResult bad;
+      bad.error = e.what();
+      outq.push_back({service::format_response(bad), std::nullopt});
+      emit_ready(false);
+      continue;
+    }
+    const std::uint64_t id = q.id;
+    try {
+      Out o;
+      o.fut = engine.submit(std::move(q));
+      outq.push_back(std::move(o));
+    } catch (const service::AdmissionError& e) {
+      outq.push_back({service::format_rejection(id, e.what()), std::nullopt});
+    }
+    emit_ready(false);
+  }
+  emit_ready(true);
+
+  std::fprintf(stderr, "served %llu queries (%llu rejected, %llu errors)\n",
+               (unsigned long long)registry.counter("service.queries").value(),
+               (unsigned long long)registry.counter("service.rejected").value(),
+               (unsigned long long)registry.counter("service.errors").value());
+  for (const auto& type : engine.handler_types()) {
+    const auto& h = registry.histogram("service.latency_seconds." + type,
+                                       service::latency_histogram_bounds());
+    if (h.count() == 0) continue;
+    std::fprintf(stderr, "  %-24s n=%llu p50=%.3fms p95=%.3fms\n",
+                 type.c_str(), (unsigned long long)h.count(),
+                 h.quantile(0.5) * 1e3, h.quantile(0.95) * 1e3);
+  }
+  if (a.kv.count("metrics")) {
+    const std::string path = a.str("metrics", "");
+    runtime::write_file(path, registry.to_json());
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  auto engine = make_engine(a, /*auto_dispatch=*/false, nullptr);
+  service::register_unweighted_handlers(engine);
+  service::register_theorem11_handlers(engine);
+  engine.add_graph("g0", make_graph(a));
+  service::Query q;
+  q.id = a.num("id", 0);
+  q.type = a.str("type", "diameter");
+  q.node = static_cast<NodeId>(a.num("node", 0));
+  q.target = static_cast<NodeId>(a.num("target", 0));
+  q.seed = a.num("query-seed", 1);
+  const auto r = engine.query(q);
+  std::printf("%s\n", service::format_response(r).c_str());
+  return r.ok ? 0 : 2;
+}
+
 void usage() {
   std::printf(
       "usage: qcongest_cli <command> [options]\n"
@@ -307,7 +473,13 @@ void usage() {
       "  sweep     [--n 64,128] [--family ER,grid] [--seeds K]\n"
       "            [--eps-inv 0,8] [--algo bfs|baseline|t11|t11-radius]\n"
       "            [--maxw W] [--seed S] [--bandwidth B] [--workers K]\n"
-      "            [--out sweep_results.json] [--round-metrics]\n");
+      "            [--out sweep_results.json] [--round-metrics]\n"
+      "  serve     [--graphs f1.wg,f2.wg | --count K --n N --family F\n"
+      "            --maxw W --seed S] [--warm] [--workers K] [--queue Q]\n"
+      "            [--batch B] [--metrics FILE]\n"
+      "  query     --type T [--graph FILE | --n N --family F ...]\n"
+      "            [--node U] [--target V] [--query-seed S] [--id I]\n"
+      "            [--workers K]\n");
 }
 
 }  // namespace
@@ -326,6 +498,8 @@ int main(int argc, char** argv) {
     if (cmd == "baseline") return cmd_baseline(a);
     if (cmd == "params") return cmd_params(a);
     if (cmd == "sweep") return cmd_sweep(a);
+    if (cmd == "serve") return cmd_serve(a);
+    if (cmd == "query") return cmd_query(a);
     usage();
     return 1;
   } catch (const std::exception& e) {

@@ -10,7 +10,8 @@
 #                                      # concurrency-bearing suites
 #                                      # (test_graph, test_runtime,
 #                                      # test_congest, test_paths,
-#                                      # test_faults, test_theorem11)
+#                                      # test_faults, test_theorem11,
+#                                      # test_service)
 #   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
 #                                           # address | undefined | thread
 #
@@ -21,7 +22,9 @@
 # QC_SANITIZE=thread and runs only the two suites that exercise the
 # pool, rather than the full (slow under TSan) ctest sweep. The congest
 # and paths suites joined the list when the simulator gained its
-# pool-parallel round loop (Config::workers).
+# pool-parallel round loop (Config::workers), and the service suite
+# joined when src/service added a resident QueryEngine with a
+# dispatcher thread, concurrent submit(), and batched pool hand-off.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,7 +47,7 @@ if [ "$TSAN_ONLY" -eq 1 ]; then
   cmake -B "$BUILD_DIR" -S . -DQC_SANITIZE=thread
   cmake --build "$BUILD_DIR" -j --target \
     test_graph test_runtime test_congest test_paths test_faults \
-    test_theorem11
+    test_theorem11 test_service
   # Run the binaries directly: gtest_discover_tests registers per-test
   # ctest entries at build time, so a target-filtered build may not have
   # a complete ctest manifest.
@@ -56,6 +59,10 @@ if [ "$TSAN_ONLY" -eq 1 ]; then
   # The Theorem 1.1 driver suite exercises the pool-parallel oracle
   # (ensure_rows fan-out + concurrent evaluate_set) at workers > 1.
   "$BUILD_DIR/tests/test_theorem11"
+  # The service suite hammers QueryEngine from concurrent client
+  # threads (submit/drain/shutdown races, admission counter, metrics
+  # registry under contention).
+  "$BUILD_DIR/tests/test_service"
   exit 0
 fi
 
