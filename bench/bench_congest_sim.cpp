@@ -11,12 +11,17 @@
 // on_round out over the work-stealing pool. This bench times both on
 // identical workloads (BFS flood, Algorithm 1 bounded-hop SSSP, and the
 // Algorithm 4 overlay embedding), asserts the ledgers, traces and
-// program outputs are byte-identical (including across worker counts),
-// and writes BENCH_congest_sim.json.
+// program outputs are byte-identical (including across worker counts
+// and with the sharded mailbox merge forced on), and writes
+// BENCH_congest_sim.json with one row per (workload, variant, n,
+// workers).
 //
-// Usage: bench_congest_sim [--smoke] [--n N] [--out FILE]
+// Usage: bench_congest_sim [--smoke] [--large] [--n N] [--out FILE]
 //   --smoke   tiny instance for ctest (correctness + JSON, no timing
 //             claims)
+//   --large   additionally bench alg4_overlay on an n=65536 sparse ER
+//             graph (p = 8/n) at w = 1/2/4/8 — the sharded-merge
+//             scaling row; excluded from the ctest smoke entry
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -486,10 +491,13 @@ Outcome run_seed(const WeightedGraph& g, const Make& make, bool trace) {
 
 template <typename Program, typename Make>
 Outcome run_fast(const WeightedGraph& g, const Make& make, bool trace,
-                 unsigned workers) {
+                 unsigned workers,
+                 std::size_t sharded_min =
+                     congest::Config::Execution{}.sharded_merge_min_messages) {
   congest::Config cfg;
   cfg.record_trace = trace;
   cfg.workers = workers;
+  cfg.execution.sharded_merge_min_messages = sharded_min;
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   programs.reserve(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) programs.push_back(make(v));
@@ -507,27 +515,46 @@ Outcome run_fast(const WeightedGraph& g, const Make& make, bool trace,
 struct Row {
   std::string workload;
   std::string variant;
+  NodeId n = 0;           ///< node count of the graph this row ran on
+  unsigned workers = 1;   ///< Config::workers used (1 for the seed engine)
   double seconds = 0;
-  double speedup = 1.0;   ///< vs the workload's baseline variant
+  double speedup = 1.0;   ///< vs the workload's baseline variant (same n)
   bool identical = true;  ///< outcome equals the baseline outcome
 };
 
-std::string to_json(NodeId n, std::size_t m, unsigned hw,
-                    const std::vector<Row>& rows, double bfs_serial_speedup,
-                    bool deterministic) {
+struct Spec {
+  NodeId n = 0;        ///< base graph node count
+  std::size_t m = 0;   ///< base graph edge count
+  unsigned hardware_workers = 0;  ///< raw std::thread::hardware_concurrency()
+  std::vector<unsigned> benched_workers;
+  bool large = false;  ///< whether the n=65536 rows were benched
+};
+
+std::string to_json(const Spec& spec, const std::vector<Row>& rows,
+                    double bfs_serial_speedup, double overlay_w8_speedup,
+                    NodeId overlay_n, bool deterministic) {
   std::ostringstream os;
-  os << "{\n  \"spec\": {\"n\": " << n << ", \"m\": " << m
-     << ", \"hardware_workers\": " << hw << "},\n  \"results\": [\n";
+  os << "{\n  \"spec\": {\"n\": " << spec.n << ", \"m\": " << spec.m
+     << ", \"hardware_workers\": " << spec.hardware_workers
+     << ", \"benched_workers\": [";
+  for (std::size_t i = 0; i < spec.benched_workers.size(); ++i) {
+    os << (i ? ", " : "") << spec.benched_workers[i];
+  }
+  os << "], \"large\": " << (spec.large ? "true" : "false")
+     << "},\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     os << "    {\"workload\": \"" << r.workload << "\", \"variant\": \""
-       << r.variant << "\", \"seconds\": " << r.seconds
+       << r.variant << "\", \"n\": " << r.n << ", \"workers\": " << r.workers
+       << ", \"seconds\": " << r.seconds
        << ", \"speedup_vs_baseline\": " << r.speedup << ", \"identical\": "
        << (r.identical ? "true" : "false") << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"acceptance\": {\"bfs_fast_serial_speedup_vs_seed\": "
-     << bfs_serial_speedup << ", \"byte_identical_at_all_worker_counts\": "
+     << bfs_serial_speedup << ", \"alg4_overlay_w8_speedup_vs_w1\": "
+     << overlay_w8_speedup << ", \"alg4_overlay_speedup_n\": " << overlay_n
+     << ", \"byte_identical_at_all_worker_counts\": "
      << (deterministic ? "true" : "false") << "}\n}\n";
   return os.str();
 }
@@ -537,11 +564,14 @@ std::string to_json(NodeId n, std::size_t m, unsigned hw,
 int main(int argc, char** argv) {
   NodeId n = 2048;
   bool smoke = false;
+  bool large = false;
   std::string out_path = "BENCH_congest_sim.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
       n = 128;
+    } else if (std::strcmp(argv[i], "--large") == 0) {
+      large = true;
     } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
       n = static_cast<NodeId>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -555,23 +585,35 @@ int main(int argc, char** argv) {
   g = gen::randomize_weights(g, 64, rng);
   g.csr();  // warm the CSR/slot caches outside the timers (one-time cost)
   g.slot_index();
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Report the machine as it is: hardware_concurrency() verbatim (0 =
+  // unknown), not clamped to the worker counts we bench. The benched
+  // counts live in spec.benched_workers — on a box with fewer cores
+  // than 8 the w=8 rows still run (oversubscribed) and are still
+  // byte-identical; they just can't show wall-clock scaling.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::vector<unsigned> benched_workers = {1, 2, 4, 8};
   const int reps_bfs = smoke ? 2 : 8;
   const int reps_hop = smoke ? 1 : 2;
   const int batches = smoke ? 1 : 5;  // best-of-k, see best_of()
 
-  std::printf("congest simulator: %s, avg deg %.1f, B=%u bits\n\n",
-              g.summary().c_str(), 2.0 * double(g.edge_count()) / double(n),
-              congest::default_bandwidth(n));
+  std::printf(
+      "congest simulator: %s, avg deg %.1f, B=%u bits, %u hardware "
+      "worker(s)\n\n",
+      g.summary().c_str(), 2.0 * double(g.edge_count()) / double(n),
+      congest::default_bandwidth(n), hw);
 
   std::vector<Row> rows;
-  TextTable table({"workload", "variant", "wall s", "speedup", "identical"});
+  TextTable table(
+      {"workload", "variant", "n", "w", "wall s", "speedup", "identical"});
   const auto push = [&](const std::string& workload,
-                        const std::string& variant, double secs,
-                        double base_secs, bool identical) {
+                        const std::string& variant, NodeId row_n,
+                        unsigned workers, double secs, double base_secs,
+                        bool identical) {
     const double speedup = secs > 0 ? base_secs / secs : 0.0;
-    rows.push_back({workload, variant, secs, speedup, identical});
-    table.add(workload, variant, secs, speedup, identical ? "yes" : "NO");
+    rows.push_back({workload, variant, row_n, workers, secs, speedup,
+                    identical});
+    table.add(workload, variant, row_n, workers, secs, speedup,
+              identical ? "yes" : "NO");
   };
 
   bool all_identical = true;
@@ -590,8 +632,11 @@ int main(int argc, char** argv) {
     using FastP = BfsFloodProgram<FastApi>;
 
     const Outcome golden = run_seed<SeedP>(g, seed_make, /*trace=*/true);
-    for (const unsigned w : {1u, 2u, 8u}) {
-      const Outcome got = run_fast<FastP>(g, fast_make, /*trace=*/true, w);
+    for (const unsigned w : benched_workers) {
+      // Force the sharded merge (min=0) so the identity check covers the
+      // parallel scatter path even where n is below the default threshold.
+      const Outcome got =
+          run_fast<FastP>(g, fast_make, /*trace=*/true, w, /*sharded_min=*/0);
       all_identical &= got == golden;
     }
 
@@ -603,16 +648,15 @@ int main(int argc, char** argv) {
           for (int r = 0; r < reps_bfs; ++r) run_fast<FastP>(g, fast_make, false, 1);
         },
         [&] {
-          for (int r = 0; r < reps_bfs; ++r) run_fast<FastP>(g, fast_make, false, hw);
+          for (int r = 0; r < reps_bfs; ++r) run_fast<FastP>(g, fast_make, false, 8);
         },
     };
     const bool use_cpu[] = {true, true, false};
     const std::vector<double> t = best_of(batches, variants, use_cpu);
-    push("bfs_flood", "seed serial", t[0], t[0], true);
+    push("bfs_flood", "seed serial", n, 1, t[0], t[0], true);
     bfs_serial_speedup = t[1] > 0 ? t[0] / t[1] : 0.0;
-    push("bfs_flood", "fast w=1", t[1], t[0], all_identical);
-    push("bfs_flood", "fast pooled w=" + std::to_string(hw), t[2], t[0],
-         all_identical);
+    push("bfs_flood", "fast w=1", n, 1, t[1], t[0], all_identical);
+    push("bfs_flood", "fast pooled", n, 8, t[2], t[0], all_identical);
   }
 
   // Algorithm 1: bounded-hop SSSP.
@@ -629,10 +673,20 @@ int main(int argc, char** argv) {
     using FastP = HopSsspProgram<FastApi>;
 
     const Outcome golden = run_seed<SeedP>(g, seed_make, /*trace=*/true);
-    for (const unsigned w : {1u, 2u, 8u}) {
-      const Outcome got = run_fast<FastP>(g, fast_make, /*trace=*/true, w);
+    for (const unsigned w : benched_workers) {
+      const Outcome got =
+          run_fast<FastP>(g, fast_make, /*trace=*/true, w, /*sharded_min=*/0);
       all_identical &= got == golden;
     }
+    // Workload shape for the docs/perf.md serial-bound analysis: alg1
+    // runs many rounds each carrying very few deliveries, so neither
+    // the pooled round loop nor the sharded merge has work to spread.
+    std::printf("alg1_hop_sssp shape: %llu rounds, %llu messages "
+                "(%.1f deliveries/round)\n",
+                static_cast<unsigned long long>(golden.stats.rounds),
+                static_cast<unsigned long long>(golden.stats.messages),
+                double(golden.stats.messages) /
+                    double(std::max<std::uint64_t>(1, golden.stats.rounds)));
 
     const std::function<void()> variants[] = {
         [&] {
@@ -642,62 +696,112 @@ int main(int argc, char** argv) {
           for (int r = 0; r < reps_hop; ++r) run_fast<FastP>(g, fast_make, false, 1);
         },
         [&] {
-          for (int r = 0; r < reps_hop; ++r) run_fast<FastP>(g, fast_make, false, hw);
+          for (int r = 0; r < reps_hop; ++r) run_fast<FastP>(g, fast_make, false, 8);
         },
     };
     const bool use_cpu[] = {true, true, false};
     const std::vector<double> t = best_of(batches, variants, use_cpu);
-    push("alg1_hop_sssp", "seed serial", t[0], t[0], true);
-    push("alg1_hop_sssp", "fast w=1", t[1], t[0], all_identical);
-    push("alg1_hop_sssp", "fast pooled w=" + std::to_string(hw), t[2], t[0],
-         all_identical);
+    push("alg1_hop_sssp", "seed serial", n, 1, t[0], t[0], true);
+    push("alg1_hop_sssp", "fast w=1", n, 1, t[1], t[0], all_identical);
+    push("alg1_hop_sssp", "fast pooled", n, 8, t[2], t[0], all_identical);
   }
 
   // Algorithm 4: overlay embedding through the public API (fast engine
-  // only — the seed engine predates it); worker counts must agree.
-  {
-    const std::size_t b = std::min<std::size_t>(8, n);
+  // only — the seed engine predates it); worker counts must agree. This
+  // is the sharded-merge scaling workload: every round moves dense
+  // broadcast batches, so the merge dominates and per-worker rows show
+  // whether the parallel scatter pays off. Returns the w=8 vs w=1
+  // speedup for the acceptance record.
+  const auto bench_overlay = [&](const WeightedGraph& gg) {
+    const NodeId nn = gg.node_count();
+    const std::size_t b = std::min<std::size_t>(8, nn);
     std::vector<NodeId> sources;
     for (std::size_t a = 0; a < b; ++a) {
-      sources.push_back(static_cast<NodeId>(a * n / b));
+      sources.push_back(static_cast<NodeId>(a * nn / b));
     }
     std::vector<std::vector<Dist>> approx_rows;
     approx_rows.reserve(b);
-    for (const NodeId s : sources) approx_rows.push_back(dijkstra(g, s));
-    const paths::Params params = paths::Params::make(n, /*D=*/16);
+    for (const NodeId s : sources) approx_rows.push_back(dijkstra(gg, s));
+    const paths::Params params = paths::Params::make(nn, /*D=*/16);
 
-    const auto run_overlay = [&](unsigned w) {
+    const auto run_overlay = [&](unsigned w, std::size_t sharded_min) {
       congest::Config cfg;
       cfg.workers = w;
+      cfg.execution.sharded_merge_min_messages = sharded_min;
       return paths::distributed_embed_overlay(
-          g, approx_rows,
+          gg, approx_rows,
           paths::RunRequest{}
               .with_sources(sources)
               .with_params(params)
               .with_config(cfg));
     };
+    const auto same_embedding = [](const paths::OverlayEmbedding& a,
+                                   const paths::OverlayEmbedding& b2) {
+      return a.w1 == b2.w1 && a.w2 == b2.w2 && a.nearest_k == b2.nearest_k &&
+             a.max_w2 == b2.max_w2 && a.stats == b2.stats;
+    };
+    const std::size_t def_min =
+        congest::Config::Execution{}.sharded_merge_min_messages;
+
     paths::OverlayEmbedding golden;
-    const double t_base = time_of([&] { golden = run_overlay(1); });
-    push("alg4_overlay", "fast w=1", t_base, t_base, true);
-    for (const unsigned w : {2u, 8u}) {
+    const double t_base =
+        time_of([&] { golden = run_overlay(1, def_min); });
+    push("alg4_overlay", "fast w=1", nn, 1, t_base, t_base, true);
+    double w8_speedup = 0;
+    for (const unsigned w : {2u, 4u, 8u}) {
       paths::OverlayEmbedding got;
-      const double t_w = time_of([&] { got = run_overlay(w); });
-      const bool same = got.w1 == golden.w1 && got.w2 == golden.w2 &&
-                        got.nearest_k == golden.nearest_k &&
-                        got.max_w2 == golden.max_w2 &&
-                        got.stats == golden.stats;
+      const double t_w = time_of([&] { got = run_overlay(w, def_min); });
+      bool same = same_embedding(got, golden);
+      if (nn < 4 * def_min) {
+        // Small graphs sit below the sharding threshold in the timed run
+        // above; re-run with the sharded merge forced on so the identity
+        // flag covers the parallel scatter path too. Large graphs clear
+        // the threshold naturally, so the timed run already did.
+        same = same && same_embedding(run_overlay(w, 0), golden);
+      }
       all_identical &= same;
-      push("alg4_overlay", "fast w=" + std::to_string(w), t_w, t_base, same);
+      push("alg4_overlay", "fast w=" + std::to_string(w), nn, w, t_w, t_base,
+           same);
+      if (w == 8) w8_speedup = t_w > 0 ? t_base / t_w : 0.0;
     }
+    return w8_speedup;
+  };
+
+  double overlay_w8_speedup = bench_overlay(g);
+  NodeId overlay_n = n;
+  if (large) {
+    // The scaling row the acceptance targets: n=65536 sparse ER
+    // (p = 8/n), alg4_overlay at w = 1/2/4/8. Separate RNG stream so
+    // --large never perturbs the base-graph rows.
+    Rng lrng(2023);
+    const NodeId ln = 65536;
+    auto lg = gen::erdos_renyi_connected(ln, 8.0 / double(ln), lrng);
+    lg = gen::randomize_weights(lg, 64, lrng);
+    lg.csr();
+    lg.slot_index();
+    std::printf("large graph: %s, avg deg %.1f\n", lg.summary().c_str(),
+                2.0 * double(lg.edge_count()) / double(ln));
+    overlay_w8_speedup = bench_overlay(lg);
+    overlay_n = ln;
   }
 
   std::printf("%s\n", table.render().c_str());
   std::printf("bfs fast-path speedup vs seed (one core): %.2fx "
               "(acceptance target >= 3x; byte-identical outcomes %s)\n",
               bfs_serial_speedup, all_identical ? "hold" : "FAIL");
+  std::printf("alg4_overlay w=8 vs w=1 at n=%u: %.2fx (the >= 3x target "
+              "presumes >= 8 hardware workers; this host reports %u)\n",
+              static_cast<unsigned>(overlay_n), overlay_w8_speedup, hw);
 
-  runtime::write_file(out_path, to_json(n, g.edge_count(), hw, rows,
-                                        bfs_serial_speedup, all_identical));
+  Spec spec;
+  spec.n = n;
+  spec.m = g.edge_count();
+  spec.hardware_workers = hw;
+  spec.benched_workers = benched_workers;
+  spec.large = large;
+  runtime::write_file(out_path, to_json(spec, rows, bfs_serial_speedup,
+                                        overlay_w8_speedup, overlay_n,
+                                        all_identical));
   std::printf("wrote %s\n", out_path.c_str());
 
   return all_identical ? 0 : 1;

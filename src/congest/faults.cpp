@@ -96,9 +96,20 @@ FaultEngine::FaultEngine(const FaultPlan& plan, const EdgeSlotIndex& slots,
 const FaultEvent* FaultEngine::find_event(std::uint64_t delivery_round,
                                           NodeId from, NodeId to,
                                           std::uint32_t ordinal) const {
+  return find_in(events_for_round(delivery_round), from, to, ordinal);
+}
+
+const std::vector<FaultEvent>* FaultEngine::events_for_round(
+    std::uint64_t delivery_round) const {
   const auto it = events_.find(delivery_round);
-  if (it == events_.end()) return nullptr;
-  for (const FaultEvent& e : it->second) {
+  return it == events_.end() ? nullptr : &it->second;
+}
+
+const FaultEvent* FaultEngine::find_in(const std::vector<FaultEvent>* bucket,
+                                       NodeId from, NodeId to,
+                                       std::uint32_t ordinal) {
+  if (bucket == nullptr) return nullptr;
+  for (const FaultEvent& e : *bucket) {
     if (e.from == from && e.to == to && e.slot == ordinal) return &e;
   }
   return nullptr;
@@ -108,8 +119,15 @@ FaultEngine::Decision FaultEngine::decide(std::uint64_t delivery_round,
                                           NodeId from, NodeId to,
                                           std::size_t edge,
                                           std::uint32_t ordinal) const {
+  return decide(delivery_round, from, to, edge, ordinal,
+                events_for_round(delivery_round));
+}
+
+FaultEngine::Decision FaultEngine::decide(
+    std::uint64_t delivery_round, NodeId from, NodeId to, std::size_t edge,
+    std::uint32_t ordinal, const std::vector<FaultEvent>* round_events) const {
   Decision d;
-  if (const FaultEvent* e = find_event(delivery_round, from, to, ordinal)) {
+  if (const FaultEvent* e = find_in(round_events, from, to, ordinal)) {
     switch (e->kind) {
       case FaultKind::kDrop:
         d.drop = true;

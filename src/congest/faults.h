@@ -176,6 +176,19 @@ class FaultEngine {
   Decision decide(std::uint64_t delivery_round, NodeId from, NodeId to,
                   std::size_t edge, std::uint32_t ordinal) const;
 
+  /// The explicit events scheduled for `delivery_round` (nullptr when
+  /// there are none — the common case). The faulted merge hoists this
+  /// map lookup out of its per-message loop and passes the result to
+  /// the `decide` overload below: one find per merge, not per message.
+  const std::vector<FaultEvent>* events_for_round(
+      std::uint64_t delivery_round) const;
+
+  /// As `decide`, but with the round's event bucket already resolved
+  /// via events_for_round (pass nullptr for an event-free round).
+  Decision decide(std::uint64_t delivery_round, NodeId from, NodeId to,
+                  std::size_t edge, std::uint32_t ordinal,
+                  const std::vector<FaultEvent>* round_events) const;
+
   /// True iff the directed link from→to is down for `delivery_round`.
   bool link_down(std::uint64_t delivery_round, NodeId from, NodeId to) const;
 
@@ -197,6 +210,9 @@ class FaultEngine {
  private:
   const FaultEvent* find_event(std::uint64_t delivery_round, NodeId from,
                                NodeId to, std::uint32_t ordinal) const;
+  static const FaultEvent* find_in(const std::vector<FaultEvent>* bucket,
+                                   NodeId from, NodeId to,
+                                   std::uint32_t ordinal);
 
   std::uint64_t seed_;
   FaultProbabilities probs_;

@@ -208,6 +208,23 @@ void Simulator::clear_mailbox(int b) {
   touched_[b].clear();
 }
 
+// Shared placement pass: assigns contiguous arena rows (begin offsets +
+// fill cursors) for `rows` starting at `off`; returns the end offset.
+// All three merges route through here — the fast and faulted merges
+// place every touched receiver from offset 0, the sharded merge places
+// each shard's receivers from that shard's arena base.
+std::size_t Simulator::place_rows(std::span<const NodeId> rows, int dst,
+                                  std::size_t off) {
+  auto& begin = inbox_begin_[dst];
+  const auto& count = inbox_count_[dst];
+  for (NodeId v : rows) {
+    begin[v] = off;
+    fill_[v] = off;
+    off += count[v];
+  }
+  return off;
+}
+
 // Serial merge of the per-sender outboxes into mailbox buffer `dst`.
 // Iterating senders in actives_ order (ascending node id) and each
 // outbox in program order reproduces exactly the ledger/trace ordering
@@ -215,7 +232,6 @@ void Simulator::clear_mailbox(int b) {
 // pooled rounds byte-identical to serial ones.
 void Simulator::merge_outboxes(int dst) {
   auto& arena = arena_[dst];
-  auto& begin = inbox_begin_[dst];
   auto& count = inbox_count_[dst];
   auto& touched = touched_[dst];
 
@@ -273,12 +289,7 @@ void Simulator::merge_outboxes(int dst) {
   // row placement is not observable, only row contents are). The arena
   // only ever grows and never default-constructs ahead of use.
   arena.ensure_capacity(total);
-  std::size_t off = 0;
-  for (NodeId v : touched) {
-    begin[v] = off;
-    fill_[v] = off;
-    off += count[v];
-  }
+  place_rows(touched, dst, 0);
 
   // Pass 3: scatter, replaying seq order per sender so each receiver's
   // row is in (sender id, program order) — the order the old
@@ -342,6 +353,275 @@ void Simulator::merge_outboxes(int dst) {
   arena.note_filled(total);
 }
 
+// Builds (or rebuilds, when the worker count changes) the receiver
+// shard plan for the parallel merge. Topology-only: shard boundaries
+// come from the CSR's degree-balanced prefix-sum cut, and the broadcast
+// buckets are a per-row counting sort of each sender's adjacency slots
+// by destination shard — both deterministic, both reusable across runs.
+// Shards are capped at 64: node_shard_ stays one byte per node, and
+// past ~64 receiver ranges the fork/join overhead dominates any split.
+void Simulator::ensure_shard_plan(unsigned workers) {
+  const unsigned want = std::min(workers, 64u);
+  if (want == shard_plan_workers_) return;
+  shard_plan_workers_ = want;
+  const NodeId n = csr_->node_count();
+  shard_bounds_ = csr_->balanced_node_shards(want);
+  const std::size_t S = shard_bounds_.size() - 1;
+  node_shard_.assign(n, 0);
+  for (std::size_t sh = 0; sh < S; ++sh) {
+    for (NodeId v = shard_bounds_[sh]; v < shard_bounds_[sh + 1]; ++v) {
+      node_shard_[v] = static_cast<std::uint8_t>(sh);
+    }
+  }
+  // Broadcast buckets: for every sender row, the local slots grouped by
+  // destination shard, stable within a group (ascending slot — the
+  // order the serial scatter visits them). bucket_off_ holds absolute
+  // cuts into bucket_slot_, so a row's group sh is
+  // bucket_slot_[off[sh], off[sh+1]).
+  bucket_off_.assign(static_cast<std::size_t>(n) * (S + 1), 0);
+  bucket_slot_.resize(slots_->directed_edge_count());
+  bucket_cursor_.assign(S, 0);
+  for (NodeId from = 0; from < n; ++from) {
+    const auto row = csr_->neighbors(from);
+    std::size_t* off =
+        bucket_off_.data() + static_cast<std::size_t>(from) * (S + 1);
+    off[0] = slots_->edge_index(from, 0);  // = the row's CSR offset
+    std::fill(bucket_cursor_.begin(), bucket_cursor_.end(), 0);
+    for (const HalfEdge& he : row) ++bucket_cursor_[node_shard_[he.to]];
+    for (std::size_t sh = 0; sh < S; ++sh) {
+      off[sh + 1] = off[sh] + bucket_cursor_[sh];
+    }
+    std::copy(off, off + S, bucket_cursor_.begin());
+    for (std::uint32_t s = 0; s < row.size(); ++s) {
+      bucket_slot_[bucket_cursor_[node_shard_[row[s].to]]++] = s;
+    }
+  }
+  shard_touched_.resize(S);
+  shard_base_.assign(S + 1, 0);
+}
+
+// Shard-parallel merge — the pooled counterpart of merge_outboxes, and
+// the reason pooled rounds scale past the program phase (docs/perf.md,
+// "Sharded mailbox delivery"). Two parallel phases around one serial
+// reduce:
+//   pass 1 fuses receiver-side counting (one task per shard: count[],
+//   touched, shard totals — every write receiver-owned, so shard-
+//   disjoint) with sender-side accounting (one task per balanced sender
+//   chunk: ledger bits and the trace slice, whose position is known up
+//   front because deliveries-per-sender is exactly trace-entries-per-
+//   sender);
+//   the serial reduce folds chunk tallies in deterministic order and
+//   turns shard totals into arena region bases;
+//   pass 2 places rows and scatters, one task per shard, each shard
+//   replaying ALL senders in (sender id, program order) but emitting
+//   only deliveries it owns — per-receiver row contents come out
+//   byte-identical to the serial merge. Broadcasts expand via the
+//   precomputed per-shard buckets; a directed edge's bandwidth slot is
+//   owned by its destination's shard, so the reset/utilization sample
+//   is race-free too.
+// What may differ from the serial merge is only unobservable: touched_
+// order (build_actives sorts or flag-scans), arena row placement
+// (programs see spans), and that broadcast payloads are always copied
+// (the serial merge moves the last copy).
+void Simulator::merge_outboxes_sharded(int dst, runtime::ThreadPool& pool) {
+  // Pass 0 (serial, O(#senders)): who queued mail and how many
+  // deliveries each sender expands to. The per-sender counts are both
+  // the balance weights for the accounting chunks and the trace-slice
+  // prefix.
+  merge_senders_.clear();
+  sender_prefix_.clear();
+  sender_prefix_.push_back(0);
+  for (NodeId from : actives_) {
+    const Outbox& box = outbox_[from];
+    if (box.empty()) continue;
+    merge_senders_.push_back(from);
+    sender_prefix_.push_back(sender_prefix_.back() + box.singles.size() +
+                             box.bcasts.size() * csr_->degree(from));
+  }
+  const auto total = static_cast<std::size_t>(sender_prefix_.back());
+  const std::size_t S = shard_bounds_.size() - 1;
+  if (merge_senders_.empty() || S < 2 ||
+      total < config_.execution.sharded_merge_min_messages) {
+    merge_outboxes(dst);  // nothing mutated yet: clean fallback
+    return;
+  }
+
+  auto& arena = arena_[dst];
+  auto& count = inbox_count_[dst];
+  auto& touched = touched_[dst];
+  char* tflag = touched_flag_[dst].data();
+
+  stats_.messages += total;
+  arena.ensure_capacity(total);
+  const std::size_t trace_base = trace_.size();
+  if (config_.hooks.record_trace) trace_.resize(trace_base + total);
+
+  runtime::balanced_ranges(sender_prefix_, pool.worker_count() * 2,
+                           sender_bounds_);
+  const std::size_t C = sender_bounds_.size() - 1;
+  merge_chunks_.assign(S + C, MergeChunk{});
+  for (auto& mine : shard_touched_) mine.clear();
+
+  // Pass 1 (parallel): tasks [0, S) count deliveries per owned
+  // receiver; tasks [S, S+C) account a sender chunk's ledger bits and
+  // fill its trace slice. The two sides touch disjoint state, so they
+  // share one fork/join.
+  runtime::parallel_for(pool, S + C, [&](std::size_t t) {
+    if (t < S) {
+      const auto sh = static_cast<std::uint8_t>(t);
+      auto& mine = shard_touched_[t];
+      std::uint64_t owned = 0;
+      for (NodeId from : merge_senders_) {
+        const Outbox& box = outbox_[from];
+        for (const OutMsg& sm : box.singles) {
+          if (node_shard_[sm.to] != sh) continue;
+          if (count[sm.to] == 0) {
+            mine.push_back(sm.to);
+            tflag[sm.to] = 1;
+          }
+          ++count[sm.to];
+          ++owned;
+        }
+        if (!box.bcasts.empty()) {
+          const auto k = static_cast<std::uint32_t>(box.bcasts.size());
+          const auto row = csr_->neighbors(from);
+          const std::size_t* off =
+              bucket_off_.data() + static_cast<std::size_t>(from) * (S + 1);
+          for (std::size_t i = off[t]; i < off[t + 1]; ++i) {
+            const NodeId to = row[bucket_slot_[i]].to;
+            if (count[to] == 0) {
+              mine.push_back(to);
+              tflag[to] = 1;
+            }
+            count[to] += k;
+          }
+          owned += (off[t + 1] - off[t]) * std::uint64_t{k};
+        }
+      }
+      merge_chunks_[t].total = owned;
+    } else {
+      const std::size_t c = t - S;
+      std::uint64_t bits_sum = 0;
+      TraceEntry* tr =
+          config_.hooks.record_trace
+              ? trace_.data() + trace_base + sender_prefix_[sender_bounds_[c]]
+              : nullptr;
+      for (std::size_t i = sender_bounds_[c]; i < sender_bounds_[c + 1]; ++i) {
+        const NodeId from = merge_senders_[i];
+        const Outbox& box = outbox_[from];
+        auto si = box.singles.begin();
+        auto bi = box.bcasts.begin();
+        const auto row = csr_->neighbors(from);
+        while (si != box.singles.end() || bi != box.bcasts.end()) {
+          if (bi == box.bcasts.end() ||
+              (si != box.singles.end() && si->seq < bi->seq)) {
+            const std::uint32_t bits = si->msg.bit_size();
+            bits_sum += bits;
+            if (tr) *tr++ = TraceEntry{round_, from, si->to, bits};
+            ++si;
+          } else {
+            const std::uint32_t bits = bi->msg.bit_size();
+            bits_sum += std::uint64_t{bits} * row.size();
+            if (tr) {
+              for (const HalfEdge& he : row) {
+                *tr++ = TraceEntry{round_, from, he.to, bits};
+              }
+            }
+            ++bi;
+          }
+        }
+      }
+      merge_chunks_[t].bits = bits_sum;
+    }
+  });
+
+  // Serial reduce, deterministic order: ledger bits chunk by chunk,
+  // shard totals into contiguous arena region bases.
+  for (std::size_t c = 0; c < C; ++c) stats_.bits += merge_chunks_[S + c].bits;
+  std::size_t off = 0;
+  for (std::size_t sh = 0; sh < S; ++sh) {
+    shard_base_[sh] = off;
+    off += static_cast<std::size_t>(merge_chunks_[sh].total);
+  }
+  shard_base_[S] = off;
+  QC_CHECK(off == total, "sharded merge lost deliveries");
+
+  // Pass 2 (parallel, one task per shard): place the shard's rows in
+  // its arena region, then scatter by replaying every sender's seq
+  // order and keeping only owned deliveries. Singles are moved (their
+  // one consumer is this shard); broadcast payloads are copied (other
+  // shards are reading them concurrently).
+  Incoming* a = arena.data();
+  const std::size_t watermark = arena.constructed();
+  runtime::parallel_for(pool, S, [&](std::size_t t) {
+    const auto sh = static_cast<std::uint8_t>(t);
+    place_rows(shard_touched_[t], dst, shard_base_[t]);
+    std::uint32_t max_bits = 0;
+    const auto reset_edge = [&](std::size_t e) {
+      if (edge_bits_[e] != 0) {
+        max_bits = std::max(max_bits, edge_bits_[e]);
+        edge_bits_[e] = 0;
+      }
+    };
+    const auto put_move = [&](NodeId to, NodeId from, Message&& m) {
+      const std::size_t idx = fill_[to]++;
+      if (idx < watermark) {
+        a[idx].from = from;
+        a[idx].msg = std::move(m);
+      } else {
+        ::new (a + idx) Incoming{from, std::move(m)};
+      }
+    };
+    const auto put_copy = [&](NodeId to, NodeId from, const Message& m) {
+      const std::size_t idx = fill_[to]++;
+      if (idx < watermark) {
+        a[idx].from = from;
+        a[idx].msg = m;
+      } else {
+        ::new (a + idx) Incoming{from, m};
+      }
+    };
+    for (NodeId from : merge_senders_) {
+      Outbox& box = outbox_[from];
+      auto si = box.singles.begin();
+      auto bi = box.bcasts.begin();
+      const auto row = csr_->neighbors(from);
+      const std::size_t base = row.empty() ? 0 : slots_->edge_index(from, 0);
+      const std::size_t* boff =
+          bucket_off_.data() + static_cast<std::size_t>(from) * (S + 1);
+      while (si != box.singles.end() || bi != box.bcasts.end()) {
+        if (bi == box.bcasts.end() ||
+            (si != box.singles.end() && si->seq < bi->seq)) {
+          if (node_shard_[si->to] == sh) {
+            reset_edge(slots_->edge_index(from, si->slot));
+            put_move(si->to, from, std::move(si->msg));
+          }
+          ++si;
+        } else {
+          for (std::size_t i = boff[t]; i < boff[t + 1]; ++i) {
+            const std::uint32_t s = bucket_slot_[i];
+            reset_edge(base + s);
+            put_copy(row[s].to, from, bi->msg);
+          }
+          ++bi;
+        }
+      }
+    }
+    merge_chunks_[t].max_edge_bits = max_bits;
+  });
+
+  for (std::size_t sh = 0; sh < S; ++sh) {
+    round_max_edge_bits_ =
+        std::max(round_max_edge_bits_, merge_chunks_[sh].max_edge_bits);
+  }
+  arena.note_filled(total);
+  for (const auto& mine : shard_touched_) {
+    touched.insert(touched.end(), mine.begin(), mine.end());
+  }
+  for (NodeId from : merge_senders_) outbox_[from].clear();
+  queued_count_ = total;
+}
+
 // Fault-path merge: same serial (sender id, program order) replay as
 // merge_outboxes, but every send is resolved through the FaultEngine
 // before it reaches a mailbox. The ledger and trace account every
@@ -352,7 +632,6 @@ void Simulator::merge_outboxes(int dst) {
 // merge and round 0's merge both run with round_ == 0.
 void Simulator::merge_outboxes_faulted(int dst) {
   auto& arena = arena_[dst];
-  auto& begin = inbox_begin_[dst];
   auto& count = inbox_count_[dst];
   auto& touched = touched_[dst];
   char* tflag = touched_flag_[dst].data();
@@ -386,7 +665,11 @@ void Simulator::merge_outboxes_faulted(int dst) {
   // Pass 1b: this phase's sends. Resolution order per message:
   // link-down > receiver crash > explicit/probabilistic decision; a
   // delayed message is re-checked against receiver crashes on arrival.
+  // The round's explicit-event bucket is resolved once here, not once
+  // per message (events_ is a map keyed by delivery round).
   touched_edge_scratch_.clear();
+  const std::vector<FaultEvent>* round_events =
+      faults_->events_for_round(delivery_round_);
   const auto resolve = [&](NodeId from, NodeId to, std::size_t e,
                            Message&& m) {
     const std::uint32_t bits = m.bit_size();
@@ -412,7 +695,7 @@ void Simulator::merge_outboxes_faulted(int dst) {
       return;
     }
     const FaultEngine::Decision d =
-        faults_->decide(delivery_round_, from, to, e, ordinal);
+        faults_->decide(delivery_round_, from, to, e, ordinal, round_events);
     if (d.drop) {
       ++fc.dropped;
       return;
@@ -471,12 +754,7 @@ void Simulator::merge_outboxes_faulted(int dst) {
     }
   }
   arena.ensure_capacity(total);
-  std::size_t off = 0;
-  for (NodeId v : touched) {
-    begin[v] = off;
-    fill_[v] = off;
-    off += count[v];
-  }
+  place_rows(touched, dst, 0);
   Incoming* a = arena.data();
   const std::size_t watermark = arena.constructed();
   for (Delivery& d : resolved_) {
@@ -571,15 +849,27 @@ void Simulator::run_actives(
   // Everything a worker touches here is owned by the node it runs:
   // programs[v], contexts[v], node_rngs_[v], outbox_[v], node_done_[v],
   // and the sender's disjoint stripe of edge_bits_. Shared engine state
-  // (ledger, trace, mailboxes) is only touched in the serial merge.
-  const std::size_t cnt = actives_.size();
-  const std::size_t chunks =
-      std::min(cnt, static_cast<std::size_t>(pool->worker_count()) * 4);
-  runtime::parallel_for(*pool, chunks, [&](std::size_t c) {
-    const std::size_t lo = cnt * c / chunks;
-    const std::size_t hi = cnt * (c + 1) / chunks;
-    for (std::size_t i = lo; i < hi; ++i) run_one(actives_[i]);
-  });
+  // (ledger, trace, mailboxes) is only touched in the merge, whose
+  // parallel form partitions it by receiver shard.
+  //
+  // Chunks are cut by estimated per-node work — 1 + inbox size +
+  // degree — not by node count: a hub node's on_round reads and sends
+  // orders of magnitude more than a leaf's, and equal-count chunks
+  // leave the hub's chunk as the straggler every round.
+  actives_prefix_.clear();
+  actives_prefix_.reserve(actives_.size() + 1);
+  actives_prefix_.push_back(0);
+  for (NodeId v : actives_) {
+    actives_prefix_.push_back(actives_prefix_.back() + 1 + count[v] +
+                              csr_->degree(v));
+  }
+  runtime::balanced_ranges(actives_prefix_,
+                           static_cast<std::size_t>(pool->worker_count()) * 4,
+                           actives_bounds_);
+  runtime::parallel_for_ranges(
+      *pool, actives_bounds_, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) run_one(actives_[i]);
+      });
 }
 
 RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) {
@@ -614,8 +904,28 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
   // fault plan, accounting always defers to the (serial) faulted merge:
   // queue-time accounting counts receiver mailboxes at admission, before
   // the engine has decided whether the message survives.
-  queue_accounting_ = config_.execution.pool == nullptr &&
-                      config_.execution.workers == 1 && faults_ == nullptr;
+  runtime::ThreadPool* pool = round_pool();
+  queue_accounting_ = pool == nullptr && faults_ == nullptr;
+
+  // Pooled fault-free runs merge through the receiver-sharded parallel
+  // path once a phase is big enough (byte-identical either way — the
+  // sharded merge falls back below its threshold). The faulted merge
+  // stays serial: fault resolution order is part of its determinism
+  // contract.
+  if (pool != nullptr && faults_ == nullptr) {
+    ensure_shard_plan(pool->worker_count());
+  }
+  const bool sharded =
+      pool != nullptr && faults_ == nullptr && shard_bounds_.size() > 2;
+  const auto do_merge = [&](int dst) {
+    if (faults_) {
+      merge_outboxes_faulted(dst);
+    } else if (sharded) {
+      merge_outboxes_sharded(dst, *pool);
+    } else {
+      merge_outboxes(dst);
+    }
+  };
 
   std::vector<NodeContext> contexts;
   contexts.reserve(n);
@@ -641,11 +951,7 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
   // Start-phase sends are delivered in round 0; round r's sends are
   // delivered in round r+1 (delivery_round_ keys the fault plan).
   delivery_round_ = 0;
-  if (faults_) {
-    merge_outboxes_faulted(0);
-  } else {
-    merge_outboxes(0);
-  }
+  do_merge(0);
 
   std::uint64_t reported_messages = 0;
   std::uint64_t reported_bits = 0;
@@ -674,11 +980,7 @@ RunStats Simulator::run(std::span<const std::unique_ptr<NodeProgram>> programs) 
     }
 
     delivery_round_ = round_ + 1;
-    if (faults_) {
-      merge_outboxes_faulted(1 - cur_);
-    } else {
-      merge_outboxes(1 - cur_);
-    }
+    do_merge(1 - cur_);
 
     if (config_.hooks.on_round_metrics) {
       config_.hooks.on_round_metrics(RoundMetrics{

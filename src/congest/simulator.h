@@ -21,8 +21,12 @@
 // `Config::workers > 1` the independent per-node `on_round` calls fan
 // out over a work-stealing pool. The ledger, traces, per-round metrics,
 // and all program outputs are byte-identical at any worker count — the
-// merge of queued messages always happens serially in (sender id,
-// program order).
+// merge of queued messages always *replays* (sender id, program order):
+// serially on the reference path, or — for pooled runs past
+// `Config::Execution::sharded_merge_min_messages` — sharded by receiver
+// over contiguous degree-balanced node ranges, every shard replaying
+// the same order into its own arena region (docs/perf.md, "Sharded
+// mailbox delivery").
 #pragma once
 
 #include <cstdint>
@@ -85,6 +89,13 @@ struct Config {
     /// Optional borrowed pool for the round loop; overrides `workers`.
     /// The pool must not be one the caller is currently blocking on.
     runtime::ThreadPool* pool = nullptr;
+    /// Pooled runs only: a merge phase that queued at least this many
+    /// deliveries uses the shard-parallel mailbox merge; below it the
+    /// serial merge wins on fork/join overhead. 0 = always shard (the
+    /// determinism tests force this). Serial and sharded merges are
+    /// byte-identical by construction, so the knob trades wall-clock
+    /// only, never results.
+    std::size_t sharded_merge_min_messages = 4096;
   };
 
   /// Observability hooks. Observers only: they never alter message
@@ -356,7 +367,11 @@ class Simulator {
   void admit(NodeId from, NodeId to, std::uint32_t slot, Message&& m);
   void account(NodeId from, NodeId to, std::uint32_t bits);
   void merge_outboxes(int dst);
+  void merge_outboxes_sharded(int dst, runtime::ThreadPool& pool);
   void merge_outboxes_faulted(int dst);
+  void ensure_shard_plan(unsigned workers);
+  std::size_t place_rows(std::span<const NodeId> rows, int dst,
+                         std::size_t off);
   void apply_crashes();
   void clear_mailbox(int b);
   void build_actives();
@@ -413,6 +428,43 @@ class Simulator {
   int cur_ = 0;
 
   std::unique_ptr<runtime::ThreadPool> own_pool_;
+
+  // Shard plan for the parallel merge (built once per worker count by
+  // ensure_shard_plan; topology-only, so it survives across runs).
+  // Receivers are owned by contiguous degree-balanced node ranges —
+  // shard sh owns [shard_bounds_[sh], shard_bounds_[sh+1]) — so every
+  // mailbox row, receiver count, fill cursor, and (destination-owned)
+  // bandwidth slot is written by exactly one shard. bucket_slot_ is a
+  // per-row permutation of each sender's adjacency slots grouped by
+  // destination shard (stable, so ascending slot within a group);
+  // bucket_off_[from * (S+1) + sh] brackets the group — a shard expands
+  // a broadcast by walking only its own bucket instead of filtering the
+  // whole row.
+  unsigned shard_plan_workers_ = 0;
+  std::vector<NodeId> shard_bounds_;       ///< S+1 boundaries
+  std::vector<std::uint8_t> node_shard_;   ///< owner shard, per node
+  std::vector<std::size_t> bucket_off_;    ///< n x (S+1), row-major
+  std::vector<std::uint32_t> bucket_slot_; ///< 2m local slots, bucketed
+  std::vector<std::size_t> bucket_cursor_; ///< build scratch, size S
+
+  // Per-merge scratch for the sharded merge (reused, steady-state
+  // allocation-free). merge_chunks_ entries are cache-line-sized so the
+  // parallel passes never false-share their tallies: entry t < S is
+  // shard t (receiver side), entry S + c is accounting chunk c (sender
+  // side).
+  struct alignas(64) MergeChunk {
+    std::uint64_t bits = 0;           ///< sender chunk: ledger bits
+    std::uint64_t total = 0;          ///< shard: deliveries owned
+    std::uint32_t max_edge_bits = 0;  ///< shard: utilization sample
+  };
+  std::vector<NodeId> merge_senders_;        ///< active senders with mail
+  std::vector<std::uint64_t> sender_prefix_; ///< delivery-count prefix
+  std::vector<std::size_t> sender_bounds_;   ///< accounting chunk cuts
+  std::vector<MergeChunk> merge_chunks_;
+  std::vector<std::vector<NodeId>> shard_touched_;
+  std::vector<std::size_t> shard_base_;      ///< arena region starts
+  std::vector<std::uint64_t> actives_prefix_; ///< run_actives weights
+  std::vector<std::size_t> actives_bounds_;
 
   // Fault path (null/empty unless Config::faults is non-empty — the
   // fast path above is untouched by an empty plan). The faulted merge

@@ -1,5 +1,6 @@
 #include "graph/csr.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 
@@ -21,6 +22,37 @@ CsrGraph::CsrGraph(const WeightedGraph& g) {
     }
   }
   max_weight_ = mx;
+}
+
+std::vector<NodeId> CsrGraph::balanced_node_shards(unsigned shards) const {
+  const NodeId n = node_count();
+  const NodeId k = static_cast<NodeId>(
+      std::max<unsigned>(1, std::min<unsigned>(shards, std::max<NodeId>(n, 1))));
+  std::vector<NodeId> bounds;
+  bounds.reserve(k + 1);
+  bounds.push_back(0);
+  // mass(v) = deg(v) + 1, so the cumulative mass of [0, v) is
+  // offsets_[v] + v; the total is 2m + n.
+  const std::uint64_t total = static_cast<std::uint64_t>(offsets_[n]) + n;
+  for (NodeId s = 1; s < k; ++s) {
+    // Overflow-free floor(total*s/k): total = q*k + r with r, s < k.
+    const std::uint64_t target = (total / k) * s + (total % k) * s / k;
+    // Smallest v with cumulative mass >= target; clamped so every shard
+    // keeps at least one node.
+    NodeId lo = bounds.back() + 1;
+    NodeId hi = n - (k - s);
+    while (lo < hi) {
+      const NodeId mid = lo + (hi - lo) / 2;
+      if (static_cast<std::uint64_t>(offsets_[mid]) + mid >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    bounds.push_back(lo);
+  }
+  bounds.push_back(n);
+  return bounds;
 }
 
 const CsrGraph& WeightedGraph::csr() const {

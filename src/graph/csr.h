@@ -49,6 +49,17 @@ class CsrGraph {
   /// Max edge weight W (1 if the graph has no edges).
   Weight max_weight() const { return max_weight_; }
 
+  /// Partitions the node range into `shards` contiguous, degree-balanced
+  /// ranges: returns k+1 boundaries (k = min(shards, n), k >= 1) with
+  /// shard s covering nodes [b[s], b[s+1]). Balance mass is deg(v) + 1
+  /// (the +1 keeps long runs of isolated nodes from piling into one
+  /// shard), cut by a prefix-sum walk over the degree histogram — the
+  /// offsets array is exactly that prefix sum, so each boundary is one
+  /// binary search. Deterministic in the topology alone. The CONGEST
+  /// simulator's shard-parallel mailbox delivery keys its receiver
+  /// ownership off these ranges (docs/perf.md).
+  std::vector<NodeId> balanced_node_shards(unsigned shards) const;
+
   /// Rebuilds *this as `base` with every weight replaced by f(weight).
   /// The topology arrays are reused across calls (vector assignment keeps
   /// capacity), so a caller looping over the Lemma 3.2 scales pays zero

@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -157,6 +158,62 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() { impl_->wait_idle(); }
+
+void balanced_ranges(std::span<const std::uint64_t> prefix,
+                     std::size_t max_chunks, std::vector<std::size_t>& out) {
+  QC_REQUIRE(!prefix.empty() && prefix.front() == 0,
+             "prefix must start with a leading 0");
+  const std::size_t count = prefix.size() - 1;
+  out.clear();
+  out.push_back(0);
+  if (count == 0) {
+    out.push_back(0);
+    return;
+  }
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min(max_chunks, count));
+  const std::uint64_t total = prefix.back();
+  for (std::size_t c = 1; c < chunks; ++c) {
+    std::size_t cut;
+    if (total == 0) {
+      cut = count * c / chunks;  // weightless items: even split by index
+    } else {
+      // First index whose cumulative weight reaches c/chunks of the
+      // total — the prefix-sum cut. floor(total*c/chunks) computed
+      // without overflow: total = q*chunks + r, so the product splits
+      // into an exact q*c term plus r*c/chunks with r, c < chunks.
+      const std::uint64_t target =
+          (total / chunks) * c + (total % chunks) * c / chunks;
+      cut = static_cast<std::size_t>(
+          std::lower_bound(prefix.begin() + 1, prefix.end(), target) -
+          prefix.begin());
+    }
+    // Clamp so every chunk keeps at least one item: a single huge item
+    // cannot be split, and trailing zero-weight items must not starve
+    // the remaining chunks.
+    cut = std::max(cut, out.back() + 1);
+    cut = std::min(cut, count - (chunks - c));
+    out.push_back(cut);
+  }
+  out.push_back(count);
+}
+
+std::vector<std::size_t> balanced_ranges(std::span<const std::uint64_t> prefix,
+                                         std::size_t max_chunks) {
+  std::vector<std::size_t> out;
+  balanced_ranges(prefix, max_chunks, out);
+  return out;
+}
+
+void parallel_for_ranges(
+    ThreadPool& pool, std::span<const std::size_t> bounds,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  QC_REQUIRE(!bounds.empty(), "bounds must hold at least one boundary");
+  const std::size_t chunks = bounds.size() - 1;
+  parallel_for(pool, chunks, [&](std::size_t c) {
+    if (bounds[c] < bounds[c + 1]) fn(c, bounds[c], bounds[c + 1]);
+  });
+}
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {

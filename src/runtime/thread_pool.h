@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "util/error.h"
@@ -61,6 +62,32 @@ class ThreadPool {
 /// is rethrown here (remaining tasks still run to completion).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
+
+/// Splits `[0, prefix.size() - 1)` into at most `max_chunks` contiguous
+/// ranges of balanced weight. `prefix` is an inclusive prefix sum over
+/// the per-item weights (`prefix[0] == 0`, `prefix[i]` = weight of items
+/// `[0, i)`), so chunk boundaries fall where the cumulative weight
+/// crosses multiples of `total / chunks` — a prefix-sum cut, not a
+/// greedy packing. Writes `chunks + 1` boundaries into `out`
+/// (`out[c] <= out[c+1]`, first 0, last = item count); every chunk is
+/// non-empty unless there are no items at all. A zero total falls back
+/// to an even split by index. Deterministic in its inputs — boundaries
+/// never depend on pool state or scheduling, which is what lets callers
+/// with a byte-identical-output contract (the CONGEST simulator's
+/// sharded merge, the kernel drivers) chunk by weight.
+void balanced_ranges(std::span<const std::uint64_t> prefix,
+                     std::size_t max_chunks, std::vector<std::size_t>& out);
+
+/// Allocating convenience overload of the above.
+std::vector<std::size_t> balanced_ranges(std::span<const std::uint64_t> prefix,
+                                         std::size_t max_chunks);
+
+/// Runs `fn(c, bounds[c], bounds[c+1])` on the pool for every non-empty
+/// range described by `bounds` (as produced by `balanced_ranges`) and
+/// blocks until all complete. Exceptions propagate as in parallel_for.
+void parallel_for_ranges(
+    ThreadPool& pool, std::span<const std::size_t> bounds,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
 /// Order-preserving parallel map: `out[i] = fn(items[i], i)`. The result
 /// vector is indexed by input position regardless of execution order, so

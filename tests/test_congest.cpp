@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 #include <utility>
 
@@ -658,10 +659,13 @@ struct RunCapture {
   friend bool operator==(const RunCapture&, const RunCapture&) = default;
 };
 
-RunCapture run_min_flood(const WeightedGraph& g, unsigned workers) {
+RunCapture run_min_flood(const WeightedGraph& g, unsigned workers,
+                         std::size_t sharded_min = Config::Execution{}
+                                                       .sharded_merge_min_messages) {
   Config cfg;
   cfg.record_trace = true;
   cfg.workers = workers;
+  cfg.execution.sharded_merge_min_messages = sharded_min;
   std::vector<RoundMetrics> metrics;
   cfg.on_round_metrics = [&](const RoundMetrics& rm) {
     metrics.push_back(rm);
@@ -683,7 +687,9 @@ RunCapture run_min_flood(const WeightedGraph& g, unsigned workers) {
 }
 
 // The tentpole determinism contract: ledger, trace, per-round metrics,
-// and program outputs are byte-identical at any worker count.
+// and program outputs are byte-identical at any worker count. The
+// default sharded_merge_min_messages keeps these small phases on the
+// serial merge, so this pins the pooled-rounds + serial-merge path.
 TEST(Simulator, SerialAndPooledRunsAreByteIdentical) {
   Rng rng(42);
   const auto g = gen::erdos_renyi_connected(96, 0.08, rng);
@@ -695,6 +701,110 @@ TEST(Simulator, SerialAndPooledRunsAreByteIdentical) {
   for (const unsigned workers : {2u, 8u}) {
     const RunCapture got = run_min_flood(g, workers);
     EXPECT_EQ(got, golden) << "workers=" << workers;
+  }
+}
+
+// Same contract through the shard-parallel merge (threshold 0 forces
+// it for every phase), at worker counts that do not divide n — 97 is
+// prime, so every shard cut is ragged and a modular-arithmetic bug in
+// the shard boundaries or bucket offsets would surface here.
+TEST(Simulator, ShardedMergeByteIdenticalAtAwkwardWorkerCounts) {
+  Rng rng(1234);
+  const auto g = gen::erdos_renyi_connected(97, 0.07, rng);
+  const RunCapture golden = run_min_flood(g, 1);
+  EXPECT_FALSE(golden.trace.empty());
+  for (const unsigned workers : {3u, 5u, 8u}) {
+    const RunCapture got = run_min_flood(g, workers, /*sharded_min=*/0);
+    EXPECT_EQ(got, golden) << "workers=" << workers;
+  }
+}
+
+// More workers than nodes: n = 3 with an 8-worker pool must clamp to 3
+// single-node shards and still agree with serial. (MinFlood's 32-bit
+// payloads don't fit a 3-node B, so this uses the 6-bit wave.)
+TEST(Simulator, ShardedMergeClampsWhenWorkersExceedNodes) {
+  const auto g = gen::path(3);
+  const auto capture = [&](unsigned workers, std::size_t sharded_min) {
+    Config cfg;
+    cfg.record_trace = true;
+    cfg.workers = workers;
+    cfg.execution.sharded_merge_min_messages = sharded_min;
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      programs.push_back(std::make_unique<BroadcastOnceProgram>());
+    }
+    Simulator sim(g, cfg);
+    const RunStats stats = sim.run(programs);
+    return std::pair{stats, sim.trace()};
+  };
+  const auto golden =
+      capture(1, Config::Execution{}.sharded_merge_min_messages);
+  EXPECT_EQ(golden.first.messages, 2 * g.edge_count());
+  EXPECT_EQ(capture(8, /*sharded_min=*/0), golden);
+}
+
+// Sends singles and broadcasts interleaved (single, broadcast, single
+// in one activation) and records every receiver's inbox verbatim: the
+// sharded merge must reproduce the serial merge's per-receiver
+// (sender id, program order) interleave exactly, including where the
+// broadcast lands between the two singles.
+class InterleaveProgram final : public NodeProgram {
+ public:
+  void on_start(NodeContext& ctx) override {
+    const auto row = ctx.neighbors();
+    Message first;
+    first.push(ctx.id(), 16);
+    first.push(0, 2);
+    ctx.send_to_slot(0, first);
+    Message mid;
+    mid.push(ctx.id(), 16);
+    mid.push(1, 2);
+    ctx.broadcast(mid);
+    Message last;
+    last.push(ctx.id(), 16);
+    last.push(2, 2);
+    ctx.send_to_slot(static_cast<std::uint32_t>(row.size() - 1), last);
+  }
+  void on_round(NodeContext&, std::span<const Incoming> inbox) override {
+    for (const Incoming& in : inbox) {
+      log.push_back({in.from, static_cast<NodeId>(in.msg.field(0)),
+                     static_cast<NodeId>(in.msg.field(1))});
+    }
+  }
+  bool done() const override { return true; }
+
+  std::vector<std::array<NodeId, 3>> log;
+};
+
+TEST(Simulator, ShardedMergePreservesSingleBroadcastInterleave) {
+  const auto g = gen::star(8);  // hub 0, leaves 1..7: one shard per node
+  Config cfg;
+  cfg.bandwidth_bits = 64;
+  const auto capture = [&](unsigned workers, std::size_t sharded_min) {
+    Config c = cfg;
+    c.workers = workers;
+    c.execution.sharded_merge_min_messages = sharded_min;
+    auto run = run_on_all<InterleaveProgram>(
+        g, [&](NodeId) { return std::make_unique<InterleaveProgram>(); }, c);
+    std::vector<std::vector<std::array<NodeId, 3>>> logs;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      logs.push_back(run.at(v).log);
+    }
+    return logs;
+  };
+  const auto golden = capture(1, Config::Execution{}.sharded_merge_min_messages);
+  // Each leaf's three sends all target the hub; the hub's inbox is the
+  // senders in ascending order, each contributing marks 0, 1, 2.
+  std::vector<std::array<NodeId, 3>> hub_expected;
+  for (NodeId leaf = 1; leaf < 8; ++leaf) {
+    for (NodeId mark = 0; mark < 3; ++mark) {
+      hub_expected.push_back({leaf, leaf, mark});
+    }
+  }
+  EXPECT_EQ(golden[0], hub_expected);
+  for (const unsigned workers : {3u, 8u}) {
+    EXPECT_EQ(capture(workers, /*sharded_min=*/0), golden)
+        << "workers=" << workers;
   }
 }
 

@@ -165,10 +165,13 @@ struct RunCapture {
 };
 
 RunCapture run_min_flood(const WeightedGraph& g, unsigned workers,
-                         FaultPlan plan = {}) {
+                         FaultPlan plan = {},
+                         std::size_t sharded_min = Config::Execution{}
+                                                       .sharded_merge_min_messages) {
   Config cfg;
   cfg.record_trace = true;
   cfg.workers = workers;
+  cfg.execution.sharded_merge_min_messages = sharded_min;
   cfg.faults = std::move(plan);
   std::vector<RoundMetrics> metrics;
   cfg.on_round_metrics = [&](const RoundMetrics& rm) {
@@ -298,6 +301,30 @@ TEST(FaultDeterminism, SameSeedSameFaultsAtAnyWorkerCount) {
     EXPECT_EQ(run_min_flood(g, workers, plan), golden)
         << "workers=" << workers;
   }
+}
+
+// The faulted merge stays serial — fault resolution order is part of
+// its determinism contract — but it now shares the sharded merge's
+// placement pass. Forcing the sharding knob on (threshold 0) in a
+// faulted pooled run must change nothing: the knob only reroutes
+// fault-free merges.
+TEST(FaultDeterminism, ShardingKnobDoesNotPerturbFaultedRuns) {
+  Rng rng(9);
+  const auto g = gen::erdos_renyi_connected(48, 0.12, rng);
+  FaultPlan plan;
+  plan.seed = 0xabad1dea;
+  plan.probabilities.drop = 0.10;
+  plan.probabilities.delay = 0.05;
+  const RunCapture golden = run_min_flood(g, 1, plan);
+  EXPECT_GT(golden.outcome.faults.total(), 0u);
+  for (const unsigned workers : {1u, 8u}) {
+    EXPECT_EQ(run_min_flood(g, workers, plan, /*sharded_min=*/0), golden)
+        << "workers=" << workers;
+  }
+  // And the same graph + knob without a plan routes through the sharded
+  // merge: fault-free results must still match their own serial golden.
+  const RunCapture free_golden = run_min_flood(g, 1);
+  EXPECT_EQ(run_min_flood(g, 8, FaultPlan{}, /*sharded_min=*/0), free_golden);
 }
 
 TEST(FaultDeterminism, DifferentSeedsDifferentSchedules) {

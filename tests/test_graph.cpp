@@ -461,6 +461,66 @@ TEST(Csr, AssignReweightedMatchesGraphReweighted) {
   EXPECT_EQ(dijkstra(scaled, 0), oracle_dijkstra(expect, 0));
 }
 
+// Invariants every shard cut must satisfy: a partition of [0, n) into
+// k = min(shards, n) >= 1 non-empty contiguous ranges.
+void check_shards(const CsrGraph& csr, const std::vector<NodeId>& b,
+                  unsigned shards) {
+  const NodeId n = csr.node_count();
+  const auto k = static_cast<std::size_t>(
+      std::min<NodeId>(std::max(1u, shards), std::max<NodeId>(n, 1)));
+  ASSERT_EQ(b.size(), k + 1);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), n);
+  for (std::size_t s = 0; s + 1 < b.size(); ++s) EXPECT_LT(b[s], b[s + 1]);
+}
+
+TEST(Csr, BalancedNodeShardsPartitionAndBalance) {
+  Rng rng(23);
+  const auto g = gen::erdos_renyi_connected(200, 0.05, rng);
+  const CsrGraph& csr = g.csr();
+  for (const unsigned shards : {1u, 2u, 3u, 8u}) {
+    const auto b = csr.balanced_node_shards(shards);
+    check_shards(csr, b, shards);
+    // No shard carries more than twice the average mass (deg + 1) — the
+    // prefix-sum cut can overshoot by at most one node's mass, and no
+    // ER(200, 0.05) node is anywhere near a full shard's worth.
+    std::uint64_t total = 0;
+    for (NodeId v = 0; v < csr.node_count(); ++v) total += csr.degree(v) + 1;
+    for (std::size_t s = 0; s + 1 < b.size(); ++s) {
+      std::uint64_t mass = 0;
+      for (NodeId v = b[s]; v < b[s + 1]; ++v) mass += csr.degree(v) + 1;
+      EXPECT_LE(mass, 2 * total / shards + total % shards)
+          << "shard " << s << " of " << shards;
+    }
+  }
+}
+
+TEST(Csr, BalancedNodeShardsAbsorbsHubWithoutUnbalancing) {
+  // A star's hub alone is a third of all mass. A node-count split would
+  // give shard 0 the hub plus half the leaves (~2/3 of the mass); the
+  // mass cut instead stops within one leaf of an even split.
+  const auto g = gen::star(64);
+  const CsrGraph& csr = g.csr();
+  const auto b = csr.balanced_node_shards(2);
+  ASSERT_EQ(b.size(), 3u);
+  const auto mass = [&](NodeId lo, NodeId hi) {
+    std::uint64_t m = 0;
+    for (NodeId v = lo; v < hi; ++v) m += csr.degree(v) + 1;
+    return m;
+  };
+  const std::uint64_t m0 = mass(b[0], b[1]);
+  const std::uint64_t m1 = mass(b[1], b[2]);
+  EXPECT_LE(m0 > m1 ? m0 - m1 : m1 - m0, 4u);
+}
+
+TEST(Csr, BalancedNodeShardsClampsToNodeCount) {
+  const auto g = gen::path(3);
+  const auto b = g.csr().balanced_node_shards(8);
+  EXPECT_EQ(b, (std::vector<NodeId>{0, 1, 2, 3}));  // one node per shard
+  const auto one = g.csr().balanced_node_shards(0);
+  EXPECT_EQ(one, (std::vector<NodeId>{0, 3}));  // 0 means "one shard"
+}
+
 TEST(WeightedGraph, FromEdgesMatchesAddEdge) {
   std::vector<Edge> edges{{0, 1, 4}, {1, 3, 2}, {0, 2, 7}, {2, 3, 1}};
   const auto g = WeightedGraph::from_edges(5, edges);

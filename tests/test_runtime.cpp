@@ -218,6 +218,85 @@ TEST(ThreadPool, GraphKernelsDeterministicAcrossWorkerCounts) {
 }
 
 // ---------------------------------------------------------------------
+// balanced_ranges: the prefix-sum chunking the sharded mailbox merge
+// and the weighted round loop cut their work with.
+// ---------------------------------------------------------------------
+
+// Boundary invariants every cut must satisfy: starts at 0, ends at
+// count, strictly increasing (no empty chunk), at most max_chunks.
+void check_bounds(const std::vector<std::size_t>& b, std::size_t count,
+                  std::size_t max_chunks) {
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), count);
+  EXPECT_LE(b.size() - 1, std::max<std::size_t>(1, max_chunks));
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LT(b[i], b[i + 1]);
+}
+
+TEST(BalancedRanges, SplitsUniformWeightsEvenly) {
+  std::vector<std::uint64_t> prefix(101);
+  for (std::size_t i = 0; i <= 100; ++i) prefix[i] = i;  // weight 1 each
+  const auto b = balanced_ranges(prefix, 4);
+  check_bounds(b, 100, 4);
+  ASSERT_EQ(b.size(), 5u);
+  for (std::size_t c = 0; c + 1 < b.size(); ++c) {
+    EXPECT_EQ(b[c + 1] - b[c], 25u);
+  }
+}
+
+TEST(BalancedRanges, HeavyItemDoesNotStarveOtherChunks) {
+  // One item holds ~97% of the weight; the cut must still hand every
+  // chunk at least one item instead of collapsing around the hub.
+  std::vector<std::uint64_t> prefix = {0, 1, 2, 100, 101, 102};
+  const auto b = balanced_ranges(prefix, 4);
+  check_bounds(b, 5, 4);
+  ASSERT_EQ(b.size(), 5u);
+}
+
+TEST(BalancedRanges, ZeroTotalFallsBackToEvenCountSplit) {
+  const std::vector<std::uint64_t> prefix(9, 0);  // 8 weightless items
+  const auto b = balanced_ranges(prefix, 4);
+  check_bounds(b, 8, 4);
+  ASSERT_EQ(b.size(), 5u);
+  for (std::size_t c = 0; c + 1 < b.size(); ++c) {
+    EXPECT_EQ(b[c + 1] - b[c], 2u);
+  }
+}
+
+TEST(BalancedRanges, FewerItemsThanChunksClampsChunkCount) {
+  const std::vector<std::uint64_t> prefix = {0, 5, 9, 10};
+  const auto b = balanced_ranges(prefix, 16);
+  check_bounds(b, 3, 16);
+  EXPECT_EQ(b.size(), 4u);  // 3 items -> at most 3 chunks
+}
+
+TEST(BalancedRanges, EmptyInputYieldsOneEmptyChunk) {
+  const std::vector<std::uint64_t> prefix = {0};
+  const auto b = balanced_ranges(prefix, 8);
+  EXPECT_EQ(b, (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(BalancedRanges, RejectsMissingLeadingZero) {
+  const std::vector<std::uint64_t> prefix = {1, 2, 3};
+  EXPECT_THROW(balanced_ranges(prefix, 2), ArgumentError);
+}
+
+TEST(BalancedRanges, ParallelForRangesCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> prefix(301);
+  for (std::size_t i = 0; i <= 300; ++i) prefix[i] = i * i;  // skewed
+  std::vector<std::size_t> bounds;
+  balanced_ranges(prefix, 8, bounds);
+  check_bounds(bounds, 300, 8);
+  std::vector<std::atomic<int>> hits(300);
+  parallel_for_ranges(pool, bounds,
+                      [&](std::size_t, std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+                      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------------------------------------------------------------------
 // Metrics instruments
 // ---------------------------------------------------------------------
 

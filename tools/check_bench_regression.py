@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate a fresh BENCH_congest_sim.json against the committed baseline.
+
+Used by `tools/run_tier1.sh --bench-gate`: the bench binary re-runs the
+suite into a scratch file, and this script diffs it against the
+BENCH_congest_sim.json committed at the repo root. It fails (exit 1)
+when:
+
+  * any fresh row reports `identical: false` — the engines or worker
+    counts disagreed on the ledger/trace/outputs, which is a correctness
+    bug, never noise;
+  * the fresh acceptance block reports
+    `byte_identical_at_all_worker_counts: false`;
+  * a baseline row is missing from the fresh run even though its graph
+    (same `n`) was benched — a silently dropped variant;
+  * a row's `speedup_vs_baseline` regressed by more than
+    --tolerance (default 15%) relative to the committed number.
+
+Speedup comparisons are only meaningful when the two files were
+produced on comparable hardware. When `spec.hardware_workers` differs
+between baseline and fresh, the speedup gate is skipped with a loud
+warning (the identity gates still apply — determinism does not depend
+on the machine). Baseline rows for graphs the fresh run did not bench
+at all (e.g. the committed file has --large rows but the gate ran
+without --large) are reported as skipped, not failed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def key(row):
+    # workload + variant + n + workers uniquely names a measurement.
+    return (row["workload"], row["variant"], row.get("n"), row.get("workers"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="BENCH_congest_sim.json",
+                    help="committed bench JSON (default: %(default)s)")
+    ap.add_argument("--fresh", required=True,
+                    help="bench JSON produced by the gating run")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional speedup regression "
+                         "(default: %(default)s)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+    warnings = []
+
+    for row in fresh.get("results", []):
+        if not row.get("identical", False):
+            failures.append(
+                f"fresh row {key(row)} has identical=false — outcome "
+                f"divergence, not a perf question")
+    acc = fresh.get("acceptance", {})
+    if not acc.get("byte_identical_at_all_worker_counts", False):
+        failures.append(
+            "fresh acceptance byte_identical_at_all_worker_counts is false")
+
+    base_hw = base.get("spec", {}).get("hardware_workers")
+    fresh_hw = fresh.get("spec", {}).get("hardware_workers")
+    compare_speed = base_hw == fresh_hw
+    if not compare_speed:
+        warnings.append(
+            f"hardware differs (baseline hardware_workers={base_hw}, "
+            f"fresh={fresh_hw}): skipping the speedup gate; identity "
+            f"gates still enforced")
+
+    fresh_rows = {key(r): r for r in fresh.get("results", [])}
+    fresh_ns = {r.get("n") for r in fresh.get("results", [])}
+    for brow in base.get("results", []):
+        k = key(brow)
+        frow = fresh_rows.get(k)
+        if frow is None:
+            if brow.get("n") in fresh_ns:
+                failures.append(
+                    f"baseline row {k} missing from fresh run although "
+                    f"n={brow.get('n')} was benched")
+            else:
+                warnings.append(
+                    f"baseline row {k} not benched by this run "
+                    f"(n={brow.get('n')} absent — e.g. no --large); skipped")
+            continue
+        if not compare_speed:
+            continue
+        b_speed = brow.get("speedup_vs_baseline", 0.0)
+        f_speed = frow.get("speedup_vs_baseline", 0.0)
+        if b_speed > 0 and f_speed < b_speed * (1.0 - args.tolerance):
+            failures.append(
+                f"row {k} speedup regressed {b_speed:.3f} -> {f_speed:.3f} "
+                f"(> {args.tolerance:.0%} below baseline)")
+
+    for w in warnings:
+        print(f"warning: {w}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        print(f"bench gate: {len(failures)} failure(s)")
+        return 1
+    print(f"bench gate: OK ({len(fresh_rows)} fresh rows checked against "
+          f"{len(base.get('results', []))} baseline rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,13 @@
 #                                      # (test_graph, test_runtime,
 #                                      # test_congest, test_paths,
 #                                      # test_faults, test_theorem11,
-#                                      # test_service)
+#                                      # test_service) — this is the run
+#                                      # that covers the shard-parallel
+#                                      # mailbox merge
+#   tools/run_tier1.sh --bench-gate    # re-run bench_congest_sim and
+#                                      # diff against the committed
+#                                      # BENCH_congest_sim.json via
+#                                      # tools/check_bench_regression.py
 #   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
 #                                           # address | undefined | thread
 #
@@ -31,16 +37,34 @@ cd "$(dirname "$0")/.."
 
 TSAN_ONLY=0
 FAULTS_ONLY=0
+BENCH_GATE=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) TSAN_ONLY=1 ;;
     --faults) FAULTS_ONLY=1 ;;
+    --bench-gate) BENCH_GATE=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--faults]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--faults] [--bench-gate]" >&2
       exit 2
       ;;
   esac
 done
+
+if [ "$BENCH_GATE" -eq 1 ]; then
+  # Perf regression gate: re-run the simulator bench (base graph only —
+  # the committed --large rows are compared when present-and-benched,
+  # skipped otherwise) and diff it against the committed JSON. The
+  # identity flags must hold on any machine; speedups are only compared
+  # when spec.hardware_workers matches the baseline's, so a different
+  # box degrades to a determinism-only gate instead of flaking.
+  BUILD_DIR=build
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target bench_congest_sim
+  "$BUILD_DIR/bench/bench_congest_sim" --out "$BUILD_DIR/BENCH_fresh.json"
+  python3 tools/check_bench_regression.py \
+    --baseline BENCH_congest_sim.json --fresh "$BUILD_DIR/BENCH_fresh.json"
+  exit 0
+fi
 
 if [ "$TSAN_ONLY" -eq 1 ]; then
   BUILD_DIR=build-thread
