@@ -11,10 +11,14 @@
 // on_round out over the work-stealing pool. This bench times both on
 // identical workloads (BFS flood, Algorithm 1 bounded-hop SSSP, and the
 // Algorithm 4 overlay embedding), asserts the ledgers, traces and
-// program outputs are byte-identical (including across worker counts
-// and with the sharded mailbox merge forced on), and writes
+// program outputs are byte-identical (including across worker counts,
+// with the sharded mailbox merge forced on, and at both extremes of
+// the pooled_round_min_work fallback knob), and writes
 // BENCH_congest_sim.json with one row per (workload, variant, n,
-// workers).
+// workers). The alg1 "fast pooled" row runs with the default
+// pooled_round_min_work, which auto-serializes its tiny rounds; the
+// "fast pooled always-pool" row forces the pool on every round and
+// documents the fan-out tax the fallback removes.
 //
 // Usage: bench_congest_sim [--smoke] [--large] [--n N] [--out FILE]
 //   --smoke   tiny instance for ctest (correctness + JSON, no timing
@@ -493,11 +497,14 @@ template <typename Program, typename Make>
 Outcome run_fast(const WeightedGraph& g, const Make& make, bool trace,
                  unsigned workers,
                  std::size_t sharded_min =
-                     congest::Config::Execution{}.sharded_merge_min_messages) {
+                     congest::Config::Execution{}.sharded_merge_min_messages,
+                 std::size_t min_work =
+                     congest::Config::Execution{}.pooled_round_min_work) {
   congest::Config cfg;
   cfg.record_trace = trace;
   cfg.workers = workers;
   cfg.execution.sharded_merge_min_messages = sharded_min;
+  cfg.execution.pooled_round_min_work = min_work;
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   programs.reserve(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) programs.push_back(make(v));
@@ -677,6 +684,13 @@ int main(int argc, char** argv) {
       const Outcome got =
           run_fast<FastP>(g, fast_make, /*trace=*/true, w, /*sharded_min=*/0);
       all_identical &= got == golden;
+      // Both extremes of the auto-serial fallback knob must agree too:
+      // the knob may only trade wall-clock, never bytes.
+      const Outcome forced = run_fast<FastP>(
+          g, fast_make, /*trace=*/true, w,
+          congest::Config::Execution{}.sharded_merge_min_messages,
+          /*min_work=*/0);
+      all_identical &= forced == golden;
     }
     // Workload shape for the docs/perf.md serial-bound analysis: alg1
     // runs many rounds each carrying very few deliveries, so neither
@@ -688,6 +702,8 @@ int main(int argc, char** argv) {
                 double(golden.stats.messages) /
                     double(std::max<std::uint64_t>(1, golden.stats.rounds)));
 
+    const std::size_t def_sharded =
+        congest::Config::Execution{}.sharded_merge_min_messages;
     const std::function<void()> variants[] = {
         [&] {
           for (int r = 0; r < reps_hop; ++r) run_seed<SeedP>(g, seed_make, false);
@@ -698,12 +714,26 @@ int main(int argc, char** argv) {
         [&] {
           for (int r = 0; r < reps_hop; ++r) run_fast<FastP>(g, fast_make, false, 8);
         },
+        // Diagnostic: the pool forced on for every round (the pre-knob
+        // behaviour). With ~112 deliveries/round the fan-out/join tax
+        // dwarfs the work, which is exactly why pooled_round_min_work
+        // exists — the default-knob "fast pooled" row above must not
+        // regress below "fast w=1", while this row documents the cost
+        // the fallback removes.
+        [&] {
+          for (int r = 0; r < reps_hop; ++r) {
+            run_fast<FastP>(g, fast_make, false, 8, def_sharded,
+                            /*min_work=*/0);
+          }
+        },
     };
-    const bool use_cpu[] = {true, true, false};
+    const bool use_cpu[] = {true, true, false, false};
     const std::vector<double> t = best_of(batches, variants, use_cpu);
     push("alg1_hop_sssp", "seed serial", n, 1, t[0], t[0], true);
     push("alg1_hop_sssp", "fast w=1", n, 1, t[1], t[0], all_identical);
     push("alg1_hop_sssp", "fast pooled", n, 8, t[2], t[0], all_identical);
+    push("alg1_hop_sssp", "fast pooled always-pool", n, 8, t[3], t[0],
+         all_identical);
   }
 
   // Algorithm 4: overlay embedding through the public API (fast engine

@@ -846,6 +846,24 @@ void Simulator::run_actives(
     for (NodeId v : actives_) run_one(v);
     return;
   }
+  // Auto-serial fallback for low-traffic rounds: when the active set
+  // plus this round's queued deliveries is tiny, the per-round
+  // fork/join of the pool costs more than the programs themselves
+  // (Algorithm 1's hop-limited SSSP is the canonical victim — a
+  // handful of frontier messages per round, every round). Work is
+  // measured in deliveries, not degree mass: an active node with an
+  // empty inbox usually no-ops regardless of its degree. Serial and
+  // pooled program phases are byte-identical by construction, so this
+  // is a wall-clock decision only (mirrors
+  // sharded_merge_min_messages; 0 disables the fallback).
+  if (config_.execution.pooled_round_min_work != 0) {
+    std::size_t work = actives_.size();
+    for (NodeId v : actives_) work += count[v];
+    if (work < config_.execution.pooled_round_min_work) {
+      for (NodeId v : actives_) run_one(v);
+      return;
+    }
+  }
   // Everything a worker touches here is owned by the node it runs:
   // programs[v], contexts[v], node_rngs_[v], outbox_[v], node_done_[v],
   // and the sender's disjoint stripe of edge_bits_. Shared engine state

@@ -96,6 +96,19 @@ struct Config {
     /// byte-identical by construction, so the knob trades wall-clock
     /// only, never results.
     std::size_t sharded_merge_min_messages = 4096;
+    /// Pooled runs only: a round whose estimated program-phase work —
+    /// active node count plus deliveries queued for this round — falls
+    /// below this threshold runs its `on_round` loop serially instead
+    /// of fanning out over the pool. Low-traffic workloads (Algorithm
+    /// 1's hop-limited SSSP averages ~112 deliveries per round at
+    /// n=2048) otherwise pay fork/join overhead every round for chunks
+    /// that finish in microseconds, which is how pooled runs ended up
+    /// *slower* than serial on those workloads (docs/perf.md). 0 =
+    /// always pool when a pool is present (the determinism tests force
+    /// both settings). Like the merge knob, serial and pooled program
+    /// phases are byte-identical by construction, so this trades
+    /// wall-clock only, never results.
+    std::size_t pooled_round_min_work = 4096;
   };
 
   /// Observability hooks. Observers only: they never alter message

@@ -52,7 +52,12 @@ namespace qc::core {
 /// gets built and where the work runs.
 enum class OracleMode : std::uint8_t {
   kEagerSerial,  ///< all n skeletons, one thread (historical behaviour)
-  kEagerPooled,  ///< all n skeletons, built on the pool
+  /// All n skeletons, built on the pool. Diagnostic-only: it exists so
+  /// the mode ablation (bench_theorem11_ablation) can separate what
+  /// laziness buys from what the pool buys. It still materializes
+  /// Θ(n) skeletons — Θ(n·|S|·b) memory that kLazyPooled never
+  /// allocates — so real runs should never select it.
+  kEagerPooled,
   kLazySerial,   ///< memoized on-demand evaluation, one thread
   kLazyPooled,   ///< batched pooled value pass + memoized oracle (default)
 };

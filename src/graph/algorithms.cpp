@@ -349,6 +349,22 @@ std::vector<Dist> eccentricities(const WeightedGraph& g) {
   return eccentricities(g.csr());
 }
 
+std::vector<Dist> eccentricities(const CsrGraph& g,
+                                 std::span<const NodeId> sources,
+                                 runtime::ThreadPool* pool) {
+  for (const NodeId s : sources) {
+    QC_REQUIRE(s < g.node_count(), "source id out of range");
+  }
+  std::vector<Dist> ecc(sources.size(), 0);
+  over_sources(static_cast<NodeId>(sources.size()), pool,
+               [&](NodeId i, DijkstraWorkspace& ws) {
+                 thread_local std::vector<Dist> row;
+                 ws.dijkstra(g, sources[i], row);
+                 ecc[i] = *std::max_element(row.begin(), row.end());
+               });
+  return ecc;
+}
+
 std::vector<Dist> unweighted_eccentricities(const CsrGraph& g,
                                             runtime::ThreadPool* pool) {
   std::vector<Dist> ecc(g.node_count(), 0);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -128,6 +129,18 @@ std::vector<std::vector<Dist>> all_pairs_distances(
 /// Weighted eccentricity of every node; kInfDist on disconnected graphs.
 std::vector<Dist> eccentricities(const WeightedGraph& g);
 std::vector<Dist> eccentricities(const CsrGraph& g,
+                                 runtime::ThreadPool* pool = nullptr);
+
+/// Weighted eccentricities of a chosen source subset: out[i] is the
+/// eccentricity of sources[i]. The full-graph overload above is n
+/// Dijkstras — infeasible at the dataset layer's n = 10^5..10^6 scale —
+/// while k sampled sources give the diameter/radius *lower/upper
+/// envelope* the large-n benches track in O(k (m + n log n)). Same
+/// index-ordered pool fan-out as every multi-source kernel: results are
+/// byte-identical at any worker count. Duplicate sources are allowed;
+/// ids must be < node_count().
+std::vector<Dist> eccentricities(const CsrGraph& g,
+                                 std::span<const NodeId> sources,
                                  runtime::ThreadPool* pool = nullptr);
 
 /// Unweighted (hop) eccentricity of every node — the BFS twin of

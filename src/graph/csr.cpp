@@ -3,25 +3,72 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 namespace qc {
 
 CsrGraph::CsrGraph(const WeightedGraph& g) {
   const NodeId n = g.node_count();
-  offsets_.assign(n + 1, 0);
+  own_offsets_.assign(std::size_t{n} + 1, 0);
   for (NodeId u = 0; u < n; ++u) {
-    offsets_[u + 1] = offsets_[u] + g.degree(u);
+    own_offsets_[std::size_t{u} + 1] = own_offsets_[u] + g.degree(u);
   }
-  halves_.resize(offsets_[n]);
+  own_halves_.resize(own_offsets_[n]);
   Weight mx = 1;
   for (NodeId u = 0; u < n; ++u) {
-    std::size_t pos = offsets_[u];
+    std::size_t pos = own_offsets_[u];
     for (const HalfEdge& h : g.neighbors(u)) {
-      halves_[pos++] = h;
+      own_halves_[pos++] = h;
       mx = std::max(mx, h.weight);
     }
   }
   max_weight_ = mx;
+  rebind_views();
+}
+
+CsrGraph CsrGraph::from_parts(std::vector<std::size_t> offsets,
+                              std::vector<HalfEdge> halves,
+                              Weight max_weight) {
+  QC_REQUIRE(!offsets.empty() && offsets.front() == 0,
+             "offsets must start with 0");
+  QC_REQUIRE(offsets.back() == halves.size(),
+             "offsets must end at the half-edge count");
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    QC_REQUIRE(offsets[i - 1] <= offsets[i], "offsets must be monotone");
+  }
+  QC_REQUIRE(max_weight >= 1, "max_weight must be >= 1");
+  CsrGraph g;
+  g.own_offsets_ = std::move(offsets);
+  g.own_halves_ = std::move(halves);
+  g.max_weight_ = max_weight;
+  g.rebind_views();
+  return g;
+}
+
+CsrGraph CsrGraph::mapped(std::span<const std::size_t> offsets,
+                          std::span<const HalfEdge> halves, Weight max_weight,
+                          std::shared_ptr<const void> keep_alive) {
+  QC_REQUIRE(!offsets.empty() && offsets.front() == 0,
+             "offsets must start with 0");
+  QC_REQUIRE(offsets.back() == halves.size(),
+             "offsets must end at the half-edge count");
+  QC_REQUIRE(max_weight >= 1, "max_weight must be >= 1");
+  QC_REQUIRE(keep_alive != nullptr, "mapped view needs a keep-alive handle");
+  CsrGraph g;
+  g.own_offsets_.clear();
+  g.own_halves_.clear();
+  g.mapping_ = std::move(keep_alive);
+  g.offsets_ = offsets;
+  g.halves_ = halves;
+  g.max_weight_ = max_weight;
+  return g;
+}
+
+void CsrGraph::detach() {
+  own_offsets_.assign(offsets_.begin(), offsets_.end());
+  own_halves_.assign(halves_.begin(), halves_.end());
+  mapping_.reset();
+  rebind_views();
 }
 
 std::vector<NodeId> CsrGraph::balanced_node_shards(unsigned shards) const {
@@ -29,7 +76,7 @@ std::vector<NodeId> CsrGraph::balanced_node_shards(unsigned shards) const {
   const NodeId k = static_cast<NodeId>(
       std::max<unsigned>(1, std::min<unsigned>(shards, std::max<NodeId>(n, 1))));
   std::vector<NodeId> bounds;
-  bounds.reserve(k + 1);
+  bounds.reserve(std::size_t{k} + 1);
   bounds.push_back(0);
   // mass(v) = deg(v) + 1, so the cumulative mass of [0, v) is
   // offsets_[v] + v; the total is 2m + n.

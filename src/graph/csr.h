@@ -14,9 +14,21 @@
 // Neighbor order is identical to the source `WeightedGraph`'s rows, so
 // any tie-broken traversal (lexicographic Dijkstra, BFS queue order)
 // visits nodes in exactly the same order on either representation.
+//
+// Storage comes in two flavors behind one read interface: *owned*
+// (the usual vectors, built from a WeightedGraph or adopted from the
+// streaming bgraph loader) and *mapped* (read-only spans over a
+// memory-mapped bcsr file, kept alive by a shared handle — see
+// graph/io.h `map_csr`). All accessors read through spans, so the
+// kernels never know the difference; the one mutating operation,
+// `assign_reweighted`, detaches a mapped view into owned storage
+// first. Offsets are `std::size_t` (64-bit on every supported target)
+// and the edge axis never passes through `NodeId`, so graphs with
+// hundreds of millions of half-edges are representable.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,10 +39,64 @@ namespace qc {
 
 class CsrGraph {
  public:
-  CsrGraph() : offsets_(1, 0) {}
+  CsrGraph() : own_offsets_(1, 0) { rebind_views(); }
 
   /// Packs g's adjacency. O(n + m); weights are copied as-is.
   explicit CsrGraph(const WeightedGraph& g);
+
+  // Copies duplicate mapped views cheaply (they share the mapping) and
+  // owned storage deeply; in both cases the spans must rebind to the
+  // destination's own arrays, which the defaulted members would get
+  // wrong. Moves steal the vectors (heap buffers survive a vector
+  // move, so the spans stay valid) and neuter the source's views.
+  CsrGraph(const CsrGraph& o) { assign_from(o); }
+  CsrGraph& operator=(const CsrGraph& o) {
+    if (this != &o) assign_from(o);
+    return *this;
+  }
+  CsrGraph(CsrGraph&& o) noexcept
+      : own_offsets_(std::move(o.own_offsets_)),
+        own_halves_(std::move(o.own_halves_)),
+        mapping_(std::move(o.mapping_)),
+        offsets_(o.offsets_),
+        halves_(o.halves_),
+        max_weight_(o.max_weight_) {
+    o.own_offsets_.assign(1, 0);
+    o.rebind_views();
+  }
+  CsrGraph& operator=(CsrGraph&& o) noexcept {
+    if (this != &o) {
+      own_offsets_ = std::move(o.own_offsets_);
+      own_halves_ = std::move(o.own_halves_);
+      mapping_ = std::move(o.mapping_);
+      offsets_ = o.offsets_;
+      halves_ = o.halves_;
+      max_weight_ = o.max_weight_;
+      o.own_offsets_.assign(1, 0);
+      o.own_halves_.clear();
+      o.rebind_views();
+    }
+    return *this;
+  }
+
+  /// Adopts prebuilt arrays: `offsets` must be a monotone prefix array
+  /// of size n+1 whose last entry equals halves.size(). The streaming
+  /// two-pass loader (graph/io.h `csr_from_bgraph`) and the bcsr file
+  /// reader build through this. O(1) beyond the validation scan.
+  static CsrGraph from_parts(std::vector<std::size_t> offsets,
+                             std::vector<HalfEdge> halves, Weight max_weight);
+
+  /// Wraps externally owned, read-only arrays (the memory-mapped bcsr
+  /// payload); `keep_alive` holds the mapping for the lifetime of this
+  /// graph and all its copies. The caller (map_csr) is responsible for
+  /// having validated the arrays.
+  static CsrGraph mapped(std::span<const std::size_t> offsets,
+                         std::span<const HalfEdge> halves, Weight max_weight,
+                         std::shared_ptr<const void> keep_alive);
+
+  /// True when the storage is a read-only mapped view (no copy was
+  /// made; pages are shared with every other mapper of the file).
+  bool is_mapped() const { return mapping_ != nullptr; }
 
   NodeId node_count() const {
     return static_cast<NodeId>(offsets_.size() - 1);
@@ -45,6 +111,11 @@ class CsrGraph {
   }
 
   std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  /// The raw arrays (diagnostics, serialization). Row u is
+  /// halves()[offsets()[u] .. offsets()[u+1]).
+  std::span<const std::size_t> offsets() const { return offsets_; }
+  std::span<const HalfEdge> halves() const { return halves_; }
 
   /// Max edge weight W (1 if the graph has no edges).
   Weight max_weight() const { return max_weight_; }
@@ -66,15 +137,21 @@ class CsrGraph {
   /// allocations after the first scale. `f` must return weights >= 1.
   /// `this == &base` is allowed; `f` then receives the *current* (already
   /// transformed) weights, so per-scale callers should keep a pristine
-  /// base and a separate scratch.
+  /// base and a separate scratch. A mapped base (or mapped *this on the
+  /// self path) is copied into owned storage first — the mapping itself
+  /// is never written.
   template <typename Fn>
   void assign_reweighted(const CsrGraph& base, Fn&& f) {
     if (this != &base) {
-      offsets_ = base.offsets_;
-      halves_ = base.halves_;
+      own_offsets_.assign(base.offsets_.begin(), base.offsets_.end());
+      own_halves_.assign(base.halves_.begin(), base.halves_.end());
+      mapping_.reset();
+      rebind_views();
+    } else if (mapping_ != nullptr) {
+      detach();
     }
     Weight mx = 1;
-    for (HalfEdge& h : halves_) {
+    for (HalfEdge& h : own_halves_) {
       h.weight = f(h.weight);
       QC_CHECK(h.weight >= 1, "reweight produced a zero weight");
       mx = std::max(mx, h.weight);
@@ -83,8 +160,35 @@ class CsrGraph {
   }
 
  private:
-  std::vector<std::size_t> offsets_;  ///< size n+1; row u = [off[u], off[u+1])
-  std::vector<HalfEdge> halves_;      ///< 2m half-edges, row-major
+  void rebind_views() {
+    offsets_ = own_offsets_;
+    halves_ = own_halves_;
+  }
+
+  /// Copies a mapped view into owned storage and drops the mapping.
+  void detach();
+
+  void assign_from(const CsrGraph& o) {
+    if (o.mapping_ != nullptr) {
+      own_offsets_.clear();
+      own_halves_.clear();
+      mapping_ = o.mapping_;
+      offsets_ = o.offsets_;
+      halves_ = o.halves_;
+    } else {
+      own_offsets_.assign(o.offsets_.begin(), o.offsets_.end());
+      own_halves_.assign(o.halves_.begin(), o.halves_.end());
+      mapping_.reset();
+      rebind_views();
+    }
+    max_weight_ = o.max_weight_;
+  }
+
+  std::vector<std::size_t> own_offsets_;  ///< owned mode: size n+1
+  std::vector<HalfEdge> own_halves_;      ///< owned mode: 2m half-edges
+  std::shared_ptr<const void> mapping_;   ///< mapped mode: keep-alive
+  std::span<const std::size_t> offsets_;  ///< active view (either mode)
+  std::span<const HalfEdge> halves_;      ///< active view (either mode)
   Weight max_weight_ = 1;
 };
 

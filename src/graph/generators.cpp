@@ -238,6 +238,263 @@ WeightedGraph from_family(const std::string& family, NodeId n, Weight max_w,
   return randomize_weights(g, max_w, rng);
 }
 
+// --- streaming dataset generators ------------------------------------
+
+namespace {
+
+/// Flat open-addressed set of packed (u << 32 | v) edge keys, used by
+/// the dedup'ing streaming generators. Keys are mixed through a
+/// splitmix64 finalizer; load factor stays under 1/2 (the constructors
+/// size for the whole edge budget up front, growth is a safety net).
+/// ~16 bytes per expected edge — the dominant RAM cost of RMAT and
+/// Chung–Lu generation, and still ~100x smaller than the graph it
+/// replaces holding in memory.
+class EdgeKeySet {
+ public:
+  explicit EdgeKeySet(std::uint64_t expected) {
+    std::size_t cap = 64;
+    while (cap < expected * 2 && cap < (std::size_t{1} << 40)) cap <<= 1;
+    slots_.assign(cap, 0);
+  }
+
+  /// Inserts key; returns false if it was already present.
+  bool insert(std::uint64_t key) {
+    if ((count_ + 1) * 2 > slots_.size()) grow();
+    const std::uint64_t stored = key + 1;  // 0 marks an empty slot
+    std::size_t i = mix(key) & (slots_.size() - 1);
+    while (slots_[i] != 0) {
+      if (slots_[i] == stored) return false;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = stored;
+    ++count_;
+    return true;
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, 0);
+    for (const std::uint64_t stored : old) {
+      if (stored == 0) continue;
+      std::size_t i = mix(stored - 1) & (slots_.size() - 1);
+      while (slots_[i] != 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = stored;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t count_ = 0;
+};
+
+/// Union-find with path halving; 4 bytes per node. Tracks component
+/// count so the repair pass knows when to stop early.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[b] = a;
+    --components_;
+  }
+
+  NodeId components() const { return components_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  NodeId components_;
+};
+
+/// Appends repair edges over the per-component minimum nodes (iterating
+/// v ascending, the first node whose root is unseen is its component's
+/// minimum — so representatives come out sorted and every repair edge
+/// is canonical). Representatives are linked as a complete binary tree
+/// (rep i to rep (i-1)/2) rather than a path: a sparse RMAT draw can
+/// leave tens of thousands of singleton components, and a path repair
+/// would hand the "low-diameter power-law graph" a diameter equal to
+/// the component count — the tree keeps the repair's diameter
+/// contribution at O(log #components) and adds at most 3 to any
+/// degree. A repair edge joins two components, so it can never
+/// duplicate a sampled edge.
+void repair_connectivity(BGraphWriter& out, UnionFind& uf, NodeId n,
+                         Weight max_w, Rng& rng) {
+  if (n == 0 || uf.components() <= 1) return;
+  std::vector<NodeId> reps;
+  std::vector<bool> seen_root(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId root = uf.find(v);
+    if (seen_root[root]) continue;
+    seen_root[root] = true;
+    reps.push_back(v);
+    if (reps.size() == uf.components()) break;
+  }
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    out.add(reps[(i - 1) / 2], reps[i], Weight{1} + rng.below(max_w));
+    uf.unite(reps[(i - 1) / 2], reps[i]);
+  }
+}
+
+std::uint64_t max_edges_of(std::uint64_t n) {
+  return n < 2 ? 0 : n * (n - 1) / 2;
+}
+
+}  // namespace
+
+BGraphInfo rmat_bgraph(const std::string& path, std::uint32_t scale,
+                       std::uint64_t target_edges, Weight max_w,
+                       std::uint64_t seed, double a, double b, double c) {
+  QC_REQUIRE(scale >= 1 && scale <= 31, "rmat needs 1 <= scale <= 31");
+  QC_REQUIRE(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+             "rmat quadrant probabilities need a > 0, a+b+c < 1");
+  QC_REQUIRE(max_w >= 1, "max_w must be >= 1");
+  const NodeId n = NodeId{1} << scale;
+  QC_REQUIRE(target_edges <= max_edges_of(n) / 2,
+             "rmat edge budget too dense (want <= n(n-1)/4 so the "
+             "rejection sampler terminates)");
+  Rng rng(seed);
+  BGraphWriter out(path, n);
+  EdgeKeySet seen(target_edges);
+  UnionFind uf(n);
+  // Rejection sampling against the dedup set: the budget cap above
+  // keeps the acceptance rate >= 1/2 even if every draw landed in the
+  // same quadrant cell, but a hard attempt ceiling guards pathological
+  // parameter corners anyway.
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 64 * target_edges + 1024;
+  while (out.edges_written() < target_edges) {
+    QC_REQUIRE(++attempts <= max_attempts,
+               "rmat rejection sampler exceeded its attempt budget — "
+               "parameters concentrate mass on too few cells");
+    NodeId u = 0;
+    NodeId v = 0;
+    for (std::uint32_t level = 0; level < scale; ++level) {
+      const double r = rng.uniform();
+      const std::uint32_t ubit = r >= a + b ? 1 : 0;
+      const std::uint32_t vbit = (r >= a && r < a + b) || r >= a + b + c;
+      u |= ubit << level;
+      v |= vbit << level;
+    }
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert((std::uint64_t{u} << 32) | v)) continue;
+    out.add(u, v, Weight{1} + rng.below(max_w));
+    uf.unite(u, v);
+  }
+  repair_connectivity(out, uf, n, max_w, rng);
+  return out.close();
+}
+
+BGraphInfo chung_lu_bgraph(const std::string& path, NodeId n,
+                           std::uint64_t target_edges, double exponent,
+                           Weight max_w, std::uint64_t seed) {
+  QC_REQUIRE(n >= 2, "chung_lu needs n >= 2");
+  QC_REQUIRE(exponent > 2.0 && exponent <= 4.0,
+             "chung_lu needs 2 < exponent <= 4");
+  QC_REQUIRE(max_w >= 1, "max_w must be >= 1");
+  QC_REQUIRE(target_edges <= max_edges_of(n) / 2,
+             "chung_lu edge budget too dense (want <= n(n-1)/4)");
+  // Cumulative endpoint table: P(v) ∝ (v+1)^(-alpha) with
+  // alpha = 1/(exponent-1) — the standard Chung–Lu weighting whose
+  // expected degrees follow the requested power law.
+  const double alpha = 1.0 / (exponent - 1.0);
+  std::vector<double> cum(n);
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    total += std::pow(double(v) + 1.0, -alpha);
+    cum[v] = total;
+  }
+  Rng rng(seed);
+  const auto draw = [&]() -> NodeId {
+    const double x = rng.uniform() * total;
+    return static_cast<NodeId>(
+        std::lower_bound(cum.begin(), cum.end(), x) - cum.begin());
+  };
+  BGraphWriter out(path, n);
+  EdgeKeySet seen(target_edges);
+  UnionFind uf(n);
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 256 * target_edges + 1024;
+  while (out.edges_written() < target_edges) {
+    QC_REQUIRE(++attempts <= max_attempts,
+               "chung_lu rejection sampler exceeded its attempt budget — "
+               "the weight distribution concentrates on too few nodes");
+    NodeId u = draw();
+    NodeId v = draw();
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert((std::uint64_t{u} << 32) | v)) continue;
+    out.add(u, v, Weight{1} + rng.below(max_w));
+    uf.unite(u, v);
+  }
+  repair_connectivity(out, uf, n, max_w, rng);
+  return out.close();
+}
+
+BGraphInfo erdos_renyi_bgraph(const std::string& path, NodeId n, double p,
+                              Weight max_w, std::uint64_t seed) {
+  QC_REQUIRE(n >= 2, "erdos_renyi needs n >= 2");
+  QC_REQUIRE(p >= 0.0 && p <= 1.0, "p must be in [0, 1]");
+  QC_REQUIRE(max_w >= 1, "max_w must be >= 1");
+  Rng rng(seed);
+  BGraphWriter out(path, n);
+  UnionFind uf(n);
+  if (p > 0.0) {
+    // Geometric skip sampling: instead of n(n-1)/2 Bernoulli trials,
+    // jump straight to the next success with
+    // skip = floor(log(1-U) / log(1-p)) and decode the linear pair
+    // index into (u, v) by walking rows forward — O(1) amortized per
+    // emitted edge plus O(n) row advances total.
+    const std::uint64_t total_pairs = max_edges_of(n);
+    const double log1mp = std::log1p(-p);  // -inf when p == 1
+    std::uint64_t idx = 0;
+    std::uint64_t row_base = 0;          // linear index of (u, u+1)
+    NodeId u = 0;
+    std::uint64_t row_len = n - 1;       // pairs in row u
+    while (true) {
+      if (p < 1.0) {
+        const double skip =
+            std::floor(std::log1p(-rng.uniform()) / log1mp);
+        if (skip >= double(total_pairs)) break;
+        idx += static_cast<std::uint64_t>(skip);
+      }
+      if (idx >= total_pairs) break;
+      while (idx >= row_base + row_len) {
+        row_base += row_len;
+        --row_len;
+        ++u;
+      }
+      const NodeId v = static_cast<NodeId>(u + 1 + (idx - row_base));
+      out.add(u, v, Weight{1} + rng.below(max_w));
+      uf.unite(u, v);
+      ++idx;
+    }
+  }
+  repair_connectivity(out, uf, n, max_w, rng);
+  return out.close();
+}
+
 WeightedGraph planted_heavy_pair(NodeId n, Weight max_w, Weight boost,
                                  Rng& rng) {
   QC_REQUIRE(n >= 4, "planted_heavy_pair needs n >= 4");

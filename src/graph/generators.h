@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "graph/graph.h"
+#include "graph/io.h"
 #include "util/rng.h"
 
 namespace qc::gen {
@@ -79,5 +81,50 @@ WeightedGraph from_family(const std::string& family, NodeId n, Weight max_w,
 /// (the planted pair is nodes 0 and n-1).
 WeightedGraph planted_heavy_pair(NodeId n, Weight max_w, Weight boost,
                                  Rng& rng);
+
+// --- streaming dataset generators (graph/io.h bgraph v1) --------------
+//
+// The in-memory families above top out around n ~ 10^4: `complete`-style
+// O(n^2) loops, per-edge duplicate scans in add_edge, and one adjacency
+// vector per node all stop scaling long before the million-node regime
+// the dataset layer targets. These generators instead stream canonical
+// edge records straight into a `BGraphWriter` — the only O(n)/O(m) RAM
+// is a union-find parent array (4 bytes/node), a flat open-addressed
+// dedup set (~16 bytes/edge for RMAT and Chung–Lu; ER needs none), and
+// one IO buffer — so the emitted file, not the process, bounds the
+// graph size. All three are seed-deterministic: the same arguments
+// produce byte-identical files. Connectivity is repaired by appending
+// a binary tree of edges over the per-component minimum nodes (a
+// repair edge joins two components, so it can never duplicate a
+// sampled edge; the tree shape keeps the repair's diameter
+// contribution logarithmic even when a sparse draw leaves many
+// singleton components).
+
+/// R-MAT (Chakrabarti–Zhan–Faloutsos) recursive-quadrant sampler:
+/// n = 2^scale nodes, `target_edges` distinct canonical edges, weights
+/// uniform in [1, max_w]. Quadrant probabilities (a, b, c, 1-a-b-c)
+/// default to the classic skewed 0.57/0.19/0.19/0.05, which yields the
+/// heavy-tailed degree distribution the work-imbalance benches need.
+/// Self loops and duplicates are re-drawn; throws ArgumentError if the
+/// edge budget is unreachable (target close to the n(n-1)/2 ceiling).
+BGraphInfo rmat_bgraph(const std::string& path, std::uint32_t scale,
+                       std::uint64_t target_edges, Weight max_w,
+                       std::uint64_t seed, double a = 0.57, double b = 0.19,
+                       double c = 0.19);
+
+/// Chung–Lu power-law graph: endpoints drawn independently with
+/// P(v) ∝ (v+1)^(-1/(exponent-1)) (so expected degrees follow a
+/// power law with the given exponent, 2 < exponent <= 4), dedup'd to
+/// `target_edges` distinct edges, weights uniform in [1, max_w].
+BGraphInfo chung_lu_bgraph(const std::string& path, NodeId n,
+                           std::uint64_t target_edges, double exponent,
+                           Weight max_w, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p) via geometric skip sampling over the linear
+/// pair index space: O(pn^2) work and O(n) memory with no dedup table
+/// at all (every pair is considered exactly once), so it streams
+/// graphs of any size. Weights uniform in [1, max_w].
+BGraphInfo erdos_renyi_bgraph(const std::string& path, NodeId n, double p,
+                              Weight max_w, std::uint64_t seed);
 
 }  // namespace qc::gen

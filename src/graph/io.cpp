@@ -1,9 +1,97 @@
 #include "graph/io.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/rng.h"
 
 namespace qc {
+
+namespace {
+
+// The binary formats are defined little-endian; every supported target
+// is. The bcsr payload is additionally defined to match the in-memory
+// array layout exactly, which is what makes mmap a zero-copy load.
+static_assert(std::endian::native == std::endian::little,
+              "binary graph formats require a little-endian target");
+static_assert(sizeof(std::size_t) == 8,
+              "64-bit offsets require a 64-bit target");
+static_assert(sizeof(HalfEdge) == 16 && offsetof(HalfEdge, to) == 0 &&
+                  offsetof(HalfEdge, weight) == 8,
+              "bcsr payload layout must match HalfEdge");
+
+constexpr unsigned char kBGraphMagic[8] = {'b', 'g', 'r', 'a',
+                                           'p', 'h', '1', '\0'};
+constexpr unsigned char kBcsrMagic[8] = {'b', 'c', 's', 'r',
+                                         'q', 'c', '1', '\0'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFlagSorted = 1;
+constexpr std::size_t kIoBufRecords = 4096;  // 64 KiB per buffer
+
+void put_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  return (std::uint64_t{u} << 32) | v;
+}
+
+/// 48-byte header shared by both binary formats: magic(8) version(4)
+/// flags(4) n(8) count(8) max_weight(8) reserved(8). `count` is m for
+/// bgraph, the half-edge count (2m) for bcsr.
+void encode_header(unsigned char* h, const unsigned char* magic,
+                   std::uint32_t flags, std::uint64_t n, std::uint64_t count,
+                   Weight max_weight) {
+  std::memcpy(h, magic, 8);
+  put_u32(h + 8, kFormatVersion);
+  put_u32(h + 12, flags);
+  put_u64(h + 16, n);
+  put_u64(h + 24, count);
+  put_u64(h + 32, max_weight);
+  put_u64(h + 40, 0);
+}
+
+std::uint64_t file_size_of(std::FILE* f, const std::string& path) {
+  const long cur = std::ftell(f);
+  QC_REQUIRE(cur >= 0 && std::fseek(f, 0, SEEK_END) == 0,
+             path + ": seek failed");
+  const long end = std::ftell(f);
+  QC_REQUIRE(end >= 0 && std::fseek(f, cur, SEEK_SET) == 0,
+             path + ": seek failed");
+  return static_cast<std::uint64_t>(end);
+}
+
+void write_all(std::FILE* f, const void* data, std::size_t bytes,
+               const std::string& path) {
+  QC_REQUIRE(std::fwrite(data, 1, bytes, f) == bytes,
+             path + ": write failed");
+}
+
+}  // namespace
+
+// --- wgraph v1 (text) -------------------------------------------------
 
 std::string to_edge_list(const WeightedGraph& g) {
   std::ostringstream os;
@@ -75,5 +163,569 @@ WeightedGraph load_graph(const std::string& path) {
   buf << in.rdbuf();
   return parse_edge_list(buf.str());
 }
+
+// --- bgraph v1 writer -------------------------------------------------
+
+BGraphWriter::BGraphWriter(const std::string& path, std::uint64_t n)
+    : path_(path), n_(n) {
+  QC_REQUIRE(n <= (std::uint64_t{1} << 32),
+             path + ": node count " + std::to_string(n) +
+                 " exceeds the 2^32 NodeId range");
+  file_ = std::fopen(path.c_str(), "w+b");
+  QC_REQUIRE(file_ != nullptr, "cannot open for writing: " + path);
+  unsigned char h[kBGraphHeaderBytes];
+  encode_header(h, kBGraphMagic, 0, n_, 0, 1);
+  write_all(file_, h, sizeof h, path_);
+  buf_.reserve(kIoBufRecords * kBGraphRecordBytes);
+}
+
+BGraphWriter::~BGraphWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BGraphWriter::add(NodeId u, NodeId v, Weight w) {
+  QC_REQUIRE(!closed_, path_ + ": writer already closed");
+  QC_REQUIRE(u < v, path_ + ": record " + std::to_string(m_) +
+                        ": edges must be canonical (u < v), got u=" +
+                        std::to_string(u) + " v=" + std::to_string(v));
+  QC_REQUIRE(std::uint64_t{v} < n_,
+             path_ + ": record " + std::to_string(m_) + ": node id " +
+                 std::to_string(v) + " out of range (n=" +
+                 std::to_string(n_) + ")");
+  QC_REQUIRE(w >= 1, path_ + ": record " + std::to_string(m_) +
+                         ": weights must be positive");
+  const std::uint64_t key = edge_key(u, v);
+  if (m_ > 0 && key <= last_key_) sorted_ = false;
+  last_key_ = key;
+  max_weight_ = std::max(max_weight_, w);
+  unsigned char rec[kBGraphRecordBytes];
+  put_u32(rec, u);
+  put_u32(rec + 4, v);
+  put_u64(rec + 8, w);
+  buf_.insert(buf_.end(), rec, rec + sizeof rec);
+  if (buf_.size() >= kIoBufRecords * kBGraphRecordBytes) flush_buffer();
+  ++m_;
+}
+
+void BGraphWriter::flush_buffer() {
+  if (!buf_.empty()) {
+    write_all(file_, buf_.data(), buf_.size(), path_);
+    buf_.clear();
+  }
+}
+
+BGraphInfo BGraphWriter::close() {
+  BGraphInfo info{n_, m_, max_weight_, sorted_};
+  if (closed_) return info;
+  flush_buffer();
+  unsigned char h[kBGraphHeaderBytes];
+  encode_header(h, kBGraphMagic, sorted_ ? kFlagSorted : 0, n_, m_,
+                max_weight_);
+  QC_REQUIRE(std::fseek(file_, 0, SEEK_SET) == 0, path_ + ": seek failed");
+  write_all(file_, h, sizeof h, path_);
+  QC_REQUIRE(std::fflush(file_) == 0, path_ + ": flush failed");
+  std::fclose(file_);
+  file_ = nullptr;
+  closed_ = true;
+  return info;
+}
+
+// --- bgraph v1 reader -------------------------------------------------
+
+BGraphReader::BGraphReader(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  QC_REQUIRE(file_ != nullptr, "cannot open: " + path);
+  const std::uint64_t size = file_size_of(file_, path_);
+  QC_REQUIRE(size >= kBGraphHeaderBytes,
+             path + ": truncated header — file is " + std::to_string(size) +
+                 " bytes, a bgraph header needs " +
+                 std::to_string(kBGraphHeaderBytes));
+  unsigned char h[kBGraphHeaderBytes];
+  QC_REQUIRE(std::fread(h, 1, sizeof h, file_) == sizeof h,
+             path + ": header read failed");
+  QC_REQUIRE(std::memcmp(h, kBGraphMagic, 8) == 0,
+             path + ": bad magic at byte 0 (not a bgraph v1 file)");
+  const std::uint32_t version = get_u32(h + 8);
+  QC_REQUIRE(version == kFormatVersion,
+             path + ": unsupported version " + std::to_string(version) +
+                 " at byte 8 (expected " + std::to_string(kFormatVersion) +
+                 ")");
+  const std::uint32_t flags = get_u32(h + 12);
+  QC_REQUIRE((flags & ~kFlagSorted) == 0,
+             path + ": unknown flag bits at byte 12: " +
+                 std::to_string(flags));
+  info_.n = get_u64(h + 16);
+  info_.m = get_u64(h + 24);
+  info_.max_weight = get_u64(h + 32);
+  info_.sorted = (flags & kFlagSorted) != 0;
+  QC_REQUIRE(info_.n <= (std::uint64_t{1} << 32),
+             path + ": node count " + std::to_string(info_.n) +
+                 " at byte 16 exceeds the 2^32 NodeId range");
+  QC_REQUIRE(info_.max_weight >= 1,
+             path + ": max_weight 0 at byte 32 (weights are positive)");
+  // Overflow-safe size check: reject counts the file cannot possibly
+  // hold before computing header + m * record.
+  const std::uint64_t payload = size - kBGraphHeaderBytes;
+  QC_REQUIRE(info_.m <= payload / kBGraphRecordBytes,
+             path + ": edge count " + std::to_string(info_.m) +
+                 " at byte 24 overflows the file — " + std::to_string(size) +
+                 " bytes holds at most " +
+                 std::to_string(payload / kBGraphRecordBytes) + " records");
+  QC_REQUIRE(payload == info_.m * kBGraphRecordBytes,
+             path + ": size mismatch — header says m=" +
+                 std::to_string(info_.m) + " (" +
+                 std::to_string(kBGraphHeaderBytes +
+                                info_.m * kBGraphRecordBytes) +
+                 " bytes), file is " + std::to_string(size) + " bytes");
+  buf_.resize(kIoBufRecords * kBGraphRecordBytes);
+}
+
+BGraphReader::~BGraphReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BGraphReader::rewind() {
+  QC_REQUIRE(std::fseek(file_, static_cast<long>(kBGraphHeaderBytes),
+                        SEEK_SET) == 0,
+             path_ + ": seek failed");
+  read_ = 0;
+  last_key_ = 0;
+  buf_pos_ = 0;
+  buf_len_ = 0;
+}
+
+void BGraphReader::refill() {
+  const std::uint64_t remaining = info_.m - read_;
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(remaining, kIoBufRecords) * kBGraphRecordBytes);
+  const std::size_t got = std::fread(buf_.data(), 1, want, file_);
+  QC_REQUIRE(got == want,
+             path_ + ": short read at byte " +
+                 std::to_string(kBGraphHeaderBytes +
+                                read_ * kBGraphRecordBytes) +
+                 " (wanted " + std::to_string(want) + " bytes, got " +
+                 std::to_string(got) + ")");
+  buf_pos_ = 0;
+  buf_len_ = want;
+}
+
+bool BGraphReader::next(Edge& e) {
+  if (read_ == info_.m) return false;
+  if (buf_pos_ == buf_len_) refill();
+  const unsigned char* rec = buf_.data() + buf_pos_;
+  const std::uint64_t at = kBGraphHeaderBytes + read_ * kBGraphRecordBytes;
+  const std::uint32_t u = get_u32(rec);
+  const std::uint32_t v = get_u32(rec + 4);
+  const std::uint64_t w = get_u64(rec + 8);
+  QC_REQUIRE(u < v, path_ + ": record " + std::to_string(read_) +
+                        " at byte " + std::to_string(at) +
+                        ": not canonical (u=" + std::to_string(u) +
+                        " >= v=" + std::to_string(v) + ")");
+  QC_REQUIRE(std::uint64_t{v} < info_.n,
+             path_ + ": record " + std::to_string(read_) + " at byte " +
+                 std::to_string(at) + ": node id " + std::to_string(v) +
+                 " out of range (n=" + std::to_string(info_.n) + ")");
+  QC_REQUIRE(w >= 1, path_ + ": record " + std::to_string(read_) +
+                         " at byte " + std::to_string(at) + ": zero weight");
+  QC_REQUIRE(w <= info_.max_weight,
+             path_ + ": record " + std::to_string(read_) + " at byte " +
+                 std::to_string(at) + ": weight " + std::to_string(w) +
+                 " exceeds the header max_weight " +
+                 std::to_string(info_.max_weight));
+  if (info_.sorted) {
+    const std::uint64_t key = edge_key(u, v);
+    QC_REQUIRE(read_ == 0 || key > last_key_,
+               path_ + ": record " + std::to_string(read_) + " at byte " +
+                   std::to_string(at) +
+                   ": order violation under the sorted flag");
+    last_key_ = key;
+  }
+  e = Edge{u, v, w};
+  buf_pos_ += kBGraphRecordBytes;
+  ++read_;
+  return true;
+}
+
+// --- bgraph conversions ----------------------------------------------
+
+BGraphInfo write_bgraph(const WeightedGraph& g, const std::string& path) {
+  BGraphWriter out(path, g.node_count());
+  for (const Edge& e : g.edges()) out.add(e.u, e.v, e.weight);
+  return out.close();
+}
+
+WeightedGraph load_bgraph(const std::string& path) {
+  BGraphReader in(path);
+  QC_REQUIRE(in.info().n <= std::numeric_limits<NodeId>::max(),
+             path + ": node count " + std::to_string(in.info().n) +
+                 " too large for an in-memory WeightedGraph");
+  std::vector<Edge> edges;
+  edges.reserve(in.info().m);
+  Edge e;
+  while (in.next(e)) edges.push_back(e);
+  return WeightedGraph::from_edges(static_cast<NodeId>(in.info().n),
+                                   std::move(edges));
+}
+
+BGraphInfo convert_text_to_bgraph(const std::string& text_path,
+                                  const std::string& bgraph_path) {
+  std::ifstream in(text_path);
+  QC_REQUIRE(in.good(), "cannot open: " + text_path);
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t edges_seen = 0;
+  std::unique_ptr<BGraphWriter> out;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      std::string magic;
+      ls >> magic >> n >> m;
+      QC_REQUIRE(!ls.fail() && magic == "wgraph",
+                 text_path + ": line " + std::to_string(line_no) +
+                     ": expected 'wgraph <n> <m>' header");
+      out = std::make_unique<BGraphWriter>(bgraph_path, n);
+      have_header = true;
+      continue;
+    }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    std::uint64_t w = 0;
+    ls >> u >> v >> w;
+    QC_REQUIRE(!ls.fail(), text_path + ": line " + std::to_string(line_no) +
+                               ": expected 'u v w'");
+    std::string extra;
+    QC_REQUIRE(!(ls >> extra), text_path + ": line " +
+                                   std::to_string(line_no) +
+                                   ": trailing tokens");
+    QC_REQUIRE(u < n && v < n, text_path + ": line " +
+                                   std::to_string(line_no) +
+                                   ": node id out of range");
+    QC_REQUIRE(u != v, text_path + ": line " + std::to_string(line_no) +
+                           ": self loop");
+    if (u > v) std::swap(u, v);
+    out->add(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    ++edges_seen;
+  }
+  QC_REQUIRE(have_header, text_path + ": missing wgraph header");
+  QC_REQUIRE(edges_seen == m,
+             text_path + ": edge count mismatch: header says " +
+                 std::to_string(m) + ", file has " +
+                 std::to_string(edges_seen));
+  return out->close();
+}
+
+void convert_bgraph_to_text(const std::string& bgraph_path,
+                            const std::string& text_path) {
+  BGraphReader in(bgraph_path);
+  std::ofstream out(text_path);
+  QC_REQUIRE(out.good(), "cannot open for writing: " + text_path);
+  out << "wgraph " << in.info().n << ' ' << in.info().m << '\n';
+  Edge e;
+  while (in.next(e)) {
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+  QC_REQUIRE(out.good(), "write failed: " + text_path);
+}
+
+BGraphInfo shuffle_bgraph(const std::string& in_path,
+                          const std::string& out_path, std::uint64_t seed) {
+  BGraphReader in(in_path);
+  std::vector<Edge> edges;
+  edges.reserve(in.info().m);
+  Edge e;
+  while (in.next(e)) edges.push_back(e);
+  Rng rng(seed);
+  rng.shuffle(edges);
+  BGraphWriter out(out_path, in.info().n);
+  for (const Edge& edge : edges) out.add(edge.u, edge.v, edge.weight);
+  return out.close();
+}
+
+BGraphInfo sort_bgraph(const std::string& in_path,
+                       const std::string& out_path) {
+  BGraphReader in(in_path);
+  std::vector<Edge> edges;
+  edges.reserve(in.info().m);
+  Edge e;
+  while (in.next(e)) edges.push_back(e);
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return edge_key(a.u, a.v) < edge_key(b.u, b.v);
+  });
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    QC_REQUIRE(edge_key(edges[i - 1].u, edges[i - 1].v) !=
+                   edge_key(edges[i].u, edges[i].v),
+               in_path + ": duplicate edge (" + std::to_string(edges[i].u) +
+                   ", " + std::to_string(edges[i].v) + ")");
+  }
+  BGraphWriter out(out_path, in.info().n);
+  for (const Edge& edge : edges) out.add(edge.u, edge.v, edge.weight);
+  return out.close();
+}
+
+BGraphSummary summarize_bgraph(const std::string& path) {
+  BGraphReader in(path);
+  BGraphSummary s;
+  s.info = in.info();
+  s.min_weight = in.info().m == 0 ? 1 : std::numeric_limits<Weight>::max();
+  std::vector<std::uint32_t> degree(static_cast<std::size_t>(in.info().n), 0);
+  Edge e;
+  while (in.next(e)) {
+    ++degree[e.u];
+    ++degree[e.v];
+    s.min_weight = std::min(s.min_weight, e.weight);
+  }
+  s.degree_hist_log2.assign(33, 0);
+  for (const std::uint32_t d : degree) {
+    if (d == 0) {
+      ++s.isolated;
+      continue;
+    }
+    s.max_degree = std::max<std::uint64_t>(s.max_degree, d);
+    ++s.degree_hist_log2[std::bit_width(d) - 1];
+  }
+  while (s.degree_hist_log2.size() > 1 && s.degree_hist_log2.back() == 0) {
+    s.degree_hist_log2.pop_back();
+  }
+  s.avg_degree = in.info().n == 0
+                     ? 0.0
+                     : 2.0 * double(in.info().m) / double(in.info().n);
+  return s;
+}
+
+CsrGraph csr_from_bgraph(const std::string& path) {
+  BGraphReader in(path);
+  QC_REQUIRE(in.info().n <= std::numeric_limits<NodeId>::max(),
+             path + ": node count " + std::to_string(in.info().n) +
+                 " too large for an in-memory CsrGraph");
+  const std::size_t n = static_cast<std::size_t>(in.info().n);
+  // Pass 1: degree histogram (u32 suffices — simple-graph degrees are
+  // < n <= 2^32) and the true max weight.
+  std::vector<std::uint32_t> degree(n, 0);
+  Weight mx = 1;
+  Edge e;
+  while (in.next(e)) {
+    ++degree[e.u];
+    ++degree[e.v];
+    mx = std::max(mx, e.weight);
+  }
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    offsets[u + 1] = offsets[u] + degree[u];
+  }
+  degree.clear();
+  degree.shrink_to_fit();
+  std::vector<HalfEdge> halves(offsets[n]);
+  // Pass 2: place both half-edges in file order — the same row order
+  // CsrGraph(WeightedGraph) produces for a graph built from this edge
+  // sequence. `cursor` starts as a copy of the offsets and walks each
+  // row forward.
+  std::vector<std::size_t> cursor(offsets);
+  in.rewind();
+  while (in.next(e)) {
+    halves[cursor[e.u]++] = HalfEdge{e.v, e.weight};
+    halves[cursor[e.v]++] = HalfEdge{e.u, e.weight};
+  }
+  return CsrGraph::from_parts(std::move(offsets), std::move(halves), mx);
+}
+
+// --- bcsr v1 (packed CSR image) --------------------------------------
+
+namespace {
+
+constexpr std::size_t kBcsrHeaderBytes = 48;
+
+struct BcsrLayout {
+  std::uint64_t n = 0;
+  std::uint64_t halves = 0;
+  Weight max_weight = 1;
+  std::uint64_t offsets_bytes() const { return (n + 1) * 8; }
+  std::uint64_t halves_bytes() const { return halves * sizeof(HalfEdge); }
+  std::uint64_t total_bytes() const {
+    return kBcsrHeaderBytes + offsets_bytes() + halves_bytes();
+  }
+};
+
+BcsrLayout decode_bcsr_header(const unsigned char* h, std::uint64_t size,
+                              const std::string& path) {
+  QC_REQUIRE(std::memcmp(h, kBcsrMagic, 8) == 0,
+             path + ": bad magic at byte 0 (not a bcsr v1 file)");
+  const std::uint32_t version = get_u32(h + 8);
+  QC_REQUIRE(version == kFormatVersion,
+             path + ": unsupported version " + std::to_string(version) +
+                 " at byte 8");
+  BcsrLayout lay;
+  lay.n = get_u64(h + 16);
+  lay.halves = get_u64(h + 24);
+  lay.max_weight = get_u64(h + 32);
+  QC_REQUIRE(lay.n < (std::uint64_t{1} << 32),
+             path + ": node count " + std::to_string(lay.n) +
+                 " at byte 16 exceeds the NodeId range");
+  QC_REQUIRE(lay.max_weight >= 1,
+             path + ": max_weight 0 at byte 32 (weights are positive)");
+  const std::uint64_t payload = size - kBcsrHeaderBytes;
+  QC_REQUIRE(lay.offsets_bytes() <= payload &&
+                 lay.halves <= (payload - lay.offsets_bytes()) /
+                                   sizeof(HalfEdge),
+             path + ": counts at bytes 16/24 overflow the file (" +
+                 std::to_string(size) + " bytes)");
+  QC_REQUIRE(size == lay.total_bytes(),
+             path + ": size mismatch — header implies " +
+                 std::to_string(lay.total_bytes()) + " bytes, file is " +
+                 std::to_string(size));
+  return lay;
+}
+
+void validate_csr_offsets(std::span<const std::size_t> offsets,
+                          std::uint64_t halves, const std::string& path) {
+  QC_REQUIRE(offsets.front() == 0, path + ": offsets[0] != 0");
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    QC_REQUIRE(offsets[i - 1] <= offsets[i],
+               path + ": offsets not monotone at index " +
+                   std::to_string(i) + " (byte " +
+                   std::to_string(kBcsrHeaderBytes + i * 8) + ")");
+  }
+  QC_REQUIRE(offsets.back() == halves,
+             path + ": offsets end at " + std::to_string(offsets.back()) +
+                 " but the header promises " + std::to_string(halves) +
+                 " half-edges");
+}
+
+void validate_csr_halves(std::span<const HalfEdge> halves, std::uint64_t n,
+                         Weight max_weight, std::uint64_t base_byte,
+                         const std::string& path) {
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    const HalfEdge& h = halves[i];
+    const std::string at =
+        " at byte " + std::to_string(base_byte + i * sizeof(HalfEdge));
+    QC_REQUIRE(std::uint64_t{h.to} < n, path + ": half-edge " +
+                                            std::to_string(i) + at +
+                                            ": target out of range");
+    QC_REQUIRE(h.weight >= 1 && h.weight <= max_weight,
+               path + ": half-edge " + std::to_string(i) + at +
+                   ": weight outside [1, max_weight]");
+  }
+}
+
+}  // namespace
+
+void write_csr(const CsrGraph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  QC_REQUIRE(f != nullptr, "cannot open for writing: " + path);
+  const auto offsets = g.offsets();
+  const auto halves = g.halves();
+  unsigned char h[kBcsrHeaderBytes];
+  encode_header(h, kBcsrMagic, 0, g.node_count(), halves.size(),
+                g.max_weight());
+  write_all(f, h, sizeof h, path);
+  write_all(f, offsets.data(), offsets.size_bytes(), path);
+  // Half-edges are written through a scratch block with the padding
+  // lane explicitly zeroed — in-memory padding bytes are indeterminate
+  // and would make the file non-deterministic.
+  std::vector<unsigned char> block(kIoBufRecords * sizeof(HalfEdge));
+  std::size_t i = 0;
+  while (i < halves.size()) {
+    const std::size_t count =
+        std::min(kIoBufRecords, halves.size() - i);
+    std::memset(block.data(), 0, count * sizeof(HalfEdge));
+    for (std::size_t j = 0; j < count; ++j) {
+      unsigned char* rec = block.data() + j * sizeof(HalfEdge);
+      put_u32(rec, halves[i + j].to);
+      put_u64(rec + 8, halves[i + j].weight);
+    }
+    write_all(f, block.data(), count * sizeof(HalfEdge), path);
+    i += count;
+  }
+  QC_REQUIRE(std::fflush(f) == 0, path + ": flush failed");
+  std::fclose(f);
+}
+
+CsrGraph read_csr(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  QC_REQUIRE(f != nullptr, "cannot open: " + path);
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+  const std::uint64_t size = file_size_of(f, path);
+  QC_REQUIRE(size >= kBcsrHeaderBytes,
+             path + ": truncated header — file is " + std::to_string(size) +
+                 " bytes, a bcsr header needs " +
+                 std::to_string(kBcsrHeaderBytes));
+  unsigned char h[kBcsrHeaderBytes];
+  QC_REQUIRE(std::fread(h, 1, sizeof h, f) == sizeof h,
+             path + ": header read failed");
+  const BcsrLayout lay = decode_bcsr_header(h, size, path);
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(lay.n) + 1);
+  QC_REQUIRE(std::fread(offsets.data(), 1, lay.offsets_bytes(), f) ==
+                 lay.offsets_bytes(),
+             path + ": short read in the offsets array");
+  std::vector<HalfEdge> halves(static_cast<std::size_t>(lay.halves));
+  QC_REQUIRE(std::fread(halves.data(), 1, lay.halves_bytes(), f) ==
+                 lay.halves_bytes(),
+             path + ": short read in the half-edge array");
+  validate_csr_offsets(offsets, lay.halves, path);
+  validate_csr_halves(halves, lay.n, lay.max_weight,
+                      kBcsrHeaderBytes + lay.offsets_bytes(), path);
+  return CsrGraph::from_parts(std::move(offsets), std::move(halves),
+                              lay.max_weight);
+}
+
+#if defined(_WIN32)
+
+CsrGraph map_csr(const std::string& path, bool) {
+  // No mmap shim on this platform: fall back to the owning loader.
+  return read_csr(path);
+}
+
+#else
+
+CsrGraph map_csr(const std::string& path, bool validate_edges) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  QC_REQUIRE(fd >= 0, "cannot open: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw ArgumentError("cannot stat: " + path);
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  if (size < kBcsrHeaderBytes) {
+    ::close(fd);
+    throw ArgumentError(path + ": truncated header — file is " +
+                        std::to_string(size) + " bytes, a bcsr header needs " +
+                        std::to_string(kBcsrHeaderBytes));
+  }
+  void* base = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  QC_REQUIRE(base != MAP_FAILED, "mmap failed: " + path);
+  std::shared_ptr<const void> keep_alive(
+      base, [size](const void* p) {
+        ::munmap(const_cast<void*>(p), static_cast<std::size_t>(size));
+      });
+  const unsigned char* bytes = static_cast<const unsigned char*>(base);
+  const BcsrLayout lay = decode_bcsr_header(bytes, size, path);
+  const std::span<const std::size_t> offsets(
+      reinterpret_cast<const std::size_t*>(bytes + kBcsrHeaderBytes),
+      static_cast<std::size_t>(lay.n) + 1);
+  const std::span<const HalfEdge> halves(
+      reinterpret_cast<const HalfEdge*>(bytes + kBcsrHeaderBytes +
+                                        lay.offsets_bytes()),
+      static_cast<std::size_t>(lay.halves));
+  validate_csr_offsets(offsets, lay.halves, path);
+  if (validate_edges) {
+    validate_csr_halves(halves, lay.n, lay.max_weight,
+                        kBcsrHeaderBytes + lay.offsets_bytes(), path);
+  }
+  return CsrGraph::mapped(offsets, halves, lay.max_weight,
+                          std::move(keep_alive));
+}
+
+#endif
 
 }  // namespace qc

@@ -719,6 +719,47 @@ TEST(Simulator, ShardedMergeByteIdenticalAtAwkwardWorkerCounts) {
   }
 }
 
+// pooled_round_min_work trades wall-clock only: forcing every round
+// through the pool (0) and forcing every round serial (huge) must give
+// byte-identical ledgers, traces, metrics, and outputs at any worker
+// count. This is the auto-serial fallback that un-regresses small-round
+// phases like alg1's hop-SSSP (docs/perf.md).
+TEST(Simulator, PooledRoundMinWorkIsWallClockOnly) {
+  Rng rng(777);
+  const auto g = gen::erdos_renyi_connected(96, 0.08, rng);
+  const auto capture = [&](unsigned workers, std::size_t min_work) {
+    Config cfg;
+    cfg.record_trace = true;
+    cfg.workers = workers;
+    cfg.execution.pooled_round_min_work = min_work;
+    std::vector<RoundMetrics> metrics;
+    cfg.on_round_metrics = [&](const RoundMetrics& rm) {
+      metrics.push_back(rm);
+    };
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      programs.push_back(std::make_unique<MinFloodProgram>());
+    }
+    Simulator sim(g, cfg);
+    RunCapture cap;
+    cap.stats = sim.run(programs);
+    cap.trace = sim.trace();
+    cap.metrics = std::move(metrics);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      cap.outputs.push_back(
+          static_cast<const MinFloodProgram&>(*programs[v]).best());
+    }
+    return cap;
+  };
+  const RunCapture golden = capture(1, Config::Execution{}.pooled_round_min_work);
+  for (const unsigned workers : {2u, 8u}) {
+    EXPECT_EQ(capture(workers, /*min_work=*/0), golden)
+        << "always-pooled, workers=" << workers;
+    EXPECT_EQ(capture(workers, /*min_work=*/SIZE_MAX), golden)
+        << "always-serial, workers=" << workers;
+  }
+}
+
 // More workers than nodes: n = 3 with an 8-worker pool must clamp to 3
 // single-node shards and still agree with serial. (MinFlood's 32-bit
 // payloads don't fit a 3-node B, so this uses the 6-bit wave.)

@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <numeric>
+#include <string>
 
 #include "congest/primitives.h"
 #include "core/approx.h"
@@ -180,6 +183,66 @@ TEST_P(FuzzSweep, MultiSourceBfsRandomSources) {
   for (std::size_t a = 0; a < sources.size(); ++a) {
     EXPECT_EQ(res.dist[a], bfs_distances(g, sources[a]));
   }
+}
+
+// The bgraph streaming parser under byte mutation: flip a handful of
+// random bytes in a valid file and reload. Every outcome must be
+// either a clean parse (the flips hit record lanes and produced another
+// valid graph) or an ArgumentError — never a crash, hang, or any other
+// exception type. Mutations are biased half-and-half between the
+// 48-byte header and the record payload.
+TEST_P(FuzzSweep, BGraphParserSurvivesByteMutations) {
+  Rng rng(GetParam() * 97 + 5);
+  const auto g = random_connected(rng, 40, 30);
+  const std::string path =
+      ::testing::TempDir() + "qc_fuzz_bgraph_" + std::to_string(GetParam());
+  write_bgraph(g, path);
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    good.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string bytes = good;
+    const auto flips = 1 + rng.below(4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const std::size_t at =
+          rng.chance(0.5) ? rng.below(kBGraphHeaderBytes)
+                          : static_cast<std::size_t>(rng.below(bytes.size()));
+      bytes[at] = static_cast<char>(rng.below(256));
+    }
+    // Occasionally truncate or extend as well.
+    if (rng.chance(0.2)) bytes.resize(rng.below(bytes.size() + 9));
+    // A mutated n field can pass header validation yet describe billions
+    // of (isolated) nodes; loading such a file is *correct* but would
+    // allocate per-node state far beyond what a test should. Skip the
+    // loaders for giant-n mutants — header/record validation is already
+    // covered by every other mutant.
+    std::uint64_t mut_n = 0;
+    if (bytes.size() >= 24) {
+      for (int i = 7; i >= 0; --i) {
+        mut_n = (mut_n << 8) |
+                static_cast<unsigned char>(bytes[16 + static_cast<std::size_t>(i)]);
+      }
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    if (mut_n > (std::uint64_t{1} << 21)) continue;
+    try {
+      const WeightedGraph parsed = load_bgraph(path);
+      EXPECT_LE(parsed.node_count(), std::uint64_t{1} << 32);
+    } catch (const ArgumentError&) {
+      // Expected for most mutations.
+    }
+    try {
+      (void)summarize_bgraph(path);
+    } catch (const ArgumentError&) {
+    }
+  }
+  std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Gate a fresh BENCH_congest_sim.json against the committed baseline.
+"""Gate a fresh bench JSON against its committed baseline.
 
-Used by `tools/run_tier1.sh --bench-gate`: the bench binary re-runs the
-suite into a scratch file, and this script diffs it against the
-BENCH_congest_sim.json committed at the repo root. It fails (exit 1)
+Used by `tools/run_tier1.sh --bench-gate` for both BENCH_congest_sim.json
+and BENCH_datasets.json (pass --baseline to pick the file): the bench
+binary re-runs the suite into a scratch file, and this script diffs it
+against the baseline committed at the repo root. It fails (exit 1)
 when:
 
   * any fresh row reports `identical: false` — the engines or worker
@@ -14,7 +15,15 @@ when:
   * a baseline row is missing from the fresh run even though its graph
     (same `n`) was benched — a silently dropped variant;
   * a row's `speedup_vs_baseline` regressed by more than
-    --tolerance (default 15%) relative to the committed number.
+    --tolerance (default 15%) relative to the committed number;
+  * a dataset-layer acceptance block reports `rss_ratio_ok: false` —
+    the streaming CSR build's child-process peak RSS blew through the
+    3x raw-edge-bytes budget;
+  * a row's `build_seconds` grew, or its `peak_rss_ratio` grew, by more
+    than --tolerance relative to the committed number (columns present
+    only on ingest rows; compared only on matching hardware, like the
+    speedups — RSS ratios are allocator-stable but page-cache noise is
+    not worth flaking over on foreign machines).
 
 Speedup comparisons are only meaningful when the two files were
 produced on comparable hardware. When `spec.hardware_workers` differs
@@ -69,6 +78,11 @@ def main():
     if not acc.get("byte_identical_at_all_worker_counts", False):
         failures.append(
             "fresh acceptance byte_identical_at_all_worker_counts is false")
+    if "rss_ratio_ok" in acc and not acc["rss_ratio_ok"]:
+        failures.append(
+            f"fresh acceptance rss_ratio_ok is false (worst ratio "
+            f"{acc.get('worst_peak_rss_ratio')}) — streaming CSR build "
+            f"peak RSS exceeded 3x raw edge bytes")
 
     base_hw = base.get("spec", {}).get("hardware_workers")
     fresh_hw = fresh.get("spec", {}).get("hardware_workers")
@@ -102,6 +116,16 @@ def main():
             failures.append(
                 f"row {k} speedup regressed {b_speed:.3f} -> {f_speed:.3f} "
                 f"(> {args.tolerance:.0%} below baseline)")
+        # Ingest columns (dataset-layer rows): both grow-is-bad.
+        for col in ("build_seconds", "peak_rss_ratio"):
+            b_val = brow.get(col)
+            f_val = frow.get(col)
+            if b_val is None or f_val is None:
+                continue
+            if b_val > 0 and f_val > b_val * (1.0 + args.tolerance):
+                failures.append(
+                    f"row {k} {col} regressed {b_val:.3f} -> {f_val:.3f} "
+                    f"(> {args.tolerance:.0%} above baseline)")
 
     for w in warnings:
         print(f"warning: {w}")

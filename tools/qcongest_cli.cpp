@@ -18,6 +18,9 @@
 //   qcongest_cli query     --type T [--graph FILE | --n N ...]
 //                          [--node U] [--target V] [--query-seed S]
 //                          [--id I] [--workers K]
+//   qcongest_cli dataset   generate|convert|shuffle|sort|summarize|
+//                          pack-csr ... (binary bgraph/bcsr tooling for
+//                          the million-node ingest path; docs/datasets.md)
 //
 // Runs the paper's algorithms on generated or user-provided networks
 // (wgraph v1 format; see graph/io.h) and prints the results with their
@@ -26,6 +29,7 @@
 // `serve` keeps a resident service::QueryEngine answering line-delimited
 // JSON requests from stdin against warm graph artifacts; `query` is its
 // one-shot twin (docs/service.md documents both and the wire format).
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -445,6 +449,135 @@ int cmd_serve(const Args& a) {
   return 0;
 }
 
+// --- dataset tooling (docs/datasets.md) ------------------------------
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool sniff_bgraph(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  QC_REQUIRE(f != nullptr, "cannot open: " + path);
+  unsigned char magic[8] = {0};
+  const std::size_t got = std::fread(magic, 1, sizeof magic, f);
+  std::fclose(f);
+  return got == sizeof magic && std::memcmp(magic, "bgraph1\0", 8) == 0;
+}
+
+void print_info(const char* verb, const BGraphInfo& info, double seconds) {
+  std::printf("%s: n=%llu m=%llu maxw=%llu sorted=%s (%.2fs)\n", verb,
+              (unsigned long long)info.n, (unsigned long long)info.m,
+              (unsigned long long)info.max_weight,
+              info.sorted ? "yes" : "no", seconds);
+}
+
+int cmd_dataset(const std::string& verb, const Args& a) {
+  const std::string in = a.str("in", "");
+  const std::string out = a.str("out", "");
+  const double t0 = now_seconds();
+  if (verb == "generate") {
+    QC_REQUIRE(!out.empty(), "dataset generate needs --out");
+    const std::string family = a.str("family", "rmat");
+    const auto maxw = a.num("maxw", 10);
+    const auto seed = a.num("seed", 1);
+    BGraphInfo info;
+    if (family == "rmat") {
+      const auto scale = static_cast<std::uint32_t>(a.num("scale", 20));
+      const auto m = a.num("m", std::uint64_t{10} << scale);
+      info = gen::rmat_bgraph(out, scale, m, maxw, seed);
+    } else if (family == "chunglu") {
+      const auto n = static_cast<NodeId>(a.num("n", 1u << 20));
+      const auto m = a.num("m", std::uint64_t{10} * n);
+      const double exponent = std::stod(a.str("exponent", "2.5"));
+      info = gen::chung_lu_bgraph(out, n, m, exponent, maxw, seed);
+    } else if (family == "er") {
+      const auto n = static_cast<NodeId>(a.num("n", 1u << 20));
+      // Default p keeps the expected degree at ~--avg-deg (10).
+      const double avg = double(a.num("avg-deg", 10));
+      const double p = a.kv.count("p") ? std::stod(a.str("p", "0"))
+                                       : avg / double(n > 1 ? n - 1 : 1);
+      info = gen::erdos_renyi_bgraph(out, n, p, maxw, seed);
+    } else {
+      throw ArgumentError("unknown dataset family: " + family +
+                          " (want rmat|chunglu|er)");
+    }
+    print_info(("generate " + family + " -> " + out).c_str(), info,
+               now_seconds() - t0);
+    return 0;
+  }
+  if (verb == "convert") {
+    QC_REQUIRE(!in.empty() && !out.empty(), "dataset convert needs --in/--out");
+    if (sniff_bgraph(in)) {
+      convert_bgraph_to_text(in, out);
+      std::printf("convert %s (bgraph) -> %s (wgraph text) (%.2fs)\n",
+                  in.c_str(), out.c_str(), now_seconds() - t0);
+    } else {
+      const auto info = convert_text_to_bgraph(in, out);
+      print_info(("convert " + in + " (text) -> " + out).c_str(), info,
+                 now_seconds() - t0);
+    }
+    return 0;
+  }
+  if (verb == "shuffle") {
+    QC_REQUIRE(!in.empty() && !out.empty(), "dataset shuffle needs --in/--out");
+    const auto info = shuffle_bgraph(in, out, a.num("seed", 1));
+    print_info(("shuffle " + in + " -> " + out).c_str(), info,
+               now_seconds() - t0);
+    return 0;
+  }
+  if (verb == "sort") {
+    QC_REQUIRE(!in.empty() && !out.empty(), "dataset sort needs --in/--out");
+    const auto info = sort_bgraph(in, out);
+    print_info(("sort " + in + " -> " + out).c_str(), info,
+               now_seconds() - t0);
+    return 0;
+  }
+  if (verb == "summarize") {
+    QC_REQUIRE(!in.empty(), "dataset summarize needs --in");
+    const auto s = summarize_bgraph(in);
+    std::printf("%s: n=%llu m=%llu weights=[%llu, %llu] sorted=%s\n",
+                in.c_str(), (unsigned long long)s.info.n,
+                (unsigned long long)s.info.m,
+                (unsigned long long)s.min_weight,
+                (unsigned long long)s.info.max_weight,
+                s.info.sorted ? "yes" : "no");
+    std::printf("degrees: avg=%.2f max=%llu isolated=%llu (%.2fs)\n",
+                s.avg_degree, (unsigned long long)s.max_degree,
+                (unsigned long long)s.isolated, now_seconds() - t0);
+    TextTable t({"degree", "nodes"});
+    for (std::size_t b = 0; b < s.degree_hist_log2.size(); ++b) {
+      if (s.degree_hist_log2[b] == 0) continue;
+      t.add("[" + std::to_string(1ull << b) + ", " +
+                std::to_string((1ull << (b + 1)) - 1) + "]",
+            s.degree_hist_log2[b]);
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+  }
+  if (verb == "pack-csr") {
+    QC_REQUIRE(!in.empty() && !out.empty(), "dataset pack-csr needs --in/--out");
+    const auto g = csr_from_bgraph(in);
+    const double t1 = now_seconds();
+    write_csr(g, out);
+    const double t2 = now_seconds();
+    const auto mapped = map_csr(out, /*validate_edges=*/true);
+    std::printf("pack-csr %s -> %s: n=%u halves=%zu maxw=%llu "
+                "(build %.2fs, write %.2fs, map+verify %.2fs)\n",
+                in.c_str(), out.c_str(), g.node_count(), g.halves().size(),
+                (unsigned long long)g.max_weight(), t1 - t0, t2 - t1,
+                now_seconds() - t2);
+    QC_CHECK(mapped.node_count() == g.node_count() &&
+                 mapped.halves().size() == g.halves().size(),
+             "mapped view disagrees with the freshly built CSR");
+    return 0;
+  }
+  throw ArgumentError(
+      "unknown dataset verb: " + verb +
+      " (want generate|convert|shuffle|sort|summarize|pack-csr)");
+}
+
 int cmd_query(const Args& a) {
   auto engine = make_engine(a, /*auto_dispatch=*/false, nullptr);
   service::register_unweighted_handlers(engine);
@@ -479,7 +612,15 @@ void usage() {
       "            [--batch B] [--metrics FILE]\n"
       "  query     --type T [--graph FILE | --n N --family F ...]\n"
       "            [--node U] [--target V] [--query-seed S] [--id I]\n"
-      "            [--workers K]\n");
+      "            [--workers K]\n"
+      "  dataset   generate  --family rmat|chunglu|er --out F.bg\n"
+      "                      [--scale S|--n N] [--m M] [--p P|--avg-deg D]\n"
+      "                      [--exponent E] [--maxw W] [--seed S]\n"
+      "            convert   --in F --out F   (text<->binary by sniffing)\n"
+      "            shuffle   --in F.bg --out F.bg [--seed S]\n"
+      "            sort      --in F.bg --out F.bg   (also full dedup check)\n"
+      "            summarize --in F.bg\n"
+      "            pack-csr  --in F.bg --out F.bcsr  (mmap-able CSR image)\n");
 }
 
 }  // namespace
@@ -491,6 +632,14 @@ int main(int argc, char** argv) {
   }
   try {
     const std::string cmd = argv[1];
+    if (cmd == "dataset") {
+      // The dataset family has its own verb in argv[2], which the
+      // generic --key parser below would reject.
+      QC_REQUIRE(argc >= 3 && argv[2][0] != '-',
+                 "dataset needs a verb: generate|convert|shuffle|sort|"
+                 "summarize|pack-csr");
+      return cmd_dataset(argv[2], parse_args(argc, argv, 3));
+    }
     const Args a = parse_args(argc, argv, 2);
     if (cmd == "diameter") return cmd_diameter(a);
     if (cmd == "gadget") return cmd_gadget(a);

@@ -14,9 +14,11 @@
 #                                      # test_service) — this is the run
 #                                      # that covers the shard-parallel
 #                                      # mailbox merge
-#   tools/run_tier1.sh --bench-gate    # re-run bench_congest_sim and
-#                                      # diff against the committed
-#                                      # BENCH_congest_sim.json via
+#   tools/run_tier1.sh --bench-gate    # re-run bench_congest_sim (and
+#                                      # the bench_datasets smoke tier)
+#                                      # and diff against the committed
+#                                      # BENCH_congest_sim.json /
+#                                      # BENCH_datasets.json via
 #                                      # tools/check_bench_regression.py
 #   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
 #                                           # address | undefined | thread
@@ -59,10 +61,18 @@ if [ "$BENCH_GATE" -eq 1 ]; then
   # box degrades to a determinism-only gate instead of flaking.
   BUILD_DIR=build
   cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" -j --target bench_congest_sim
+  cmake --build "$BUILD_DIR" -j --target bench_congest_sim bench_datasets
   "$BUILD_DIR/bench/bench_congest_sim" --out "$BUILD_DIR/BENCH_fresh.json"
   python3 tools/check_bench_regression.py \
     --baseline BENCH_congest_sim.json --fresh "$BUILD_DIR/BENCH_fresh.json"
+  # Dataset-layer gate: the smoke tier re-runs the whole pipeline
+  # (identity flags + RSS acceptance); the committed 1e5/1e6 rows are
+  # skipped-not-failed because their n is absent from a smoke run.
+  "$BUILD_DIR/bench/bench_datasets" --smoke \
+    --out "$BUILD_DIR/BENCH_datasets_fresh.json"
+  python3 tools/check_bench_regression.py \
+    --baseline BENCH_datasets.json \
+    --fresh "$BUILD_DIR/BENCH_datasets_fresh.json"
   exit 0
 fi
 
