@@ -376,6 +376,22 @@ std::vector<Dist> unweighted_eccentricities(const CsrGraph& g,
   return ecc;
 }
 
+std::vector<Dist> unweighted_eccentricities(const CsrGraph& g,
+                                            std::span<const NodeId> sources,
+                                            runtime::ThreadPool* pool) {
+  for (const NodeId s : sources) {
+    QC_REQUIRE(s < g.node_count(), "source id out of range");
+  }
+  std::vector<Dist> ecc(sources.size(), 0);
+  over_sources(static_cast<NodeId>(sources.size()), pool,
+               [&](NodeId i, DijkstraWorkspace& ws) {
+                 thread_local std::vector<Dist> row;
+                 ws.bfs(g, sources[i], row);
+                 ecc[i] = *std::max_element(row.begin(), row.end());
+               });
+  return ecc;
+}
+
 std::vector<Dist> unweighted_eccentricities(const WeightedGraph& g) {
   return unweighted_eccentricities(g.csr());
 }

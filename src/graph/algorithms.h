@@ -149,6 +149,14 @@ std::vector<Dist> unweighted_eccentricities(const WeightedGraph& g);
 std::vector<Dist> unweighted_eccentricities(
     const CsrGraph& g, runtime::ThreadPool* pool = nullptr);
 
+/// Hop eccentricities of a chosen source subset — the BFS twin of the
+/// subset overload above, with the same contract. The service layer's
+/// incremental update path repairs only the table rows an edge batch
+/// invalidated through this.
+std::vector<Dist> unweighted_eccentricities(const CsrGraph& g,
+                                            std::span<const NodeId> sources,
+                                            runtime::ThreadPool* pool = nullptr);
+
 /// Weighted diameter D_{G,w} = max eccentricity.
 Dist weighted_diameter(const WeightedGraph& g);
 

@@ -4,17 +4,21 @@
 #include <queue>
 #include <sstream>
 
+#include "graph/update.h"
+
 namespace qc {
 
+// add_edge / remove_edge / set_edge_weight are sugar for one-op
+// batches: apply() is the single sanctioned mutation surface, so the
+// validation messages, cache patching, and connectivity rules live in
+// exactly one place (graph/update.cpp).
+
 void WeightedGraph::add_edge(NodeId u, NodeId v, Weight w) {
-  QC_REQUIRE(u < node_count() && v < node_count(), "node id out of range");
-  QC_REQUIRE(u != v, "self loops are not allowed");
-  QC_REQUIRE(w >= 1, "weights must be positive integers");
-  QC_REQUIRE(!has_edge(u, v), "parallel edges are not allowed");
-  adjacency_[u].push_back({v, w});
-  adjacency_[v].push_back({u, w});
-  edges_.push_back({std::min(u, v), std::max(u, v), w});
-  invalidate_csr(/*topology_changed=*/true);
+  apply(GraphUpdate{}.insert(u, v, w));
+}
+
+void WeightedGraph::remove_edge(NodeId u, NodeId v) {
+  apply(GraphUpdate{}.remove(u, v));
 }
 
 WeightedGraph WeightedGraph::from_edges(NodeId n, std::vector<Edge> edges) {
@@ -52,23 +56,14 @@ Weight WeightedGraph::edge_weight(NodeId u, NodeId v) const {
 
 void WeightedGraph::set_edge_weight(NodeId u, NodeId v, Weight w) {
   QC_REQUIRE(w >= 1, "weights must be positive integers");
-  bool found = false;
-  for (auto* adj : {&adjacency_[u], &adjacency_[v]}) {
-    const NodeId other = (adj == &adjacency_[u]) ? v : u;
-    for (HalfEdge& h : *adj) {
-      if (h.to == other) {
-        h.weight = w;
-        found = true;
-      }
-    }
-  }
-  QC_REQUIRE(found, "set_edge_weight: no such edge");
-  const NodeId a = std::min(u, v);
-  const NodeId b = std::max(u, v);
-  for (Edge& e : edges_) {
-    if (e.u == a && e.v == b) e.weight = w;
-  }
-  invalidate_csr(/*topology_changed=*/false);
+  apply(GraphUpdate{}.reweight(u, v, w));
+}
+
+std::size_t WeightedGraph::csr_patch_budget() const {
+  if (csr_patch_budget_ != 0) return csr_patch_budget_;
+  // Auto: an eighth of the half-edge count (= m/4), floored so tiny
+  // graphs still amortize a few batches before compacting.
+  return std::max<std::size_t>(64, edges_.size() / 4);
 }
 
 Weight WeightedGraph::max_weight() const {

@@ -122,19 +122,6 @@ struct BoundedDistanceResult {
 /// req.config.
 BoundedDistanceResult distributed_bounded_distance_sssp(
     const WeightedGraph& g, const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload.
-[[deprecated("build a RunRequest instead (see the overload above)")]]
-inline BoundedDistanceResult distributed_bounded_distance_sssp(
-    const WeightedGraph& g, NodeId source, Dist cap,
-    const std::function<std::uint64_t(Weight)>& weight_of,
-    congest::Config config = {}) {
-  return distributed_bounded_distance_sssp(
-      g, RunRequest{}
-             .with_source(source)
-             .with_cap(cap)
-             .with_weight_of(weight_of)
-             .with_config(std::move(config)));
-}
 
 /// Algorithm 1: Bounded-Hop SSSP. Every node learns d̃^ℓ(s, ·) in
 /// σ(scale)-scaled units, in scale_count · (cap+2) rounds.
@@ -145,16 +132,6 @@ struct BoundedHopResult {
 /// Reads req.source, req.scale and req.config.
 BoundedHopResult distributed_bounded_hop_sssp(const WeightedGraph& g,
                                               const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload.
-[[deprecated("build a RunRequest instead (see the overload above)")]]
-inline BoundedHopResult distributed_bounded_hop_sssp(
-    const WeightedGraph& g, NodeId source, const HopScale& scale,
-    congest::Config config = {}) {
-  return distributed_bounded_hop_sssp(g, RunRequest{}
-                                             .with_source(source)
-                                             .with_scale(scale)
-                                             .with_config(std::move(config)));
-}
 
 /// Algorithm 3: Bounded-Hop Multi-Source Shortest Paths via random
 /// delays. Every node v learns d̃^ℓ(s, v) for every s in `sources`.
@@ -169,17 +146,6 @@ struct MultiSourceResult {
 /// Reads req.sources, req.scale, req.rng (required) and req.config.
 MultiSourceResult distributed_multi_source_bhs(const WeightedGraph& g,
                                                const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload.
-[[deprecated("build a RunRequest instead (see the overload above)")]]
-inline MultiSourceResult distributed_multi_source_bhs(
-    const WeightedGraph& g, const std::vector<NodeId>& sources,
-    const HopScale& scale, Rng& rng, congest::Config config = {}) {
-  return distributed_multi_source_bhs(g, RunRequest{}
-                                             .with_sources(sources)
-                                             .with_scale(scale)
-                                             .with_rng(rng)
-                                             .with_config(std::move(config)));
-}
 
 /// Algorithm 4: embedding the k-shortcut overlay network (G″_S, w″_S).
 /// Inputs are Algorithm 3's outputs. On return, member a's row of w″ is
@@ -205,18 +171,6 @@ struct OverlayEmbedding {
 OverlayEmbedding distributed_embed_overlay(
     const WeightedGraph& g, const std::vector<std::vector<Dist>>& approx_rows,
     const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload.
-[[deprecated("build a RunRequest instead (see the overload above)")]]
-inline OverlayEmbedding distributed_embed_overlay(
-    const WeightedGraph& g, const std::vector<NodeId>& sources,
-    const std::vector<std::vector<Dist>>& approx_rows, const Params& params,
-    congest::Config config = {}) {
-  return distributed_embed_overlay(g, approx_rows,
-                                   RunRequest{}
-                                       .with_sources(sources)
-                                       .with_params(params)
-                                       .with_config(std::move(config)));
-}
 
 /// Algorithm 5: SSSP on the overlay network, simulated on G. Every node
 /// learns d̃^{ℓ″}_{G″,w″}(source, u) for every overlay node u, in σ·σ″
@@ -230,17 +184,5 @@ struct OverlaySsspResult {
 OverlaySsspResult distributed_overlay_sssp(const WeightedGraph& g,
                                            const OverlayEmbedding& overlay,
                                            const RunRequest& req);
-/// Legacy signature; forwards to the RunRequest overload.
-[[deprecated("build a RunRequest instead (see the overload above)")]]
-inline OverlaySsspResult distributed_overlay_sssp(
-    const WeightedGraph& g, const OverlayEmbedding& overlay,
-    const Params& params, std::uint32_t source_idx,
-    congest::Config config = {}) {
-  return distributed_overlay_sssp(g, overlay,
-                                  RunRequest{}
-                                      .with_params(params)
-                                      .with_overlay_source(source_idx)
-                                      .with_config(std::move(config)));
-}
 
 }  // namespace qc::paths

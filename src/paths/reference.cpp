@@ -450,6 +450,40 @@ std::size_t ToolkitCache::cached_row_count() const {
   return count;
 }
 
+std::size_t ToolkitCache::invalidate_rows(std::span<const NodeId> endpoints) {
+  for (const NodeId x : endpoints) {
+    QC_REQUIRE(x < g_->node_count(), "node out of range");
+  }
+  std::size_t dropped = 0;
+  for (NodeId u = 0; u < g_->node_count(); ++u) {
+    if (!row_ready_[u].load(std::memory_order_acquire)) continue;
+    const std::vector<Dist>& row = rows_[u];
+    bool affected = false;
+    for (const NodeId x : endpoints) {
+      if (row[x] < kInfDist) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+    row_ready_[u].store(0, std::memory_order_release);
+    rows_[u].clear();
+    rows_[u].shrink_to_fit();
+    ++dropped;
+  }
+  return dropped;
+}
+
+bool ToolkitCache::rebind_params(const Params& params) {
+  const HopScale fresh{params.ell, params.eps_inv, g_->max_weight()};
+  if (fresh.ell != base_scale_.ell || fresh.eps_inv != base_scale_.eps_inv ||
+      fresh.max_weight != base_scale_.max_weight) {
+    return false;
+  }
+  params_ = params;
+  return true;
+}
+
 Skeleton ToolkitCache::skeleton(std::vector<NodeId> set) {
   auto sorted = checked_sorted_set(*g_, std::move(set));
   std::vector<std::vector<Dist>> rows;

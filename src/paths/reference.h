@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -182,6 +183,27 @@ class ToolkitCache {
 
   /// Number of cached first-level rows (reporting only).
   std::size_t cached_row_count() const;
+
+  /// Delta-aware invalidation after an edge batch touching `endpoints`
+  /// (sorted or not; the set of all endpoints of changed edges).
+  /// Cached row u survives iff its entry for every endpoint is
+  /// kInfDist: a scale-i capped search from u whose result an edge
+  /// change could alter must settle one endpoint of the first changed
+  /// edge on the path within the cap — in the old or the new graph —
+  /// and the new-graph case reduces to the old by taking the first
+  /// changed edge along the new path (its prefix uses old weights).
+  /// So all-infinite endpoint entries certify the row exact. Returns
+  /// the number of rows dropped. NOT thread-safe against concurrent
+  /// readers — the service layer calls it under its exclusive
+  /// per-graph update lock.
+  std::size_t invalidate_rows(std::span<const NodeId> endpoints);
+
+  /// Adopts fresh Params after a graph mutation when the row identity
+  /// (ℓ, 1/ε, max weight) is unchanged — d̂ (and thus r, k) drift with
+  /// topology, but rows depend only on the base scale, so surviving
+  /// rows stay byte-exact. Returns false without changing anything
+  /// when the identity differs; the caller must rebuild the cache.
+  bool rebind_params(const Params& params);
 
  private:
   static constexpr std::size_t kRowShards = 16;

@@ -1,11 +1,13 @@
 #include "service/query_engine.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "core/theorem11.h"
 #include "graph/algorithms.h"
 #include "graph/csr.h"
+#include "graph/update.h"
 #include "paths/params.h"
 #include "paths/reference.h"
 #include "runtime/metrics.h"
@@ -190,6 +192,11 @@ class Theorem11Handler final : public QueryHandler {
     for (std::size_t i = 0; i < queries.size(); ++i) {
       core::Theorem11Options opt;
       opt.seed = queries[i].seed;
+      // Mirror the context's toolkit overrides: the resident cache was
+      // built with these, and derive_params must agree fieldwise for
+      // the driver to accept a borrowed cache.
+      opt.eps_inv = ctx.graph.toolkit_eps_inv();
+      opt.r_override = ctx.graph.toolkit_r_override();
       opt.oracle_mode = core::OracleMode::kLazySerial;
       opt.toolkit = &ctx.graph.toolkit();
       const core::Theorem11Result out =
@@ -205,40 +212,140 @@ class Theorem11Handler final : public QueryHandler {
   bool radius_;
 };
 
+/// Built-in "update": coalesces the group's edge ops into one
+/// GraphUpdate and applies it atomically through
+/// GraphContext::apply_update — the engine already holds the graph's
+/// exclusive state lock (mutating() below), so in-flight reads are
+/// ordered strictly before or after the whole batch. When the
+/// coalesced batch fails validation it is replayed op-by-op so every
+/// query gets its own verdict — earlier valid ops still land, exactly
+/// as if they had been submitted alone. A result's value is the
+/// graph's edge count after its op took effect.
+class UpdateHandler final : public QueryHandler {
+ public:
+  std::string type() const override { return "update"; }
+  bool mutating() const override { return true; }
+  void run_batch(QueryContext& ctx, std::span<const Query> queries,
+                 std::span<QueryResult> results) override {
+    GraphUpdate batch;
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const Query& q = queries[i];
+      if (q.op == "insert") {
+        batch.insert(q.node, q.target, q.weight);
+      } else if (q.op == "remove") {
+        batch.remove(q.node, q.target);
+      } else if (q.op == "reweight") {
+        batch.reweight(q.node, q.target, q.weight);
+      } else {
+        results[i].ok = false;
+        results[i].error =
+            q.op.empty() ? "update needs op = insert | remove | reweight"
+                         : "unknown update op: " + q.op;
+        continue;
+      }
+      members.push_back(i);
+    }
+    if (members.empty()) return;
+    try {
+      ctx.graph.apply_update(batch, ctx.pool, ctx.incremental_updates);
+      for (const std::size_t i : members) {
+        results[i].ok = true;
+        results[i].value = static_cast<Dist>(ctx.graph.graph().edge_count());
+      }
+    } catch (const ArgumentError&) {
+      // The batch as a whole is invalid; degrade to sequential per-op
+      // application so each query learns its own fate (deterministic:
+      // batch order is admission order).
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const std::size_t i = members[j];
+        try {
+          ctx.graph.apply_update(GraphUpdate{}.push(batch.ops()[j]), ctx.pool,
+                                 ctx.incremental_updates);
+          results[i].ok = true;
+          results[i].value =
+              static_cast<Dist>(ctx.graph.graph().edge_count());
+        } catch (const std::exception& e) {
+          results[i].ok = false;
+          results[i].error = e.what();
+        }
+      }
+    }
+  }
+};
+
+/// Pre/post state of one edge a batch touched (first-touch order).
+/// The delta-repair certificates below only care about edges whose
+/// state actually changed net.
+struct TouchedEdgeState {
+  NodeId u = 0, v = 0;       // canonical u < v
+  bool before = false, after = false;
+  Weight w_before = 1, w_after = 1;
+
+  bool changed() const {
+    return before != after || (before && w_before != w_after);
+  }
+  bool topology_changed() const { return before != after; }
+};
+
+std::size_t endpoint_slot(const std::vector<NodeId>& endpoints, NodeId x) {
+  return static_cast<std::size_t>(
+      std::lower_bound(endpoints.begin(), endpoints.end(), x) -
+      endpoints.begin());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // GraphContext
 
-GraphContext::GraphContext(std::string name, WeightedGraph g)
-    : name_(std::move(name)), g_(std::move(g)) {}
+GraphContext::GraphContext(std::string name, WeightedGraph g,
+                           std::uint32_t toolkit_eps_inv,
+                           std::uint64_t toolkit_r_override)
+    : name_(std::move(name)),
+      g_(std::move(g)),
+      toolkit_eps_inv_(toolkit_eps_inv),
+      toolkit_r_override_(toolkit_r_override) {}
 
 GraphContext::~GraphContext() = default;
 
+paths::Params GraphContext::derive_toolkit_params() const {
+  core::Theorem11Options opt;
+  opt.eps_inv = toolkit_eps_inv_;
+  opt.r_override = toolkit_r_override_;
+  return core::derive_params(g_, opt);
+}
+
 const std::vector<Dist>& GraphContext::weighted_eccentricities(
     runtime::ThreadPool& pool) {
-  std::call_once(ecc_once_,
-                 [&] { ecc_ = qc::eccentricities(g_.csr(), &pool); });
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  if (!ecc_valid_) {
+    ecc_ = qc::eccentricities(g_.csr(), &pool);
+    ecc_valid_ = true;
+  }
   return ecc_;
 }
 
 const std::vector<Dist>& GraphContext::hop_eccentricities(
     runtime::ThreadPool& pool) {
-  std::call_once(hop_ecc_once_, [&] {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  if (!hop_ecc_valid_) {
     hop_ecc_ = qc::unweighted_eccentricities(g_.csr(), &pool);
-  });
+    hop_ecc_valid_ = true;
+  }
   return hop_ecc_;
 }
 
 paths::ToolkitCache& GraphContext::toolkit() {
-  // An exceptional exit (disconnected graph) leaves the flag unset, so
-  // a later call on a then-valid context retries the construction.
-  std::call_once(toolkit_once_, [&] {
+  // An exceptional exit (disconnected graph) leaves the pointer unset,
+  // so a later call on a then-valid context retries the construction.
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  if (!toolkit_) {
     QC_REQUIRE(g_.is_connected(),
                "graph '" + name_ + "' is not connected");
-    toolkit_ = std::make_unique<paths::ToolkitCache>(
-        g_, core::derive_params(g_));
-  });
+    toolkit_ =
+        std::make_unique<paths::ToolkitCache>(g_, derive_toolkit_params());
+  }
   return *toolkit_;
 }
 
@@ -246,11 +353,227 @@ const paths::Params& GraphContext::toolkit_params() {
   return toolkit().params();
 }
 
+GraphContext::UpdateOutcome GraphContext::apply_update(
+    const GraphUpdate& update, runtime::ThreadPool& pool, bool incremental) {
+  UpdateOutcome out;
+  if (!incremental) {
+    out.stats = g_.apply(update, UpdatePolicy::kRebuild);
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    ecc_.clear();
+    hop_ecc_.clear();
+    ecc_valid_ = hop_ecc_valid_ = false;
+    toolkit_.reset();
+    out.scratch = true;
+    return out;
+  }
+
+  // Which warm tables exist decides what pre-update state to capture.
+  // Callers hold the exclusive state lock, so nobody flips these under
+  // us — the warm mutex is only against the engine's locking being
+  // bypassed by a direct GraphContext user.
+  bool had_ecc, had_hop, had_toolkit;
+  {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    had_ecc = ecc_valid_;
+    had_hop = hop_ecc_valid_;
+    had_toolkit = toolkit_ != nullptr;
+  }
+
+  // Pre-apply state of every touched edge. Out-of-range ids are left
+  // uncaptured: apply() below throws on them before anything is used.
+  std::vector<TouchedEdgeState> touched;
+  {
+    std::unordered_set<std::uint64_t> seen;
+    const NodeId n = g_.node_count();
+    for (const EdgeOp& op : update.ops()) {
+      const NodeId a = std::min(op.u, op.v);
+      const NodeId b = std::max(op.u, op.v);
+      if (!seen.insert((static_cast<std::uint64_t>(a) << 32) | b).second) {
+        continue;
+      }
+      TouchedEdgeState e;
+      e.u = a;
+      e.v = b;
+      if (a != b && b < n) {
+        e.before = g_.has_edge(a, b);
+        if (e.before) e.w_before = g_.edge_weight(a, b);
+      }
+      touched.push_back(e);
+    }
+  }
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(touched.size() * 2);
+  for (const TouchedEdgeState& e : touched) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+
+  // Lemma-2 pre-vectors: distances *from each endpoint* in the old
+  // graph. By symmetry pre_w[slot(x)][s] = d_old(s, x), so the tight-
+  // edge certificate below reads them per source without ever running
+  // a per-source search.
+  std::vector<std::vector<Dist>> pre_w, pre_h;
+  if ((had_ecc || had_hop) && !touched.empty()) {
+    const CsrGraph& csr0 = g_.csr();
+    if (had_ecc) {
+      pre_w.resize(endpoints.size());
+      runtime::parallel_for(pool, endpoints.size(), [&](std::size_t i) {
+        DijkstraWorkspace ws;
+        ws.dijkstra(csr0, endpoints[i], pre_w[i]);
+      });
+    }
+    if (had_hop) {
+      pre_h.resize(endpoints.size());
+      runtime::parallel_for(pool, endpoints.size(), [&](std::size_t i) {
+        DijkstraWorkspace ws;
+        ws.bfs(csr0, endpoints[i], pre_h[i]);
+      });
+    }
+  }
+
+  out.stats = g_.apply(update, UpdatePolicy::kIncremental);
+
+  std::vector<TouchedEdgeState> changed;
+  for (TouchedEdgeState e : touched) {
+    e.after = g_.has_edge(e.u, e.v);
+    if (e.after) e.w_after = g_.edge_weight(e.u, e.v);
+    if (e.changed()) changed.push_back(e);
+  }
+  out.changed_edges = changed.size();
+  if (changed.empty()) return out;  // net no-op: every table is exact
+
+  std::vector<NodeId> changed_endpoints;
+  changed_endpoints.reserve(changed.size() * 2);
+  for (const TouchedEdgeState& e : changed) {
+    changed_endpoints.push_back(e.u);
+    changed_endpoints.push_back(e.v);
+  }
+  std::sort(changed_endpoints.begin(), changed_endpoints.end());
+  changed_endpoints.erase(
+      std::unique(changed_endpoints.begin(), changed_endpoints.end()),
+      changed_endpoints.end());
+
+  const bool now_connected = g_.is_connected();
+
+  if (had_toolkit) {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    if (!now_connected) {
+      // Params cannot even be derived; drop the cache, the accessor
+      // rebuilds if the graph ever reconnects.
+      toolkit_.reset();
+    } else if (toolkit_->rebind_params(derive_toolkit_params())) {
+      out.toolkit_rows_dropped = toolkit_->invalidate_rows(changed_endpoints);
+    } else {
+      // The row identity (ℓ, 1/ε, max weight) moved: no cached row is
+      // reusable. Rebuild the cache shell; rows refill on demand.
+      toolkit_ =
+          std::make_unique<paths::ToolkitCache>(g_, derive_toolkit_params());
+      out.toolkit_rebuilt = true;
+    }
+  }
+
+  if (!had_ecc && !had_hop) return out;
+  if (!now_connected) {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    ecc_.clear();
+    hop_ecc_.clear();
+    ecc_valid_ = hop_ecc_valid_ = false;
+    return out;
+  }
+
+  // Post-vectors on the (patched) new graph, same endpoint slots.
+  const CsrGraph& csr1 = g_.csr();
+  std::vector<std::vector<Dist>> post_w, post_h;
+  const bool topo_changed = out.stats.topology_changed;
+  if (had_ecc) {
+    post_w.resize(endpoints.size());
+    runtime::parallel_for(pool, endpoints.size(), [&](std::size_t i) {
+      DijkstraWorkspace ws;
+      ws.dijkstra(csr1, endpoints[i], post_w[i]);
+    });
+  }
+  if (had_hop && topo_changed) {
+    post_h.resize(endpoints.size());
+    runtime::parallel_for(pool, endpoints.size(), [&](std::size_t i) {
+      DijkstraWorkspace ws;
+      ws.bfs(csr1, endpoints[i], post_h[i]);
+    });
+  }
+
+  // Source s is affected iff some changed edge is *tight* from s — on
+  // a shortest path in the old graph (its distances may rise) or in
+  // the new one (they may fall). Tightness from s reads only the
+  // endpoint vectors: d(s,x) + w == d(s,y) (either direction), with
+  // the saturating dist_add keeping kInfDist conservative. Unaffected
+  // sources keep byte-exact distance vectors, hence eccentricities.
+  const NodeId n = g_.node_count();
+  std::vector<NodeId> affected_w, affected_h;
+  for (NodeId s = 0; s < n; ++s) {
+    if (had_ecc) {
+      for (const TouchedEdgeState& e : changed) {
+        const std::size_t iu = endpoint_slot(endpoints, e.u);
+        const std::size_t iv = endpoint_slot(endpoints, e.v);
+        const bool tight_old =
+            e.before && (dist_add(pre_w[iu][s], e.w_before) == pre_w[iv][s] ||
+                         dist_add(pre_w[iv][s], e.w_before) == pre_w[iu][s]);
+        const bool tight_new =
+            e.after && (dist_add(post_w[iu][s], e.w_after) == post_w[iv][s] ||
+                        dist_add(post_w[iv][s], e.w_after) == post_w[iu][s]);
+        if (tight_old || tight_new) {
+          affected_w.push_back(s);
+          break;
+        }
+      }
+    }
+    if (had_hop && topo_changed) {
+      for (const TouchedEdgeState& e : changed) {
+        if (!e.topology_changed()) continue;  // reweights keep hops exact
+        const std::size_t iu = endpoint_slot(endpoints, e.u);
+        const std::size_t iv = endpoint_slot(endpoints, e.v);
+        const bool tight_old =
+            e.before && (dist_add(pre_h[iu][s], 1) == pre_h[iv][s] ||
+                         dist_add(pre_h[iv][s], 1) == pre_h[iu][s]);
+        const bool tight_new =
+            e.after && (dist_add(post_h[iu][s], 1) == post_h[iv][s] ||
+                        dist_add(post_h[iv][s], 1) == post_h[iu][s]);
+        if (tight_old || tight_new) {
+          affected_h.push_back(s);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Dist> fresh_w, fresh_h;
+  if (!affected_w.empty()) {
+    fresh_w = qc::eccentricities(csr1, affected_w, &pool);
+  }
+  if (!affected_h.empty()) {
+    fresh_h = qc::unweighted_eccentricities(csr1, affected_h, &pool);
+  }
+  {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    for (std::size_t i = 0; i < affected_w.size(); ++i) {
+      ecc_[affected_w[i]] = fresh_w[i];
+    }
+    for (std::size_t i = 0; i < affected_h.size(); ++i) {
+      hop_ecc_[affected_h[i]] = fresh_h[i];
+    }
+  }
+  out.ecc_rows_recomputed = affected_w.size();
+  out.hop_rows_recomputed = affected_h.size();
+  return out;
+}
+
 GraphContext::WarmState GraphContext::warm_state() const {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
   WarmState w;
   w.connectivity = g_.connectivity_cached();
-  w.weighted_ecc = !ecc_.empty();
-  w.hop_ecc = !hop_ecc_.empty();
+  w.weighted_ecc = ecc_valid_;
+  w.hop_ecc = hop_ecc_valid_;
   w.csr = w.weighted_ecc || w.hop_ecc || toolkit_ != nullptr;
   w.toolkit_rows = toolkit_ ? toolkit_->cached_row_count() : 0;
   return w;
@@ -288,11 +611,14 @@ void QueryEngine::register_builtin_handlers() {
   register_handler(std::make_unique<EccentricityHandler>());
   register_handler(std::make_unique<SsspHandler>());
   register_handler(std::make_unique<ApproxDistanceHandler>());
+  register_handler(std::make_unique<UpdateHandler>());
 }
 
 GraphContext& QueryEngine::add_graph(std::string name, WeightedGraph g) {
   QC_REQUIRE(!name.empty(), "graph name must be non-empty");
-  auto ctx = std::make_unique<GraphContext>(name, std::move(g));
+  auto ctx = std::make_unique<GraphContext>(name, std::move(g),
+                                            opt_.toolkit_eps_inv,
+                                            opt_.toolkit_r_override);
   std::lock_guard<std::mutex> lock(registry_mutex_);
   auto [it, inserted] = graphs_.emplace(std::move(name), std::move(ctx));
   QC_REQUIRE(inserted, "graph '" + it->first + "' is already loaded");
@@ -344,6 +670,7 @@ void QueryEngine::warm(std::string_view name) {
   QC_REQUIRE(ctx != nullptr,
              "unknown graph: " + std::string(name.empty() ? "<default>"
                                                           : name));
+  std::shared_lock<std::shared_mutex> lock(ctx->state_mutex());
   ctx->graph().csr();
   ctx->graph().slot_index();
   if (ctx->connected()) {
@@ -402,24 +729,40 @@ std::size_t QueryEngine::drain() {
   if (batch.empty()) return 0;
 
   // Group compatible queries — same graph, same type — preserving batch
-  // order within and across groups (first appearance wins). Batches are
-  // small (<= max_batch), so the quadratic group scan is noise.
+  // order within and across groups (first appearance wins). Mutating
+  // queries are barriers on their graph: a read must not join a group
+  // formed before a same-graph mutating group (it would run before an
+  // update it was admitted after and observe pre-update state), and a
+  // mutating query must not join a group formed before any same-graph
+  // group (the jumped-over read would observe a write admitted after
+  // it). Batches are small (<= max_batch), so the quadratic group scan
+  // is noise.
   struct Group {
     std::vector<std::size_t> indices;
+    bool mutating = false;
   };
   std::vector<Group> groups;
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Query& q = batch[i].q;
+    const bool mut = is_mutating_type(q.type);
     Group* home = nullptr;
-    for (Group& g : groups) {
-      const Query& rep = batch[g.indices.front()].q;
-      if (rep.graph == batch[i].q.graph && rep.type == batch[i].q.type) {
-        home = &g;
-        break;
+    std::size_t home_idx = 0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const Query& rep = batch[groups[gi].indices.front()].q;
+      if (rep.graph == q.graph && rep.type == q.type) {
+        home = &groups[gi];  // last match: groups repeat past a barrier
+        home_idx = gi;
       }
+    }
+    for (std::size_t gi = home_idx + 1; home != nullptr && gi < groups.size();
+         ++gi) {
+      const Query& rep = batch[groups[gi].indices.front()].q;
+      if (rep.graph == q.graph && (groups[gi].mutating || mut)) home = nullptr;
     }
     if (home == nullptr) {
       groups.push_back({});
       home = &groups.back();
+      home->mutating = mut;
     }
     home->indices.push_back(i);
   }
@@ -460,6 +803,12 @@ std::size_t QueryEngine::in_flight() const {
   return in_flight_;
 }
 
+bool QueryEngine::is_mutating_type(std::string_view type) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = handlers_.find(type);
+  return it != handlers_.end() && it->second->mutating();
+}
+
 void QueryEngine::dispatch_loop() {
   for (;;) {
     {
@@ -498,8 +847,16 @@ void QueryEngine::execute_group(std::span<const Query> queries,
   }
   if (error.empty()) {
     try {
-      QueryContext ctx{*graph, pool_};
-      handler->run_batch(ctx, queries, results);
+      QueryContext ctx{*graph, pool_, opt_.incremental_updates};
+      // Readers share the graph's state lock; mutating handlers own it
+      // exclusively, so no group ever observes a half-applied update.
+      if (handler->mutating()) {
+        std::unique_lock<std::shared_mutex> lock(graph->state_mutex());
+        handler->run_batch(ctx, queries, results);
+      } else {
+        std::shared_lock<std::shared_mutex> lock(graph->state_mutex());
+        handler->run_batch(ctx, queries, results);
+      }
     } catch (const std::exception& e) {
       error = e.what();
     }

@@ -35,6 +35,16 @@
 // specialization and the Theorem 1.1 drivers register exactly this
 // way — see register_unweighted_handlers / register_theorem11_handlers).
 //
+// Mutations ride the same registry: the built-in "update" type batches
+// edge insert/remove/reweight ops through `GraphContext::apply_update`,
+// which patches the warm artifacts delta-aware (CSR overlay, slot-index
+// row repair, toolkit row invalidation, eccentricity-table delta
+// repair) instead of discarding them. Ordering against reads is a
+// per-graph reader/writer lock: handlers whose `mutating()` returns
+// true run under the exclusive side, everything else shares — so reads
+// never observe a half-applied batch, and a graph's queries serialize
+// against its updates without stalling other graphs.
+//
 // Threading rules for handlers: `run_batch` always executes on a
 // client or dispatcher thread, never on a pool worker, so handlers may
 // (and do) run warm-table builds and `runtime::parallel_for` directly.
@@ -51,6 +61,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -88,8 +99,10 @@ class AdmissionError : public std::runtime_error {
 /// whatever the handler documents (see docs/service.md for the
 /// built-ins: `node` is the SSSP/eccentricity source and the
 /// approx-distance s, `target` the approx-distance t, `seed` feeds the
-/// randomized Theorem 1.1 handlers). `id` is opaque to the engine and
-/// echoed into the result so clients can match responses to requests.
+/// randomized Theorem 1.1 handlers, and the "update" type reads `op` /
+/// `node` / `target` / `weight` as one edge mutation). `id` is opaque
+/// to the engine and echoed into the result so clients can match
+/// responses to requests.
 struct Query {
   std::uint64_t id = 0;
   std::string graph;  ///< named graph; "" = the engine's only graph
@@ -97,6 +110,8 @@ struct Query {
   NodeId node = 0;
   NodeId target = 0;
   std::uint64_t seed = 1;
+  std::string op;     ///< "update" sub-op: "insert" | "remove" | "reweight"
+  Weight weight = 1;  ///< "update" weight operand (insert/reweight)
 };
 
 /// One answer. Exactly one of {ok, error} is meaningful; `value` is the
@@ -117,16 +132,22 @@ struct QueryResult {
 };
 
 /// One loaded graph plus its lazily-built warm artifacts. Accessors
-/// build on first use (guarded by std::call_once — concurrent queries
-/// pay for each table exactly once) and return references that stay
-/// valid for the context's lifetime; the underlying graph is immutable
-/// once added, which is what makes indefinite caching sound (see the
-/// WeightedGraph dirty-bit rules for why mutation would not be).
+/// build on first use (guarded by a warm mutex — concurrent queries pay
+/// for each table exactly once) and return references that stay valid
+/// until the next `apply_update` on this context. Mutations go through
+/// `apply_update` exclusively, under the engine's per-graph writer
+/// lock, so readers never observe a half-repaired table.
 /// The toolkit accessors require a connected graph (ArgumentError
 /// otherwise), mirroring the Theorem 1.1 preconditions.
 class GraphContext {
  public:
-  GraphContext(std::string name, WeightedGraph g);
+  /// The toolkit overrides are threaded into core::derive_params for
+  /// the resident ToolkitCache (and must be mirrored by every handler
+  /// that derives its own Params — the Theorem 1.1 handlers do). 0 =
+  /// the paper defaults.
+  GraphContext(std::string name, WeightedGraph g,
+               std::uint32_t toolkit_eps_inv = 0,
+               std::uint64_t toolkit_r_override = 0);
   ~GraphContext();
 
   GraphContext(const GraphContext&) = delete;
@@ -136,6 +157,14 @@ class GraphContext {
   const WeightedGraph& graph() const { return g_; }
   bool connected() const { return g_.is_connected(); }
 
+  std::uint32_t toolkit_eps_inv() const { return toolkit_eps_inv_; }
+  std::uint64_t toolkit_r_override() const { return toolkit_r_override_; }
+
+  /// Per-graph reader/writer lock ordering queries against updates:
+  /// the engine runs non-mutating handlers under the shared side and
+  /// mutating ones under the exclusive side.
+  std::shared_mutex& state_mutex() const { return state_mutex_; }
+
   /// Weighted eccentricity table (pooled Dijkstra sweep on first use).
   const std::vector<Dist>& weighted_eccentricities(runtime::ThreadPool& pool);
 
@@ -143,11 +172,41 @@ class GraphContext {
   /// unweighted specialization's warm state.
   const std::vector<Dist>& hop_eccentricities(runtime::ThreadPool& pool);
 
-  /// Resident first-level row cache, built with core::derive_params(g)
-  /// on first use — the same Params a default Theorem 1.1 run derives,
+  /// Resident first-level row cache, built on first use with
+  /// core::derive_params(g) under this context's toolkit overrides —
+  /// the same Params a Theorem 1.1 run with those overrides derives,
   /// so the cache can be handed to `Theorem11Options::toolkit` as-is.
   paths::ToolkitCache& toolkit();
   const paths::Params& toolkit_params();
+
+  /// What one `apply_update` did to the warm state (diagnostics; the
+  /// dynamic-update tests and bench read these to prove the delta
+  /// paths actually ran).
+  struct UpdateOutcome {
+    UpdateStats stats;                      ///< graph-layer effects
+    std::size_t changed_edges = 0;          ///< net edges whose state changed
+    std::size_t ecc_rows_recomputed = 0;    ///< weighted table rows redone
+    std::size_t hop_rows_recomputed = 0;    ///< hop table rows redone
+    std::size_t toolkit_rows_dropped = 0;   ///< Lemma-invalidated d̃^ℓ rows
+    bool toolkit_rebuilt = false;           ///< params identity changed
+    bool scratch = false;                   ///< rebuild-from-scratch path ran
+  };
+
+  /// Applies an edge batch and repairs the warm artifacts. With
+  /// `incremental` the CSR/slot-index are patched (WeightedGraph::apply
+  /// kIncremental), toolkit rows are invalidated per the endpoint
+  /// certificate (paths::ToolkitCache::invalidate_rows) after a
+  /// rebind_params, and the eccentricity tables are delta-repaired: a
+  /// source u's distance vector can only change if some changed edge
+  /// lies on a shortest path from u in the old or the new graph, which
+  /// 2·|endpoints| endpoint Dijkstras/BFS certify exactly — only the
+  /// affected sources re-run. Without `incremental` (or when the batch
+  /// disconnects the graph) every warm artifact is discarded instead.
+  /// Validation is atomic: an ArgumentError propagates with the graph
+  /// and all warm state untouched. Callers must hold the exclusive
+  /// side of state_mutex() (the engine's update handler does).
+  UpdateOutcome apply_update(const GraphUpdate& update,
+                             runtime::ThreadPool& pool, bool incremental);
 
   /// Which warm artifacts exist right now (reporting only — the serve
   /// driver's startup summary).
@@ -161,11 +220,20 @@ class GraphContext {
   WarmState warm_state() const;
 
  private:
+  /// core::derive_params(g_) with this context's overrides applied.
+  /// Defined in the .cpp (needs core/theorem11.h).
+  paths::Params derive_toolkit_params() const;
+
   std::string name_;
   WeightedGraph g_;
-  std::once_flag ecc_once_;
-  std::once_flag hop_ecc_once_;
-  std::once_flag toolkit_once_;
+  std::uint32_t toolkit_eps_inv_ = 0;
+  std::uint64_t toolkit_r_override_ = 0;
+  mutable std::shared_mutex state_mutex_;
+  /// Guards lazy builds below (once_flag cannot be reset, and
+  /// apply_update legitimately re-arms the builds).
+  mutable std::mutex warm_mutex_;
+  bool ecc_valid_ = false;
+  bool hop_ecc_valid_ = false;
   std::vector<Dist> ecc_;
   std::vector<Dist> hop_ecc_;
   std::unique_ptr<paths::ToolkitCache> toolkit_;
@@ -175,6 +243,10 @@ class GraphContext {
 struct QueryContext {
   GraphContext& graph;
   runtime::ThreadPool& pool;
+  /// EngineOptions::incremental_updates, threaded through so the
+  /// update handler (and the bench's scratch-baseline engine) picks
+  /// the cache-maintenance policy per engine, not per query.
+  bool incremental_updates = true;
 };
 
 /// One query type. `run_batch` receives every query of a compatible
@@ -190,6 +262,12 @@ class QueryHandler {
 
   /// The registry key this handler serves (stable, lowercase).
   virtual std::string type() const = 0;
+
+  /// True for handlers that mutate the graph or its warm artifacts.
+  /// The engine runs mutating groups under the exclusive side of the
+  /// graph's state_mutex() (readers share), so a mutating handler owns
+  /// the graph for the whole batch.
+  virtual bool mutating() const { return false; }
 
   virtual void run_batch(QueryContext& ctx, std::span<const Query> queries,
                          std::span<QueryResult> results) = 0;
@@ -212,13 +290,23 @@ struct EngineOptions {
   /// When set, the engine records "service.*" counters and per-type
   /// latency histograms into it — see docs/service.md for the schema.
   runtime::MetricsRegistry* metrics = nullptr;
+  /// Cache-maintenance policy for "update" queries: delta-aware repair
+  /// of the warm artifacts (default) vs discard-and-rebuild. Answers
+  /// are byte-identical either way — the dynamic bench runs one engine
+  /// of each and diffs full response transcripts.
+  bool incremental_updates = true;
+  /// Toolkit parameter overrides applied to every graph this engine
+  /// loads (forwarded to GraphContext; 0 = paper defaults). The
+  /// dynamic bench uses them to pin a locality-friendly ℓ at large n.
+  std::uint32_t toolkit_eps_inv = 0;
+  std::uint64_t toolkit_r_override = 0;
 };
 
-/// The resident engine. Construction registers the five built-in
-/// handlers (diameter, radius, eccentricity, sssp, approx_distance);
-/// graphs and further handlers are added by the owner, then clients
-/// call `query` (synchronous) or `submit` (admission-controlled,
-/// batched) from any number of threads.
+/// The resident engine. Construction registers the six built-in
+/// handlers (diameter, radius, eccentricity, sssp, approx_distance,
+/// update); graphs and further handlers are added by the owner, then
+/// clients call `query` (synchronous) or `submit`
+/// (admission-controlled, batched) from any number of threads.
 ///
 /// Registration (`add_graph`, `register_handler`) is thread-safe but
 /// meant for setup: do it before serving traffic, or accept that
@@ -233,8 +321,9 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Loads a named graph. Throws ArgumentError on an empty or duplicate
-  /// name. The graph is frozen from here on (the engine hands out const
-  /// references only), which is what lets warm artifacts live forever.
+  /// name. From here on the graph changes only through "update" queries
+  /// (GraphContext::apply_update), which repair the warm artifacts in
+  /// step — reads between updates serve from warm state as before.
   GraphContext& add_graph(std::string name, WeightedGraph g);
 
   /// Looks up a loaded graph; "" resolves to the engine's only graph
@@ -271,9 +360,13 @@ class QueryEngine {
 
   /// Manually dispatches one batch: drains up to max_batch queued
   /// queries, groups by (graph, type), runs each group's handler, and
-  /// fulfills the promises. Returns how many queries it answered
-  /// (0 = queue was empty). The deterministic-batching tests call this
-  /// with max_batch = 1 vs max to pin grouping-independence.
+  /// fulfills the promises. Mutating queries are coalescing barriers
+  /// on their graph: grouping never reorders a query across a
+  /// same-graph mutating query in either direction, so admission
+  /// order is the order reads observe updates in. Returns how many
+  /// queries it answered (0 = queue was empty). The
+  /// deterministic-batching tests call this with max_batch = 1 vs max
+  /// to pin grouping-independence.
   std::size_t drain();
 
   /// Admitted-but-unanswered queries right now (queued + executing).
@@ -292,6 +385,9 @@ class QueryEngine {
 
   void register_builtin_handlers();
   void dispatch_loop();
+  /// Whether `type` is served by a mutating() handler — such queries
+  /// are coalescing barriers on their graph (see drain()).
+  bool is_mutating_type(std::string_view type) const;
   /// Runs one already-grouped batch (same graph, same type) and writes
   /// results; never throws (handler exceptions become error results).
   void execute_group(std::span<const Query> queries,

@@ -117,12 +117,16 @@ Query parse_request(std::string_view line) {
         q.graph = c.parse_string();
       } else if (key == "type") {
         q.type = c.parse_string();
-      } else if (key == "node" || key == "source") {
+      } else if (key == "node" || key == "source" || key == "u") {
         q.node = c.parse_node();
-      } else if (key == "target") {
+      } else if (key == "target" || key == "v") {
         q.target = c.parse_node();
       } else if (key == "seed") {
         q.seed = c.parse_uint();
+      } else if (key == "op") {
+        q.op = c.parse_string();
+      } else if (key == "weight" || key == "w") {
+        q.weight = c.parse_uint();
       } else {
         c.fail("unknown request key \"" + key + "\"");
       }

@@ -6,10 +6,14 @@
 //
 // Request (flat object; unknown keys are rejected so typos fail loud):
 //   {"id":7,"graph":"g0","type":"sssp","node":5}
+//   {"id":8,"type":"update","op":"reweight","u":3,"v":9,"w":17}
 //   keys: "id" (uint, echoed back, default 0), "graph" (string,
 //   optional when the engine serves exactly one graph), "type" (string,
-//   required), "node" / "source" (synonyms, uint node id), "target"
-//   (uint node id), "seed" (uint, randomized handlers only).
+//   required), "node" / "source" / "u" (synonyms, uint node id),
+//   "target" / "v" (synonyms, uint node id), "seed" (uint, randomized
+//   handlers only), "op" (string, update sub-operation
+//   insert|remove|reweight), "weight" / "w" (synonyms, uint, update
+//   edge weight).
 //
 // Response:
 //   {"id":7,"ok":true,"type":"sssp","value":0,"dist":[0,2,5]}

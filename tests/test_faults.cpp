@@ -606,38 +606,22 @@ TEST(ConfigApi, CopiesRebindAliasesToTheirOwnStorage) {
 // paths::RunRequest
 // ---------------------------------------------------------------------
 
-// These tests deliberately exercise the [[deprecated]] legacy
-// signatures to pin their equivalence with the RunRequest overloads.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(RunRequestApi, BoundedHopMatchesLegacySignature) {
-  Rng rng(5);
-  const auto g =
-      gen::randomize_weights(gen::erdos_renyi_connected(24, 0.15, rng), 8, rng);
-  const paths::HopScale scale{4, 2, g.max_weight()};
-  const auto legacy = paths::distributed_bounded_hop_sssp(g, 0, scale);
-  const auto via_request = paths::distributed_bounded_hop_sssp(
-      g, paths::RunRequest{}.with_source(0).with_scale(scale));
-  EXPECT_EQ(via_request.stats, legacy.stats);
-  EXPECT_EQ(via_request.approx, legacy.approx);
-}
-
-TEST(RunRequestApi, BoundedDistanceMatchesLegacySignature) {
+// An explicit weight_of must agree with the empty (= identity) default
+// through the request object. (The legacy positional signatures these
+// used to compare against are gone — RunRequest is the only surface.)
+TEST(RunRequestApi, ExplicitIdentityWeightMatchesDefault) {
   Rng rng(6);
   const auto g =
       gen::randomize_weights(gen::erdos_renyi_connected(24, 0.15, rng), 4, rng);
   const auto weight_of = [](Weight w) { return static_cast<std::uint64_t>(w); };
-  const auto legacy =
-      paths::distributed_bounded_distance_sssp(g, 0, 40, weight_of);
-  // Empty weight_of means identity.
-  const auto via_request = paths::distributed_bounded_distance_sssp(
+  const auto explicit_id = paths::distributed_bounded_distance_sssp(
+      g, paths::RunRequest{}.with_source(0).with_cap(40).with_weight_of(
+             weight_of));
+  const auto defaulted = paths::distributed_bounded_distance_sssp(
       g, paths::RunRequest{}.with_source(0).with_cap(40));
-  EXPECT_EQ(via_request.stats, legacy.stats);
-  EXPECT_EQ(via_request.dist, legacy.dist);
+  EXPECT_EQ(explicit_id.stats, defaulted.stats);
+  EXPECT_EQ(explicit_id.dist, defaulted.dist);
 }
-
-#pragma GCC diagnostic pop
 
 TEST(RunRequestApi, MissingRequiredFieldsFailLoudly) {
   const auto g = gen::path(4);

@@ -19,6 +19,12 @@ when:
   * a dataset-layer acceptance block reports `rss_ratio_ok: false` —
     the streaming CSR build's child-process peak RSS blew through the
     3x raw-edge-bytes budget;
+  * a dynamic-update acceptance block (BENCH_dynamic.json) reports
+    `identical_to_scratch: false` — the incremental cache-repair engine
+    diverged from rebuild-from-scratch, a correctness bug — or
+    `incremental_speedup_ok: false` — the n=65536 incremental speedup
+    fell below its 2x acceptance floor (full runs only; smoke runs
+    report it true vacuously);
   * a row's `build_seconds` grew, or its `peak_rss_ratio` grew, by more
     than --tolerance relative to the committed number (columns present
     only on ingest rows; compared only on matching hardware, like the
@@ -83,6 +89,15 @@ def main():
             f"fresh acceptance rss_ratio_ok is false (worst ratio "
             f"{acc.get('worst_peak_rss_ratio')}) — streaming CSR build "
             f"peak RSS exceeded 3x raw edge bytes")
+    if "identical_to_scratch" in acc and not acc["identical_to_scratch"]:
+        failures.append(
+            "fresh acceptance identical_to_scratch is false — the "
+            "incremental update engine diverged from rebuild-from-scratch")
+    if "incremental_speedup_ok" in acc and not acc["incremental_speedup_ok"]:
+        failures.append(
+            f"fresh acceptance incremental_speedup_ok is false (speedup "
+            f"{acc.get('incremental_speedup_at_65536')}) — delta-aware "
+            f"repair no longer clears its 2x floor over rebuild")
 
     base_hw = base.get("spec", {}).get("hardware_workers")
     fresh_hw = fresh.get("spec", {}).get("hardware_workers")

@@ -589,6 +589,8 @@ int cmd_query(const Args& a) {
   q.node = static_cast<NodeId>(a.num("node", 0));
   q.target = static_cast<NodeId>(a.num("target", 0));
   q.seed = a.num("query-seed", 1);
+  q.op = a.str("op", "");
+  q.weight = a.num("weight", 1);
   const auto r = engine.query(q);
   std::printf("%s\n", service::format_response(r).c_str());
   return r.ok ? 0 : 2;
@@ -612,7 +614,8 @@ void usage() {
       "            [--batch B] [--metrics FILE]\n"
       "  query     --type T [--graph FILE | --n N --family F ...]\n"
       "            [--node U] [--target V] [--query-seed S] [--id I]\n"
-      "            [--workers K]\n"
+      "            [--workers K] [--op insert|remove|reweight --weight W]\n"
+      "            (type \"update\" mutates g0 via --op/--node/--target)\n"
       "  dataset   generate  --family rmat|chunglu|er --out F.bg\n"
       "                      [--scale S|--n N] [--m M] [--p P|--avg-deg D]\n"
       "                      [--exponent E] [--maxw W] [--seed S]\n"

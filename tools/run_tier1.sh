@@ -14,11 +14,13 @@
 #                                      # test_service) — this is the run
 #                                      # that covers the shard-parallel
 #                                      # mailbox merge
-#   tools/run_tier1.sh --bench-gate    # re-run bench_congest_sim (and
-#                                      # the bench_datasets smoke tier)
-#                                      # and diff against the committed
+#   tools/run_tier1.sh --bench-gate    # re-run bench_congest_sim (plus
+#                                      # the bench_datasets and
+#                                      # bench_dynamic smoke tiers) and
+#                                      # diff against the committed
 #                                      # BENCH_congest_sim.json /
-#                                      # BENCH_datasets.json via
+#                                      # BENCH_datasets.json /
+#                                      # BENCH_dynamic.json via
 #                                      # tools/check_bench_regression.py
 #   QC_SANITIZE=thread tools/run_tier1.sh   # sanitized build (own tree):
 #                                           # address | undefined | thread
@@ -61,7 +63,8 @@ if [ "$BENCH_GATE" -eq 1 ]; then
   # box degrades to a determinism-only gate instead of flaking.
   BUILD_DIR=build
   cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" -j --target bench_congest_sim bench_datasets
+  cmake --build "$BUILD_DIR" -j --target \
+    bench_congest_sim bench_datasets bench_dynamic
   "$BUILD_DIR/bench/bench_congest_sim" --out "$BUILD_DIR/BENCH_fresh.json"
   python3 tools/check_bench_regression.py \
     --baseline BENCH_congest_sim.json --fresh "$BUILD_DIR/BENCH_fresh.json"
@@ -73,6 +76,15 @@ if [ "$BENCH_GATE" -eq 1 ]; then
   python3 tools/check_bench_regression.py \
     --baseline BENCH_datasets.json \
     --fresh "$BUILD_DIR/BENCH_datasets_fresh.json"
+  # Dynamic-update gate: the smoke tier replays an update/read script on
+  # both cache policies at workers 1/2/8 (identity flags + the
+  # identical_to_scratch acceptance key); the committed full-size rows
+  # are skipped-not-failed because their n is absent from a smoke run.
+  "$BUILD_DIR/bench/bench_dynamic" --smoke \
+    --out "$BUILD_DIR/BENCH_dynamic_fresh.json"
+  python3 tools/check_bench_regression.py \
+    --baseline BENCH_dynamic.json \
+    --fresh "$BUILD_DIR/BENCH_dynamic_fresh.json"
   exit 0
 fi
 
