@@ -110,6 +110,15 @@ class CsrGraph {
   /// made; pages are shared with every other mapper of the file).
   bool is_mapped() const { return mapping_ != nullptr; }
 
+  /// Identity of the underlying mapping (nullptr when owned): two
+  /// graphs reporting the same address serve reads from the same
+  /// mapped pages — the service layer uses this to prove N resident
+  /// graphs of one bcsr file share a single mapping.
+  const void* mapping_address() const { return mapping_.get(); }
+
+  /// Number of live views holding the mapping open (0 when owned).
+  long mapping_use_count() const { return mapping_.use_count(); }
+
   NodeId node_count() const {
     return static_cast<NodeId>(offsets_.size() - 1);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <queue>
 
@@ -492,6 +493,37 @@ BGraphInfo erdos_renyi_bgraph(const std::string& path, NodeId n, double p,
     }
   }
   repair_connectivity(out, uf, n, max_w, rng);
+  return out.close();
+}
+
+BGraphInfo grid_bgraph(const std::string& path, NodeId rows, NodeId cols,
+                       double diagonal_p, Weight max_w, std::uint64_t seed) {
+  QC_REQUIRE(rows >= 1 && cols >= 1, "grid needs rows, cols >= 1");
+  const std::uint64_t n = std::uint64_t{rows} * cols;
+  QC_REQUIRE(n >= 2, "grid needs at least 2 nodes");
+  QC_REQUIRE(n <= std::numeric_limits<NodeId>::max(),
+             "grid exceeds the NodeId range");
+  QC_REQUIRE(diagonal_p >= 0.0 && diagonal_p <= 1.0,
+             "diagonal probability must be in [0, 1]");
+  QC_REQUIRE(max_w >= 1, "max_w must be >= 1");
+  Rng rng(seed);
+  BGraphWriter out(path, n);
+  // One pass in node-id order. For a fixed u the three candidate
+  // neighbors u+1 < u+cols < u+cols+1 come out ascending, so the whole
+  // stream is sorted and the writer flags it — no sort pass needed
+  // before CSR ingest. The rng consumption order (right, down, diag
+  // gate, diag weight) is part of the format: same arguments, same
+  // bytes.
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      const NodeId u = r * cols + c;
+      if (c + 1 < cols) out.add(u, u + 1, Weight{1} + rng.below(max_w));
+      if (r + 1 < rows) out.add(u, u + cols, Weight{1} + rng.below(max_w));
+      if (r + 1 < rows && c + 1 < cols && rng.uniform() < diagonal_p) {
+        out.add(u, u + cols + 1, Weight{1} + rng.below(max_w));
+      }
+    }
+  }
   return out.close();
 }
 

@@ -127,4 +127,17 @@ BGraphInfo chung_lu_bgraph(const std::string& path, NodeId n,
 BGraphInfo erdos_renyi_bgraph(const std::string& path, NodeId n, double p,
                               Weight max_w, std::uint64_t seed);
 
+/// Road-like seeded 2D grid: rows x cols lattice (node r·cols + c) with
+/// the axis edges always present, each down-right diagonal shortcut
+/// included independently with probability `diagonal_p`, and every
+/// weight jittered uniformly in [1, max_w]. D = Θ(rows + cols) with
+/// planar-ish local structure — the missing D regime between the
+/// heavy-tailed samplers above and the in-memory `grid` (which tops
+/// out around n ~ 10^4). Connected by construction (no repair pass,
+/// no union-find), O(1) state beyond the IO buffer, and the emission
+/// order is strictly increasing (u, v), so the writer records the
+/// sorted flag — the file feeds `csr_from_bgraph` with no sort pass.
+BGraphInfo grid_bgraph(const std::string& path, NodeId rows, NodeId cols,
+                       double diagonal_p, Weight max_w, std::uint64_t seed);
+
 }  // namespace qc::gen

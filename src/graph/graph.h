@@ -64,6 +64,11 @@ struct UpdateStats {
   bool slot_index_repaired = false;
   /// A known connectivity verdict survived the batch.
   bool connectivity_kept = false;
+  /// The graph was serving reads from a memory-mapped bcsr view and
+  /// this update performed the copy-on-write detach into owned storage
+  /// (set by the service layer's GraphContext, at most once per
+  /// mapped graph — see docs/service.md).
+  bool mapped_detached = false;
 };
 
 /// One incident edge as seen from a node.

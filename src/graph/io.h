@@ -41,6 +41,10 @@
 
 namespace qc {
 
+namespace runtime {
+class ThreadPool;  // runtime/thread_pool.h
+}
+
 // --- wgraph v1 (text) -------------------------------------------------
 
 /// Serializes g to the wgraph v1 text format.
@@ -137,6 +141,15 @@ class BGraphReader {
   /// the stream twice).
   void rewind();
 
+  /// Positions the stream at record `index` (0 <= index <= m), so
+  /// sharded consumers can read contiguous record ranges in parallel,
+  /// each through its own reader. The sorted-order check restarts at
+  /// the seek target: the first record produced after a mid-file seek
+  /// is not compared against its (unseen) predecessor — callers that
+  /// shard a sorted file re-check the shard-boundary order themselves
+  /// (csr_from_bgraph does).
+  void seek_record(std::uint64_t index);
+
   std::uint64_t records_read() const { return read_; }
 
  private:
@@ -147,6 +160,7 @@ class BGraphReader {
   BGraphInfo info_;
   std::uint64_t read_ = 0;     ///< records consumed so far
   std::uint64_t last_key_ = 0; ///< order check when info_.sorted
+  std::uint64_t order_anchor_ = 0;  ///< first record after the last seek
   std::vector<unsigned char> buf_;
   std::size_t buf_pos_ = 0;
   std::size_t buf_len_ = 0;
@@ -174,19 +188,43 @@ BGraphInfo convert_text_to_bgraph(const std::string& text_path,
 void convert_bgraph_to_text(const std::string& bgraph_path,
                             const std::string& text_path);
 
+/// Default in-memory budget for the out-of-core shuffle/sort paths
+/// below: 256 MiB of record storage (the CLI's `--mem-budget` knob).
+inline constexpr std::uint64_t kDefaultMemBudgetBytes =
+    std::uint64_t{256} << 20;
+
 /// Rewrites a bgraph file with its records in a seed-deterministic
-/// random order (Fisher-Yates over one in-memory record vector — the
-/// single allowed materialization). Benchmarks use this to de-correlate
-/// file order from generator locality.
+/// random order. Inputs whose record vector fits `mem_budget_bytes`
+/// (0 = kDefaultMemBudgetBytes) are shuffled in memory (one
+/// Fisher-Yates pass); larger inputs run out of core as a seeded
+/// bucket scatter — each record is dealt to one of B temp bucket
+/// files by a hash of (seed, record index), then each bucket is
+/// shuffled in memory with its own derived seed and appended — so
+/// peak memory stays bounded by the budget regardless of edge count.
+/// Either path is a pure function of (input bytes, seed, budget);
+/// the two paths produce different (but individually deterministic)
+/// permutations. Temp buckets live in `out_path + ".spill/"` and are
+/// always removed, including on error paths.
 BGraphInfo shuffle_bgraph(const std::string& in_path,
-                          const std::string& out_path, std::uint64_t seed);
+                          const std::string& out_path, std::uint64_t seed,
+                          std::uint64_t mem_budget_bytes = 0);
 
 /// Rewrites a bgraph file with its records sorted by (u, v), setting
 /// the sorted header flag. Throws ArgumentError on duplicate edges —
 /// this is the designated full-dedup validation pass for inputs of
-/// unknown provenance.
+/// unknown provenance. Inputs whose record vector fits
+/// `mem_budget_bytes` (0 = kDefaultMemBudgetBytes) sort in memory;
+/// larger inputs spill sorted runs of at most one budget each to
+/// `out_path + ".spill/"` and stream a loser-tree K-way merge into
+/// the output, rejecting adjacent-equal keys during the merge — the
+/// same dedup semantics, and **byte-identical output** to the
+/// in-memory path (both emit the unique sorted record sequence
+/// through BGraphWriter). Spill runs are unlinked on every exit path,
+/// including a validation failure mid-merge; a failed merge also
+/// removes the partially written output.
 BGraphInfo sort_bgraph(const std::string& in_path,
-                       const std::string& out_path);
+                       const std::string& out_path,
+                       std::uint64_t mem_budget_bytes = 0);
 
 /// One streaming pass of dataset statistics. `degree_hist_log2[b]`
 /// counts nodes whose degree d satisfies 2^b <= d < 2^(b+1)
@@ -207,7 +245,18 @@ BGraphSummary summarize_bgraph(const std::string& path);
 /// array and one IO buffer — no intermediate adjacency lists, no edge
 /// vector. This is the million-node ingest path; bench_datasets records
 /// its peak-RSS-to-raw-edge-bytes ratio.
-CsrGraph csr_from_bgraph(const std::string& path);
+///
+/// With a pool, both passes shard over contiguous record ranges (each
+/// shard reads through its own BGraphReader): the count pass fills
+/// per-shard degree arrays reduced serially in shard order, the place
+/// pass writes each shard's half-edges at cursor bases precomputed
+/// from the per-shard degrees — every half-edge lands in exactly the
+/// slot the serial build gives it, so the result is **byte-identical
+/// at any worker count**. The shard count is additionally capped so
+/// the per-shard arrays stay within half the raw edge bytes,
+/// preserving the bench-gated peak-RSS < 3x bound.
+CsrGraph csr_from_bgraph(const std::string& path,
+                         runtime::ThreadPool* pool = nullptr);
 
 // --- bcsr v1 (packed CSR image) --------------------------------------
 

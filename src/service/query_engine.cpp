@@ -1,12 +1,14 @@
 #include "service/query_engine.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <unordered_set>
 #include <utility>
 
 #include "core/theorem11.h"
 #include "graph/algorithms.h"
 #include "graph/csr.h"
+#include "graph/io.h"
 #include "graph/update.h"
 #include "paths/params.h"
 #include "paths/reference.h"
@@ -29,9 +31,9 @@ void require_connected(const GraphContext& g) {
 }
 
 void require_node(const GraphContext& g, NodeId v, const char* what) {
-  QC_REQUIRE(v < g.graph().node_count(),
+  QC_REQUIRE(v < g.node_count(),
              std::string(what) + " out of range for graph '" + g.name() +
-                 "' (n=" + std::to_string(g.graph().node_count()) + ")");
+                 "' (n=" + std::to_string(g.node_count()) + ")");
 }
 
 // ---------------------------------------------------------------------------
@@ -99,7 +101,7 @@ class SsspHandler final : public QueryHandler {
       require_node(ctx.graph, q.node, "sssp node");
       require_node(ctx.graph, q.target, "sssp target");
     }
-    const CsrGraph& csr = ctx.graph.graph().csr();  // warm on this thread
+    const CsrGraph& csr = ctx.graph.csr();  // warm on this thread
     runtime::parallel_for(ctx.pool, queries.size(), [&](std::size_t i) {
       DijkstraWorkspace ws;
       ws.dijkstra(csr, queries[i].node, results[i].dist);
@@ -187,8 +189,11 @@ class Theorem11Handler final : public QueryHandler {
   void run_batch(QueryContext& ctx, std::span<const Query> queries,
                  std::span<QueryResult> results) override {
     require_connected(ctx.graph);
-    QC_REQUIRE(ctx.graph.graph().node_count() >= 2,
-               "Theorem 1.1 needs n >= 2");
+    QC_REQUIRE(ctx.graph.node_count() >= 2, "Theorem 1.1 needs n >= 2");
+    // The quantum drivers walk adjacency rows: a mapped context
+    // materializes its owned WeightedGraph here (the mapped view stays
+    // live for csr() readers — only an update detaches it).
+    const WeightedGraph& wg = ctx.graph.weighted_graph();
     for (std::size_t i = 0; i < queries.size(); ++i) {
       core::Theorem11Options opt;
       opt.seed = queries[i].seed;
@@ -200,8 +205,8 @@ class Theorem11Handler final : public QueryHandler {
       opt.oracle_mode = core::OracleMode::kLazySerial;
       opt.toolkit = &ctx.graph.toolkit();
       const core::Theorem11Result out =
-          radius_ ? core::quantum_weighted_radius(ctx.graph.graph(), opt)
-                  : core::quantum_weighted_diameter(ctx.graph.graph(), opt);
+          radius_ ? core::quantum_weighted_radius(wg, opt)
+                  : core::quantum_weighted_diameter(wg, opt);
       results[i].ok = true;
       results[i].value = out.estimate_scaled;
       results[i].scale = out.total_scale;
@@ -251,7 +256,7 @@ class UpdateHandler final : public QueryHandler {
       ctx.graph.apply_update(batch, ctx.pool, ctx.incremental_updates);
       for (const std::size_t i : members) {
         results[i].ok = true;
-        results[i].value = static_cast<Dist>(ctx.graph.graph().edge_count());
+        results[i].value = static_cast<Dist>(ctx.graph.edge_count());
       }
     } catch (const ArgumentError&) {
       // The batch as a whole is invalid; degrade to sequential per-op
@@ -264,7 +269,7 @@ class UpdateHandler final : public QueryHandler {
                                  ctx.incremental_updates);
           results[i].ok = true;
           results[i].value =
-              static_cast<Dist>(ctx.graph.graph().edge_count());
+              static_cast<Dist>(ctx.graph.edge_count());
         } catch (const std::exception& e) {
           results[i].ok = false;
           results[i].error = e.what();
@@ -307,7 +312,98 @@ GraphContext::GraphContext(std::string name, WeightedGraph g,
       toolkit_eps_inv_(toolkit_eps_inv),
       toolkit_r_override_(toolkit_r_override) {}
 
+GraphContext::GraphContext(std::string name, CsrGraph view,
+                           std::string source_path,
+                           std::uint32_t toolkit_eps_inv,
+                           std::uint64_t toolkit_r_override)
+    : name_(std::move(name)),
+      mapped_(std::make_unique<CsrGraph>(std::move(view))),
+      source_path_(std::move(source_path)),
+      g_materialized_(false),
+      toolkit_eps_inv_(toolkit_eps_inv),
+      toolkit_r_override_(toolkit_r_override) {
+  QC_REQUIRE(mapped_->is_mapped(),
+             "graph '" + name_ + "': context view is not memory-mapped");
+}
+
 GraphContext::~GraphContext() = default;
+
+const CsrGraph& GraphContext::csr() const {
+  return mapped_ ? *mapped_ : g_.csr();
+}
+
+NodeId GraphContext::node_count() const {
+  return mapped_ ? mapped_->node_count() : g_.node_count();
+}
+
+std::size_t GraphContext::edge_count() const {
+  return mapped_ ? mapped_->edge_count() : g_.edge_count();
+}
+
+const void* GraphContext::mapping_address() const {
+  return mapped_ ? mapped_->mapping_address() : nullptr;
+}
+
+long GraphContext::mapping_use_count() const {
+  return mapped_ ? mapped_->mapping_use_count() : 0;
+}
+
+bool GraphContext::connected() const {
+  if (mapped_ == nullptr) return g_.is_connected();
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  if (mapped_connected_ < 0) {
+    // One DFS over the mapped view; no WeightedGraph is materialized
+    // just to ask connectivity.
+    const CsrGraph& c = *mapped_;
+    const NodeId n = c.node_count();
+    if (n == 0) {
+      mapped_connected_ = 1;
+    } else {
+      std::vector<char> seen(n, 0);
+      std::vector<NodeId> stack = {0};
+      seen[0] = 1;
+      NodeId visited = 1;
+      while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        for (const HalfEdge& h : c.neighbors(u)) {
+          if (!seen[h.to]) {
+            seen[h.to] = 1;
+            ++visited;
+            stack.push_back(h.to);
+          }
+        }
+      }
+      mapped_connected_ = visited == n ? 1 : 0;
+    }
+  }
+  return mapped_connected_ != 0;
+}
+
+void GraphContext::materialize_locked() {
+  if (g_materialized_) return;
+  // Rebuild the edge list from the view's upper-triangle half-edges
+  // (u < to), in (u, v) order — exactly the canonical edge list the
+  // bcsr file was built from, so the owned graph's CSR reproduces the
+  // mapped adjacency bit for bit.
+  const CsrGraph& c = *mapped_;
+  const NodeId n = c.node_count();
+  std::vector<Edge> edges;
+  edges.reserve(c.edge_count());
+  for (NodeId u = 0; u < n; ++u) {
+    for (const HalfEdge& h : c.neighbors(u)) {
+      if (h.to > u) edges.push_back({u, h.to, h.weight});
+    }
+  }
+  g_ = WeightedGraph::from_edges(n, std::move(edges));
+  g_materialized_ = true;
+}
+
+const WeightedGraph& GraphContext::weighted_graph() {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  materialize_locked();
+  return g_;
+}
 
 paths::Params GraphContext::derive_toolkit_params() const {
   core::Theorem11Options opt;
@@ -320,7 +416,7 @@ const std::vector<Dist>& GraphContext::weighted_eccentricities(
     runtime::ThreadPool& pool) {
   std::lock_guard<std::mutex> lock(warm_mutex_);
   if (!ecc_valid_) {
-    ecc_ = qc::eccentricities(g_.csr(), &pool);
+    ecc_ = qc::eccentricities(csr(), &pool);
     ecc_valid_ = true;
   }
   return ecc_;
@@ -330,7 +426,7 @@ const std::vector<Dist>& GraphContext::hop_eccentricities(
     runtime::ThreadPool& pool) {
   std::lock_guard<std::mutex> lock(warm_mutex_);
   if (!hop_ecc_valid_) {
-    hop_ecc_ = qc::unweighted_eccentricities(g_.csr(), &pool);
+    hop_ecc_ = qc::unweighted_eccentricities(csr(), &pool);
     hop_ecc_valid_ = true;
   }
   return hop_ecc_;
@@ -341,6 +437,10 @@ paths::ToolkitCache& GraphContext::toolkit() {
   // so a later call on a then-valid context retries the construction.
   std::lock_guard<std::mutex> lock(warm_mutex_);
   if (!toolkit_) {
+    // The toolkit reads adjacency rows from a WeightedGraph: a mapped
+    // context materializes its owned copy here (reads keep flowing
+    // from the mapped view; this is not the update-time detach).
+    materialize_locked();
     QC_REQUIRE(g_.is_connected(),
                "graph '" + name_ + "' is not connected");
     toolkit_ =
@@ -355,9 +455,23 @@ const paths::Params& GraphContext::toolkit_params() {
 
 GraphContext::UpdateOutcome GraphContext::apply_update(
     const GraphUpdate& update, runtime::ThreadPool& pool, bool incremental) {
+  // Copy-on-write detach: the first update on a mapped context
+  // materializes the owned graph and drops the view, exactly once —
+  // later updates find owned storage and this block is a no-op. From
+  // here on the body below runs on owned state either way.
+  bool detached_now = false;
+  if (mapped_ != nullptr) {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    materialize_locked();
+    mapped_.reset();
+    mapped_connected_ = -1;
+    detached_now = true;
+  }
+
   UpdateOutcome out;
   if (!incremental) {
     out.stats = g_.apply(update, UpdatePolicy::kRebuild);
+    out.stats.mapped_detached = detached_now;
     std::lock_guard<std::mutex> lock(warm_mutex_);
     ecc_.clear();
     hop_ecc_.clear();
@@ -435,6 +549,7 @@ GraphContext::UpdateOutcome GraphContext::apply_update(
   }
 
   out.stats = g_.apply(update, UpdatePolicy::kIncremental);
+  out.stats.mapped_detached = detached_now;
 
   std::vector<TouchedEdgeState> changed;
   for (TouchedEdgeState e : touched) {
@@ -571,10 +686,14 @@ GraphContext::UpdateOutcome GraphContext::apply_update(
 GraphContext::WarmState GraphContext::warm_state() const {
   std::lock_guard<std::mutex> lock(warm_mutex_);
   WarmState w;
-  w.connectivity = g_.connectivity_cached();
+  w.mapped = mapped_ != nullptr;
+  w.materialized = g_materialized_;
+  w.connectivity =
+      w.mapped ? mapped_connected_ >= 0 : g_.connectivity_cached();
   w.weighted_ecc = ecc_valid_;
   w.hop_ecc = hop_ecc_valid_;
-  w.csr = w.weighted_ecc || w.hop_ecc || toolkit_ != nullptr;
+  w.csr =
+      w.mapped || w.weighted_ecc || w.hop_ecc || toolkit_ != nullptr;
   w.toolkit_rows = toolkit_ ? toolkit_->cached_row_count() : 0;
   return w;
 }
@@ -620,6 +739,27 @@ GraphContext& QueryEngine::add_graph(std::string name, WeightedGraph g) {
                                             opt_.toolkit_eps_inv,
                                             opt_.toolkit_r_override);
   std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto [it, inserted] = graphs_.emplace(std::move(name), std::move(ctx));
+  QC_REQUIRE(inserted, "graph '" + it->first + "' is already loaded");
+  return *it->second;
+}
+
+GraphContext& QueryEngine::add_graph_mapped(std::string name,
+                                            const std::string& bcsr_path) {
+  QC_REQUIRE(!name.empty(), "graph name must be non-empty");
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  // Key mappings by canonical path so two specs naming the same file —
+  // even through different spellings — share one mapping.
+  std::error_code ec;
+  std::string key = std::filesystem::weakly_canonical(bcsr_path, ec).string();
+  if (ec || key.empty()) key = bcsr_path;
+  auto mit = mapped_files_.find(key);
+  if (mit == mapped_files_.end()) {
+    mit = mapped_files_.emplace(std::move(key), map_csr(bcsr_path)).first;
+  }
+  auto ctx = std::make_unique<GraphContext>(name, CsrGraph(mit->second),
+                                            bcsr_path, opt_.toolkit_eps_inv,
+                                            opt_.toolkit_r_override);
   auto [it, inserted] = graphs_.emplace(std::move(name), std::move(ctx));
   QC_REQUIRE(inserted, "graph '" + it->first + "' is already loaded");
   return *it->second;
@@ -671,8 +811,10 @@ void QueryEngine::warm(std::string_view name) {
              "unknown graph: " + std::string(name.empty() ? "<default>"
                                                           : name));
   std::shared_lock<std::shared_mutex> lock(ctx->state_mutex());
-  ctx->graph().csr();
-  ctx->graph().slot_index();
+  ctx->csr();
+  // The slot index belongs to the owned graph's update path; a mapped
+  // context has no owned graph to index until it detaches.
+  if (!ctx->is_mapped()) ctx->graph().slot_index();
   if (ctx->connected()) {
     ctx->weighted_eccentricities(pool_);
     ctx->hop_eccentricities(pool_);

@@ -69,6 +69,7 @@
 #include <thread>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
 #include "runtime/thread_pool.h"
 #include "util/mathx.h"
@@ -148,14 +149,63 @@ class GraphContext {
   GraphContext(std::string name, WeightedGraph g,
                std::uint32_t toolkit_eps_inv = 0,
                std::uint64_t toolkit_r_override = 0);
+
+  /// Mapped-residency variant: serves reads straight from a read-only
+  /// memory-mapped bcsr view (`view.is_mapped()` must hold; the
+  /// shared_ptr keep-alive inside the view pins the mapping, so N
+  /// contexts constructed from copies of one view share a single
+  /// mapping and its page cache). No owned WeightedGraph exists until
+  /// a handler needs one: `weighted_graph()` materializes lazily (the
+  /// toolkit / Theorem 1.1 path), and the first "update" performs the
+  /// copy-on-write detach — see apply_update. `source_path` is
+  /// reporting-only (the serve driver's residency summary).
+  GraphContext(std::string name, CsrGraph view, std::string source_path,
+               std::uint32_t toolkit_eps_inv = 0,
+               std::uint64_t toolkit_r_override = 0);
   ~GraphContext();
 
   GraphContext(const GraphContext&) = delete;
   GraphContext& operator=(const GraphContext&) = delete;
 
   const std::string& name() const { return name_; }
+
+  /// The owned WeightedGraph. On a mapped context this is empty until
+  /// `weighted_graph()` or an update materializes it — handlers should
+  /// read through `csr()` / `node_count()` / `edge_count()`, which
+  /// serve either storage mode.
   const WeightedGraph& graph() const { return g_; }
-  bool connected() const { return g_.is_connected(); }
+
+  /// The adjacency every read handler uses: the mapped read-only view
+  /// while one is live, the owned graph's lazily-built CSR otherwise.
+  /// Callers must hold state_mutex() (shared side suffices) — the
+  /// engine's handler paths do.
+  const CsrGraph& csr() const;
+
+  NodeId node_count() const;
+  std::size_t edge_count() const;
+
+  /// Owned WeightedGraph, materializing it from the mapped view on
+  /// first call (the toolkit and Theorem 1.1 handlers need adjacency
+  /// rows, not just CSR spans). Materialization keeps the mapped view
+  /// alive for `csr()` reads — only an update detaches it.
+  const WeightedGraph& weighted_graph();
+
+  /// True while reads are served from the mapped bcsr view (i.e. the
+  /// copy-on-write detach has not happened).
+  bool is_mapped() const { return mapped_ != nullptr; }
+  /// Identity / liveness of the underlying mapping (nullptr / 0 when
+  /// not mapped): equal addresses across contexts prove they share one
+  /// mapping.
+  const void* mapping_address() const;
+  long mapping_use_count() const;
+  /// The bcsr file this context was mapped from ("" for owned graphs).
+  const std::string& source_path() const { return source_path_; }
+
+  /// Connectivity. Owned mode defers to the graph's cached verdict;
+  /// mapped mode runs one DFS over the view on first call and caches
+  /// the answer (invalidated by the detach, which re-derives it from
+  /// the owned graph).
+  bool connected() const;
 
   std::uint32_t toolkit_eps_inv() const { return toolkit_eps_inv_; }
   std::uint64_t toolkit_r_override() const { return toolkit_r_override_; }
@@ -192,6 +242,11 @@ class GraphContext {
     bool scratch = false;                   ///< rebuild-from-scratch path ran
   };
 
+  // On a mapped context, apply_update first performs the copy-on-write
+  // detach — materialize the owned graph from the view, then drop the
+  // view — exactly once per context (later updates find owned storage),
+  // reporting it via UpdateStats::mapped_detached in the outcome.
+
   /// Applies an edge batch and repairs the warm artifacts. With
   /// `incremental` the CSR/slot-index are patched (WeightedGraph::apply
   /// kIncremental), toolkit rows are invalidated per the endpoint
@@ -216,6 +271,8 @@ class GraphContext {
     bool weighted_ecc = false;
     bool hop_ecc = false;
     std::size_t toolkit_rows = 0;  ///< cached d̃^ℓ rows (0 = no cache yet)
+    bool mapped = false;           ///< reads served from the bcsr mapping
+    bool materialized = false;     ///< owned WeightedGraph exists
   };
   WarmState warm_state() const;
 
@@ -224,8 +281,23 @@ class GraphContext {
   /// Defined in the .cpp (needs core/theorem11.h).
   paths::Params derive_toolkit_params() const;
 
+  /// Builds g_ from the mapped view if it does not exist yet. Caller
+  /// holds warm_mutex_.
+  void materialize_locked();
+
   std::string name_;
   WeightedGraph g_;
+  /// Mapped storage mode: the read-only bcsr view (null once detached
+  /// or for owned contexts). Mutated only under the exclusive side of
+  /// state_mutex() plus warm_mutex_ (apply_update's detach).
+  std::unique_ptr<CsrGraph> mapped_;
+  std::string source_path_;
+  /// Whether g_ holds the graph (always for owned contexts; false on a
+  /// mapped context until weighted_graph() / the detach).
+  bool g_materialized_ = true;
+  /// Mapped-mode connectivity cache: -1 unknown, else 0/1. Guarded by
+  /// warm_mutex_.
+  mutable int mapped_connected_ = -1;
   std::uint32_t toolkit_eps_inv_ = 0;
   std::uint64_t toolkit_r_override_ = 0;
   mutable std::shared_mutex state_mutex_;
@@ -326,6 +398,17 @@ class QueryEngine {
   /// step — reads between updates serve from warm state as before.
   GraphContext& add_graph(std::string name, WeightedGraph g);
 
+  /// Loads a named graph as a memory-mapped bcsr view (graph/io.h
+  /// `map_csr`). The engine keys mappings by canonical file path: N
+  /// specs naming the same file share one mapping (one set of resident
+  /// pages), which `GraphContext::mapping_address()` lets callers
+  /// verify. Answers are identical to owned-copy loading; the graph
+  /// converts to owned storage on its first "update" (copy-on-write
+  /// detach, reported in UpdateStats::mapped_detached). Throws
+  /// ArgumentError on an empty/duplicate name or an unreadable file.
+  GraphContext& add_graph_mapped(std::string name,
+                                 const std::string& bcsr_path);
+
   /// Looks up a loaded graph; "" resolves to the engine's only graph
   /// (nullptr when none or several are loaded — ambiguity is an error
   /// the caller must surface). Unknown names return nullptr.
@@ -401,6 +484,11 @@ class QueryEngine {
   mutable std::mutex registry_mutex_;
   std::map<std::string, std::unique_ptr<GraphContext>, std::less<>> graphs_;
   std::map<std::string, std::unique_ptr<QueryHandler>, std::less<>> handlers_;
+  /// One mapped view per canonical bcsr path: contexts added via
+  /// add_graph_mapped copy from these, so same-file specs share the
+  /// mapping (the registry entry also keeps it alive across detaches
+  /// of individual contexts — cheap: the view owns no arrays).
+  std::map<std::string, CsrGraph, std::less<>> mapped_files_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -4,10 +4,12 @@
 // kernels and the sharded-merge simulator stay byte-identical at any
 // worker count even at n = 10^5). docs/datasets.md specs the formats.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <span>
@@ -129,6 +131,45 @@ TEST(BGraph, WriterStreamsAndPatchesHeader) {
   EXPECT_FALSE(BGraphReader(path).info().sorted);
 }
 
+TEST(BGraph, ReaderRewindAndSeekAfterPartialReads) {
+  const auto g = small_random(13);
+  const std::string path = tmp_path("rewind.bg");
+  write_bgraph(g, path);
+
+  BGraphReader r(path);
+  const std::uint64_t m = r.info().m;
+  ASSERT_GE(m, 10u);
+  std::vector<Edge> full;
+  Edge e;
+  while (r.next(e)) full.push_back(e);
+  EXPECT_EQ(full.size(), m);
+  EXPECT_EQ(r.records_read(), m);
+
+  // Rewind mid-stream (after a partial read that left the IO buffer
+  // half-consumed) and the stream restarts from record 0.
+  r.rewind();
+  EXPECT_EQ(r.records_read(), 0u);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(r.next(e));
+  r.rewind();
+  std::vector<Edge> again;
+  while (r.next(e)) again.push_back(e);
+  EXPECT_EQ(again, full);
+
+  // seek_record lands on exact record boundaries; the sorted-order
+  // check restarts at the seek target instead of tripping on the
+  // unseen predecessor.
+  r.seek_record(m / 2);
+  EXPECT_EQ(r.records_read(), m / 2);
+  std::vector<Edge> tail;
+  while (r.next(e)) tail.push_back(e);
+  EXPECT_EQ(tail, std::vector<Edge>(full.begin() + m / 2, full.end()));
+
+  // Seeking to m is the empty suffix; past m is an error.
+  r.seek_record(m);
+  EXPECT_FALSE(r.next(e));
+  EXPECT_THROW(r.seek_record(m + 1), ArgumentError);
+}
+
 TEST(BGraph, WriterRejectsNonCanonicalRecords) {
   const std::string path = tmp_path("badadd.bg");
   BGraphWriter w(path, 4);
@@ -169,6 +210,129 @@ TEST(BGraph, SortRejectsDuplicateEdges) {
     w.close();
   }
   EXPECT_THROW(sort_bgraph(path, sorted), ArgumentError);
+}
+
+// --- out-of-core sort and shuffle (ISSUE 10) --------------------------
+
+TEST(BGraph, ExternalSortByteIdenticalToInMemory) {
+  const auto g = small_random(37);
+  const std::string canon = tmp_path("ext_canon.bg");
+  const std::string shuf = tmp_path("ext_shuf.bg");
+  write_bgraph(g, canon);
+  shuffle_bgraph(canon, shuf, /*seed=*/5);
+  const std::uint64_t m = BGraphReader(canon).info().m;
+  ASSERT_GE(m, 64u);
+
+  // Golden: the in-memory fast path (default budget).
+  const std::string mem = tmp_path("ext_mem.bg");
+  sort_bgraph(shuf, mem);
+  EXPECT_EQ(slurp(mem), slurp(canon));
+
+  // Spill-forcing byte budgets, from a handful of runs down to
+  // three-record runs (~m/3 spill files — keep the merge fan-in well
+  // under the fd limit). Every budget must reproduce the in-memory
+  // bytes exactly, and the spill directory must be gone afterwards.
+  const std::string ext = tmp_path("ext_out.bg");
+  for (const std::uint64_t budget : {std::uint64_t{1024},
+                                     std::uint64_t{256},
+                                     std::uint64_t{48}}) {
+    ASSERT_LT(budget, m * sizeof(Edge)) << "budget must force the spill path";
+    const BGraphInfo info = sort_bgraph(shuf, ext, budget);
+    EXPECT_TRUE(info.sorted) << "budget=" << budget;
+    EXPECT_EQ(info.m, m) << "budget=" << budget;
+    EXPECT_EQ(slurp(ext), slurp(canon)) << "budget=" << budget;
+    EXPECT_FALSE(std::filesystem::exists(ext + ".spill"))
+        << "budget=" << budget;
+  }
+}
+
+TEST(BGraph, ExternalSortRejectsDuplicatesAndCleansUp) {
+  const std::string path = tmp_path("ext_dup.bg");
+  const std::string sorted = tmp_path("ext_dup_sorted.bg");
+  {
+    BGraphWriter w(path, 64);
+    for (NodeId v = 1; v < 40; ++v) w.add(0, v, v);
+    w.add(5, 9, 1);
+    w.add(0, 7, 3);  // duplicate of (0, 7) above, lands in a later run
+    w.close();
+  }
+  // Budget of 10 records per run: the duplicate pair straddles runs and
+  // is only adjacent inside the merge, so the merge's dedup check —
+  // not the run sort — must fire.
+  EXPECT_THROW(sort_bgraph(path, sorted, /*mem_budget_bytes=*/160),
+               ArgumentError);
+  // Error-path hygiene: no spill directory, no partial output husk.
+  EXPECT_FALSE(std::filesystem::exists(sorted + ".spill"));
+  EXPECT_FALSE(std::filesystem::exists(sorted));
+}
+
+TEST(BGraph, ExternalShuffleDeterministicBoundedAndLossless) {
+  const auto g = small_random(41);
+  const std::string canon = tmp_path("ext_shuf_canon.bg");
+  write_bgraph(g, canon);
+  const std::uint64_t m = BGraphReader(canon).info().m;
+  const std::uint64_t budget = 512;  // 32-record budget forces buckets
+  ASSERT_LT(budget, m * sizeof(Edge));
+
+  const std::string a = tmp_path("ext_shuf_a.bg");
+  const std::string b = tmp_path("ext_shuf_b.bg");
+  shuffle_bgraph(canon, a, /*seed=*/99, budget);
+  shuffle_bgraph(canon, b, /*seed=*/99, budget);
+  EXPECT_EQ(slurp(a), slurp(b));  // pure function of (input, seed, budget)
+  EXPECT_FALSE(std::filesystem::exists(a + ".spill"));
+
+  shuffle_bgraph(canon, b, /*seed=*/100, budget);
+  EXPECT_NE(slurp(a), slurp(b));  // seed changes the permutation
+
+  // Lossless: the scattered-and-reshuffled file holds the same edge
+  // set, and re-sorting restores the canonical bytes.
+  expect_same_graph(load_bgraph(a), g);
+  const std::string resort = tmp_path("ext_shuf_resort.bg");
+  sort_bgraph(a, resort);
+  EXPECT_EQ(slurp(resort), slurp(canon));
+}
+
+// Byte-mutation fuzzing aimed at the external-sort merge path: flip the
+// low bit of one byte at a stride across a valid shuffled file and sort
+// it with a spill-forcing budget. The stride is coprime to the record
+// size, so the sweep hits every lane of the 16-byte record layout: id
+// and weight low bytes usually stay in range (the mutant sorts cleanly,
+// possibly as a different graph), high bytes and header fields trip
+// validation. Every mutant must either sort cleanly or throw
+// ArgumentError — never crash, never leave spill temp files behind.
+TEST(BGraph, ExternalSortSurvivesByteMutationFuzzing) {
+  const auto g = small_random(43);
+  const std::string canon = tmp_path("fuzz_canon.bg");
+  const std::string shuf = tmp_path("fuzz_shuf.bg");
+  write_bgraph(g, canon);
+  shuffle_bgraph(canon, shuf, /*seed=*/7);
+  const std::string good = slurp(shuf);
+  const std::string mutant = tmp_path("fuzz_mutant.bg");
+  const std::string out = tmp_path("fuzz_out.bg");
+
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 0; i < good.size(); i += 13) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    spit(mutant, bad);
+    try {
+      const BGraphInfo info =
+          sort_bgraph(mutant, out, /*mem_budget_bytes=*/1024);
+      // Accepted mutants must still produce a well-formed sorted file.
+      EXPECT_TRUE(info.sorted) << "byte " << i;
+      EXPECT_TRUE(BGraphReader(out).info().sorted) << "byte " << i;
+      ++accepted;
+    } catch (const ArgumentError&) {
+      EXPECT_FALSE(std::filesystem::exists(out + ".spill")) << "byte " << i;
+      ++rejected;
+    }
+    EXPECT_FALSE(std::filesystem::exists(mutant + ".spill")) << "byte " << i;
+  }
+  // The sweep must exercise both outcomes: header/id corruption is
+  // caught, weight-lane bit flips pass through.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
 }
 
 TEST(BGraph, SummaryCountsDegreesAndWeights) {
@@ -295,6 +459,36 @@ TEST(BcsrIo, StreamBuildMatchesInMemoryCsr) {
   EXPECT_EQ(eccentricities(streamed), eccentricities(g));
 }
 
+TEST(BcsrIo, ParallelBuildByteIdenticalAtWorkerCounts) {
+  // Unsorted input (shuffled) and sorted input both shard; the place
+  // pass writes disjoint slots, so every worker count reproduces the
+  // serial build — and hence the serial bcsr bytes — exactly.
+  const auto g = small_random(47);
+  const std::string canon = tmp_path("par_canon.bg");
+  const std::string shuf = tmp_path("par_shuf.bg");
+  write_bgraph(g, canon);
+  shuffle_bgraph(canon, shuf, /*seed=*/3);
+
+  // Only the canonical file reproduces g.csr()'s adjacency-row order;
+  // a shuffled file's rows follow its record order, so there the
+  // serial build of the same file is the golden.
+  expect_same_csr(csr_from_bgraph(canon), g.csr());
+  for (const std::string& input : {canon, shuf}) {
+    const CsrGraph serial = csr_from_bgraph(input);
+    const std::string golden_path = tmp_path("par_golden.bcsr");
+    write_csr(serial, golden_path);
+    const std::string golden = slurp(golden_path);
+    for (const unsigned workers : {1u, 2u, 8u}) {
+      runtime::ThreadPool pool(workers);
+      const CsrGraph sharded = csr_from_bgraph(input, &pool);
+      expect_same_csr(sharded, serial);
+      const std::string got = tmp_path("par_got.bcsr");
+      write_csr(sharded, got);
+      EXPECT_EQ(slurp(got), golden) << input << " workers=" << workers;
+    }
+  }
+}
+
 TEST(BcsrIo, WriteReadMapAllAgree) {
   const auto g = small_random(23);
   const std::string path = tmp_path("image.bcsr");
@@ -402,6 +596,50 @@ TEST(StreamingGenerators, OutputsAreCanonicalConnectedAndOnBudget) {
   EXPECT_GE(s.max_degree, static_cast<std::uint64_t>(4 * s.avg_degree));
 }
 
+TEST(StreamingGenerators, GridBgraphIsRoadLikeAndDeterministic) {
+  const std::string a = tmp_path("grid_a.bg");
+  const std::string b = tmp_path("grid_b.bg");
+
+  const BGraphInfo info =
+      gen::grid_bgraph(a, /*rows=*/20, /*cols=*/30, /*diagonal_p=*/0.25,
+                       /*max_w=*/9, /*seed=*/5);
+  EXPECT_EQ(info.n, 600u);
+  EXPECT_TRUE(info.sorted);  // strictly increasing (u, v) emission
+  EXPECT_LE(info.max_weight, 9u);
+  // Axis edges are always present; diagonals add at most one per cell.
+  const std::uint64_t axis = 20u * 29 + 19u * 30;
+  EXPECT_GE(info.m, axis);
+  EXPECT_LE(info.m, axis + 19u * 29);
+
+  // Seed-deterministic bytes; a different seed moves weights/diagonals.
+  gen::grid_bgraph(b, 20, 30, 0.25, 9, 5);
+  EXPECT_EQ(slurp(a), slurp(b));
+  gen::grid_bgraph(b, 20, 30, 0.25, 9, 6);
+  EXPECT_NE(slurp(a), slurp(b));
+
+  // Connected by construction (no repair pass to lean on).
+  const WeightedGraph g = load_bgraph(a);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_TRUE(std::none_of(d.begin(), d.end(),
+                           [](Dist x) { return x == kInfDist; }));
+
+  // Degenerate diagonal probabilities pin the edge count exactly.
+  EXPECT_EQ(gen::grid_bgraph(a, 4, 5, 0.0, 3, 1).m, 4u * 4 + 3u * 5);
+  EXPECT_EQ(gen::grid_bgraph(a, 4, 5, 1.0, 3, 1).m,
+            4u * 4 + 3u * 5 + 3u * 4);
+
+  // A 1 x k grid degenerates to a weighted path (D = n - 1 hops).
+  const BGraphInfo path_info = gen::grid_bgraph(a, 1, 8, 0.5, 4, 2);
+  EXPECT_EQ(path_info.n, 8u);
+  EXPECT_EQ(path_info.m, 7u);
+
+  EXPECT_THROW(gen::grid_bgraph(a, 0, 5, 0.1, 3, 1), ArgumentError);
+  EXPECT_THROW(gen::grid_bgraph(a, 1, 1, 0.1, 3, 1), ArgumentError);
+  EXPECT_THROW(gen::grid_bgraph(a, 4, 5, -0.1, 3, 1), ArgumentError);
+  EXPECT_THROW(gen::grid_bgraph(a, 4, 5, 1.5, 3, 1), ArgumentError);
+  EXPECT_THROW(gen::grid_bgraph(a, 4, 5, 0.1, 0, 1), ArgumentError);
+}
+
 TEST(StreamingGenerators, RejectsInfeasibleParameters) {
   const std::string path = tmp_path("gen_bad.bg");
   // Target above the simple-graph ceiling n(n-1)/2.
@@ -422,7 +660,11 @@ TEST(StreamingGenerators, RejectsInfeasibleParameters) {
 class LargeN : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    path_ = new std::string(tmp_path("large_n.bg"));
+    // ctest runs each discovered test as its own process, and every
+    // process regenerates this suite-shared dataset — pid-suffix the
+    // path so concurrent LargeN processes never clobber each other.
+    path_ = new std::string(tmp_path("large_n." +
+                                     std::to_string(::getpid()) + ".bg"));
     info_ = new BGraphInfo(
         gen::rmat_bgraph(*path_, /*scale=*/17, /*target_edges=*/400000,
                          /*max_w=*/100, /*seed=*/20260808));
@@ -467,6 +709,27 @@ TEST_F(LargeN, SampledEccentricitiesByteIdenticalAtWorkerCounts) {
     EXPECT_EQ(eccentricities(*csr_, std::span(sources), &pool), golden)
         << "workers=" << workers;
   }
+}
+
+TEST_F(LargeN, ParallelCsrBuildByteIdenticalAtScale) {
+  // 400k records over up-to-16 shards: the per-shard degree reduce and
+  // precomputed place cursors must reproduce the serial CSR exactly.
+  for (const unsigned workers : {2u, 8u}) {
+    runtime::ThreadPool pool(workers);
+    expect_same_csr(csr_from_bgraph(*path_, &pool), *csr_);
+  }
+}
+
+TEST_F(LargeN, ExternalSortMatchesInMemoryAtScale) {
+  // 6.4 MB of records against a 1 MiB budget: seven spill runs through
+  // the loser-tree merge, byte-identical to the one-shot sort.
+  const std::string mem = tmp_path("large_mem.bg");
+  const std::string ext = tmp_path("large_ext.bg");
+  sort_bgraph(*path_, mem);
+  sort_bgraph(*path_, ext, /*mem_budget_bytes=*/std::uint64_t{1} << 20);
+  EXPECT_EQ(slurp(mem), slurp(ext));
+  std::remove(mem.c_str());
+  std::remove(ext.c_str());
 }
 
 // Hop-level flood from a root: each node adopts 1 + the minimum level

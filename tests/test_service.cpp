@@ -9,6 +9,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,8 +17,11 @@
 #include "core/theorem11.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/update.h"
 #include "paths/reference.h"
 #include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
 #include "service/query_engine.h"
 #include "service/wire.h"
 #include "util/rng.h"
@@ -401,6 +405,125 @@ TEST(QueryEngine, Theorem11HandlerMatchesDirectRunAndSharesCache) {
   const auto radius = engine.query(q);
   ASSERT_TRUE(radius.ok) << radius.error;
   EXPECT_LE(radius.value / radius.scale, first.value / first.scale);
+}
+
+// ---------------------------------------------------------------------------
+// Memory-mapped resident graphs (ISSUE 10)
+
+/// Writes `g` as a bcsr image and returns the path.
+std::string write_test_bcsr(const WeightedGraph& g, const std::string& name) {
+  const std::string path = ::testing::TempDir() + "qc_service_" + name;
+  write_csr(g.csr(), path);
+  return path;
+}
+
+TEST(QueryEngine, MappedSpecsShareOneMappingAndAnswerIdentically) {
+  const auto g = test_graph(32, 9);
+  const std::string path = write_test_bcsr(g, "shared.bcsr");
+
+  QueryEngine engine(manual_options());
+  register_unweighted_handlers(engine);
+  auto& a = engine.add_graph_mapped("g0", path);
+  auto& b = engine.add_graph_mapped("g1", path);
+  EXPECT_TRUE(a.is_mapped());
+  EXPECT_TRUE(b.is_mapped());
+  EXPECT_EQ(a.source_path(), path);
+  EXPECT_EQ(a.node_count(), g.node_count());
+  EXPECT_EQ(a.edge_count(), g.edge_count());
+
+  // Two specs naming one file share one mapping: same base address,
+  // and the engine registry plus both context views pin it.
+  ASSERT_NE(a.mapping_address(), nullptr);
+  EXPECT_EQ(a.mapping_address(), b.mapping_address());
+  EXPECT_GE(a.mapping_use_count(), 3);
+
+  EXPECT_THROW(engine.add_graph_mapped("g0", path), ArgumentError);
+  EXPECT_THROW(engine.add_graph_mapped("gx", path + ".missing"),
+               ArgumentError);
+
+  // The mixed workload (including approx_distance, which materializes
+  // the owned WeightedGraph for the toolkit) answers exactly like an
+  // owned-copy engine.
+  const auto qs = mixed_queries(21, g.node_count());
+  const auto ref = reference_results(qs, g);
+  for (Query q : qs) {
+    q.graph = "g0";
+    QueryResult got = engine.query(q);
+    QueryResult want = ref.at(q.id);
+    want.id = got.id;  // ids match by construction; compare payloads
+    ASSERT_EQ(got, want) << "id=" << q.id << " type=" << q.type;
+  }
+
+  // Toolkit materialization is not the copy-on-write detach: reads
+  // still serve from the mapped view afterwards.
+  EXPECT_TRUE(a.is_mapped());
+  const auto w = a.warm_state();
+  EXPECT_TRUE(w.mapped);
+  EXPECT_TRUE(w.materialized);
+  EXPECT_FALSE(b.warm_state().materialized);
+}
+
+TEST(QueryEngine, MappedUpdateDetachesExactlyOnce) {
+  const auto g = test_graph(28, 11);
+  ASSERT_GE(g.edge_count(), 1u);
+  const Edge e = g.edges().front();
+  const std::string path = write_test_bcsr(g, "detach.bcsr");
+
+  QueryEngine engine(manual_options());
+  auto& a = engine.add_graph_mapped("a", path);
+  auto& b = engine.add_graph_mapped("b", path);
+
+  // Direct apply_update on "a" (rebuild policy): the first update
+  // performs the copy-on-write detach and reports it; the second finds
+  // owned storage and must not report a detach again.
+  runtime::ThreadPool pool(2);
+  {
+    std::unique_lock<std::shared_mutex> lock(a.state_mutex());
+    const auto first =
+        a.apply_update(GraphUpdate{}.reweight(e.u, e.v, e.weight + 1), pool,
+                       /*incremental=*/false);
+    EXPECT_TRUE(first.stats.mapped_detached);
+    EXPECT_EQ(first.stats.reweighted, 1u);
+    const auto second =
+        a.apply_update(GraphUpdate{}.reweight(e.u, e.v, e.weight + 2), pool,
+                       /*incremental=*/true);
+    EXPECT_FALSE(second.stats.mapped_detached);
+  }
+  EXPECT_FALSE(a.is_mapped());
+  EXPECT_FALSE(a.warm_state().mapped);
+  EXPECT_TRUE(a.warm_state().materialized);
+
+  // "b" still serves from the mapping "a" left behind.
+  EXPECT_TRUE(b.is_mapped());
+  ASSERT_NE(b.mapping_address(), nullptr);
+
+  // The engine's "update" handler drives the same detach on "b".
+  Query up;
+  up.type = "update";
+  up.graph = "b";
+  up.op = "reweight";
+  up.node = e.u;
+  up.target = e.v;
+  up.weight = e.weight + 2;
+  const auto r = engine.query(up);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, g.edge_count());
+  EXPECT_FALSE(b.is_mapped());
+
+  // Both detached copies answer like owned graphs with the same edits.
+  WeightedGraph expect_g = g;
+  expect_g.apply(GraphUpdate{}.reweight(e.u, e.v, e.weight + 2),
+                 UpdatePolicy::kRebuild);
+  const auto ecc = eccentricities(expect_g);
+  const Dist want = *std::max_element(ecc.begin(), ecc.end());
+  Query q;
+  q.type = "diameter";
+  for (const char* name : {"a", "b"}) {
+    q.graph = name;
+    const auto res = engine.query(q);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.value, want) << name;
+  }
 }
 
 // ---------------------------------------------------------------------------

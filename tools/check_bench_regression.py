@@ -18,7 +18,12 @@ when:
     --tolerance (default 15%) relative to the committed number;
   * a dataset-layer acceptance block reports `rss_ratio_ok: false` —
     the streaming CSR build's child-process peak RSS blew through the
-    3x raw-edge-bytes budget;
+    3x raw-edge-bytes budget — or `external_sort_rss_flat: false` —
+    the out-of-core sort's child peak RSS grew with the input instead
+    of staying pinned near the memory budget — or
+    `mapped_residency_ok: false` — a service holding two mapped .bcsr
+    specs of one file stopped being resident-lighter than the same
+    service holding two owned copies;
   * a dynamic-update acceptance block (BENCH_dynamic.json) reports
     `identical_to_scratch: false` — the incremental cache-repair engine
     diverged from rebuild-from-scratch, a correctness bug — or
@@ -31,6 +36,13 @@ when:
     speedups — RSS ratios are allocator-stable but page-cache noise is
     not worth flaking over on foreign machines).
 
+Timing gates (speedup and build_seconds) only apply to rows whose
+measurement is at least --min-seconds long on both sides (default
+0.3s): the smoke tiers' sub-millisecond rows exist to exercise the
+identity flags, and scheduler jitter swings them far past any usable
+tolerance. Identity flags, acceptance flags, and peak_rss_ratio are
+enforced on every row regardless of duration.
+
 Speedup comparisons are only meaningful when the two files were
 produced on comparable hardware. When `spec.hardware_workers` differs
 between baseline and fresh, the speedup gate is skipped with a loud
@@ -38,11 +50,50 @@ warning (the identity gates still apply — determinism does not depend
 on the machine). Baseline rows for graphs the fresh run did not bench
 at all (e.g. the committed file has --large rows but the gate ran
 without --large) are reported as skipped, not failed.
+
+A second mode, `--require-acceptance FILE...`, validates that each
+committed baseline carries a non-empty `acceptance` block and exits 1
+naming every file that does not — `run_tier1.sh --bench-gate` runs it
+before any bench binary so a truncated or hand-mangled baseline fails
+the gate in milliseconds, not after the reruns.
+
+The gate logic lives in `gate(base, fresh, tolerance)` (returns
+(failures, warnings) lists) so the unit tests in
+tools/test_check_bench_regression.py can drive it on in-memory dicts.
 """
 
 import argparse
 import json
 import sys
+
+# Timing comparisons (speedup_vs_baseline, build_seconds) only run on
+# measurements at least this long, on both sides. Sub-0.3s rows — the
+# smoke tiers exist to exercise identity, not perf — swing well past
+# any reasonable tolerance from scheduler jitter alone, so gating them
+# just makes the gate cry wolf. Identity flags, acceptance flags, and
+# peak_rss_ratio (an allocator-stable byte ratio, not a timing) are
+# enforced on every row regardless of duration.
+MIN_TIMING_GATE_SECONDS = 0.3
+
+# Acceptance keys that are fatal when present and false, with the
+# message explaining what broke. Checked only when the key exists, so
+# sim/dataset/dynamic files each carry their own subset.
+FATAL_ACCEPTANCE = {
+    "byte_identical_at_all_worker_counts":
+        "outcome divergence across worker counts",
+    "rss_ratio_ok":
+        "streaming CSR build peak RSS exceeded 3x raw edge bytes",
+    "external_sort_rss_flat":
+        "external sort child peak RSS grew with the input instead of "
+        "staying pinned near the memory budget",
+    "mapped_residency_ok":
+        "two mapped .bcsr specs stopped being resident-lighter than two "
+        "owned copies",
+    "identical_to_scratch":
+        "the incremental update engine diverged from rebuild-from-scratch",
+    "incremental_speedup_ok":
+        "delta-aware repair no longer clears its 2x floor over rebuild",
+}
 
 
 def load(path):
@@ -59,19 +110,19 @@ def key(row):
     return (row["workload"], row["variant"], row.get("n"), row.get("workers"))
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", default="BENCH_congest_sim.json",
-                    help="committed bench JSON (default: %(default)s)")
-    ap.add_argument("--fresh", required=True,
-                    help="bench JSON produced by the gating run")
-    ap.add_argument("--tolerance", type=float, default=0.15,
-                    help="allowed fractional speedup regression "
-                         "(default: %(default)s)")
-    args = ap.parse_args()
+def missing_acceptance(doc):
+    """True when `doc` lacks a usable acceptance block."""
+    acc = doc.get("acceptance")
+    return not isinstance(acc, dict) or not acc
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+
+def gate(base, fresh, tolerance=0.15,
+         min_seconds=MIN_TIMING_GATE_SECONDS):
+    """Diffs one fresh bench dict against its baseline dict.
+
+    Pure function of its inputs; returns (failures, warnings) as lists
+    of strings. Empty failures means the gate passes.
+    """
     failures = []
     warnings = []
 
@@ -81,23 +132,13 @@ def main():
                 f"fresh row {key(row)} has identical=false — outcome "
                 f"divergence, not a perf question")
     acc = fresh.get("acceptance", {})
-    if not acc.get("byte_identical_at_all_worker_counts", False):
+    if "byte_identical_at_all_worker_counts" not in acc:
         failures.append(
-            "fresh acceptance byte_identical_at_all_worker_counts is false")
-    if "rss_ratio_ok" in acc and not acc["rss_ratio_ok"]:
-        failures.append(
-            f"fresh acceptance rss_ratio_ok is false (worst ratio "
-            f"{acc.get('worst_peak_rss_ratio')}) — streaming CSR build "
-            f"peak RSS exceeded 3x raw edge bytes")
-    if "identical_to_scratch" in acc and not acc["identical_to_scratch"]:
-        failures.append(
-            "fresh acceptance identical_to_scratch is false — the "
-            "incremental update engine diverged from rebuild-from-scratch")
-    if "incremental_speedup_ok" in acc and not acc["incremental_speedup_ok"]:
-        failures.append(
-            f"fresh acceptance incremental_speedup_ok is false (speedup "
-            f"{acc.get('incremental_speedup_at_65536')}) — delta-aware "
-            f"repair no longer clears its 2x floor over rebuild")
+            "fresh acceptance block is missing "
+            "byte_identical_at_all_worker_counts")
+    for name, why in FATAL_ACCEPTANCE.items():
+        if name in acc and not acc[name]:
+            failures.append(f"fresh acceptance {name} is false — {why}")
 
     base_hw = base.get("spec", {}).get("hardware_workers")
     fresh_hw = fresh.get("spec", {}).get("hardware_workers")
@@ -125,22 +166,73 @@ def main():
             continue
         if not compare_speed:
             continue
+        long_enough = (brow.get("seconds", 0.0) >= min_seconds
+                       and frow.get("seconds", 0.0) >= min_seconds)
         b_speed = brow.get("speedup_vs_baseline", 0.0)
         f_speed = frow.get("speedup_vs_baseline", 0.0)
-        if b_speed > 0 and f_speed < b_speed * (1.0 - args.tolerance):
+        if (long_enough and b_speed > 0
+                and f_speed < b_speed * (1.0 - tolerance)):
             failures.append(
                 f"row {k} speedup regressed {b_speed:.3f} -> {f_speed:.3f} "
-                f"(> {args.tolerance:.0%} below baseline)")
+                f"(> {tolerance:.0%} below baseline)")
         # Ingest columns (dataset-layer rows): both grow-is-bad.
+        # build_seconds is a timing and shares the duration floor (on
+        # its own value); peak_rss_ratio is not and is always gated.
         for col in ("build_seconds", "peak_rss_ratio"):
             b_val = brow.get(col)
             f_val = frow.get(col)
             if b_val is None or f_val is None:
                 continue
-            if b_val > 0 and f_val > b_val * (1.0 + args.tolerance):
+            if col == "build_seconds" and (b_val < min_seconds
+                                           or f_val < min_seconds):
+                continue
+            if b_val > 0 and f_val > b_val * (1.0 + tolerance):
                 failures.append(
                     f"row {k} {col} regressed {b_val:.3f} -> {f_val:.3f} "
-                    f"(> {args.tolerance:.0%} above baseline)")
+                    f"(> {tolerance:.0%} above baseline)")
+    return failures, warnings
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="BENCH_congest_sim.json",
+                    help="committed bench JSON (default: %(default)s)")
+    ap.add_argument("--fresh",
+                    help="bench JSON produced by the gating run")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional speedup regression "
+                         "(default: %(default)s)")
+    ap.add_argument("--min-seconds", type=float,
+                    default=MIN_TIMING_GATE_SECONDS,
+                    help="timing gates only apply to rows measuring at "
+                         "least this long on both sides; identity and "
+                         "RSS gates always apply (default: %(default)s)")
+    ap.add_argument("--require-acceptance", nargs="+", metavar="FILE",
+                    help="instead of diffing, verify each FILE carries a "
+                         "non-empty acceptance block (fail-fast baseline "
+                         "sanity for run_tier1.sh --bench-gate)")
+    args = ap.parse_args(argv)
+
+    if args.require_acceptance:
+        bad = [p for p in args.require_acceptance
+               if missing_acceptance(load(p))]
+        for p in bad:
+            print(f"FAIL: {p} has no acceptance block — truncated or "
+                  f"hand-edited baseline; regenerate it with the bench "
+                  f"binary")
+        if bad:
+            return 1
+        print(f"acceptance blocks present in "
+              f"{len(args.require_acceptance)} baseline file(s)")
+        return 0
+
+    if not args.fresh:
+        ap.error("--fresh is required unless --require-acceptance is used")
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures, warnings = gate(base, fresh, args.tolerance,
+                              args.min_seconds)
 
     for w in warnings:
         print(f"warning: {w}")
@@ -149,7 +241,8 @@ def main():
             print(f"FAIL: {f}")
         print(f"bench gate: {len(failures)} failure(s)")
         return 1
-    print(f"bench gate: OK ({len(fresh_rows)} fresh rows checked against "
+    print(f"bench gate: OK "
+          f"({len(fresh.get('results', []))} fresh rows checked against "
           f"{len(base.get('results', []))} baseline rows)")
     return 0
 

@@ -327,6 +327,18 @@ service::QueryEngine make_engine(const Args& a, bool auto_dispatch,
   return service::QueryEngine(opt);
 }
 
+/// First 8 bytes of a file (shorter files yield what exists) — the
+/// binary formats are distinguished by magic: "bgraph1\0" (edge list)
+/// and "bcsrqc1\0" (packed CSR image); anything else is wgraph text.
+std::string sniff_magic8(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  QC_REQUIRE(f != nullptr, "cannot open: " + path);
+  char magic[8] = {0};
+  const std::size_t got = std::fread(magic, 1, sizeof magic, f);
+  std::fclose(f);
+  return std::string(magic, got);
+}
+
 int cmd_serve(const Args& a) {
   runtime::MetricsRegistry registry;
   auto engine = make_engine(a, /*auto_dispatch=*/true, &registry);
@@ -341,9 +353,41 @@ int cmd_serve(const Args& a) {
     const auto files = split_commas(a.str("graphs", ""));
     for (std::size_t i = 0; i < files.size(); ++i) {
       const std::string name = "g" + std::to_string(i);
-      const auto& ctx = engine.add_graph(name, load_graph(files[i]));
-      std::fprintf(stderr, "loaded %s = %s (%s)\n", name.c_str(),
-                   files[i].c_str(), ctx.graph().summary().c_str());
+      const std::string magic = sniff_magic8(files[i]);
+      if (magic == std::string("bcsrqc1\0", 8)) {
+        // Packed CSR image: serve straight from the read-only mapping
+        // (specs naming the same file share it — reported below).
+        const auto& ctx = engine.add_graph_mapped(name, files[i]);
+        std::fprintf(stderr, "mapped %s = %s (n=%u m=%zu maxw=%llu)\n",
+                     name.c_str(), files[i].c_str(), ctx.node_count(),
+                     ctx.edge_count(),
+                     (unsigned long long)ctx.csr().max_weight());
+      } else if (magic == std::string("bgraph1\0", 8)) {
+        const auto& ctx = engine.add_graph(name, load_bgraph(files[i]));
+        std::fprintf(stderr, "loaded %s = %s (%s)\n", name.c_str(),
+                     files[i].c_str(), ctx.graph().summary().c_str());
+      } else {
+        const auto& ctx = engine.add_graph(name, load_graph(files[i]));
+        std::fprintf(stderr, "loaded %s = %s (%s)\n", name.c_str(),
+                     files[i].c_str(), ctx.graph().summary().c_str());
+      }
+    }
+    // Shared-residency report: every group of mapped graphs whose views
+    // resolve to one mapping address serves reads from the same pages.
+    std::map<const void*, std::vector<std::string>> by_mapping;
+    for (const auto& gname : engine.graph_names()) {
+      const auto* ctx = engine.find_graph(gname);
+      if (ctx->is_mapped()) {
+        by_mapping[ctx->mapping_address()].push_back(gname);
+      }
+    }
+    for (const auto& [addr, names] : by_mapping) {
+      std::string list = names.front();
+      for (std::size_t i = 1; i < names.size(); ++i) list += "," + names[i];
+      std::fprintf(stderr,
+                   "mapped residency: {%s} -> one mapping @%p (%ld views)\n",
+                   list.c_str(), addr,
+                   engine.find_graph(names.front())->mapping_use_count());
     }
   } else {
     const auto count = a.num("count", 1);
@@ -499,9 +543,18 @@ int cmd_dataset(const std::string& verb, const Args& a) {
       const double p = a.kv.count("p") ? std::stod(a.str("p", "0"))
                                        : avg / double(n > 1 ? n - 1 : 1);
       info = gen::erdos_renyi_bgraph(out, n, p, maxw, seed);
+    } else if (family == "grid") {
+      // Road-like lattice; --n picks a square side when --rows/--cols
+      // are not given explicitly.
+      const auto n = a.num("n", 1u << 20);
+      const auto side = static_cast<NodeId>(std::sqrt(double(n)));
+      const auto rows = static_cast<NodeId>(a.num("rows", side));
+      const auto cols = static_cast<NodeId>(a.num("cols", side));
+      const double diag = std::stod(a.str("diag", "0.05"));
+      info = gen::grid_bgraph(out, rows, cols, diag, maxw, seed);
     } else {
       throw ArgumentError("unknown dataset family: " + family +
-                          " (want rmat|chunglu|er)");
+                          " (want rmat|chunglu|er|grid)");
     }
     print_info(("generate " + family + " -> " + out).c_str(), info,
                now_seconds() - t0);
@@ -520,16 +573,20 @@ int cmd_dataset(const std::string& verb, const Args& a) {
     }
     return 0;
   }
+  // Out-of-core budget for shuffle/sort, in MiB (0 = the library's
+  // 256 MiB default). Inputs below the budget take the in-memory fast
+  // path; larger ones spill to <out>.spill/.
+  const std::uint64_t mem_budget = a.num("mem-budget", 0) << 20;
   if (verb == "shuffle") {
     QC_REQUIRE(!in.empty() && !out.empty(), "dataset shuffle needs --in/--out");
-    const auto info = shuffle_bgraph(in, out, a.num("seed", 1));
+    const auto info = shuffle_bgraph(in, out, a.num("seed", 1), mem_budget);
     print_info(("shuffle " + in + " -> " + out).c_str(), info,
                now_seconds() - t0);
     return 0;
   }
   if (verb == "sort") {
     QC_REQUIRE(!in.empty() && !out.empty(), "dataset sort needs --in/--out");
-    const auto info = sort_bgraph(in, out);
+    const auto info = sort_bgraph(in, out, mem_budget);
     print_info(("sort " + in + " -> " + out).c_str(), info,
                now_seconds() - t0);
     return 0;
@@ -558,7 +615,8 @@ int cmd_dataset(const std::string& verb, const Args& a) {
   }
   if (verb == "pack-csr") {
     QC_REQUIRE(!in.empty() && !out.empty(), "dataset pack-csr needs --in/--out");
-    const auto g = csr_from_bgraph(in);
+    runtime::ThreadPool pool(static_cast<unsigned>(a.num("workers", 0)));
+    const auto g = csr_from_bgraph(in, &pool);
     const double t1 = now_seconds();
     write_csr(g, out);
     const double t2 = now_seconds();
@@ -609,21 +667,27 @@ void usage() {
       "            [--eps-inv 0,8] [--algo bfs|baseline|t11|t11-radius]\n"
       "            [--maxw W] [--seed S] [--bandwidth B] [--workers K]\n"
       "            [--out sweep_results.json] [--round-metrics]\n"
-      "  serve     [--graphs f1.wg,f2.wg | --count K --n N --family F\n"
-      "            --maxw W --seed S] [--warm] [--workers K] [--queue Q]\n"
-      "            [--batch B] [--metrics FILE]\n"
+      "  serve     [--graphs f1.wg,f2.bg,f3.bcsr | --count K --n N\n"
+      "            --family F --maxw W --seed S] [--warm] [--workers K]\n"
+      "            [--queue Q] [--batch B] [--metrics FILE]\n"
+      "            (.bcsr specs are memory-mapped; same-file specs\n"
+      "             share one mapping)\n"
       "  query     --type T [--graph FILE | --n N --family F ...]\n"
       "            [--node U] [--target V] [--query-seed S] [--id I]\n"
       "            [--workers K] [--op insert|remove|reweight --weight W]\n"
       "            (type \"update\" mutates g0 via --op/--node/--target)\n"
-      "  dataset   generate  --family rmat|chunglu|er --out F.bg\n"
+      "  dataset   generate  --family rmat|chunglu|er|grid --out F.bg\n"
       "                      [--scale S|--n N] [--m M] [--p P|--avg-deg D]\n"
-      "                      [--exponent E] [--maxw W] [--seed S]\n"
+      "                      [--exponent E] [--rows R --cols C] [--diag P]\n"
+      "                      [--maxw W] [--seed S]\n"
       "            convert   --in F --out F   (text<->binary by sniffing)\n"
       "            shuffle   --in F.bg --out F.bg [--seed S]\n"
-      "            sort      --in F.bg --out F.bg   (also full dedup check)\n"
+      "                      [--mem-budget MiB]  (out-of-core past budget)\n"
+      "            sort      --in F.bg --out F.bg [--mem-budget MiB]\n"
+      "                      (also full dedup check; spills sorted runs)\n"
       "            summarize --in F.bg\n"
-      "            pack-csr  --in F.bg --out F.bcsr  (mmap-able CSR image)\n");
+      "            pack-csr  --in F.bg --out F.bcsr [--workers K]\n"
+      "                      (mmap-able CSR image; parallel two-pass)\n");
 }
 
 }  // namespace

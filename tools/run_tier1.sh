@@ -62,6 +62,12 @@ if [ "$BENCH_GATE" -eq 1 ]; then
   # when spec.hardware_workers matches the baseline's, so a different
   # box degrades to a determinism-only gate instead of flaking.
   BUILD_DIR=build
+  # Fail fast before any bench rerun: every committed baseline must
+  # carry its acceptance block. A truncated or hand-edited JSON would
+  # otherwise sail through the diff (no rows to compare) and only bite
+  # when the next full regeneration overwrote it.
+  python3 tools/check_bench_regression.py --require-acceptance \
+    BENCH_congest_sim.json BENCH_datasets.json BENCH_dynamic.json
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j --target \
     bench_congest_sim bench_datasets bench_dynamic

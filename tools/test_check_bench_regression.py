@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_regression.py.
+
+Registered with ctest (see tests/CMakeLists.txt) so the bench gate's
+own gating logic is covered by tier-1: a checker that silently stopped
+failing on identical:false would otherwise only be caught by a human
+reading gate output. Drives the pure gate() function on in-memory
+dicts plus main() end-to-end through temp files.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_spec = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    os.path.join(_HERE, "check_bench_regression.py"))
+cbr = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(cbr)
+
+
+def doc(rows, acceptance=None, hardware_workers=1):
+    """A minimal bench JSON document in the committed shape."""
+    if acceptance is None:
+        acceptance = {"byte_identical_at_all_worker_counts": True}
+    return {
+        "spec": {"hardware_workers": hardware_workers},
+        "results": rows,
+        "acceptance": acceptance,
+    }
+
+
+def row(workload="w", variant="v", n=100, workers=1, speedup=1.0,
+        identical=True, seconds=0.5, **extra):
+    r = {"workload": workload, "variant": variant, "n": n,
+         "workers": workers, "seconds": seconds,
+         "speedup_vs_baseline": speedup, "identical": identical}
+    r.update(extra)
+    return r
+
+
+class GateIdentity(unittest.TestCase):
+    def test_clean_run_passes(self):
+        base = doc([row(speedup=2.0)])
+        fresh = doc([row(speedup=2.0)])
+        failures, warnings = cbr.gate(base, fresh)
+        self.assertEqual(failures, [])
+        self.assertEqual(warnings, [])
+
+    def test_identical_false_is_fatal(self):
+        base = doc([row()])
+        fresh = doc([row(identical=False)])
+        failures, _ = cbr.gate(base, fresh)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("identical=false", failures[0])
+
+    def test_identical_false_fatal_even_on_foreign_hardware(self):
+        # Hardware mismatch skips perf gates, never identity gates.
+        base = doc([row()], hardware_workers=64)
+        fresh = doc([row(identical=False)], hardware_workers=1)
+        failures, warnings = cbr.gate(base, fresh)
+        self.assertTrue(any("identical=false" in f for f in failures))
+        self.assertTrue(any("hardware differs" in w for w in warnings))
+
+    def test_missing_acceptance_identity_key_is_fatal(self):
+        fresh = doc([row()], acceptance={})
+        failures, _ = cbr.gate(doc([]), fresh)
+        self.assertTrue(any("byte_identical_at_all_worker_counts" in f
+                            for f in failures))
+
+
+class GateAcceptanceFlags(unittest.TestCase):
+    def _acc(self, **flags):
+        acc = {"byte_identical_at_all_worker_counts": True}
+        acc.update(flags)
+        return acc
+
+    def assert_flag_fatal(self, name):
+        fresh = doc([row()], acceptance=self._acc(**{name: False}))
+        failures, _ = cbr.gate(doc([]), fresh)
+        self.assertTrue(any(name in f for f in failures),
+                        f"{name}=false must be fatal, got {failures}")
+        ok = doc([row()], acceptance=self._acc(**{name: True}))
+        failures, _ = cbr.gate(doc([]), ok)
+        self.assertEqual(failures, [])
+
+    def test_rss_ratio_ok_false_is_fatal(self):
+        self.assert_flag_fatal("rss_ratio_ok")
+
+    def test_external_sort_rss_flat_false_is_fatal(self):
+        self.assert_flag_fatal("external_sort_rss_flat")
+
+    def test_mapped_residency_ok_false_is_fatal(self):
+        self.assert_flag_fatal("mapped_residency_ok")
+
+    def test_identical_to_scratch_false_is_fatal(self):
+        self.assert_flag_fatal("identical_to_scratch")
+
+    def test_absent_flags_are_not_required(self):
+        # A sim-layer file has none of the dataset/dynamic keys; that
+        # must not fail — the checks are key-presence-conditional.
+        fresh = doc([row()])
+        failures, _ = cbr.gate(doc([]), fresh)
+        self.assertEqual(failures, [])
+
+
+class GatePerf(unittest.TestCase):
+    def test_speedup_regression_is_fatal(self):
+        base = doc([row(speedup=4.0)])
+        fresh = doc([row(speedup=2.0)])
+        failures, _ = cbr.gate(base, fresh)
+        self.assertTrue(any("speedup regressed" in f for f in failures))
+
+    def test_speedup_within_tolerance_passes(self):
+        base = doc([row(speedup=4.0)])
+        fresh = doc([row(speedup=3.6)])
+        failures, _ = cbr.gate(base, fresh, tolerance=0.15)
+        self.assertEqual(failures, [])
+
+    def test_hardware_mismatch_skips_speedup_gate(self):
+        base = doc([row(speedup=4.0)], hardware_workers=64)
+        fresh = doc([row(speedup=1.0)], hardware_workers=1)
+        failures, warnings = cbr.gate(base, fresh)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("hardware differs" in w for w in warnings))
+
+    def test_ingest_column_regressions_are_fatal(self):
+        base = doc([row(build_seconds=1.0, peak_rss_ratio=2.0)])
+        fresh = doc([row(build_seconds=1.5, peak_rss_ratio=2.9)])
+        failures, _ = cbr.gate(base, fresh)
+        self.assertTrue(any("build_seconds" in f for f in failures))
+        self.assertTrue(any("peak_rss_ratio" in f for f in failures))
+
+    def test_missing_row_at_benched_n_is_fatal(self):
+        base = doc([row(variant="kept"), row(variant="dropped")])
+        fresh = doc([row(variant="kept")])
+        failures, _ = cbr.gate(base, fresh)
+        self.assertTrue(any("missing from fresh run" in f
+                            for f in failures))
+
+    def test_short_rows_skip_timing_gates_only(self):
+        # Sub-floor measurements are scheduler noise: speedup and
+        # build_seconds swings must not fail, but peak_rss_ratio (a
+        # byte ratio) and identical (correctness) always gate.
+        base = doc([row(seconds=0.01, speedup=4.0, build_seconds=0.001,
+                        peak_rss_ratio=2.0)])
+        fresh = doc([row(seconds=0.01, speedup=1.0, build_seconds=0.002,
+                         peak_rss_ratio=2.0)])
+        failures, _ = cbr.gate(base, fresh)
+        self.assertEqual(failures, [])
+        fresh_rss = doc([row(seconds=0.01, speedup=1.0,
+                             peak_rss_ratio=4.0)])
+        failures, _ = cbr.gate(base, fresh_rss)
+        self.assertTrue(any("peak_rss_ratio" in f for f in failures))
+        fresh_bad = doc([row(seconds=0.01, identical=False)])
+        failures, _ = cbr.gate(base, fresh_bad)
+        self.assertTrue(any("identical=false" in f for f in failures))
+
+    def test_min_seconds_floor_is_two_sided(self):
+        # A fresh row that collapsed below the floor must not dodge the
+        # gate the other way either: floor applies to both sides, so a
+        # long baseline vs short fresh row skips (duration itself is
+        # caught by the speedup column when it matters upstream).
+        base = doc([row(seconds=5.0, speedup=4.0)])
+        fresh = doc([row(seconds=0.01, speedup=1.0)])
+        failures, _ = cbr.gate(base, fresh)
+        self.assertEqual(failures, [])
+
+    def test_unbenched_n_is_skipped_not_failed(self):
+        # Committed --huge rows vs a smoke gate that never benched that n.
+        base = doc([row(n=100), row(variant="huge", n=10**6)])
+        fresh = doc([row(n=100)])
+        failures, warnings = cbr.gate(base, fresh)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("not benched by this run" in w
+                            for w in warnings))
+
+
+class MainEndToEnd(unittest.TestCase):
+    def _write(self, tmp, name, payload):
+        path = os.path.join(tmp, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        return path
+
+    def test_main_pass_and_fail_exit_codes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self._write(tmp, "base.json", doc([row()]))
+            good = self._write(tmp, "good.json", doc([row()]))
+            bad = self._write(tmp, "bad.json",
+                              doc([row(identical=False)]))
+            self.assertEqual(
+                cbr.main(["--baseline", base, "--fresh", good]), 0)
+            self.assertEqual(
+                cbr.main(["--baseline", base, "--fresh", bad]), 1)
+
+    def test_require_acceptance_mode(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            good = self._write(tmp, "good.json", doc([row()]))
+            empty = self._write(tmp, "empty.json",
+                                doc([row()], acceptance=None))
+            # doc() fills a default block; strip it for the bad file.
+            with open(empty, "r+", encoding="utf-8") as f:
+                payload = json.load(f)
+                del payload["acceptance"]
+                f.seek(0)
+                f.truncate()
+                json.dump(payload, f)
+            self.assertEqual(
+                cbr.main(["--require-acceptance", good]), 0)
+            self.assertEqual(
+                cbr.main(["--require-acceptance", good, empty]), 1)
+
+    def test_missing_acceptance_helper(self):
+        self.assertTrue(cbr.missing_acceptance({}))
+        self.assertTrue(cbr.missing_acceptance({"acceptance": {}}))
+        self.assertTrue(cbr.missing_acceptance({"acceptance": [True]}))
+        self.assertFalse(cbr.missing_acceptance(
+            {"acceptance": {"rss_ratio_ok": True}}))
+
+
+if __name__ == "__main__":
+    unittest.main()
